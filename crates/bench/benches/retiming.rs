@@ -1,0 +1,53 @@
+//! Section 4 extension runtime: Leiserson–Saxe retiming and the Pan–Liu
+//! style sequential-mapping decision procedure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dagmap_genlib::Library;
+use dagmap_match::MatchMode;
+use dagmap_netlist::SubjectGraph;
+use dagmap_retime::{min_cycle_period, minimize_period, SeqGraph};
+
+fn bench_retiming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("retiming");
+    group.sample_size(10);
+    for width in [8usize, 16] {
+        let net = dagmap_benchgen::accumulator(width);
+        let subject = SubjectGraph::from_network(&net).expect("benchmark decomposes");
+        group.bench_with_input(
+            BenchmarkId::new("leiserson_saxe", width),
+            &subject,
+            |b, subject| {
+                b.iter(|| {
+                    let graph =
+                        SeqGraph::from_network(subject.network(), |_| 1.0).expect("extracts");
+                    black_box(minimize_period(&graph).expect("feasible").period)
+                })
+            },
+        );
+    }
+    let net = dagmap_benchgen::accumulator(6);
+    let subject = SubjectGraph::from_network(&net).expect("benchmark decomposes");
+    for (name, library) in [
+        ("minimal", Library::minimal()),
+        ("lib2", Library::lib2_like()),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("pan_liu_min_cycle", name),
+            &library,
+            |b, library| {
+                b.iter(|| {
+                    let r =
+                        min_cycle_period(black_box(&subject), library, MatchMode::Standard, 1e-2)
+                            .expect("feasible");
+                    black_box(r.period)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_retiming);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Regenerates Tables 1–3 of the paper: tree vs DAG mapping under the
+//! `lib2`-like, `44-1`-like and `44-3`-like libraries.
+//!
+//! ```text
+//! cargo run --release -p dagmap-bench --bin tables            # all tables
+//! cargo run --release -p dagmap-bench --bin tables -- --table 2
+//! cargo run --release -p dagmap-bench --bin tables -- --quick # small suite
+//! cargo run --release -p dagmap-bench --bin tables -- --no-verify
+//! ```
+
+use dagmap_bench::{print_table, quick_suite, run_table, suite, table_libraries};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Option<u32> = None;
+    let mut quick = false;
+    let mut check = true;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--table" => {
+                i += 1;
+                which = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--table needs 1, 2 or 3")),
+                );
+            }
+            "--quick" => quick = true,
+            "--no-verify" => check = false,
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+
+    let circuits = if quick { quick_suite() } else { suite() };
+    let circuits: Vec<(&str, dagmap_netlist::Network)> = circuits;
+    for (num, library) in table_libraries() {
+        if which.is_some_and(|w| w != num) {
+            continue;
+        }
+        let rows = run_table(&library, &circuits, check);
+        print_table(
+            &format!(
+                "Table {num}: tree mapping vs DAG mapping ({})",
+                library.name()
+            ),
+            &library,
+            &rows,
+        );
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: tables [--table 1|2|3] [--quick] [--no-verify]");
+    std::process::exit(2);
+}

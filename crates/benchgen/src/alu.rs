@@ -1,0 +1,98 @@
+//! A small ALU generator — the core ingredient of the C2670/C3540/C5315
+//! analogues.
+
+use dagmap_netlist::{Network, NodeFn, NodeId};
+
+use crate::arith::ripple_into;
+use crate::misc::mux_tree_into;
+use crate::{input_bus, output_bus};
+
+/// ALU fragment over existing buses: returns (`result bits`, `carry-out`,
+/// `zero flag`).
+///
+/// Operations by `op = [op0, op1]`: `00` add, `01` and, `10` or, `11` xor.
+pub fn alu_into(
+    net: &mut Network,
+    a: &[NodeId],
+    b: &[NodeId],
+    op: &[NodeId],
+    cin: NodeId,
+) -> (Vec<NodeId>, NodeId, NodeId) {
+    assert_eq!(a.len(), b.len(), "operand widths must agree");
+    assert_eq!(op.len(), 2, "two op-select bits");
+    let (sum, cout) = ripple_into(net, a, b, cin);
+    let mut result = Vec::with_capacity(a.len());
+    for i in 0..a.len() {
+        let and = net.add_node(NodeFn::And, vec![a[i], b[i]]).expect("and2");
+        let or = net.add_node(NodeFn::Or, vec![a[i], b[i]]).expect("or2");
+        let xor = net.add_node(NodeFn::Xor, vec![a[i], b[i]]).expect("xor2");
+        result.push(mux_tree_into(net, op, &[sum[i], and, or, xor]));
+    }
+    let zero = net.add_node(NodeFn::Nor, result.clone()).expect("wide nor");
+    (result, cout, zero)
+}
+
+/// `width`-bit four-function ALU: inputs `a*`, `b*`, `op0`/`op1`, `cin`;
+/// outputs `y*`, `cout`, `zero`.
+pub fn alu(width: usize) -> Network {
+    let mut net = Network::new(format!("alu{width}"));
+    let a = input_bus(&mut net, "a", width);
+    let b = input_bus(&mut net, "b", width);
+    let op = input_bus(&mut net, "op", 2);
+    let cin = net.add_input("cin");
+    let (y, cout, zero) = alu_into(&mut net, &a, &b, &op, cin);
+    output_bus(&mut net, "y", &y);
+    net.add_output("cout", cout);
+    net.add_output("zero", zero);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagmap_netlist::sim::Simulator;
+
+    fn run(width: usize, a: u64, b: u64, op: u64, cin: u64) -> (u64, u64, u64) {
+        let net = alu(width);
+        let sim = Simulator::new(&net).unwrap();
+        let mut bits: Vec<u64> = (0..width).map(|i| (a >> i) & 1).collect();
+        bits.extend((0..width).map(|i| (b >> i) & 1));
+        bits.push(op & 1);
+        bits.push((op >> 1) & 1);
+        bits.push(cin);
+        let v = sim.eval(&bits);
+        let mut y = 0;
+        for i in 0..width {
+            y |= (v.output(&net, &format!("y{i}")).unwrap() & 1) << i;
+        }
+        (
+            y,
+            v.output(&net, "cout").unwrap() & 1,
+            v.output(&net, "zero").unwrap() & 1,
+        )
+    }
+
+    #[test]
+    fn all_four_operations() {
+        let (a, b) = (0b1100u64, 0b1010u64);
+        assert_eq!(run(4, a, b, 0b00, 0).0, (a + b) & 0xF); // add
+        assert_eq!(run(4, a, b, 0b01, 0).0, a & b); // and
+        assert_eq!(run(4, a, b, 0b10, 0).0, a | b); // or
+        assert_eq!(run(4, a, b, 0b11, 0).0, a ^ b); // xor
+    }
+
+    #[test]
+    fn add_produces_carry_and_zero_flags() {
+        let (y, cout, zero) = run(4, 0xF, 0x1, 0b00, 0);
+        assert_eq!(y, 0);
+        assert_eq!(cout, 1);
+        assert_eq!(zero, 1);
+        let (_, _, zero) = run(4, 3, 0, 0b01, 0); // 3 & 0 = 0
+        assert_eq!(zero, 1);
+    }
+
+    #[test]
+    fn carry_in_feeds_the_adder() {
+        assert_eq!(run(4, 1, 1, 0b00, 1).0, 3);
+    }
+}

@@ -1,0 +1,442 @@
+//! Arithmetic generators: adders, a comparator and the carry-save array
+//! multiplier standing in for ISCAS-85 C6288.
+
+use dagmap_netlist::{Network, NodeFn, NodeId};
+
+use crate::{full_adder, input_bus, output_bus};
+
+/// Ripple-carry adder fragment: returns (`sum` bits, `carry-out`).
+pub(crate) fn ripple_into(
+    net: &mut Network,
+    a: &[NodeId],
+    b: &[NodeId],
+    cin: NodeId,
+) -> (Vec<NodeId>, NodeId) {
+    assert_eq!(a.len(), b.len(), "operand widths must agree");
+    let mut carry = cin;
+    let mut sum = Vec::with_capacity(a.len());
+    for (&x, &y) in a.iter().zip(b) {
+        let (s, c) = full_adder(net, x, y, carry);
+        sum.push(s);
+        carry = c;
+    }
+    (sum, carry)
+}
+
+/// `width`-bit ripple-carry adder: inputs `a*`, `b*`, `cin`; outputs `s*`,
+/// `cout`. Linear depth — the classic victim of delay-oriented mapping.
+pub fn ripple_adder(width: usize) -> Network {
+    let mut net = Network::new(format!("ripple{width}"));
+    let a = input_bus(&mut net, "a", width);
+    let b = input_bus(&mut net, "b", width);
+    let cin = net.add_input("cin");
+    let (sum, cout) = ripple_into(&mut net, &a, &b, cin);
+    output_bus(&mut net, "s", &sum);
+    net.add_output("cout", cout);
+    net
+}
+
+/// Kogge–Stone prefix adder fragment: logarithmic carry depth.
+pub(crate) fn kogge_stone_into(
+    net: &mut Network,
+    a: &[NodeId],
+    b: &[NodeId],
+    cin: NodeId,
+) -> (Vec<NodeId>, NodeId) {
+    assert_eq!(a.len(), b.len(), "operand widths must agree");
+    let n = a.len();
+    let mut g: Vec<NodeId> = Vec::with_capacity(n);
+    let mut p: Vec<NodeId> = Vec::with_capacity(n);
+    for (&x, &y) in a.iter().zip(b) {
+        p.push(net.add_node(NodeFn::Xor, vec![x, y]).expect("xor2"));
+        g.push(net.add_node(NodeFn::And, vec![x, y]).expect("and2"));
+    }
+    // Fold cin into position 0: g0' = g0 + p0*cin.
+    let p0c = net.add_node(NodeFn::And, vec![p[0], cin]).expect("and2");
+    g[0] = net.add_node(NodeFn::Or, vec![g[0], p0c]).expect("or2");
+    let mut dist = 1;
+    while dist < n {
+        let (gp, pp) = (g.clone(), p.clone());
+        for i in dist..n {
+            let t = net
+                .add_node(NodeFn::And, vec![pp[i], gp[i - dist]])
+                .expect("and2");
+            g[i] = net.add_node(NodeFn::Or, vec![gp[i], t]).expect("or2");
+            p[i] = net
+                .add_node(NodeFn::And, vec![pp[i], pp[i - dist]])
+                .expect("and2");
+        }
+        dist *= 2;
+    }
+    // sum_i = p_i ^ carry_{i-1}; carry_{i-1} = g_{i-1} (cin folded in).
+    let praw: Vec<NodeId> = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| net.add_node(NodeFn::Xor, vec![x, y]).expect("xor2"))
+        .collect();
+    let mut sum = Vec::with_capacity(n);
+    sum.push(net.add_node(NodeFn::Xor, vec![praw[0], cin]).expect("xor2"));
+    for i in 1..n {
+        sum.push(
+            net.add_node(NodeFn::Xor, vec![praw[i], g[i - 1]])
+                .expect("xor2"),
+        );
+    }
+    (sum, g[n - 1])
+}
+
+/// `width`-bit Kogge–Stone adder: logarithmic depth, heavy reconvergent
+/// fanout — a stress test for the tree/DAG distinction.
+pub fn kogge_stone_adder(width: usize) -> Network {
+    let mut net = Network::new(format!("kogge_stone{width}"));
+    let a = input_bus(&mut net, "a", width);
+    let b = input_bus(&mut net, "b", width);
+    let cin = net.add_input("cin");
+    let (sum, cout) = kogge_stone_into(&mut net, &a, &b, cin);
+    output_bus(&mut net, "s", &sum);
+    net.add_output("cout", cout);
+    net
+}
+
+/// Carry-select adder fragment with `block`-bit ripple sections.
+pub(crate) fn carry_select_into(
+    net: &mut Network,
+    a: &[NodeId],
+    b: &[NodeId],
+    cin: NodeId,
+    block: usize,
+) -> (Vec<NodeId>, NodeId) {
+    assert!(block >= 1, "block size must be positive");
+    let zero = net.add_node(NodeFn::Const(false), vec![]).expect("const");
+    let one = net.add_node(NodeFn::Const(true), vec![]).expect("const");
+    let mut carry = cin;
+    let mut sum = Vec::with_capacity(a.len());
+    let mut base = 0;
+    while base < a.len() {
+        let end = (base + block).min(a.len());
+        let (s0, c0) = ripple_into(net, &a[base..end], &b[base..end], zero);
+        let (s1, c1) = ripple_into(net, &a[base..end], &b[base..end], one);
+        for (x0, x1) in s0.iter().zip(&s1) {
+            sum.push(
+                net.add_node(NodeFn::Mux, vec![carry, *x0, *x1])
+                    .expect("mux"),
+            );
+        }
+        carry = net.add_node(NodeFn::Mux, vec![carry, c0, c1]).expect("mux");
+        base = end;
+    }
+    (sum, carry)
+}
+
+/// `width`-bit carry-select adder with 4-bit blocks.
+pub fn carry_select_adder(width: usize) -> Network {
+    let mut net = Network::new(format!("carry_select{width}"));
+    let a = input_bus(&mut net, "a", width);
+    let b = input_bus(&mut net, "b", width);
+    let cin = net.add_input("cin");
+    let (sum, cout) = carry_select_into(&mut net, &a, &b, cin, 4);
+    output_bus(&mut net, "s", &sum);
+    net.add_output("cout", cout);
+    net
+}
+
+/// Magnitude comparator fragment: returns (`a == b`, `a < b`), MSB last in
+/// the slices.
+pub(crate) fn comparator_into(net: &mut Network, a: &[NodeId], b: &[NodeId]) -> (NodeId, NodeId) {
+    assert_eq!(a.len(), b.len(), "operand widths must agree");
+    let eq_bits: Vec<NodeId> = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| net.add_node(NodeFn::Xnor, vec![x, y]).expect("xnor2"))
+        .collect();
+    let eq = net
+        .add_node(NodeFn::And, eq_bits.clone())
+        .expect("wide and");
+    // From MSB down: lt |= eq(higher bits) & !a_i & b_i.
+    let mut lt: Option<NodeId> = None;
+    let mut eq_prefix: Option<NodeId> = None;
+    for i in (0..a.len()).rev() {
+        let na = net.add_node(NodeFn::Not, vec![a[i]]).expect("not");
+        let mut term_ins = vec![na, b[i]];
+        if let Some(ep) = eq_prefix {
+            term_ins.push(ep);
+        }
+        let term = net.add_node(NodeFn::And, term_ins).expect("and");
+        lt = Some(match lt {
+            None => term,
+            Some(prev) => net.add_node(NodeFn::Or, vec![prev, term]).expect("or2"),
+        });
+        eq_prefix = Some(match eq_prefix {
+            None => eq_bits[i],
+            Some(ep) => net
+                .add_node(NodeFn::And, vec![ep, eq_bits[i]])
+                .expect("and2"),
+        });
+    }
+    (eq, lt.expect("width is at least 1"))
+}
+
+/// `width`-bit magnitude comparator: outputs `eq`, `lt`, `gt`.
+pub fn comparator(width: usize) -> Network {
+    let mut net = Network::new(format!("comparator{width}"));
+    let a = input_bus(&mut net, "a", width);
+    let b = input_bus(&mut net, "b", width);
+    let (eq, lt) = comparator_into(&mut net, &a, &b);
+    let ge = net.add_node(NodeFn::Nor, vec![eq, lt]).expect("nor2");
+    net.add_output("eq", eq);
+    net.add_output("lt", lt);
+    net.add_output("gt", ge);
+    net
+}
+
+/// Carry-save array-multiplier fragment: the C6288 structure.
+///
+/// Row `j` adds the partial products `a_i · b_j` into a redundant sum/carry
+/// pair with one full adder per column; a final ripple pass merges the
+/// leftover vectors into the upper product bits. Invariant per row `j`:
+/// `s[i]` carries weight `j+i` and `c[i]` weight `j+i+1`.
+pub(crate) fn multiplier_into(net: &mut Network, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let n = a.len();
+    assert_eq!(n, b.len(), "square multiplier expects equal widths");
+    assert!(n >= 1, "multiplier width must be positive");
+    let pp = |net: &mut Network, i: usize, j: usize| -> NodeId {
+        net.add_node(NodeFn::And, vec![a[i], b[j]]).expect("and2")
+    };
+    let zero = net.add_node(NodeFn::Const(false), vec![]).expect("const");
+    let mut product = Vec::with_capacity(2 * n);
+    // Row 0: s[i] = a_i·b_0 (weight i), no carries yet.
+    let mut s: Vec<NodeId> = (0..n).map(|i| pp(net, i, 0)).collect();
+    let mut c: Vec<NodeId> = vec![zero; n];
+    product.push(s[0]);
+    for j in 1..n {
+        let mut s2 = Vec::with_capacity(n);
+        let mut c2 = Vec::with_capacity(n);
+        for i in 0..n {
+            // Three addends of weight j+i: the new partial product, the
+            // shifted previous sum, and the previous carry.
+            let x = pp(net, i, j);
+            let y = if i + 1 < n { s[i + 1] } else { zero };
+            let z = c[i];
+            let (sum, carry) = full_adder(net, x, y, z);
+            s2.push(sum);
+            c2.push(carry);
+        }
+        product.push(s2[0]);
+        s = s2;
+        c = c2;
+    }
+    // Merge the leftover redundant vectors: weight n+k gets s[k+1] and c[k].
+    let mut carry = zero;
+    for k in 0..n {
+        let x = if k + 1 < n { s[k + 1] } else { zero };
+        let (sum, cnext) = full_adder(net, x, c[k], carry);
+        product.push(sum);
+        carry = cnext;
+    }
+    // The product of two n-bit numbers fits in 2n bits; the final carry is
+    // structurally zero and is dropped.
+    product
+}
+
+/// Wallace-tree multiplier fragment: partial products reduced by layers of
+/// 3:2 compressors (full adders) until two rows remain, then one
+/// Kogge-Stone merge — logarithmic depth end to end, unlike the linear
+/// array.
+pub(crate) fn wallace_into(net: &mut Network, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let n = a.len();
+    assert_eq!(n, b.len(), "square multiplier expects equal widths");
+    assert!(n >= 1, "multiplier width must be positive");
+    let width = 2 * n;
+    // Column-wise bags of partial-product bits.
+    let mut columns: Vec<Vec<NodeId>> = vec![Vec::new(); width];
+    for i in 0..n {
+        for j in 0..n {
+            let pp = net.add_node(NodeFn::And, vec![a[i], b[j]]).expect("and2");
+            columns[i + j].push(pp);
+        }
+    }
+    // 3:2 reduction until every column holds at most two bits.
+    while columns.iter().any(|c| c.len() > 2) {
+        let mut next: Vec<Vec<NodeId>> = vec![Vec::new(); width];
+        for (w, col) in columns.iter().enumerate() {
+            let mut it = col.chunks(3);
+            for chunk in &mut it {
+                match *chunk {
+                    [x, y, z] => {
+                        let (s, c) = full_adder(net, x, y, z);
+                        next[w].push(s);
+                        if w + 1 < width {
+                            next[w + 1].push(c);
+                        }
+                    }
+                    [x, y] => {
+                        let s = net.add_node(NodeFn::Xor, vec![x, y]).expect("xor2");
+                        let c = net.add_node(NodeFn::And, vec![x, y]).expect("and2");
+                        next[w].push(s);
+                        if w + 1 < width {
+                            next[w + 1].push(c);
+                        }
+                    }
+                    [x] => next[w].push(x),
+                    _ => unreachable!("chunks of at most 3"),
+                }
+            }
+        }
+        columns = next;
+    }
+    // Final carry-propagate merge of the two remaining rows.
+    let zero = net.add_node(NodeFn::Const(false), vec![]).expect("const");
+    let row = |columns: &Vec<Vec<NodeId>>, k: usize| -> Vec<NodeId> {
+        columns
+            .iter()
+            .map(|c| c.get(k).copied().unwrap_or(zero))
+            .collect()
+    };
+    let (r0, r1) = (row(&columns, 0), row(&columns, 1));
+    // A fast final adder, or the carry chain would dominate the depth.
+    let (sum, _carry) = kogge_stone_into(net, &r0, &r1, zero);
+    sum
+}
+
+/// `width`×`width` Wallace-tree multiplier: same function as
+/// [`array_multiplier`] with logarithmic reduction depth — useful for
+/// contrasting mapper behaviour on deep vs shallow arithmetic.
+pub fn wallace_multiplier(width: usize) -> Network {
+    let mut net = Network::new(format!("wallace{width}"));
+    let a = input_bus(&mut net, "a", width);
+    let b = input_bus(&mut net, "b", width);
+    let product = wallace_into(&mut net, &a, &b);
+    output_bus(&mut net, "p", &product);
+    net
+}
+
+/// `width`×`width` carry-save array multiplier — the structural analogue of
+/// ISCAS-85 C6288 (which is a 16×16 array of full/half adders): inputs
+/// `a*`, `b*`, outputs `p*` (2·width product bits).
+pub fn array_multiplier(width: usize) -> Network {
+    let mut net = Network::new(format!("multiplier{width}"));
+    let a = input_bus(&mut net, "a", width);
+    let b = input_bus(&mut net, "b", width);
+    let product = multiplier_into(&mut net, &a, &b);
+    output_bus(&mut net, "p", &product);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagmap_netlist::sim::{self, Simulator};
+
+    /// Simulates a two-operand circuit on bit-sliced lanes: lane `l` of the
+    /// input words carries `(a_l, b_l)`; returns the outputs per lane.
+    fn drive(net: &Network, width: usize, pairs: &[(u64, u64)], cin: Option<u64>) -> Vec<Vec<u64>> {
+        let sim = Simulator::new(net).unwrap();
+        let mut words = vec![0u64; net.inputs().len()];
+        for (lane, &(a, b)) in pairs.iter().enumerate() {
+            for i in 0..width {
+                words[i] |= ((a >> i) & 1) << lane;
+                words[width + i] |= ((b >> i) & 1) << lane;
+            }
+        }
+        if let Some(c) = cin {
+            words[2 * width] = c;
+        }
+        let v = sim.eval(&words);
+        pairs
+            .iter()
+            .enumerate()
+            .map(|(lane, _)| {
+                net.outputs()
+                    .iter()
+                    .map(|o| (v.node(o.driver) >> lane) & 1)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn bus_value(bits: &[u64]) -> u64 {
+        bits.iter().enumerate().map(|(i, &b)| b << i).sum()
+    }
+
+    #[test]
+    fn ripple_adds_correctly() {
+        let net = ripple_adder(8);
+        let pairs = [(13u64, 29u64), (255, 255), (0, 0), (128, 127)];
+        let outs = drive(&net, 8, &pairs, Some(0b0010)); // carry-in on lane 1
+        for (lane, &(a, b)) in pairs.iter().enumerate() {
+            let cin = u64::from(lane == 1);
+            let want = a + b + cin;
+            let sum = bus_value(&outs[lane][..8]);
+            let cout = outs[lane][8];
+            assert_eq!(sum | (cout << 8), want, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn all_adders_agree() {
+        // Ripple, Kogge-Stone and carry-select implement the same function.
+        let width = 10;
+        let r = ripple_adder(width);
+        let k = kogge_stone_adder(width);
+        let c = carry_select_adder(width);
+        assert!(sim::equivalent_random(&r, &k, 24, 0xADD).unwrap());
+        assert!(sim::equivalent_random(&r, &c, 24, 0xADD).unwrap());
+    }
+
+    #[test]
+    fn kogge_stone_is_shallower_than_ripple() {
+        use dagmap_netlist::sta::unit_depth;
+        let r = unit_depth(&ripple_adder(16)).unwrap();
+        let k = unit_depth(&kogge_stone_adder(16)).unwrap();
+        assert!(k < r, "kogge-stone {k} vs ripple {r}");
+    }
+
+    #[test]
+    fn comparator_compares() {
+        let net = comparator(6);
+        let pairs = [(5u64, 9u64), (9, 5), (33, 33), (0, 63)];
+        let outs = drive(&net, 6, &pairs, None);
+        // Outputs in declaration order: eq, lt, gt.
+        for (lane, &(a, b)) in pairs.iter().enumerate() {
+            assert_eq!(outs[lane][0], u64::from(a == b), "eq lane {lane}");
+            assert_eq!(outs[lane][1], u64::from(a < b), "lt lane {lane}");
+            assert_eq!(outs[lane][2], u64::from(a > b), "gt lane {lane}");
+        }
+    }
+
+    #[test]
+    fn small_multipliers_multiply() {
+        let net = array_multiplier(5);
+        let pairs = [(31u64, 31u64), (0, 17), (12, 3), (25, 19)];
+        let outs = drive(&net, 5, &pairs, None);
+        for (lane, &(a, b)) in pairs.iter().enumerate() {
+            assert_eq!(bus_value(&outs[lane]), a * b, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn wallace_agrees_with_the_array_and_is_shallower() {
+        use dagmap_netlist::sta::unit_depth;
+        for width in [3usize, 5, 8] {
+            let a = array_multiplier(width);
+            let w = wallace_multiplier(width);
+            assert!(
+                sim::equivalent_random(&a, &w, 16, 0x3A11).unwrap(),
+                "width {width}"
+            );
+        }
+        let deep = unit_depth(&array_multiplier(12)).unwrap();
+        let shallow = unit_depth(&wallace_multiplier(12)).unwrap();
+        assert!(shallow < deep, "wallace {shallow} vs array {deep}");
+    }
+
+    #[test]
+    fn single_bit_multiplier_is_an_and() {
+        let net = array_multiplier(1);
+        let pairs = [(1u64, 1u64), (1, 0), (0, 1), (0, 0)];
+        let outs = drive(&net, 1, &pairs, None);
+        for (lane, &(a, b)) in pairs.iter().enumerate() {
+            assert_eq!(bus_value(&outs[lane]), a * b, "lane {lane}");
+        }
+    }
+}

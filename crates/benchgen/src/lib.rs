@@ -1,0 +1,70 @@
+#![warn(missing_docs)]
+//! Benchmark-circuit generators for the `dagmap` experiments.
+//!
+//! The paper evaluates on the ISCAS-85 suite, which is not redistributable
+//! here; this crate generates *structural analogues* with the same flavour
+//! of logic — deep arithmetic (the 16×16 array multiplier standing in for
+//! C6288), adders/comparators (C7552), and ALU/control mixes (C2670, C3540,
+//! C5315) — plus generic building blocks and seeded random DAGs for
+//! property-based testing.
+//!
+//! All generators return plain [`Network`]s; decompose with
+//! [`SubjectGraph::from_network`](dagmap_netlist::SubjectGraph) before
+//! mapping.
+//!
+//! # Example
+//!
+//! ```
+//! use dagmap_benchgen as benchgen;
+//! use dagmap_netlist::SubjectGraph;
+//!
+//! let net = benchgen::array_multiplier(4);
+//! assert_eq!(net.inputs().len(), 8);
+//! assert_eq!(net.outputs().len(), 8);
+//! let subject = SubjectGraph::from_network(&net).expect("decomposes");
+//! assert!(subject.depth() > 6);
+//! ```
+
+mod alu;
+mod arith;
+mod iscas;
+mod misc;
+mod random;
+mod seq;
+
+pub use alu::{alu, alu_into};
+pub use arith::{
+    array_multiplier, carry_select_adder, comparator, kogge_stone_adder, ripple_adder,
+    wallace_multiplier,
+};
+pub use iscas::{c2670_like, c3540_like, c5315_like, c6288_like, c7552_like, iscas_suite};
+pub use misc::{barrel_shifter, decoder, mux_tree, parity_tree, priority_encoder};
+pub use random::random_network;
+pub use seq::{accumulator, counter, fsm, lfsr, s208_like, s27_like, s344_like, shift_register};
+
+use dagmap_netlist::{Network, NodeFn, NodeId};
+
+/// Adds a named input bus `name[0..width]` to `net`.
+pub(crate) fn input_bus(net: &mut Network, name: &str, width: usize) -> Vec<NodeId> {
+    (0..width)
+        .map(|i| net.add_input(format!("{name}{i}")))
+        .collect()
+}
+
+/// Declares `bits` as the output bus `name[0..len]`.
+pub(crate) fn output_bus(net: &mut Network, name: &str, bits: &[NodeId]) {
+    for (i, &b) in bits.iter().enumerate() {
+        net.add_output(format!("{name}{i}"), b);
+    }
+}
+
+/// `sum, carry` of a full adder over three bits.
+pub(crate) fn full_adder(net: &mut Network, a: NodeId, b: NodeId, cin: NodeId) -> (NodeId, NodeId) {
+    let sum = net
+        .add_node(NodeFn::Xor, vec![a, b, cin])
+        .expect("xor3 arity");
+    let carry = net
+        .add_node(NodeFn::Maj, vec![a, b, cin])
+        .expect("maj arity");
+    (sum, carry)
+}

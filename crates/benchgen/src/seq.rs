@@ -1,0 +1,315 @@
+//! Small sequential circuits for the retiming / sequential-mapping
+//! extension (Section 4 of the paper).
+
+use dagmap_netlist::{Network, NodeFn, NodeId};
+
+use crate::arith::ripple_into;
+use crate::{input_bus, output_bus};
+
+/// Creates `width` latches with placeholder data, returning their ids; the
+/// caller patches data via [`Network::replace_single_fanin`].
+fn latch_bank(net: &mut Network, name: &str, width: usize) -> Vec<NodeId> {
+    let zero = net
+        .add_node(NodeFn::Const(false), vec![])
+        .expect("const is nullary");
+    (0..width)
+        .map(|i| {
+            let l = net.add_node(NodeFn::Latch, vec![zero]).expect("latch");
+            net.set_node_name(l, format!("{name}{i}"));
+            l
+        })
+        .collect()
+}
+
+/// `width`-bit binary up-counter with enable: output bus `q*`.
+pub fn counter(width: usize) -> Network {
+    let mut net = Network::new(format!("counter{width}"));
+    let en = net.add_input("en");
+    let q = latch_bank(&mut net, "q", width);
+    // q_i' = q_i xor (en & q_0 & ... & q_{i-1})
+    let mut carry = en;
+    for (i, &l) in q.iter().enumerate() {
+        let next = net.add_node(NodeFn::Xor, vec![l, carry]).expect("xor2");
+        net.replace_single_fanin(l, next);
+        if i + 1 < width {
+            carry = net.add_node(NodeFn::And, vec![carry, l]).expect("and2");
+        }
+    }
+    output_bus(&mut net, "count", &q);
+    net
+}
+
+/// `width`-bit serial-in shift register: input `si`, outputs `q*`.
+pub fn shift_register(width: usize) -> Network {
+    let mut net = Network::new(format!("shift{width}"));
+    let si = net.add_input("si");
+    let q = latch_bank(&mut net, "q", width);
+    let mut prev = si;
+    for &l in &q {
+        net.replace_single_fanin(l, prev);
+        prev = l;
+    }
+    output_bus(&mut net, "q", &q);
+    net
+}
+
+/// Fibonacci LFSR with taps at the MSB and position `width/2` (plus an
+/// injection input so the all-zero state escapes): output `q*`.
+pub fn lfsr(width: usize) -> Network {
+    assert!(width >= 2, "lfsr needs at least two stages");
+    let mut net = Network::new(format!("lfsr{width}"));
+    let inject = net.add_input("inject");
+    let q = latch_bank(&mut net, "q", width);
+    let fb = net
+        .add_node(NodeFn::Xor, vec![q[width - 1], q[width / 2], inject])
+        .expect("xor3");
+    net.replace_single_fanin(q[0], fb);
+    for i in 1..width {
+        net.replace_single_fanin(q[i], q[i - 1]);
+    }
+    output_bus(&mut net, "q", &q);
+    net
+}
+
+/// `width`-bit accumulator: adds input bus `a*` into a register each cycle.
+/// The ripple carry through the adder makes this the canonical retiming /
+/// cycle-time benchmark.
+pub fn accumulator(width: usize) -> Network {
+    let mut net = Network::new(format!("accumulator{width}"));
+    let a = input_bus(&mut net, "a", width);
+    let zero = net.add_node(NodeFn::Const(false), vec![]).expect("const");
+    let q = latch_bank(&mut net, "acc", width);
+    let (sum, _cout) = ripple_into(&mut net, &a, &q, zero);
+    for (&l, &s) in q.iter().zip(&sum) {
+        net.replace_single_fanin(l, s);
+    }
+    output_bus(&mut net, "acc", &q);
+    net
+}
+
+/// Seeded Moore-style finite state machine: `state_bits` latches whose
+/// next-state and `outputs` functions are random logic over
+/// {state, inputs} — the flavour of the ISCAS-89 controller benchmarks.
+pub fn fsm(state_bits: usize, input_bits: usize, gates: usize, seed: u64) -> Network {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Network::new(format!("fsm{state_bits}x{input_bits}_s{seed}"));
+    let inputs = input_bus(&mut net, "x", input_bits);
+    let state = latch_bank(&mut net, "s", state_bits);
+    let mut pool: Vec<NodeId> = inputs.iter().chain(&state).copied().collect();
+    for _ in 0..gates {
+        let a = pool[rng.random_range(0..pool.len())];
+        let b = pool[rng.random_range(0..pool.len())];
+        let g = match rng.random_range(0..5u32) {
+            0 => net.add_node(NodeFn::And, vec![a, b]),
+            1 => net.add_node(NodeFn::Or, vec![a, b]),
+            2 => net.add_node(NodeFn::Nand, vec![a, b]),
+            3 => net.add_node(NodeFn::Xor, vec![a, b]),
+            _ => net.add_node(NodeFn::Not, vec![a]),
+        }
+        .expect("arities are static");
+        pool.push(g);
+    }
+    // Next-state functions: recent pool nodes xored with an input so every
+    // latch keeps toggling.
+    for (i, &l) in state.iter().enumerate() {
+        let base = pool[pool.len() - 1 - (i % (gates.max(1)))];
+        let stir = inputs[i % input_bits.max(1)];
+        let next = net.add_node(NodeFn::Xor, vec![base, stir]).expect("xor2");
+        net.replace_single_fanin(l, next);
+    }
+    // Observable outputs.
+    for (i, &l) in state.iter().enumerate() {
+        net.add_output(format!("z{i}"), l);
+    }
+    let flag = net.add_node(NodeFn::And, state.clone()).expect("wide and");
+    net.add_output("all_ones", flag);
+    net
+}
+
+/// ISCAS-89 `s27` analogue: 4 inputs, 3 latches, a handful of gates.
+pub fn s27_like() -> Network {
+    let mut net = Network::new("s27_like");
+    let g0 = net.add_input("g0");
+    let g1 = net.add_input("g1");
+    let g2 = net.add_input("g2");
+    let g3 = net.add_input("g3");
+    let q = latch_bank(&mut net, "q", 3);
+    let n1 = net.add_node(NodeFn::Nor, vec![g0, q[1]]).unwrap();
+    let n2 = net.add_node(NodeFn::Nor, vec![n1, q[0]]).unwrap();
+    let n3 = net.add_node(NodeFn::Nand, vec![g1, g3]).unwrap();
+    let n4 = net.add_node(NodeFn::Nor, vec![n3, q[2]]).unwrap();
+    let n5 = net.add_node(NodeFn::Or, vec![n2, g2]).unwrap();
+    let n6 = net.add_node(NodeFn::Nor, vec![n4, n5]).unwrap();
+    net.replace_single_fanin(q[0], n6);
+    net.replace_single_fanin(q[1], n5);
+    net.replace_single_fanin(q[2], n2);
+    net.add_output("out", n6);
+    net
+}
+
+/// ISCAS-89 `s208` analogue: an 8-bit counter with a comparison flag (the
+/// original is a digital fraction divider of similar size).
+pub fn s208_like() -> Network {
+    let mut net = Network::new("s208_like");
+    let en = net.add_input("en");
+    let clr = net.add_input("clr");
+    let q = latch_bank(&mut net, "q", 8);
+    let nclr = net.add_node(NodeFn::Not, vec![clr]).unwrap();
+    let mut carry = en;
+    for (i, &l) in q.iter().enumerate() {
+        let t = net.add_node(NodeFn::Xor, vec![l, carry]).unwrap();
+        let gated = net.add_node(NodeFn::And, vec![t, nclr]).unwrap();
+        net.replace_single_fanin(l, gated);
+        if i + 1 < 8 {
+            carry = net.add_node(NodeFn::And, vec![carry, l]).unwrap();
+        }
+    }
+    let full = net.add_node(NodeFn::And, q.clone()).unwrap();
+    net.add_output("ovf", full);
+    output_bus(&mut net, "q", &q);
+    net
+}
+
+/// ISCAS-89 `s344` analogue: a 4-bit shift-add multiplier datapath with its
+/// control (the original is exactly that, ~175 gates / 15 latches).
+pub fn s344_like() -> Network {
+    let mut net = Network::new("s344_like");
+    let start = net.add_input("start");
+    let mplier = input_bus(&mut net, "m", 4);
+    let acc = latch_bank(&mut net, "acc", 8);
+    let count = latch_bank(&mut net, "cnt", 3);
+    // Accumulator adds the multiplier when the low count bit is set.
+    let gate_bit = count[0];
+    let addend: Vec<NodeId> = (0..8)
+        .map(|i| {
+            if i < 4 {
+                net.add_node(NodeFn::And, vec![mplier[i], gate_bit])
+                    .unwrap()
+            } else {
+                net.add_node(NodeFn::Const(false), vec![]).unwrap()
+            }
+        })
+        .collect();
+    let zero = net.add_node(NodeFn::Const(false), vec![]).unwrap();
+    let (sum, _c) = ripple_into(&mut net, &addend, &acc, zero);
+    // Shift-right the accumulated sum back into the register.
+    for (i, &l) in acc.iter().enumerate() {
+        let next = if i + 1 < 8 { sum[i + 1] } else { zero };
+        let held = net
+            .add_node(NodeFn::Mux, vec![start, next, mplier[i % 4]])
+            .unwrap();
+        net.replace_single_fanin(l, held);
+    }
+    // 3-bit down counter as control.
+    let mut borrow = start;
+    for &l in &count {
+        let next = net.add_node(NodeFn::Xor, vec![l, borrow]).unwrap();
+        net.replace_single_fanin(l, next);
+        borrow = net.add_node(NodeFn::Nor, vec![l, borrow]).unwrap();
+    }
+    let done = net.add_node(NodeFn::Nor, count.clone()).unwrap();
+    net.add_output("done", done);
+    output_bus(&mut net, "p", &acc);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagmap_netlist::sim::Simulator;
+    use std::collections::HashMap;
+
+    /// Steps a sequential network `cycles` times with constant inputs and
+    /// returns the final output words.
+    fn run(net: &Network, inputs: &[u64], cycles: usize) -> Vec<u64> {
+        let sim = Simulator::new(net).unwrap();
+        let mut state = HashMap::new();
+        let mut last = Vec::new();
+        for _ in 0..cycles {
+            let v = sim.eval_with_state(inputs, &state);
+            last = net.outputs().iter().map(|o| v.node(o.driver)).collect();
+            state = sim.next_state(&v);
+        }
+        last
+    }
+
+    #[test]
+    fn counter_counts() {
+        let net = counter(4);
+        // Enabled in lane 0, disabled in lane 1. The final evaluation shows
+        // the state after 4 updates: 4 in lane 0, 0 in lane 1.
+        let outs = run(&net, &[0b01], 5);
+        let value = |lane: u64| -> u64 {
+            outs.iter()
+                .enumerate()
+                .map(|(i, w)| ((w >> lane) & 1) << i)
+                .sum()
+        };
+        assert_eq!(value(0), 4);
+        assert_eq!(value(1), 0);
+    }
+
+    #[test]
+    fn shift_register_delays_input() {
+        let net = shift_register(3);
+        // Constant 1 input: the third evaluation shows the state after two
+        // updates: q0 = q1 = 1, q2 = 0.
+        let outs = run(&net, &[u64::MAX], 3);
+        assert_eq!(outs[0] & 1, 1);
+        assert_eq!(outs[1] & 1, 1);
+        assert_eq!(outs[2] & 1, 0);
+    }
+
+    #[test]
+    fn accumulator_accumulates() {
+        let net = accumulator(4);
+        // a = 3 constant; the fifth evaluation shows 4 accumulations: 12.
+        let a_words: Vec<u64> = (0..4).map(|i| u64::from((3 >> i) & 1 == 1)).collect();
+        let outs = run(&net, &a_words, 5);
+        let value: u64 = outs.iter().enumerate().map(|(i, w)| (w & 1) << i).sum();
+        assert_eq!(value, 12);
+    }
+
+    #[test]
+    fn lfsr_leaves_zero_state_with_injection() {
+        let net = lfsr(4);
+        let outs = run(&net, &[1], 2);
+        assert!(outs.iter().any(|w| w & 1 == 1));
+    }
+
+    #[test]
+    fn s_series_analogues_are_well_formed() {
+        use dagmap_netlist::SubjectGraph;
+        for net in [s27_like(), s208_like(), s344_like(), fsm(6, 3, 60, 9)] {
+            net.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", net.name()));
+            let subject =
+                SubjectGraph::from_network(&net).unwrap_or_else(|e| panic!("{}: {e}", net.name()));
+            assert!(subject.network().num_latches() >= 3, "{}", net.name());
+            assert!(
+                dagmap_netlist::sim::equivalent_random_sequential(&net, subject.network(), 8, 8, 4)
+                    .unwrap(),
+                "{} decomposition changed behaviour",
+                net.name()
+            );
+        }
+    }
+
+    #[test]
+    fn s208_counts_and_overflows() {
+        let net = s208_like();
+        // enabled, not cleared: after 256 increments the ovf flag pulses.
+        let outs = run(&net, &[1, 0], 256);
+        // At t=255 the counter shows 255 => ovf=1.
+        assert_eq!(outs[0] & 1, 1, "ovf after 255 increments");
+    }
+
+    #[test]
+    fn fsm_is_deterministic_in_seed() {
+        let a = fsm(5, 2, 40, 7);
+        let b = fsm(5, 2, 40, 7);
+        assert!(dagmap_netlist::sim::equivalent_random_sequential(&a, &b, 8, 8, 1).unwrap());
+    }
+}

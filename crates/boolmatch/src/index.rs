@@ -1,0 +1,135 @@
+use std::collections::HashMap;
+
+use dagmap_genlib::{GateId, Library};
+
+use crate::tt::{TruthTable, MAX_INPUTS};
+
+/// A function-indexed view of a gate library: canonical truth table →
+/// the gates computing that function, each with the permutation aligning
+/// its pins to the canonical input order.
+///
+/// Only gates with at most `max_inputs` pins, no dead pins and non-constant
+/// functions participate (wider or degenerate gates are simply not found by
+/// Boolean matching).
+///
+/// ```
+/// use dagmap_boolmatch::{LibraryIndex, TruthTable};
+/// use dagmap_genlib::Library;
+///
+/// let library = Library::lib_44_1_like();
+/// let index = LibraryIndex::build(&library, 4);
+/// let nand2 = TruthTable::from_fn(2, |m| m != 0b11);
+/// let (canon, _) = nand2.p_canonical();
+/// assert_eq!(index.lookup(&canon).len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LibraryIndex {
+    map: HashMap<TruthTable, Vec<(GateId, Vec<usize>)>>,
+    max_inputs: usize,
+    num_indexed: usize,
+}
+
+impl LibraryIndex {
+    /// Indexes every eligible gate of `library`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_inputs > 6`.
+    pub fn build(library: &Library, max_inputs: usize) -> LibraryIndex {
+        assert!(max_inputs <= MAX_INPUTS, "at most {MAX_INPUTS} inputs");
+        let mut map: HashMap<TruthTable, Vec<(GateId, Vec<usize>)>> = HashMap::new();
+        let mut num_indexed = 0;
+        for (gi, gate) in library.gate_ids().zip(library.gates()) {
+            let n = gate.num_pins();
+            if n == 0 || n > max_inputs {
+                continue;
+            }
+            let pins: Vec<&str> = gate.pins().iter().map(|(p, _)| p.as_str()).collect();
+            let tt = TruthTable::from_fn(n, |m| {
+                gate.expr().eval(&|var| {
+                    pins.iter()
+                        .position(|p| *p == var)
+                        .map(|i| (m >> i) & 1 == 1)
+                        .unwrap_or(false)
+                })
+            });
+            if tt.is_constant() || (0..n).any(|i| !tt.depends_on(i)) {
+                continue; // degenerate gates (buffers of subsets, constants)
+            }
+            let (canon, perm) = tt.p_canonical();
+            map.entry(canon).or_default().push((gi, perm));
+            num_indexed += 1;
+        }
+        LibraryIndex {
+            map,
+            max_inputs,
+            num_indexed,
+        }
+    }
+
+    /// Gates whose canonical function equals `canon`, with their
+    /// canonicalizing pin permutations.
+    pub fn lookup(&self, canon: &TruthTable) -> &[(GateId, Vec<usize>)] {
+        self.map.get(canon).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Largest pin count indexed.
+    pub fn max_inputs(&self) -> usize {
+        self.max_inputs
+    }
+
+    /// Number of gates indexed.
+    pub fn num_indexed(&self) -> usize {
+        self.num_indexed
+    }
+
+    /// Number of distinct P-classes present.
+    pub fn num_classes(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexes_the_small_gates() {
+        let library = Library::lib2_like();
+        let index = LibraryIndex::build(&library, 4);
+        // Every <=4-input gate with live pins lands in the index (`buf`
+        // included: identity cones exist in unhashed subject graphs);
+        // 5- and 6-input AOIs are too wide.
+        let eligible = library
+            .gates()
+            .iter()
+            .filter(|g| g.num_pins() >= 1 && g.num_pins() <= 4)
+            .count();
+        assert_eq!(index.num_indexed(), eligible);
+        assert!(index.num_classes() <= index.num_indexed());
+    }
+
+    #[test]
+    fn p_equivalent_gates_share_a_class() {
+        // and2 appears once; nand2 and nand2 via other orderings collapse.
+        let library = Library::lib_44_3_like();
+        let index = LibraryIndex::build(&library, 4);
+        let and2 = TruthTable::from_fn(2, |m| m == 0b11);
+        let (canon, _) = and2.p_canonical();
+        assert_eq!(index.lookup(&canon).len(), 1);
+        let aoi21 = TruthTable::from_fn(3, |m| !((m & 0b011) == 0b011 || (m & 0b100) != 0));
+        let (canon, _) = aoi21.p_canonical();
+        assert!(!index.lookup(&canon).is_empty(), "aoi21 is in 44-3");
+    }
+
+    #[test]
+    fn buffers_occupy_the_identity_class() {
+        let library = Library::lib2_like();
+        let index = LibraryIndex::build(&library, 4);
+        let ident = TruthTable::from_fn(1, |m| m == 1);
+        let (canon, _) = ident.p_canonical();
+        let hits = index.lookup(&canon);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(library.gate(hits[0].0).name(), "buf");
+    }
+}

@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+//! Boolean matching: an alternative to the paper's structural pattern
+//! matching that is immune to *structural bias*.
+//!
+//! Structural matchers (Section 3.2 of the paper) find a gate only when the
+//! subject graph happens to contain the gate's NAND2/INV decomposition
+//! shape; a differently-shaped but functionally identical cone is missed —
+//! the motivation behind Lehman et al.'s mapping graphs that the paper's
+//! Section 4 discusses. Boolean matching sidesteps the problem:
+//!
+//! 1. enumerate small-input cuts of each subject node (cap-bounded),
+//! 2. extract each cut's Boolean function as a truth table
+//!    ([`TruthTable`]),
+//! 3. canonicalize modulo input permutation ([`TruthTable::p_canonical`])
+//!    and look it up in a precomputed [`LibraryIndex`] of gate functions,
+//! 4. feed the resulting [`Match`](dagmap_match::Match)es into the very same FlowMap-style
+//!    delay DP and cover construction as the structural mapper
+//!    ([`map_boolean`] / `dagmap_core::Mapper::realize`).
+//!
+//! Gates wider than [`MAX_INPUTS`] inputs do not participate (canonical
+//! forms are computed by explicit permutation).
+//!
+//! # Example
+//!
+//! ```
+//! use dagmap_boolmatch::map_boolean;
+//! use dagmap_genlib::Library;
+//! use dagmap_netlist::{Network, NodeFn, SubjectGraph};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut net = Network::new("n");
+//! let a = net.add_input("a");
+//! let b = net.add_input("b");
+//! let c = net.add_input("c");
+//! let g = net.add_node(NodeFn::And, vec![a, b])?;
+//! let h = net.add_node(NodeFn::Or, vec![g, c])?;
+//! net.add_output("f", h);
+//! let subject = SubjectGraph::from_network(&net)?;
+//!
+//! let library = Library::lib2_like();
+//! let mapped = map_boolean(&subject, &library, 4)?;
+//! assert!(mapped.delay() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod index;
+mod mapper;
+mod tt;
+
+pub use index::LibraryIndex;
+pub use mapper::{
+    check_coverable, map_boolean, map_boolean_with_report, map_hybrid, BoolMapReport,
+};
+pub use tt::{TruthTable, MAX_INPUTS};

@@ -1,0 +1,469 @@
+use std::collections::{HashMap, HashSet};
+
+use dagmap_core::{MapError, MappedNetlist, Mapper};
+use dagmap_genlib::Library;
+use dagmap_match::Match;
+use dagmap_netlist::{NodeFn, NodeId, SubjectGraph};
+
+use crate::index::LibraryIndex;
+use crate::tt::TruthTable;
+
+/// Statistics of one Boolean-matching run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoolMapReport {
+    /// Cut bound used.
+    pub k: usize,
+    /// Cuts examined across all nodes.
+    pub cuts_examined: usize,
+    /// Matches produced by index lookups.
+    pub matches_found: usize,
+    /// Gates of the library that participated in the index.
+    pub gates_indexed: usize,
+}
+
+/// Per-node cap on stored cuts (the fanin cut is always kept).
+const CUT_CAP: usize = 24;
+
+/// Enumerates up to [`CUT_CAP`] small cuts per node (smallest first, the
+/// plain fanin cut guaranteed present).
+fn enumerate_cuts(
+    net: &dagmap_netlist::Network,
+    order: &[NodeId],
+    k: usize,
+) -> Vec<Vec<Vec<NodeId>>> {
+    let is_source = |id: NodeId| {
+        matches!(
+            net.node(id).func(),
+            NodeFn::Input | NodeFn::Const(_) | NodeFn::Latch
+        )
+    };
+    let mut cuts: Vec<Vec<Vec<NodeId>>> = vec![Vec::new(); net.num_nodes()];
+    for &id in order {
+        if is_source(id) {
+            cuts[id.index()] = vec![vec![id]];
+            continue;
+        }
+        let fanins = net.node(id).fanins();
+        let mut acc: Vec<Vec<NodeId>> = vec![Vec::new()];
+        for f in fanins {
+            let mut options: Vec<Vec<NodeId>> = cuts[f.index()].clone();
+            if !is_source(*f) {
+                options.push(vec![*f]);
+            }
+            let mut next = Vec::new();
+            for base in &acc {
+                for opt in &options {
+                    let mut u = base.clone();
+                    for &x in opt {
+                        if !u.contains(&x) {
+                            u.push(x);
+                        }
+                    }
+                    if u.len() <= k {
+                        next.push(u);
+                    }
+                }
+            }
+            acc = next;
+        }
+        let mut seen: HashSet<Vec<NodeId>> = HashSet::new();
+        let mut list: Vec<Vec<NodeId>> = Vec::new();
+        for mut c in acc {
+            c.sort_unstable();
+            if seen.insert(c.clone()) {
+                list.push(c);
+            }
+        }
+        list.sort_by_key(|c| (c.len(), c.clone()));
+        list.truncate(CUT_CAP);
+        // Feasibility insurance: the plain fanin cut must survive the cap.
+        let mut fanin_cut: Vec<NodeId> = fanins.to_vec();
+        fanin_cut.sort_unstable();
+        fanin_cut.dedup();
+        if !list.contains(&fanin_cut) {
+            list.push(fanin_cut);
+        }
+        cuts[id.index()] = list;
+    }
+    cuts
+}
+
+/// Evaluates the cone of `root` as a function of `leaves`, also collecting
+/// the covered internal nodes; `None` when the cut does not separate.
+fn cut_function(
+    net: &dagmap_netlist::Network,
+    root: NodeId,
+    leaves: &[NodeId],
+) -> Option<(TruthTable, Vec<NodeId>)> {
+    let mut values: HashMap<NodeId, u64> = HashMap::new();
+    for (i, &x) in leaves.iter().enumerate() {
+        values.insert(x, dagmap_netlist::sim::exhaustive_word(i));
+    }
+    let mut covered = Vec::new();
+    let word = eval_cone(net, root, &mut values, &mut covered)?;
+    Some((TruthTable::from_bits(leaves.len(), word), covered))
+}
+
+fn eval_cone(
+    net: &dagmap_netlist::Network,
+    node: NodeId,
+    values: &mut HashMap<NodeId, u64>,
+    covered: &mut Vec<NodeId>,
+) -> Option<u64> {
+    if let Some(&w) = values.get(&node) {
+        return Some(w);
+    }
+    let n = net.node(node);
+    let w = match n.func() {
+        NodeFn::Const(v) => {
+            if *v {
+                u64::MAX
+            } else {
+                0
+            }
+        }
+        NodeFn::Input | NodeFn::Latch => return None, // cut does not separate
+        NodeFn::Not => !eval_cone(net, n.fanins()[0], values, covered)?,
+        NodeFn::Nand => {
+            let a = eval_cone(net, n.fanins()[0], values, covered)?;
+            let b = eval_cone(net, n.fanins()[1], values, covered)?;
+            !(a & b)
+        }
+        other => unreachable!("subject graphs never hold {}", other.name()),
+    };
+    values.insert(node, w);
+    if matches!(n.func(), NodeFn::Not | NodeFn::Nand) {
+        covered.push(node);
+    }
+    Some(w)
+}
+
+/// Boolean matches at one node: every (cut, gate) pair whose functions are
+/// P-equivalent, with pin alignment derived from the two canonicalizing
+/// permutations.
+fn matches_at(
+    net: &dagmap_netlist::Network,
+    index: &LibraryIndex,
+    cuts: &[Vec<NodeId>],
+    root: NodeId,
+    stats: &mut BoolMapReport,
+) -> Vec<Match> {
+    let mut out = Vec::new();
+    let mut seen: HashSet<(dagmap_genlib::GateId, Vec<NodeId>)> = HashSet::new();
+    for cut in cuts {
+        if cut.as_slice() == [root] {
+            continue;
+        }
+        stats.cuts_examined += 1;
+        let Some((tt, covered)) = cut_function(net, root, cut) else {
+            continue;
+        };
+        // Dead cut inputs would make gate functions disagree; shrink first.
+        let (tt, kept) = tt.reduce_support();
+        if tt.is_constant() {
+            continue;
+        }
+        let leaves: Vec<NodeId> = kept.iter().map(|&i| cut[i]).collect();
+        let (canon, pc) = tt.p_canonical();
+        for (gate, pg) in index.lookup(&canon) {
+            // canonical input j corresponds to cut leaf leaves[pc[j]] and to
+            // gate pin pg[j]; invert pg to order leaves by gate pin.
+            let mut by_pin = vec![NodeId::from_index(0); pg.len()];
+            for (j, &pin) in pg.iter().enumerate() {
+                by_pin[pin] = leaves[pc[j]];
+            }
+            if seen.insert((*gate, by_pin.clone())) {
+                stats.matches_found += 1;
+                out.push(Match {
+                    gate: *gate,
+                    pattern: None,
+                    leaves: by_pin,
+                    covered: covered.clone(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Maps `subject` by Boolean matching over `k`-input cuts, with the same
+/// delay-optimal dynamic program and cover construction as the structural
+/// mapper. See the [crate docs](crate).
+///
+/// # Errors
+///
+/// Fails when the indexed library cannot cover some node (it needs at least
+/// an inverter- and a NAND2-class gate) or on substrate errors.
+pub fn map_boolean(
+    subject: &SubjectGraph,
+    library: &Library,
+    k: usize,
+) -> Result<MappedNetlist, MapError> {
+    map_boolean_with_report(subject, library, k).map(|(m, _)| m)
+}
+
+/// Like [`map_boolean`], also returning statistics.
+///
+/// # Errors
+///
+/// As for [`map_boolean`].
+pub fn map_boolean_with_report(
+    subject: &SubjectGraph,
+    library: &Library,
+    k: usize,
+) -> Result<(MappedNetlist, BoolMapReport), MapError> {
+    let index = LibraryIndex::build(library, k.min(crate::tt::MAX_INPUTS));
+    let net = subject.network();
+    let order = net.topo_order()?;
+    let cuts = enumerate_cuts(net, &order, index.max_inputs());
+    let mut stats = BoolMapReport {
+        k: index.max_inputs(),
+        cuts_examined: 0,
+        matches_found: 0,
+        gates_indexed: index.num_indexed(),
+    };
+
+    const EPS: f64 = 1e-9;
+    let mut arrival = vec![0.0f64; net.num_nodes()];
+    let mut selected: Vec<Option<Match>> = vec![None; net.num_nodes()];
+    for &id in &order {
+        if !matches!(net.node(id).func(), NodeFn::Nand | NodeFn::Not) {
+            continue;
+        }
+        let ms = matches_at(net, &index, &cuts[id.index()], id, &mut stats);
+        let mut chosen: Option<(f64, f64, Match)> = None;
+        for m in ms {
+            let gate = library.gate(m.gate);
+            let mut t: f64 = 0.0;
+            for (pin, leaf) in m.leaves.iter().enumerate() {
+                t = t.max(arrival[leaf.index()] + gate.pin_delay(pin));
+            }
+            let area = gate.area();
+            let better = match &chosen {
+                None => true,
+                Some((bt, ba, _)) => t < *bt - EPS || (t < *bt + EPS && area < *ba - EPS),
+            };
+            if better {
+                chosen = Some((t, area, m));
+            }
+        }
+        match chosen {
+            Some((t, _, m)) => {
+                arrival[id.index()] = t;
+                selected[id.index()] = Some(m);
+            }
+            None => return Err(MapError::NoMatch { node: id }),
+        }
+    }
+    let mapped = Mapper::new(library).realize(subject, &selected)?;
+    // The DP's arrival prediction must agree with the realized timing —
+    // this cross-checks the pin-alignment math.
+    debug_assert!(dagmap_core::verify::timing_consistent(&mapped));
+    Ok((mapped, stats))
+}
+
+/// Maps `subject` with the *union* of structural (standard) and Boolean
+/// matches — since the delay DP minimizes over the candidate set, the
+/// hybrid provably dominates both individual matchers on delay.
+///
+/// # Errors
+///
+/// As for [`map_boolean`].
+pub fn map_hybrid(
+    subject: &SubjectGraph,
+    library: &Library,
+    k: usize,
+) -> Result<MappedNetlist, MapError> {
+    use dagmap_match::{MatchMode, Matcher};
+    let index = LibraryIndex::build(library, k.min(crate::tt::MAX_INPUTS));
+    let matcher = Matcher::new(library);
+    let net = subject.network();
+    let order = net.topo_order()?;
+    let cuts = enumerate_cuts(net, &order, index.max_inputs());
+    let mut stats = BoolMapReport {
+        k: index.max_inputs(),
+        cuts_examined: 0,
+        matches_found: 0,
+        gates_indexed: index.num_indexed(),
+    };
+
+    const EPS: f64 = 1e-9;
+    let mut arrival = vec![0.0f64; net.num_nodes()];
+    let mut selected: Vec<Option<Match>> = vec![None; net.num_nodes()];
+    for &id in &order {
+        if !matches!(net.node(id).func(), NodeFn::Nand | NodeFn::Not) {
+            continue;
+        }
+        let mut ms = matches_at(net, &index, &cuts[id.index()], id, &mut stats);
+        ms.extend(matcher.matches_at(subject, id, MatchMode::Standard));
+        let mut chosen: Option<(f64, f64, Match)> = None;
+        for m in ms {
+            let gate = library.gate(m.gate);
+            let mut t: f64 = 0.0;
+            for (pin, leaf) in m.leaves.iter().enumerate() {
+                t = t.max(arrival[leaf.index()] + gate.pin_delay(pin));
+            }
+            let area = gate.area();
+            let better = match &chosen {
+                None => true,
+                Some((bt, ba, _)) => t < *bt - EPS || (t < *bt + EPS && area < *ba - EPS),
+            };
+            if better {
+                chosen = Some((t, area, m));
+            }
+        }
+        match chosen {
+            Some((t, _, m)) => {
+                arrival[id.index()] = t;
+                selected[id.index()] = Some(m);
+            }
+            None => return Err(MapError::NoMatch { node: id }),
+        }
+    }
+    Mapper::new(library).realize(subject, &selected)
+}
+
+/// Convenience: confirm the library contains the two classes Boolean
+/// coverage needs (inverter and NAND2).
+///
+/// # Errors
+///
+/// Returns [`MapError::UnmappableLibrary`] when either class is missing.
+pub fn check_coverable(library: &Library, k: usize) -> Result<(), MapError> {
+    let index = LibraryIndex::build(library, k.min(crate::tt::MAX_INPUTS));
+    let inv = TruthTable::from_fn(1, |m| m == 0).p_canonical().0;
+    let nand2 = TruthTable::from_fn(2, |m| m != 0b11).p_canonical().0;
+    if index.lookup(&inv).is_empty() || index.lookup(&nand2).is_empty() {
+        return Err(MapError::UnmappableLibrary {
+            library: library.name().to_owned(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagmap_core::{verify, MapOptions};
+    use dagmap_netlist::Network;
+
+    #[test]
+    fn maps_and_verifies_benchmarks() {
+        for (name, net) in [
+            ("adder", dagmap_benchgen::ripple_adder(6)),
+            ("alu", dagmap_benchgen::alu(4)),
+            ("cmp", dagmap_benchgen::comparator(6)),
+            ("rand", dagmap_benchgen::random_network(6, 60, 3)),
+        ] {
+            let subject = SubjectGraph::from_network(&net).expect("decomposes");
+            for library in [Library::lib2_like(), Library::lib_44_1_like()] {
+                let mapped =
+                    map_boolean(&subject, &library, 4).unwrap_or_else(|e| panic!("{name}: {e}"));
+                verify::check(&mapped, &subject, 0xB001)
+                    .unwrap_or_else(|e| panic!("{name}/{}: {e}", library.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn beats_structural_matching_on_skewed_subjects() {
+        // A chain-shaped AND tree: the balanced and4/nand4 patterns do not
+        // match it structurally beyond 2 levels, but Boolean matching sees
+        // the 4-input cone's function regardless of shape.
+        let mut net = Network::new("skew");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let d = net.add_input("d");
+        let e = net.add_input("e");
+        let mut cur = net.add_node(NodeFn::And, vec![a, b]).unwrap();
+        for x in [c, d, e] {
+            cur = net.add_node(NodeFn::And, vec![cur, x]).unwrap();
+        }
+        net.add_output("f", cur);
+        let subject = SubjectGraph::from_network(&net).unwrap();
+        // Balanced-only patterns make the structural mapper blind to the
+        // chain; Boolean matching is shape-independent.
+        let library = Library::new_with_shapes(
+            "bal",
+            Library::lib_44_1_like().gates().to_vec(),
+            &[dagmap_genlib::TreeShape::Balanced],
+        )
+        .unwrap();
+        let structural = Mapper::new(&library)
+            .map(&subject, MapOptions::dag())
+            .unwrap();
+        let boolean = map_boolean(&subject, &library, 4).unwrap();
+        verify::check(&boolean, &subject, 7).unwrap();
+        assert!(
+            boolean.delay() <= structural.delay() + 1e-9,
+            "boolean {} vs structural {}",
+            boolean.delay(),
+            structural.delay()
+        );
+    }
+
+    #[test]
+    fn hybrid_dominates_both_matchers() {
+        for (name, net) in [
+            ("adder", dagmap_benchgen::ripple_adder(8)),
+            ("ks", dagmap_benchgen::kogge_stone_adder(8)),
+            ("cmp", dagmap_benchgen::comparator(8)),
+            ("rand", dagmap_benchgen::random_network(7, 80, 11)),
+        ] {
+            let subject = SubjectGraph::from_network(&net).expect("decomposes");
+            let library = Library::lib2_like();
+            let structural = Mapper::new(&library)
+                .map(&subject, MapOptions::dag())
+                .expect("maps");
+            let boolean = map_boolean(&subject, &library, 4).expect("maps");
+            let hybrid = map_hybrid(&subject, &library, 4).expect("maps");
+            verify::check(&hybrid, &subject, 0x487).expect("hybrid verifies");
+            assert!(
+                hybrid.delay() <= structural.delay() + 1e-9
+                    && hybrid.delay() <= boolean.delay() + 1e-9,
+                "{name}: hybrid {} vs structural {} / boolean {}",
+                hybrid.delay(),
+                structural.delay(),
+                boolean.delay()
+            );
+        }
+    }
+
+    #[test]
+    fn missing_primitives_are_reported() {
+        use dagmap_genlib::Gate;
+        let library = Library::new(
+            "only_nor",
+            vec![Gate::uniform("nor2", 2.0, "O", "!(a+b)", 1.0).unwrap()],
+        )
+        .unwrap();
+        assert!(check_coverable(&library, 4).is_err());
+    }
+
+    #[test]
+    fn report_counts_are_sane() {
+        let net = dagmap_benchgen::ripple_adder(4);
+        let subject = SubjectGraph::from_network(&net).unwrap();
+        let library = Library::lib2_like();
+        let (_, report) = map_boolean_with_report(&subject, &library, 4).unwrap();
+        assert!(report.cuts_examined > 0);
+        assert!(report.matches_found > 0);
+        assert!(report.gates_indexed > 10);
+    }
+
+    #[test]
+    fn xor_cones_map_to_xor_gates() {
+        let mut net = Network::new("x");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let f = net.add_node(NodeFn::Xor, vec![a, b]).unwrap();
+        net.add_output("f", f);
+        let subject = SubjectGraph::from_network(&net).unwrap();
+        let library = Library::lib2_like();
+        let mapped = map_boolean(&subject, &library, 4).unwrap();
+        verify::check(&mapped, &subject, 3).unwrap();
+        assert_eq!(mapped.num_cells(), 1);
+        assert_eq!(mapped.kind_of(0).name, "xor2");
+    }
+}

@@ -1,0 +1,245 @@
+//! Small truth tables (≤ 6 inputs, one `u64`) with support reduction and
+//! permutation-canonical forms.
+
+use std::fmt;
+
+/// Largest supported input count (one 64-bit word of minterms).
+pub const MAX_INPUTS: usize = 6;
+
+/// Mask selecting the meaningful minterm bits for `n` inputs.
+fn mask(n: usize) -> u64 {
+    if n >= 6 {
+        u64::MAX
+    } else {
+        (1u64 << (1usize << n)) - 1
+    }
+}
+
+/// A completely-specified Boolean function of up to [`MAX_INPUTS`] inputs:
+/// bit `m` holds the value on minterm `m` (input `i` = bit `i` of `m`).
+///
+/// ```
+/// use dagmap_boolmatch::TruthTable;
+///
+/// let and2 = TruthTable::from_fn(2, |m| m == 0b11);
+/// assert!(and2.depends_on(0) && and2.depends_on(1));
+/// assert_eq!(and2.num_inputs(), 2);
+/// ```
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TruthTable {
+    bits: u64,
+    num_inputs: u8,
+}
+
+impl TruthTable {
+    /// Builds a table by evaluating `f` on every minterm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_INPUTS`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize) -> bool) -> TruthTable {
+        assert!(n <= MAX_INPUTS, "at most {MAX_INPUTS} inputs");
+        let mut bits = 0u64;
+        for m in 0..(1usize << n) {
+            if f(m) {
+                bits |= 1 << m;
+            }
+        }
+        TruthTable {
+            bits,
+            num_inputs: u8::try_from(n).expect("n is tiny"),
+        }
+    }
+
+    /// Wraps raw minterm bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_INPUTS`.
+    pub fn from_bits(n: usize, bits: u64) -> TruthTable {
+        assert!(n <= MAX_INPUTS, "at most {MAX_INPUTS} inputs");
+        TruthTable {
+            bits: bits & mask(n),
+            num_inputs: u8::try_from(n).expect("n is tiny"),
+        }
+    }
+
+    /// Raw minterm bits.
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Number of inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs as usize
+    }
+
+    /// Value on one minterm.
+    pub fn eval(&self, minterm: usize) -> bool {
+        (self.bits >> minterm) & 1 == 1
+    }
+
+    /// True when the function is constant.
+    pub fn is_constant(&self) -> bool {
+        let m = mask(self.num_inputs());
+        self.bits == 0 || self.bits == m
+    }
+
+    /// True when the output actually depends on input `i`.
+    pub fn depends_on(&self, i: usize) -> bool {
+        let n = self.num_inputs();
+        (0..(1usize << n)).any(|m| (m >> i) & 1 == 0 && self.eval(m) != self.eval(m | (1 << i)))
+    }
+
+    /// Drops inputs the function does not depend on, returning the reduced
+    /// table and the kept original input positions (ascending).
+    pub fn reduce_support(&self) -> (TruthTable, Vec<usize>) {
+        let n = self.num_inputs();
+        let support: Vec<usize> = (0..n).filter(|&i| self.depends_on(i)).collect();
+        if support.len() == n {
+            return (*self, support);
+        }
+        let reduced = TruthTable::from_fn(support.len(), |m| {
+            let mut full = 0usize;
+            for (new_pos, &old_pos) in support.iter().enumerate() {
+                if (m >> new_pos) & 1 == 1 {
+                    full |= 1 << old_pos;
+                }
+            }
+            self.eval(full)
+        });
+        (reduced, support)
+    }
+
+    /// Applies an input permutation: input `i` of the result reads what
+    /// input `perm[i]` of `self` read, i.e.
+    /// `result(x_0..x_{n-1}) = self(x_{σ^{-1}(0)}, ...)` arranged so that
+    /// `permute(perm).eval(m) == self.eval(apply(perm, m))` where
+    /// `apply` moves bit `i` of `m` to position `perm[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..num_inputs`.
+    pub fn permute(&self, perm: &[usize]) -> TruthTable {
+        let n = self.num_inputs();
+        assert_eq!(perm.len(), n, "permutation length");
+        TruthTable::from_fn(n, |m| {
+            let mut original = 0usize;
+            for (i, &p) in perm.iter().enumerate() {
+                if (m >> i) & 1 == 1 {
+                    original |= 1 << p;
+                }
+            }
+            self.eval(original)
+        })
+    }
+
+    /// The lexicographically-smallest table over all input permutations,
+    /// together with one permutation `perm` achieving it
+    /// (`self.permute(&perm) == canonical`). Functions are P-equivalent iff
+    /// their canonical tables are equal.
+    pub fn p_canonical(&self) -> (TruthTable, Vec<usize>) {
+        let n = self.num_inputs();
+        let mut best = *self;
+        let mut best_perm: Vec<usize> = (0..n).collect();
+        let mut perm: Vec<usize> = (0..n).collect();
+        permute_all(&mut perm, 0, &mut |p| {
+            let candidate = self.permute(p);
+            if candidate.bits < best.bits {
+                best = candidate;
+                best_perm = p.to_vec();
+            }
+        });
+        (best, best_perm)
+    }
+}
+
+/// Heap-style enumeration of all permutations of `perm[k..]`.
+fn permute_all(perm: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == perm.len() {
+        visit(perm);
+        return;
+    }
+    for i in k..perm.len() {
+        perm.swap(k, i);
+        permute_all(perm, k + 1, visit);
+        perm.swap(k, i);
+    }
+}
+
+impl fmt::Display for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:0width$b}",
+            self.bits,
+            width = 1usize << self.num_inputs()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn support_reduction_drops_dead_inputs() {
+        // f(a, b, c) = a & c (b is dead).
+        let t = TruthTable::from_fn(3, |m| (m & 0b101) == 0b101);
+        let (r, kept) = t.reduce_support();
+        assert_eq!(kept, vec![0, 2]);
+        assert_eq!(r.num_inputs(), 2);
+        assert!(r.eval(0b11));
+        assert!(!r.eval(0b01));
+    }
+
+    #[test]
+    fn permutation_semantics() {
+        // f(a, b) = a & !b; swapping inputs gives !a & b.
+        let t = TruthTable::from_fn(2, |m| m == 0b01);
+        let swapped = t.permute(&[1, 0]);
+        assert!(swapped.eval(0b10));
+        assert!(!swapped.eval(0b01));
+    }
+
+    #[test]
+    fn canonical_forms_identify_p_equivalent_functions() {
+        // a & !b & c under all input orders canonicalizes identically.
+        let base = TruthTable::from_fn(3, |m| m == 0b101);
+        let variants = [
+            base,
+            base.permute(&[1, 0, 2]),
+            base.permute(&[2, 1, 0]),
+            base.permute(&[1, 2, 0]),
+        ];
+        let canon = base.p_canonical().0;
+        for v in variants {
+            assert_eq!(v.p_canonical().0, canon);
+        }
+        // A different function does not collide.
+        let other = TruthTable::from_fn(3, |m| m == 0b111);
+        assert_ne!(other.p_canonical().0, canon);
+    }
+
+    #[test]
+    fn canonical_permutation_is_a_witness() {
+        let t = TruthTable::from_fn(4, |m| (m.count_ones() & 1) == 1 || m == 0b1100);
+        let (canon, perm) = t.p_canonical();
+        assert_eq!(t.permute(&perm), canon);
+    }
+
+    #[test]
+    fn constants_and_dependence() {
+        let zero = TruthTable::from_bits(3, 0);
+        assert!(zero.is_constant());
+        assert!(!zero.depends_on(1));
+        let one = TruthTable::from_fn(2, |_| true);
+        assert!(one.is_constant());
+    }
+
+    #[test]
+    fn masks_out_excess_bits() {
+        let t = TruthTable::from_bits(2, u64::MAX);
+        assert_eq!(t.bits(), 0b1111);
+    }
+}

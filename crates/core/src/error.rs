@@ -1,0 +1,65 @@
+use std::error::Error;
+use std::fmt;
+
+use dagmap_netlist::{NetlistError, NodeId};
+
+/// Errors produced by the technology mapper.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MapError {
+    /// No library pattern matches at a subject node; the library is missing
+    /// a bare inverter or 2-input NAND.
+    NoMatch {
+        /// The uncoverable subject node.
+        node: NodeId,
+    },
+    /// The library cannot map any circuit (checked up front).
+    UnmappableLibrary {
+        /// Library name.
+        library: String,
+    },
+    /// A substrate error (cyclic subject graph and the like).
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::NoMatch { node } => {
+                write!(f, "no library pattern matches subject node {node}")
+            }
+            MapError::UnmappableLibrary { library } => write!(
+                f,
+                "library `{library}` lacks a bare inverter or nand2 and cannot cover arbitrary logic"
+            ),
+            MapError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl Error for MapError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MapError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for MapError {
+    fn from(e: NetlistError) -> Self {
+        MapError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = MapError::UnmappableLibrary {
+            library: "empty".into(),
+        };
+        assert!(e.to_string().contains("`empty`"));
+    }
+}

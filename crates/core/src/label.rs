@@ -1,0 +1,256 @@
+use dagmap_genlib::Library;
+use dagmap_match::{Match, MatchMode, Matcher};
+use dagmap_netlist::{NodeFn, NodeId, SubjectGraph};
+
+use crate::{MapError, Objective};
+
+/// Result of the labeling pass: per subject node, the arrival time and
+/// estimated area of the selected match.
+///
+/// This is the FlowMap-style dynamic program of Section 3.1 with k-cut
+/// enumeration replaced by library pattern matching: nodes are visited in
+/// topological order, so when a node is labeled, the optimal arrivals of its
+/// whole transitive fanin are known, and
+///
+/// ```text
+/// arrival(n) = min over matches m at n of
+///              max over pins i of ( arrival(leaf_i(m)) + pin_delay_i(gate(m)) )
+/// ```
+///
+/// satisfies the principle of optimality. Under [`Objective::Delay`] the
+/// labels are provably optimal arrivals (the paper's theorem); under
+/// [`Objective::Area`] the same machinery minimizes an area estimate that
+/// is exact for tree covering and an area-flow heuristic for DAG covering.
+#[derive(Debug, Clone)]
+pub struct Labels {
+    /// Arrival of the selected match per subject node (sources are 0).
+    pub arrival: Vec<f64>,
+    /// Estimated area of producing each node with its selected match.
+    pub area_flow: Vec<f64>,
+    /// The selected match per internal node.
+    pub best: Vec<Option<Match>>,
+    /// Total matches enumerated (a proxy for the paper's `O(s·p)` cost).
+    pub matches_enumerated: usize,
+}
+
+impl Labels {
+    /// Arrival of one node.
+    pub fn arrival_of(&self, node: NodeId) -> f64 {
+        self.arrival[node.index()]
+    }
+
+    /// Worst arrival over primary outputs and latch data inputs. Under
+    /// [`Objective::Delay`] this is the provably minimum circuit delay for
+    /// this subject graph, library and match semantics.
+    pub fn critical_delay(&self, subject: &SubjectGraph) -> f64 {
+        let net = subject.network();
+        let mut worst: f64 = 0.0;
+        for out in net.outputs() {
+            worst = worst.max(self.arrival[out.driver.index()]);
+        }
+        for id in net.node_ids() {
+            if matches!(net.node(id).func(), NodeFn::Latch) {
+                worst = worst.max(self.arrival[net.node(id).fanins()[0].index()]);
+            }
+        }
+        worst
+    }
+}
+
+/// Computes the arrival of `m` at a node given current labels.
+pub(crate) fn match_arrival(library: &Library, arrival: &[f64], m: &Match) -> f64 {
+    let gate = library.gate(m.gate);
+    let mut t: f64 = 0.0;
+    for (pin, leaf) in m.leaves.iter().enumerate() {
+        t = t.max(arrival[leaf.index()] + gate.pin_delay(pin));
+    }
+    t
+}
+
+/// Runs the labeling pass.
+///
+/// # Errors
+///
+/// Returns [`MapError::NoMatch`] if some internal node has no match — i.e.
+/// the library lacks a bare inverter or NAND2 — and propagates substrate
+/// errors for cyclic subject graphs.
+pub fn label(
+    subject: &SubjectGraph,
+    library: &Library,
+    mode: MatchMode,
+    objective: Objective,
+) -> Result<Labels, MapError> {
+    let net = subject.network();
+    let matcher = Matcher::new(library);
+    let order = net.topo_order()?;
+    let mut arrival = vec![0.0f64; net.num_nodes()];
+    let mut area_flow = vec![0.0f64; net.num_nodes()];
+    let mut best: Vec<Option<Match>> = vec![None; net.num_nodes()];
+    let mut matches_enumerated = 0usize;
+
+    const EPS: f64 = 1e-9;
+    for id in order {
+        let node = net.node(id);
+        match node.func() {
+            NodeFn::Input | NodeFn::Const(_) | NodeFn::Latch => continue,
+            NodeFn::Nand | NodeFn::Not => {}
+            other => unreachable!("subject graphs never hold {}", other.name()),
+        }
+        let matches = matcher.matches_at(subject, id, mode);
+        matches_enumerated += matches.len();
+        // (arrival, area estimate, pins) per candidate.
+        let mut chosen: Option<(f64, f64, usize, Match)> = None;
+        for m in matches {
+            let t = match_arrival(library, &arrival, &m);
+            let af = match_area(net, library, &area_flow, &m, mode);
+            let pins = m.leaves.len();
+            let better = match &chosen {
+                None => true,
+                Some((bt, ba, bp, _)) => match objective {
+                    Objective::Delay => {
+                        t < *bt - EPS
+                            || (t < *bt + EPS && af < *ba - EPS)
+                            || (t < *bt + EPS && (af - *ba).abs() <= EPS && pins < *bp)
+                    }
+                    Objective::Area => {
+                        af < *ba - EPS
+                            || (af < *ba + EPS && t < *bt - EPS)
+                            || (af < *ba + EPS && (t - *bt).abs() <= EPS && pins < *bp)
+                    }
+                },
+            };
+            if better {
+                chosen = Some((t, af, pins, m));
+            }
+        }
+        match chosen {
+            Some((t, af, _, m)) => {
+                arrival[id.index()] = t;
+                area_flow[id.index()] = af;
+                best[id.index()] = Some(m);
+            }
+            None => return Err(MapError::NoMatch { node: id }),
+        }
+    }
+    Ok(Labels {
+        arrival,
+        area_flow,
+        best,
+        matches_enumerated,
+    })
+}
+
+/// Estimated area of realizing a match. For exact (tree) matches the
+/// estimate is exact: a multi-fanout leaf is a shared tree root whose cost
+/// is accounted once at that root, so it contributes 0 here. For
+/// standard/extended matches sharing is approximated by dividing each
+/// leaf's cost by its fanout count (area flow).
+fn match_area(
+    net: &dagmap_netlist::Network,
+    library: &Library,
+    area_flow: &[f64],
+    m: &Match,
+    mode: MatchMode,
+) -> f64 {
+    let mut a = library.gate(m.gate).area();
+    for leaf in &m.leaves {
+        let fanouts = net.node(*leaf).fanouts().len();
+        let contribution = match mode {
+            MatchMode::Exact => {
+                if fanouts > 1 {
+                    0.0
+                } else {
+                    area_flow[leaf.index()]
+                }
+            }
+            MatchMode::Standard | MatchMode::Extended => {
+                area_flow[leaf.index()] / fanouts.max(1) as f64
+            }
+        };
+        a += contribution;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagmap_netlist::Network;
+
+    fn chain_subject(n: usize) -> SubjectGraph {
+        let mut net = Network::new("chain");
+        let mut cur = net.add_input("a");
+        let b = net.add_input("b");
+        for i in 0..n {
+            cur = if i % 2 == 0 {
+                net.add_node(NodeFn::Nand, vec![cur, b]).unwrap()
+            } else {
+                net.add_node(NodeFn::Not, vec![cur]).unwrap()
+            };
+        }
+        net.add_output("f", cur);
+        SubjectGraph::from_subject_network(net).unwrap()
+    }
+
+    #[test]
+    fn minimal_library_labels_equal_weighted_depth() {
+        let subject = chain_subject(6);
+        let lib = Library::minimal();
+        let labels = label(&subject, &lib, MatchMode::Standard, Objective::Delay).unwrap();
+        // With only inv/nand2 (delay 1 each), arrival = unit depth.
+        assert_eq!(labels.critical_delay(&subject), 6.0);
+    }
+
+    #[test]
+    fn monotone_in_match_strength() {
+        // Standard matches can only improve on exact matches.
+        let subject = chain_subject(5);
+        let lib = Library::lib2_like();
+        let exact = label(&subject, &lib, MatchMode::Exact, Objective::Delay).unwrap();
+        let std = label(&subject, &lib, MatchMode::Standard, Objective::Delay).unwrap();
+        let ext = label(&subject, &lib, MatchMode::Extended, Objective::Delay).unwrap();
+        assert!(std.critical_delay(&subject) <= exact.critical_delay(&subject) + 1e-9);
+        assert!(ext.critical_delay(&subject) <= std.critical_delay(&subject) + 1e-9);
+    }
+
+    #[test]
+    fn missing_inverter_is_reported() {
+        use dagmap_genlib::Gate;
+        let subject = chain_subject(3);
+        let lib = Library::new(
+            "no_inv",
+            vec![Gate::uniform("nand2", 2.0, "O", "!(a*b)", 1.0).unwrap()],
+        )
+        .unwrap();
+        let err = label(&subject, &lib, MatchMode::Standard, Objective::Delay).unwrap_err();
+        assert!(matches!(err, MapError::NoMatch { .. }));
+    }
+
+    #[test]
+    fn counts_enumerated_matches() {
+        let subject = chain_subject(4);
+        let lib = Library::lib2_like();
+        let labels = label(&subject, &lib, MatchMode::Standard, Objective::Delay).unwrap();
+        assert!(labels.matches_enumerated >= 4);
+    }
+
+    #[test]
+    fn area_objective_prefers_smaller_covers() {
+        // A chain of ANDs: the delay objective may pick fast wide gates;
+        // the area objective must end at or below its area estimate.
+        let mut net = Network::new("a");
+        let mut cur = net.add_input("x");
+        for i in 0..6 {
+            let y = net.add_input(format!("y{i}"));
+            cur = net.add_node(NodeFn::And, vec![cur, y]).unwrap();
+        }
+        net.add_output("f", cur);
+        let subject = SubjectGraph::from_network(&net).unwrap();
+        let lib = Library::lib2_like();
+        let delay_l = label(&subject, &lib, MatchMode::Exact, Objective::Delay).unwrap();
+        let area_l = label(&subject, &lib, MatchMode::Exact, Objective::Area).unwrap();
+        let root = subject.network().outputs()[0].driver;
+        assert!(area_l.area_flow[root.index()] <= delay_l.area_flow[root.index()] + 1e-9);
+        assert!(delay_l.arrival_of(root) <= area_l.arrival_of(root) + 1e-9);
+    }
+}

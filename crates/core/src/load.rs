@@ -1,0 +1,508 @@
+//! Load-dependent timing and buffer insertion — the two sides of the
+//! paper's footnote 4 and Section 3.5.
+//!
+//! The mapper optimizes under a *load-independent* delay model (each pin's
+//! intrinsic block delay, fanout coefficients zeroed). The paper justifies
+//! this as an approximation to be repaired downstream by continuous sizing
+//! or Touati-style buffer trees at multi-fanout points. This module makes
+//! both halves of that argument executable:
+//!
+//! * [`analyze`] times a mapped netlist under the *full* genlib model
+//!   (`delay = block + fanout_coeff · output_load`), quantifying how far
+//!   the load-free prediction is from a load-aware view,
+//! * [`insert_buffers`] splits heavy fanouts with buffer cells (or
+//!   inverter pairs when the library has no buffer), recovering most of the
+//!   load-induced slowdown — the "buffering techniques can be directly
+//!   used in conjunction with DAG covering" claim of Section 3.5.
+
+use dagmap_genlib::{Expr, Library};
+
+use crate::mapped::{gate_kind_of, Cell, MappedNetlist, Signal};
+use crate::MapError;
+
+/// Capacitive load modeled for each primary output or latch data pin.
+pub const OUTPUT_LOAD: f64 = 1.0;
+
+/// Load-aware timing of a mapped netlist.
+#[derive(Debug, Clone)]
+pub struct LoadTiming {
+    /// Arrival per cell under the load-dependent model.
+    pub arrivals: Vec<f64>,
+    /// Capacitive load on each cell's output.
+    pub loads: Vec<f64>,
+    /// Worst load-aware arrival over outputs and latch data.
+    pub delay: f64,
+}
+
+/// Times `mapped` under the full genlib delay model.
+pub fn analyze(mapped: &MappedNetlist) -> LoadTiming {
+    let cells = mapped.cells();
+    let mut loads = vec![0.0f64; cells.len()];
+    let credit = |sig: Signal, load: f64, loads: &mut Vec<f64>| {
+        if let Signal::Cell(c) = sig {
+            loads[c as usize] += load;
+        }
+    };
+    for cell in cells {
+        let kind = mapped
+            .gate_kinds()
+            .get(cell.kind as usize)
+            .expect("kind exists");
+        for (pin, &f) in cell.fanins.iter().enumerate() {
+            credit(f, kind.pin_input_loads[pin], &mut loads);
+        }
+    }
+    for (_, sig) in mapped.outputs() {
+        credit(*sig, OUTPUT_LOAD, &mut loads);
+    }
+    for (_, sig) in mapped.latches() {
+        credit(*sig, OUTPUT_LOAD, &mut loads);
+    }
+
+    let mut arrivals = vec![0.0f64; cells.len()];
+    for (i, cell) in cells.iter().enumerate() {
+        let kind = &mapped.gate_kinds()[cell.kind as usize];
+        let mut t: f64 = 0.0;
+        for (pin, &f) in cell.fanins.iter().enumerate() {
+            let base = match f {
+                Signal::Cell(c) => arrivals[c as usize],
+                _ => 0.0,
+            };
+            t = t.max(base + kind.pin_delays[pin] + kind.pin_fanout_delays[pin] * loads[i]);
+        }
+        arrivals[i] = t;
+    }
+    let sig_arr = |s: Signal| match s {
+        Signal::Cell(c) => arrivals[c as usize],
+        _ => 0.0,
+    };
+    let mut delay: f64 = 0.0;
+    for (_, s) in mapped.outputs() {
+        delay = delay.max(sig_arr(*s));
+    }
+    for (_, s) in mapped.latches() {
+        delay = delay.max(sig_arr(*s));
+    }
+    LoadTiming {
+        arrivals,
+        loads,
+        delay,
+    }
+}
+
+/// Load-aware required times: outputs must settle by the current delay;
+/// internal cells inherit the tightest consumer requirement minus that
+/// consumer's (load-dependent) pin delay. `required - arrival` is slack.
+pub fn required_times(mapped: &MappedNetlist, timing: &LoadTiming) -> Vec<f64> {
+    let cells = mapped.cells();
+    let mut req = vec![f64::INFINITY; cells.len()];
+    let constrain = |sig: Signal, value: f64, req: &mut Vec<f64>| {
+        if let Signal::Cell(c) = sig {
+            let r = &mut req[c as usize];
+            *r = r.min(value);
+        }
+    };
+    for (_, s) in mapped.outputs() {
+        constrain(*s, timing.delay, &mut req);
+    }
+    for (_, s) in mapped.latches() {
+        constrain(*s, timing.delay, &mut req);
+    }
+    for (i, cell) in cells.iter().enumerate().rev() {
+        let my_req = req[i];
+        if my_req.is_infinite() {
+            continue;
+        }
+        let kind = &mapped.gate_kinds()[cell.kind as usize];
+        for (pin, &f) in cell.fanins.iter().enumerate() {
+            let d = kind.pin_delays[pin] + kind.pin_fanout_delays[pin] * timing.loads[i];
+            constrain(f, my_req - d, &mut req);
+        }
+    }
+    req
+}
+
+/// How buffering will repair heavy fanouts.
+enum BufferStyle {
+    /// A single buffer cell per split group.
+    Buf(u32),
+    /// An inverter pair: one shared first stage, one second stage per group.
+    InvPair(u32),
+}
+
+/// Splits every cell output whose capacitive load exceeds `max_load` with
+/// buffer cells, iterating until no overload remains. Uses the library's
+/// buffer gate if present, otherwise inverter pairs.
+///
+/// Only loads driven *by cells* are repaired; primary inputs are assumed to
+/// be driven by the environment.
+///
+/// # Errors
+///
+/// Fails if the library has neither a buffer (`O = a`) nor an inverter
+/// (`O = !a`) gate, or if splitting cannot converge (pathological
+/// `max_load` below a single pin's load).
+pub fn insert_buffers(
+    mapped: &MappedNetlist,
+    library: &Library,
+    max_load: f64,
+) -> Result<MappedNetlist, MapError> {
+    let mut m = mapped.clone();
+    // Locate (or intern) the repair gates.
+    let find_gate = |pred: &dyn Fn(&Expr) -> bool| {
+        library
+            .gates()
+            .iter()
+            .enumerate()
+            .find(|(_, g)| g.num_pins() == 1 && pred(g.expr()))
+            .map(|(i, _)| i)
+    };
+    let buf = find_gate(&|e| matches!(e, Expr::Var(_)));
+    let inv = find_gate(&|e| matches!(e, Expr::Not(inner) if matches!(**inner, Expr::Var(_))));
+    let intern = |m: &mut MappedNetlist, idx: usize| -> u32 {
+        let gate = library
+            .find_gate(library.gates()[idx].name())
+            .expect("index came from the library");
+        if let Some(k) = m
+            .gate_kinds
+            .iter()
+            .position(|k| k.name == library.gates()[idx].name())
+        {
+            return u32::try_from(k).expect("kind count fits u32");
+        }
+        m.gate_kinds.push(gate_kind_of(gate, &library.gates()[idx]));
+        u32::try_from(m.gate_kinds.len() - 1).expect("kind count fits u32")
+    };
+    let style = match (buf, inv) {
+        (Some(b), _) => BufferStyle::Buf(intern(&mut m, b)),
+        (None, Some(i)) => BufferStyle::InvPair(intern(&mut m, i)),
+        (None, None) => {
+            return Err(MapError::UnmappableLibrary {
+                library: library.name().to_owned(),
+            })
+        }
+    };
+
+    for _round in 0..64 {
+        let timing = analyze(&m);
+        let overloaded: Vec<usize> = (0..m.cells.len())
+            .filter(|&i| timing.loads[i] > max_load + 1e-9)
+            .collect();
+        if overloaded.is_empty() {
+            resort(&mut m);
+            return Ok(m);
+        }
+        for src in overloaded {
+            split_cell_output(&mut m, src, max_load, &style, &timing)?;
+        }
+    }
+    Err(MapError::Netlist(dagmap_netlist::NetlistError::Invariant(
+        format!("buffer insertion did not converge for max_load {max_load}"),
+    )))
+}
+
+/// Splits the consumers of cell `src`: the most *critical* consumers (those
+/// whose cells show the latest load-aware arrivals, i.e. the ones feeding
+/// the critical path) keep the direct connection up to the load budget;
+/// the rest move behind repair cells, Touati-style.
+fn split_cell_output(
+    m: &mut MappedNetlist,
+    src: usize,
+    max_load: f64,
+    style: &BufferStyle,
+    timing: &LoadTiming,
+) -> Result<(), MapError> {
+    let src_sig = Signal::Cell(u32::try_from(src).expect("cell count fits u32"));
+    let req = required_times(m, timing);
+    // Collect consumer pins: (cell, pin, load, slack).
+    let mut consumers: Vec<(usize, usize, f64, f64)> = Vec::new();
+    for (ci, cell) in m.cells.iter().enumerate() {
+        for (pin, &f) in cell.fanins.iter().enumerate() {
+            if f == src_sig {
+                let load = m.gate_kinds[cell.kind as usize].pin_input_loads[pin];
+                let slack = req[ci] - timing.arrivals[ci];
+                consumers.push((ci, pin, load, slack));
+            }
+        }
+    }
+    // PO/latch sinks stay on the source; reserve their load.
+    let mut reserved = 0.0;
+    for (_, s) in m.outputs.iter().chain(&m.latches) {
+        if *s == src_sig {
+            reserved += crate::load::OUTPUT_LOAD;
+        }
+    }
+    if consumers.len() <= 1 {
+        // A single consumer pin heavier than max_load cannot be split.
+        return Err(MapError::Netlist(dagmap_netlist::NetlistError::Invariant(
+            format!("max_load too small to buffer cell {src}"),
+        )));
+    }
+    // Most critical (smallest-slack) consumers first.
+    consumers.sort_by(|a, b| a.3.partial_cmp(&b.3).expect("slacks are comparable"));
+    let repair_pin = match style {
+        BufferStyle::Buf(kind) | BufferStyle::InvPair(kind) => {
+            m.gate_kinds[*kind as usize].pin_input_loads[0]
+        }
+    };
+    // Fill the kept (direct) group with critical consumers, leaving head-
+    // room for the repair pins; everything else is grouped load-greedily.
+    let mut kept: Vec<(usize, usize)> = Vec::new();
+    let mut kept_load = reserved;
+    let mut rest: Vec<(usize, usize, f64)> = Vec::new();
+    for &(ci, pin, load, _) in &consumers {
+        // Conservative headroom: assume up to two repair pins stay behind.
+        if kept_load + load + 2.0 * repair_pin <= max_load + 1e-9 && rest.is_empty() {
+            kept_load += load;
+            kept.push((ci, pin));
+        } else {
+            rest.push((ci, pin, load));
+        }
+    }
+    if rest.is_empty() {
+        // Nothing to move; the overload came from reserved PO load alone.
+        return Err(MapError::Netlist(dagmap_netlist::NetlistError::Invariant(
+            format!("max_load too small to buffer cell {src}"),
+        )));
+    }
+    let mut groups: Vec<Vec<(usize, usize, f64)>> = Vec::new();
+    let mut group_load: Vec<f64> = Vec::new();
+    for c in rest {
+        match group_load.iter().position(|&g| g + c.2 <= max_load + 1e-9) {
+            Some(g) => {
+                group_load[g] += c.2;
+                groups[g].push(c);
+            }
+            None => {
+                group_load.push(c.2);
+                groups.push(vec![c]);
+            }
+        }
+    }
+    let subject_root = m.cells[src].subject_root;
+    match style {
+        BufferStyle::Buf(kind) => {
+            for group in &groups {
+                let b = push_cell(m, *kind, src_sig, subject_root);
+                for &(ci, pin, _) in group {
+                    m.cells[ci].fanins[pin] = b;
+                }
+            }
+        }
+        BufferStyle::InvPair(kind) => {
+            let first = push_cell(m, *kind, src_sig, subject_root);
+            for group in &groups {
+                let second = push_cell(m, *kind, first, subject_root);
+                for &(ci, pin, _) in group {
+                    m.cells[ci].fanins[pin] = second;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Appends a single-input repair cell and returns its signal.
+fn push_cell(
+    m: &mut MappedNetlist,
+    kind: u32,
+    fanin: Signal,
+    subject_root: dagmap_netlist::NodeId,
+) -> Signal {
+    let idx = u32::try_from(m.cells.len()).expect("cell count fits u32");
+    m.cells.push(Cell {
+        kind,
+        fanins: vec![fanin],
+        subject_root,
+        covered: Vec::new(),
+    });
+    m.arrivals.push(0.0);
+    m.area += m.gate_kinds[kind as usize].area;
+    Signal::Cell(idx)
+}
+
+/// Restores the cells-are-topologically-ordered invariant after rewiring,
+/// remapping every `Signal::Cell` index, and recomputes the block-delay
+/// arrivals.
+fn resort(m: &mut MappedNetlist) {
+    let n = m.cells.len();
+    let mut indeg = vec![0usize; n];
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, cell) in m.cells.iter().enumerate() {
+        for &f in &cell.fanins {
+            if let Signal::Cell(c) = f {
+                indeg[i] += 1;
+                consumers[c as usize].push(i);
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        order.push(u);
+        for &v in &consumers[u] {
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                queue.push(v);
+            }
+        }
+    }
+    assert_eq!(order.len(), n, "mapped netlists are acyclic");
+    let mut new_index = vec![0u32; n];
+    for (pos, &old) in order.iter().enumerate() {
+        new_index[old] = u32::try_from(pos).expect("cell count fits u32");
+    }
+    let remap = |s: Signal| match s {
+        Signal::Cell(c) => Signal::Cell(new_index[c as usize]),
+        other => other,
+    };
+    let mut cells = Vec::with_capacity(n);
+    for &old in &order {
+        let mut cell = m.cells[old].clone();
+        for f in &mut cell.fanins {
+            *f = remap(*f);
+        }
+        cells.push(cell);
+    }
+    m.cells = cells;
+    for (_, s) in &mut m.outputs {
+        *s = remap(*s);
+    }
+    for (_, s) in &mut m.latches {
+        *s = remap(*s);
+    }
+    m.arrivals = m.recompute_arrivals();
+    let sig_arr = |s: Signal, arr: &[f64]| match s {
+        Signal::Cell(c) => arr[c as usize],
+        _ => 0.0,
+    };
+    let mut delay: f64 = 0.0;
+    for (_, s) in &m.outputs {
+        delay = delay.max(sig_arr(*s, &m.arrivals));
+    }
+    for (_, s) in &m.latches {
+        delay = delay.max(sig_arr(*s, &m.arrivals));
+    }
+    m.delay = delay;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MapOptions, Mapper};
+    use dagmap_netlist::{Network, NodeFn, SubjectGraph};
+
+    /// One driver fanning out to many consumers.
+    fn heavy_fanout(consumers: usize) -> SubjectGraph {
+        let mut net = Network::new("fan");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let hub = net.add_node(NodeFn::And, vec![a, b]).unwrap();
+        for i in 0..consumers {
+            let x = net.add_input(format!("x{i}"));
+            let g = net.add_node(NodeFn::And, vec![hub, x]).unwrap();
+            net.add_output(format!("o{i}"), g);
+        }
+        SubjectGraph::from_network(&net).unwrap()
+    }
+
+    /// A library with real fanout coefficients so load matters.
+    fn loaded_library() -> Library {
+        loaded_library_with(0.3)
+    }
+
+    fn loaded_library_with(coeff: f64) -> Library {
+        Library::from_genlib_named(
+            "loaded",
+            &format!(
+                "GATE inv 1.0 O=!a;     PIN * INV 1 999 1.0 {coeff} 1.0 {coeff}\n\
+                 GATE buf 2.0 O=a;      PIN * NONINV 1 999 1.0 {coeff} 1.0 {coeff}\n\
+                 GATE nand2 2.0 O=!(a*b); PIN * INV 1 999 1.0 {coeff} 1.0 {coeff}\n"
+            ),
+        )
+        .expect("well-formed")
+    }
+
+    #[test]
+    fn load_aware_delay_exceeds_block_delay() {
+        let subject = heavy_fanout(8);
+        let lib = loaded_library();
+        let mapped = Mapper::new(&lib).map(&subject, MapOptions::dag()).unwrap();
+        let timing = analyze(&mapped);
+        assert!(timing.delay > mapped.delay());
+    }
+
+    #[test]
+    fn buffering_reduces_load_aware_delay_under_heavy_load() {
+        // Strong load dependence + huge fanout: one buffer level is much
+        // cheaper than driving everything directly.
+        let subject = heavy_fanout(24);
+        let lib = loaded_library_with(1.0);
+        let mapped = Mapper::new(&lib).map(&subject, MapOptions::dag()).unwrap();
+        let before = analyze(&mapped).delay;
+        let buffered = insert_buffers(&mapped, &lib, 6.0).unwrap();
+        let after = analyze(&buffered).delay;
+        assert!(after < before, "{after} vs {before}");
+        assert!(buffered.num_cells() > mapped.num_cells());
+        // Loads are now bounded.
+        let timing = analyze(&buffered);
+        for (i, &l) in timing.loads.iter().enumerate() {
+            assert!(l <= 6.0 + 1e-9, "cell {i} load {l}");
+        }
+    }
+
+    #[test]
+    fn buffering_bounds_loads_even_when_it_costs_delay() {
+        // With a mild coefficient the load cap is a design rule, not a
+        // speedup; buffering must still terminate with every load bounded
+        // and a modest delay penalty.
+        let subject = heavy_fanout(12);
+        let lib = loaded_library();
+        let mapped = Mapper::new(&lib).map(&subject, MapOptions::dag()).unwrap();
+        let before = analyze(&mapped).delay;
+        let buffered = insert_buffers(&mapped, &lib, 4.0).unwrap();
+        let timing = analyze(&buffered);
+        assert!(timing.loads.iter().all(|&l| l <= 4.0 + 1e-9));
+        assert!(timing.delay <= before * 1.5, "{} vs {before}", timing.delay);
+    }
+
+    #[test]
+    fn buffering_preserves_function() {
+        let subject = heavy_fanout(10);
+        let lib = loaded_library();
+        let mapped = Mapper::new(&lib).map(&subject, MapOptions::dag()).unwrap();
+        let buffered = insert_buffers(&mapped, &lib, 3.0).unwrap();
+        crate::verify::check(&buffered, &subject, 0xB0F).unwrap();
+    }
+
+    #[test]
+    fn inverter_pairs_substitute_for_missing_buffers() {
+        let subject = heavy_fanout(10);
+        // Strip the buffer gate: only inv/nand2 remain.
+        let lib = Library::from_genlib_named(
+            "no_buf",
+            "GATE inv 1.0 O=!a;     PIN * INV 1 999 1.0 0.3 1.0 0.3\n\
+             GATE nand2 2.0 O=!(a*b); PIN * INV 1 999 1.0 0.3 1.0 0.3\n",
+        )
+        .expect("well-formed");
+        let mapped = Mapper::new(&lib).map(&subject, MapOptions::dag()).unwrap();
+        let buffered = insert_buffers(&mapped, &lib, 3.0).unwrap();
+        crate::verify::check(&buffered, &subject, 0xB1F).unwrap();
+        let timing = analyze(&buffered);
+        assert!(timing.loads.iter().all(|&l| l <= 3.0 + 1e-9));
+    }
+
+    #[test]
+    fn block_only_libraries_see_no_load_effect() {
+        // The built-in libraries have zero fanout coefficients, so load-
+        // aware timing equals the mapper's own prediction.
+        let subject = heavy_fanout(6);
+        let lib = Library::lib_44_1_like();
+        let mapped = Mapper::new(&lib).map(&subject, MapOptions::dag()).unwrap();
+        let timing = analyze(&mapped);
+        assert!((timing.delay - mapped.delay()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,284 @@
+use std::time::Instant;
+
+use dagmap_genlib::Library;
+use dagmap_match::MatchMode;
+use dagmap_netlist::SubjectGraph;
+
+use crate::label::{label, Labels};
+use crate::{area, cover, MapError, MapOptions, MappedNetlist};
+
+/// Statistics of one mapping run, for experiment tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapReport {
+    /// `"tree"`, `"dag"` or `"dag-extended"`.
+    pub algorithm: &'static str,
+    /// Critical-path delay of the mapped netlist.
+    pub delay: f64,
+    /// Delay predicted by the labeling phase (must equal `delay`).
+    pub predicted_delay: f64,
+    /// Total cell area.
+    pub area: f64,
+    /// Gate instance count.
+    pub num_cells: usize,
+    /// Subject nodes covered by more than one cell (DAG-mapping
+    /// duplication; always 0 for tree mapping).
+    pub duplicated_subject_nodes: usize,
+    /// Matches enumerated during labeling (cost proxy).
+    pub matches_enumerated: usize,
+    /// Wall-clock seconds spent labeling.
+    pub label_seconds: f64,
+    /// Wall-clock seconds spent constructing the cover.
+    pub cover_seconds: f64,
+}
+
+/// The technology mapper: labels a subject graph with optimal arrivals and
+/// constructs a delay-optimal mapped netlist.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug, Clone, Copy)]
+pub struct Mapper<'a> {
+    library: &'a Library,
+}
+
+impl<'a> Mapper<'a> {
+    /// Creates a mapper over `library`.
+    pub fn new(library: &'a Library) -> Self {
+        Mapper { library }
+    }
+
+    /// The library being mapped into.
+    pub fn library(&self) -> &'a Library {
+        self.library
+    }
+
+    /// Runs only the delay-objective labeling phase, exposing per-node
+    /// optimal arrivals.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the library cannot cover some node or the subject graph is
+    /// cyclic.
+    pub fn label(&self, subject: &SubjectGraph, mode: MatchMode) -> Result<Labels, MapError> {
+        label(subject, self.library, mode, crate::Objective::Delay)
+    }
+
+    /// Realizes a mapped netlist from externally selected matches (one per
+    /// needed internal node) — the hook the sequential mapper of
+    /// `dagmap-retime` uses to materialize its φ-specific proposals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::NoMatch`] when a node reachable from the outputs
+    /// has no selected match.
+    pub fn realize(
+        &self,
+        subject: &SubjectGraph,
+        selected: &[Option<dagmap_match::Match>],
+    ) -> Result<MappedNetlist, MapError> {
+        cover::construct(subject, self.library, selected)
+    }
+
+    /// Maps `subject` according to `options`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::UnmappableLibrary`] for libraries without a bare
+    /// inverter and NAND2, [`MapError::NoMatch`] if coverage fails anyway,
+    /// and substrate errors for malformed subject graphs.
+    pub fn map(
+        &self,
+        subject: &SubjectGraph,
+        options: MapOptions,
+    ) -> Result<MappedNetlist, MapError> {
+        self.map_with_report(subject, options).map(|(m, _)| m)
+    }
+
+    /// Like [`Mapper::map`], also returning run statistics.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Mapper::map`].
+    pub fn map_with_report(
+        &self,
+        subject: &SubjectGraph,
+        options: MapOptions,
+    ) -> Result<(MappedNetlist, MapReport), MapError> {
+        if !self.library.is_delay_mappable() {
+            return Err(MapError::UnmappableLibrary {
+                library: self.library.name().to_owned(),
+            });
+        }
+        let t0 = Instant::now();
+        let labels = label(subject, self.library, options.match_mode, options.objective)?;
+        let label_seconds = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let mapped = cover::construct(subject, self.library, &labels.best)?;
+        // Area recovery re-selects under arrival budgets derived from the
+        // labels — only meaningful when the labels are arrival-optimal. The
+        // pass is a greedy heuristic, so its cover is kept only when it
+        // actually wins on area (both covers meet the delay budget).
+        let mapped = if options.area_recovery && options.objective == crate::Objective::Delay {
+            let target = options
+                .delay_target
+                .unwrap_or_else(|| labels.critical_delay(subject));
+            // The pass is greedy over area-flow estimates; a couple of
+            // refinement rounds (re-estimating from the previous selection)
+            // typically shave a few more percent. Keep the best cover seen.
+            let mut best = mapped;
+            let mut estimate_base = labels.clone();
+            for _ in 0..3 {
+                let selected = area::recover(
+                    subject,
+                    self.library,
+                    &estimate_base,
+                    options.match_mode,
+                    target,
+                )?;
+                let recovered = cover::construct(subject, self.library, &selected)?;
+                let improved = recovered.area() < best.area();
+                if improved {
+                    best = recovered;
+                }
+                // Seed the next round's area-flow from this selection where
+                // it chose something (arrivals stay the optimal labels).
+                for (slot, sel) in estimate_base.best.iter_mut().zip(&selected) {
+                    if sel.is_some() {
+                        *slot = sel.clone();
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+            best
+        } else {
+            mapped
+        };
+        let cover_seconds = t1.elapsed().as_secs_f64();
+
+        let report = MapReport {
+            algorithm: options.algorithm_name(),
+            delay: mapped.delay(),
+            predicted_delay: labels.critical_delay(subject),
+            area: mapped.area(),
+            num_cells: mapped.num_cells(),
+            duplicated_subject_nodes: mapped.duplicated_subject_nodes(),
+            matches_enumerated: labels.matches_enumerated,
+            label_seconds,
+            cover_seconds,
+        };
+        Ok((mapped, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagmap_netlist::{Network, NodeFn};
+
+    fn figure2_subject() -> SubjectGraph {
+        // The paper's Figure 2 shape: a shared middle cone (b·c) feeding two
+        // outputs a·(b·c) and (b·c)·d, so an `and3` pattern spans the
+        // multi-fanout point in DAG mapping but is useless to tree mapping.
+        let mut net = Network::new("fig2");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let d = net.add_input("d");
+        let mid = net.add_node(NodeFn::And, vec![b, c]).unwrap();
+        let top = net.add_node(NodeFn::And, vec![a, mid]).unwrap();
+        let bot = net.add_node(NodeFn::And, vec![mid, d]).unwrap();
+        net.add_output("f", top);
+        net.add_output("g", bot);
+        SubjectGraph::from_network(&net).unwrap()
+    }
+
+    #[test]
+    fn dag_beats_or_ties_tree_and_duplicates() {
+        let subject = figure2_subject();
+        let lib = Library::lib_44_3_like();
+        let mapper = Mapper::new(&lib);
+        let (dag, dag_rep) = mapper.map_with_report(&subject, MapOptions::dag()).unwrap();
+        let (tree, tree_rep) = mapper
+            .map_with_report(&subject, MapOptions::tree())
+            .unwrap();
+        assert!(dag.delay() <= tree.delay() + 1e-9);
+        assert_eq!(tree_rep.duplicated_subject_nodes, 0);
+        // The middle NAND is inside both output matches under DAG mapping.
+        assert!(dag_rep.duplicated_subject_nodes >= 1);
+    }
+
+    #[test]
+    fn predicted_delay_equals_realized_delay() {
+        let subject = figure2_subject();
+        for lib in [
+            Library::minimal(),
+            Library::lib2_like(),
+            Library::lib_44_1_like(),
+        ] {
+            let mapper = Mapper::new(&lib);
+            for opts in [
+                MapOptions::dag(),
+                MapOptions::tree(),
+                MapOptions::dag_extended(),
+            ] {
+                let (_, rep) = mapper.map_with_report(&subject, opts).unwrap();
+                assert!(
+                    (rep.delay - rep.predicted_delay).abs() < 1e-9,
+                    "{} {}: {} vs {}",
+                    lib.name(),
+                    rep.algorithm,
+                    rep.delay,
+                    rep.predicted_delay
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unmappable_library_is_rejected_up_front() {
+        use dagmap_genlib::Gate;
+        let lib = Library::new(
+            "only_inv",
+            vec![Gate::uniform("inv", 1.0, "O", "!a", 1.0).unwrap()],
+        )
+        .unwrap();
+        let subject = figure2_subject();
+        let err = Mapper::new(&lib)
+            .map(&subject, MapOptions::dag())
+            .unwrap_err();
+        assert!(matches!(err, MapError::UnmappableLibrary { .. }));
+    }
+
+    #[test]
+    fn mapped_netlist_is_functionally_equivalent() {
+        let subject = figure2_subject();
+        let lib = Library::lib2_like();
+        let mapper = Mapper::new(&lib);
+        for opts in [
+            MapOptions::dag(),
+            MapOptions::tree(),
+            MapOptions::dag().with_area_recovery(),
+        ] {
+            let mapped = mapper.map(&subject, opts).unwrap();
+            let lowered = mapped.to_network().unwrap();
+            assert!(
+                dagmap_netlist::sim::equivalent_random(subject.network(), &lowered, 16, 42)
+                    .unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn outputs_driven_by_inputs_map_cleanly() {
+        let mut net = Network::new("wire");
+        let a = net.add_input("a");
+        net.add_output("f", a);
+        let subject = SubjectGraph::from_subject_network(net).unwrap();
+        let lib = Library::minimal();
+        let mapped = Mapper::new(&lib).map(&subject, MapOptions::dag()).unwrap();
+        assert_eq!(mapped.num_cells(), 0);
+        assert_eq!(mapped.delay(), 0.0);
+    }
+}

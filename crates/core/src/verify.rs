@@ -1,0 +1,109 @@
+//! Independent checks on mapped netlists.
+//!
+//! Every experiment in the repository funnels its mappings through these:
+//! functional equivalence against the subject graph by seeded word-parallel
+//! random simulation, and timing consistency between the arrivals stored at
+//! construction time and a from-scratch recomputation.
+
+use dagmap_netlist::{sim, Network, SubjectGraph};
+
+use crate::{MapError, MappedNetlist};
+
+/// Checks the mapped netlist against a golden network (the subject graph or
+/// the pre-decomposition network) on `rounds * 64` random vectors.
+///
+/// # Errors
+///
+/// Fails if the netlists' interfaces cannot be paired by name or either is
+/// cyclic.
+pub fn equivalent(
+    mapped: &MappedNetlist,
+    golden: &Network,
+    rounds: usize,
+    seed: u64,
+) -> Result<bool, MapError> {
+    let lowered = mapped.to_network()?;
+    if golden.num_latches() > 0 {
+        Ok(sim::equivalent_random_sequential(
+            golden, &lowered, 16, rounds, seed,
+        )?)
+    } else {
+        Ok(sim::equivalent_random(golden, &lowered, rounds, seed)?)
+    }
+}
+
+/// Checks that the stored arrival times match an independent recomputation.
+pub fn timing_consistent(mapped: &MappedNetlist) -> bool {
+    let fresh = mapped.recompute_arrivals();
+    fresh
+        .iter()
+        .enumerate()
+        .all(|(i, &t)| (t - mapped.cell_arrival(i)).abs() < 1e-9)
+}
+
+/// Runs the full battery: equivalence against the subject graph and timing
+/// consistency.
+///
+/// # Errors
+///
+/// Returns a descriptive [`MapError::Netlist`] wrapping the first failed
+/// check.
+pub fn check(mapped: &MappedNetlist, subject: &SubjectGraph, seed: u64) -> Result<(), MapError> {
+    if !timing_consistent(mapped) {
+        return Err(MapError::Netlist(dagmap_netlist::NetlistError::Invariant(
+            "stored arrivals disagree with recomputation".into(),
+        )));
+    }
+    if !equivalent(mapped, subject.network(), 32, seed)? {
+        return Err(MapError::Netlist(dagmap_netlist::NetlistError::Invariant(
+            "mapped netlist is not equivalent to its subject graph".into(),
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MapOptions, Mapper};
+    use dagmap_genlib::Library;
+    use dagmap_netlist::{Network, NodeFn};
+
+    #[test]
+    fn full_check_passes_for_all_modes() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let x = net.add_node(NodeFn::Xor, vec![a, b]).unwrap();
+        let y = net.add_node(NodeFn::And, vec![x, c]).unwrap();
+        let z = net.add_node(NodeFn::Or, vec![x, y]).unwrap();
+        net.add_output("f", z);
+        let subject = SubjectGraph::from_network(&net).unwrap();
+        let lib = Library::lib2_like();
+        let mapper = Mapper::new(&lib);
+        for opts in [
+            MapOptions::dag(),
+            MapOptions::tree(),
+            MapOptions::dag_extended(),
+            MapOptions::dag().with_area_recovery(),
+        ] {
+            let mapped = mapper.map(&subject, opts).unwrap();
+            check(&mapped, &subject, 17).unwrap();
+        }
+    }
+
+    #[test]
+    fn sequential_mapping_checks_out() {
+        let mut net = Network::new("seq");
+        let a = net.add_input("a");
+        let l = net.add_node(NodeFn::Latch, vec![a]).unwrap();
+        net.set_node_name(l, "q");
+        let x = net.add_node(NodeFn::Xor, vec![l, a]).unwrap();
+        net.add_output("f", x);
+        let subject = SubjectGraph::from_network(&net).unwrap();
+        let lib = Library::lib2_like();
+        let mapped = Mapper::new(&lib).map(&subject, MapOptions::dag()).unwrap();
+        check(&mapped, &subject, 5).unwrap();
+    }
+}

@@ -1,0 +1,157 @@
+//! Exhaustive k-feasible-cut enumeration — an independent, exponential-time
+//! oracle used to validate the flow-based labels of
+//! [`label_network`](crate::label_network), and the basis of a simple
+//! cut-enumeration mapper.
+
+use std::collections::HashSet;
+
+use dagmap_netlist::{NetlistError, Network, NodeFn, NodeId};
+
+/// All k-feasible cuts per node (the trivial cut `{n}` included).
+///
+/// Cut counts grow combinatorially; intended for validation on small
+/// networks and small `k`.
+#[derive(Debug, Clone)]
+pub struct CutSet {
+    /// The bound.
+    pub k: usize,
+    /// Per node, each cut as a sorted node list.
+    pub cuts: Vec<Vec<Vec<NodeId>>>,
+}
+
+fn is_source(net: &Network, id: NodeId) -> bool {
+    matches!(
+        net.node(id).func(),
+        NodeFn::Input | NodeFn::Const(_) | NodeFn::Latch
+    )
+}
+
+/// Enumerates every k-feasible cut of every node.
+///
+/// # Errors
+///
+/// Fails on cyclic networks.
+pub fn enumerate_cuts(net: &Network, k: usize) -> Result<CutSet, NetlistError> {
+    let order = net.topo_order()?;
+    let mut cuts: Vec<Vec<Vec<NodeId>>> = vec![Vec::new(); net.num_nodes()];
+    for id in order {
+        if is_source(net, id) {
+            cuts[id.index()] = vec![vec![id]];
+            continue;
+        }
+        let fanins = net.node(id).fanins();
+        // Cross product of one cut per fanin, capped at k leaves.
+        let mut merged: HashSet<Vec<NodeId>> = HashSet::new();
+        let mut acc: Vec<Vec<NodeId>> = vec![Vec::new()];
+        for f in fanins {
+            let mut next = Vec::new();
+            for base in &acc {
+                for c in &cuts[f.index()] {
+                    let mut u = base.clone();
+                    for &x in c {
+                        if !u.contains(&x) {
+                            u.push(x);
+                        }
+                    }
+                    if u.len() <= k {
+                        next.push(u);
+                    }
+                }
+            }
+            acc = next;
+        }
+        for mut u in acc {
+            u.sort_unstable();
+            merged.insert(u);
+        }
+        let mut list: Vec<Vec<NodeId>> = merged.into_iter().collect();
+        list.sort();
+        list.push(vec![id]); // trivial cut, for consumers only
+        cuts[id.index()] = list;
+    }
+    Ok(CutSet { k, cuts })
+}
+
+/// Optimal LUT depth per node by dynamic programming over the exhaustive
+/// cut sets — must agree with the FlowMap labels everywhere.
+///
+/// # Errors
+///
+/// Fails on cyclic networks or nodes wider than `k`.
+pub fn depth_via_cuts(net: &Network, k: usize) -> Result<Vec<u32>, NetlistError> {
+    let cutset = enumerate_cuts(net, k)?;
+    let order = net.topo_order()?;
+    let mut depth = vec![0u32; net.num_nodes()];
+    for id in order {
+        if is_source(net, id) {
+            continue;
+        }
+        let mut best: Option<u32> = None;
+        for cut in &cutset.cuts[id.index()] {
+            if cut.as_slice() == [id] {
+                continue; // a LUT cannot have its own output as input
+            }
+            let d = cut.iter().map(|x| depth[x.index()]).max().unwrap_or(0) + 1;
+            best = Some(best.map_or(d, |b| b.min(d)));
+        }
+        depth[id.index()] = best
+            .ok_or_else(|| NetlistError::Invariant(format!("node {id} has no {k}-feasible cut")))?;
+    }
+    Ok(depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label_network;
+    use dagmap_netlist::SubjectGraph;
+
+    #[test]
+    fn trivial_and_fanin_cuts_exist() {
+        let mut net = Network::new("n");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_node(NodeFn::And, vec![a, b]).unwrap();
+        net.add_output("f", g);
+        let cs = enumerate_cuts(&net, 4).unwrap();
+        assert!(cs.cuts[g.index()].contains(&vec![a, b]));
+        assert!(cs.cuts[g.index()].contains(&vec![g]));
+    }
+
+    #[test]
+    fn flow_labels_match_exhaustive_depths() {
+        for seed in 0..6 {
+            let net = dagmap_benchgen::random_network(5, 40, seed);
+            let subject = SubjectGraph::from_network(&net).unwrap().into_network();
+            for k in [2, 3, 4] {
+                let labels = label_network(&subject, k).unwrap();
+                let oracle = depth_via_cuts(&subject, k).unwrap();
+                for id in subject.node_ids() {
+                    assert_eq!(
+                        labels.label[id.index()],
+                        oracle[id.index()],
+                        "seed {seed} k {k} node {id}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reconvergent_cuts_are_found() {
+        let mut net = Network::new("reconv");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_node(NodeFn::And, vec![a, b]).unwrap();
+        let u = net.add_node(NodeFn::Not, vec![g]).unwrap();
+        let v = net.add_node(NodeFn::Or, vec![g, a]).unwrap();
+        let top = net.add_node(NodeFn::And, vec![u, v]).unwrap();
+        net.add_output("f", top);
+        let cs = enumerate_cuts(&net, 2).unwrap();
+        assert!(
+            cs.cuts[top.index()].contains(&vec![a, b]),
+            "{:?}",
+            cs.cuts[top.index()]
+        );
+    }
+}

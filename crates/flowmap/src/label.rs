@@ -1,0 +1,285 @@
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use dagmap_netlist::{NetlistError, Network, NodeFn, NodeId};
+
+use crate::maxflow::{FlowGraph, INF};
+
+/// Errors produced by FlowMap.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowMapError {
+    /// A node has more fanins than `k`; decompose the network first.
+    NotKBounded {
+        /// Offending node.
+        node: NodeId,
+        /// Its fanin count.
+        fanins: usize,
+        /// The LUT input bound.
+        k: usize,
+    },
+    /// Substrate failure (cyclic network).
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for FlowMapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowMapError::NotKBounded { node, fanins, k } => write!(
+                f,
+                "node {node} has {fanins} fanins but the network must be {k}-bounded"
+            ),
+            FlowMapError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl Error for FlowMapError {}
+
+impl From<NetlistError> for FlowMapError {
+    fn from(e: NetlistError) -> Self {
+        FlowMapError::Netlist(e)
+    }
+}
+
+/// Result of FlowMap labeling: the provably minimum LUT depth of every node
+/// and the k-feasible cut realizing it.
+#[derive(Debug, Clone)]
+pub struct LutLabels {
+    /// The LUT input bound.
+    pub k: usize,
+    /// Optimal depth per node (sources are 0).
+    pub label: Vec<u32>,
+    /// Depth-optimal cut per internal node (empty for sources).
+    pub cut: Vec<Vec<NodeId>>,
+}
+
+impl LutLabels {
+    /// Optimal LUT depth of the whole network: worst label over primary
+    /// outputs and latch data inputs.
+    pub fn depth(&self, net: &Network) -> u32 {
+        let mut d = 0;
+        for out in net.outputs() {
+            d = d.max(self.label[out.driver.index()]);
+        }
+        for id in net.node_ids() {
+            if matches!(net.node(id).func(), NodeFn::Latch) {
+                d = d.max(self.label[net.node(id).fanins()[0].index()]);
+            }
+        }
+        d
+    }
+}
+
+fn is_source(net: &Network, id: NodeId) -> bool {
+    matches!(
+        net.node(id).func(),
+        NodeFn::Input | NodeFn::Const(_) | NodeFn::Latch
+    )
+}
+
+/// Runs the FlowMap labeling procedure (Section 2 of the DAC 1998 paper).
+///
+/// Visits nodes in topological order; at each node `t` with `p` the maximum
+/// fanin label, tests by max-flow whether a k-feasible cut of height `p − 1`
+/// exists after collapsing all label-`p` cone nodes into `t` — if so
+/// `label(t) = p`, otherwise `label(t) = p + 1` with the trivial cut. Labels
+/// are the provably minimum unit-delay LUT depths.
+///
+/// # Errors
+///
+/// Fails if any node has more than `k` fanins ([`FlowMapError::NotKBounded`])
+/// or the network is cyclic.
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+pub fn label_network(net: &Network, k: usize) -> Result<LutLabels, FlowMapError> {
+    assert!(k >= 1, "LUTs need at least one input");
+    let order = net.topo_order()?;
+    let n = net.num_nodes();
+    let mut label = vec![0u32; n];
+    let mut cut: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+
+    for &t in &order {
+        if is_source(net, t) {
+            continue;
+        }
+        let node = net.node(t);
+        let mut fanins: Vec<NodeId> = node.fanins().to_vec();
+        fanins.sort_unstable();
+        fanins.dedup();
+        if fanins.len() > k {
+            return Err(FlowMapError::NotKBounded {
+                node: t,
+                fanins: fanins.len(),
+                k,
+            });
+        }
+        let p = fanins
+            .iter()
+            .map(|f| label[f.index()])
+            .max()
+            .expect("internal nodes have fanins");
+        if p == 0 {
+            // All cone sources: the node alone is a LUT over its fanins.
+            label[t.index()] = 1;
+            cut[t.index()] = fanins;
+            continue;
+        }
+        // Collect the fanin cone of t (t included).
+        let mut cone: Vec<NodeId> = Vec::new();
+        let mut in_cone: HashMap<NodeId, ()> = HashMap::new();
+        let mut stack = vec![t];
+        while let Some(u) = stack.pop() {
+            if in_cone.insert(u, ()).is_some() {
+                continue;
+            }
+            cone.push(u);
+            if !is_source(net, u) {
+                for &f in net.node(u).fanins() {
+                    stack.push(f);
+                }
+            }
+        }
+        // Collapse t and every label-p node into the sink.
+        let collapsed = |u: NodeId| u == t || label[u.index()] == p;
+        // Flow-graph layout: 0 = source, 1 = sink, then (in, out) pairs for
+        // every non-collapsed cone node.
+        let mut index: HashMap<NodeId, usize> = HashMap::new();
+        let mut next = 2usize;
+        for &u in &cone {
+            if !collapsed(u) {
+                index.insert(u, next);
+                next += 2;
+            }
+        }
+        let mut g = FlowGraph::new(next);
+        for (&u, &ui) in &index {
+            g.add_edge(ui, ui + 1, 1); // node capacity
+            if is_source(net, u) {
+                g.add_edge(0, ui, INF);
+            }
+        }
+        for &u in &cone {
+            if is_source(net, u) {
+                continue;
+            }
+            for &f in net.node(u).fanins() {
+                // Edge f -> u inside the cone.
+                let from = match index.get(&f) {
+                    Some(&fi) => fi + 1,
+                    None => continue, // edges out of the collapsed set do not exist (labels are monotone)
+                };
+                let to = if collapsed(u) { 1 } else { index[&u] };
+                g.add_edge(from, to, INF);
+            }
+        }
+        let limit = u32::try_from(k).expect("k is small") + 1;
+        let flow = g.max_flow_capped(0, 1, limit);
+        if flow as usize <= k {
+            // Cut nodes: saturated split edges with `in` reachable, `out` not.
+            let side = g.residual_reachable(0);
+            let mut x: Vec<NodeId> = index
+                .iter()
+                .filter(|&(_, &ui)| side[ui] && !side[ui + 1])
+                .map(|(&u, _)| u)
+                .collect();
+            x.sort_unstable();
+            debug_assert!(x.len() as u32 == flow, "cut size equals flow value");
+            label[t.index()] = p;
+            cut[t.index()] = x;
+        } else {
+            label[t.index()] = p + 1;
+            cut[t.index()] = fanins;
+        }
+    }
+    Ok(LutLabels { k, label, cut })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_gates_fit_one_lut() {
+        let mut net = Network::new("n");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let g = net.add_node(NodeFn::And, vec![a, b]).unwrap();
+        let h = net.add_node(NodeFn::Or, vec![g, c]).unwrap();
+        net.add_output("f", h);
+        let labels = label_network(&net, 3).unwrap();
+        assert_eq!(labels.label[h.index()], 1);
+        assert_eq!(labels.depth(&net), 1);
+        let mut cut = labels.cut[h.index()].clone();
+        cut.sort_unstable();
+        assert_eq!(cut, vec![a, b, c]);
+    }
+
+    #[test]
+    fn chain_depth_divides_by_absorption() {
+        // A chain of 6 two-input ANDs over fresh inputs: each 3-LUT absorbs
+        // two gates, so depth 3.
+        let mut net = Network::new("chain");
+        let mut cur = net.add_input("x0");
+        for i in 0..6 {
+            let y = net.add_input(format!("y{i}"));
+            cur = net.add_node(NodeFn::And, vec![cur, y]).unwrap();
+        }
+        net.add_output("f", cur);
+        let labels = label_network(&net, 3).unwrap();
+        assert_eq!(labels.depth(&net), 3);
+    }
+
+    #[test]
+    fn rejects_wide_nodes() {
+        let mut net = Network::new("wide");
+        let ins: Vec<NodeId> = (0..5).map(|i| net.add_input(format!("x{i}"))).collect();
+        let g = net.add_node(NodeFn::And, ins).unwrap();
+        net.add_output("f", g);
+        let err = label_network(&net, 4).unwrap_err();
+        assert!(matches!(err, FlowMapError::NotKBounded { fanins: 5, .. }));
+    }
+
+    #[test]
+    fn reconvergence_is_exploited() {
+        // f = (a&b) | !(a&b)... use a non-trivial reconvergent pair: the
+        // shared node g fans out to two consumers that reconverge at top;
+        // all of it fits one 2-input... one 3-LUT over {a, b}.
+        let mut net = Network::new("reconv");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_node(NodeFn::And, vec![a, b]).unwrap();
+        let u = net.add_node(NodeFn::Not, vec![g]).unwrap();
+        let v = net.add_node(NodeFn::Or, vec![g, a]).unwrap();
+        let top = net.add_node(NodeFn::And, vec![u, v]).unwrap();
+        net.add_output("f", top);
+        let labels = label_network(&net, 3).unwrap();
+        assert_eq!(labels.depth(&net), 1, "whole cone fits a 2-input cut");
+    }
+
+    #[test]
+    fn labels_are_monotone_along_edges() {
+        let net = dagmap_benchgen::random_network(8, 120, 3);
+        let labels = label_network(
+            &dagmap_netlist::SubjectGraph::from_network(&net)
+                .unwrap()
+                .into_network(),
+            4,
+        )
+        .unwrap();
+        // Rebuild to walk edges of the labeled network.
+        let snet = dagmap_netlist::SubjectGraph::from_network(&net)
+            .unwrap()
+            .into_network();
+        for id in snet.node_ids() {
+            for f in snet.node(id).fanins() {
+                if !matches!(snet.node(id).func(), NodeFn::Latch) {
+                    assert!(labels.label[f.index()] <= labels.label[id.index()]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+//! FlowMap: delay-optimal k-LUT technology mapping (Cong & Ding, 1992/94).
+//!
+//! Section 2 of the DAC 1998 paper builds directly on this algorithm — its
+//! labeling idea, transplanted from k-cuts to library pattern matching, is
+//! the paper's whole contribution — so this crate implements FlowMap in
+//! full as both a substrate and an executable cross-check:
+//!
+//! * [`label_network`] — the optimal-depth labeling via max-flow
+//!   feasibility tests on the collapsed fanin cone,
+//! * [`map_luts`] — LUT cover construction with automatic node duplication,
+//! * [`cuts`] — exhaustive k-feasible-cut enumeration, an independent
+//!   (exponential) oracle the flow-based labels are tested against,
+//! * [`maxflow`] — the unit-capacity node-split max-flow underneath.
+//!
+//! # Example
+//!
+//! ```
+//! use dagmap_flowmap::{label_network, map_luts};
+//! use dagmap_netlist::{Network, NodeFn};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut net = Network::new("n");
+//! let a = net.add_input("a");
+//! let b = net.add_input("b");
+//! let c = net.add_input("c");
+//! let g = net.add_node(NodeFn::And, vec![a, b])?;
+//! let h = net.add_node(NodeFn::Or, vec![g, c])?;
+//! net.add_output("f", h);
+//!
+//! let labels = label_network(&net, 3)?;
+//! let mapping = map_luts(&net, &labels)?;
+//! assert_eq!(mapping.depth(), 1); // one 3-LUT absorbs both gates
+//! # Ok(())
+//! # }
+//! ```
+
+mod area;
+pub mod cuts;
+mod label;
+mod map;
+pub mod maxflow;
+
+pub use area::{map_luts_area, map_luts_area_relaxed};
+pub use label::{label_network, FlowMapError, LutLabels};
+pub use map::{map_luts, Lut, LutMapping};

@@ -1,0 +1,294 @@
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use dagmap_netlist::{sim, NetlistError, Network, NodeFn, NodeId, SopCover};
+
+use crate::label::{FlowMapError, LutLabels};
+
+/// One LUT of a [`LutMapping`]: it implements `root` as a function of
+/// `inputs` (the depth-optimal cut found during labeling).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lut {
+    /// The node whose value the LUT produces.
+    pub root: NodeId,
+    /// Cut nodes feeding the LUT.
+    pub inputs: Vec<NodeId>,
+}
+
+/// A k-LUT cover of a network.
+#[derive(Debug, Clone)]
+pub struct LutMapping {
+    /// LUT input bound.
+    pub k: usize,
+    /// LUTs in creation (reverse-topological discovery) order.
+    pub luts: Vec<Lut>,
+    depth: u32,
+}
+
+impl LutMapping {
+    /// Assembles a mapping from parts (used by the area-recovery pass).
+    pub(crate) fn from_parts(k: usize, luts: Vec<Lut>, depth: u32) -> LutMapping {
+        LutMapping { k, luts, depth }
+    }
+
+    /// Number of LUTs.
+    pub fn num_luts(&self) -> usize {
+        self.luts.len()
+    }
+
+    /// LUT depth of the cover (equals the optimal labels' depth).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Lowers the mapping into a [`Network`] of SOP nodes so it can be
+    /// simulated or checked for equivalence (k ≤ 6).
+    ///
+    /// # Errors
+    ///
+    /// Fails for `k > 6` (the truth table extraction uses one 64-lane word)
+    /// or if the source network is malformed.
+    pub fn to_network(&self, source: &Network) -> Result<Network, FlowMapError> {
+        if self.k > 6 {
+            return Err(FlowMapError::Netlist(NetlistError::Invariant(
+                "to_network supports k <= 6".into(),
+            )));
+        }
+        let mut net = Network::new(source.name());
+        let mut signal: HashMap<NodeId, NodeId> = HashMap::new();
+        for &pi in source.inputs() {
+            let id = net.add_input(source.node(pi).name().unwrap_or("pi"));
+            signal.insert(pi, id);
+        }
+        let zero = net.add_node(NodeFn::Const(false), vec![])?;
+        let mut latch_patch = Vec::new();
+        for id in source.node_ids() {
+            match source.node(id).func() {
+                NodeFn::Latch => {
+                    let l = net.add_node(NodeFn::Latch, vec![zero])?;
+                    if let Some(name) = source.node(id).name() {
+                        net.set_node_name(l, name);
+                    }
+                    signal.insert(id, l);
+                    latch_patch.push((l, source.node(id).fanins()[0]));
+                }
+                NodeFn::Const(v) => {
+                    let c = net.add_node(NodeFn::Const(*v), vec![])?;
+                    signal.insert(id, c);
+                }
+                _ => {}
+            }
+        }
+        // LUTs were discovered outputs-first; emit them in topological order
+        // of their roots so fanins exist before consumers (a LUT's inputs
+        // are strict ancestors of its root).
+        let topo = source.topo_order().map_err(FlowMapError::Netlist)?;
+        let mut position = vec![0usize; source.num_nodes()];
+        for (i, id) in topo.iter().enumerate() {
+            position[id.index()] = i;
+        }
+        let mut ordered: Vec<&Lut> = self.luts.iter().collect();
+        ordered.sort_by_key(|l| position[l.root.index()]);
+        for lut in ordered {
+            let cover = lut_function(source, lut.root, &lut.inputs)?;
+            let fanins: Vec<NodeId> = lut
+                .inputs
+                .iter()
+                .map(|i| *signal.get(i).expect("cut nodes resolve before consumers"))
+                .collect();
+            let id = net.add_node(NodeFn::Sop(cover), fanins)?;
+            signal.insert(lut.root, id);
+        }
+        for (l, data) in latch_patch {
+            net.replace_single_fanin(l, *signal.get(&data).expect("latch data mapped"));
+        }
+        for out in source.outputs() {
+            net.add_output(&out.name, *signal.get(&out.driver).expect("outputs mapped"));
+        }
+        Ok(net)
+    }
+}
+
+/// Extracts the Boolean function of `root` in terms of cut `inputs`
+/// (at most 6 of them) by 64-lane exhaustive cone evaluation.
+///
+/// # Errors
+///
+/// Fails if the cut does not actually separate `root` from the sources.
+pub fn lut_function(
+    net: &Network,
+    root: NodeId,
+    inputs: &[NodeId],
+) -> Result<SopCover, FlowMapError> {
+    if inputs.len() > 6 {
+        return Err(FlowMapError::Netlist(NetlistError::Invariant(
+            "lut_function supports at most 6 inputs".into(),
+        )));
+    }
+    let mut values: HashMap<NodeId, u64> = HashMap::new();
+    for (i, &x) in inputs.iter().enumerate() {
+        values.insert(x, sim::exhaustive_word(i));
+    }
+    let word = eval_cone(net, root, &mut values)?;
+    Ok(SopCover::from_truth_table_minimized(inputs.len(), word))
+}
+
+fn eval_cone(
+    net: &Network,
+    node: NodeId,
+    values: &mut HashMap<NodeId, u64>,
+) -> Result<u64, FlowMapError> {
+    if let Some(&w) = values.get(&node) {
+        return Ok(w);
+    }
+    let n = net.node(node);
+    match n.func() {
+        NodeFn::Const(v) => {
+            let w = if *v { u64::MAX } else { 0 };
+            values.insert(node, w);
+            Ok(w)
+        }
+        NodeFn::Input | NodeFn::Latch => Err(FlowMapError::Netlist(NetlistError::Invariant(
+            format!("cut does not separate {node} from the sources"),
+        ))),
+        f => {
+            let mut ins = Vec::with_capacity(n.fanins().len());
+            for &x in n.fanins() {
+                ins.push(eval_cone(net, x, values)?);
+            }
+            let w = f.eval_words(&ins);
+            values.insert(node, w);
+            Ok(w)
+        }
+    }
+}
+
+/// Builds the LUT cover from labels (Section 2's backward traversal):
+/// start at the primary outputs, realize each needed node as one LUT over
+/// its stored best cut, and recurse into the cut.
+///
+/// # Errors
+///
+/// Propagates substrate failures; succeeds for any labels produced by
+/// [`label_network`](crate::label_network) on the same network.
+pub fn map_luts(net: &Network, labels: &LutLabels) -> Result<LutMapping, FlowMapError> {
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    let mut scheduled: HashSet<NodeId> = HashSet::new();
+    let is_source = |id: NodeId| {
+        matches!(
+            net.node(id).func(),
+            NodeFn::Input | NodeFn::Const(_) | NodeFn::Latch
+        )
+    };
+    let push = |id: NodeId, queue: &mut VecDeque<NodeId>, scheduled: &mut HashSet<NodeId>| {
+        if !is_source(id) && scheduled.insert(id) {
+            queue.push_back(id);
+        }
+    };
+    for out in net.outputs() {
+        push(out.driver, &mut queue, &mut scheduled);
+    }
+    for id in net.node_ids() {
+        if matches!(net.node(id).func(), NodeFn::Latch) {
+            push(net.node(id).fanins()[0], &mut queue, &mut scheduled);
+        }
+    }
+    let mut luts = Vec::new();
+    while let Some(t) = queue.pop_front() {
+        let inputs = labels.cut[t.index()].clone();
+        debug_assert!(!inputs.is_empty(), "internal nodes have nonempty cuts");
+        for &x in &inputs {
+            push(x, &mut queue, &mut scheduled);
+        }
+        luts.push(Lut { root: t, inputs });
+    }
+    let depth = labels.depth(net);
+    Ok(LutMapping {
+        k: labels.k,
+        luts,
+        depth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label_network;
+    use dagmap_netlist::SubjectGraph;
+
+    fn check_roundtrip(net: &Network, k: usize) -> LutMapping {
+        let labels = label_network(net, k).unwrap();
+        let mapping = map_luts(net, &labels).unwrap();
+        let lowered = mapping.to_network(net).unwrap();
+        if net.num_latches() > 0 {
+            assert!(sim::equivalent_random_sequential(net, &lowered, 8, 8, 9).unwrap());
+        } else {
+            assert!(sim::equivalent_random(net, &lowered, 16, 9).unwrap());
+        }
+        mapping
+    }
+
+    #[test]
+    fn maps_small_network() {
+        let mut net = Network::new("n");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let g = net.add_node(NodeFn::And, vec![a, b]).unwrap();
+        let h = net.add_node(NodeFn::Or, vec![g, c]).unwrap();
+        net.add_output("f", h);
+        let mapping = check_roundtrip(&net, 3);
+        assert_eq!(mapping.num_luts(), 1);
+        assert_eq!(mapping.depth(), 1);
+    }
+
+    #[test]
+    fn maps_random_subject_graphs() {
+        for seed in 0..4 {
+            let net = dagmap_benchgen::random_network(6, 60, seed);
+            let subject = SubjectGraph::from_network(&net).unwrap().into_network();
+            for k in [3, 4, 5] {
+                let mapping = check_roundtrip(&subject, k);
+                assert!(mapping.num_luts() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn lut_depth_beats_gate_depth() {
+        let net = dagmap_benchgen::ripple_adder(8);
+        let subject = SubjectGraph::from_network(&net).unwrap().into_network();
+        let gate_depth = dagmap_netlist::sta::unit_depth(&subject).unwrap();
+        let mapping = check_roundtrip(&subject, 5);
+        assert!(mapping.depth() < gate_depth);
+    }
+
+    #[test]
+    fn lut_function_extracts_truth_tables() {
+        let mut net = Network::new("n");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_node(NodeFn::Xor, vec![a, b]).unwrap();
+        net.add_output("f", g);
+        let cover = lut_function(&net, g, &[a, b]).unwrap();
+        assert_eq!(cover.eval_words(&[0b1100, 0b1010]) & 0b1111, 0b0110);
+    }
+
+    #[test]
+    fn bad_cuts_are_detected() {
+        let mut net = Network::new("n");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_node(NodeFn::And, vec![a, b]).unwrap();
+        net.add_output("f", g);
+        // {a} alone does not separate g from b.
+        assert!(lut_function(&net, g, &[a]).is_err());
+    }
+
+    #[test]
+    fn sequential_networks_map() {
+        let net = dagmap_benchgen::counter(4);
+        let subject = SubjectGraph::from_network(&net).unwrap().into_network();
+        let mapping = check_roundtrip(&subject, 4);
+        assert!(mapping.num_luts() >= 4);
+    }
+}

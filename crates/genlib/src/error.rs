@@ -1,0 +1,47 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while parsing or validating gate libraries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenlibError {
+    /// Malformed Boolean expression.
+    ParseExpr(String),
+    /// Malformed genlib statement, with a 1-based line number.
+    ParseGenlib {
+        /// Line at which the failure occurred.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A gate violates a semantic rule (duplicate names, pin mismatches,
+    /// unsupported width, ...).
+    Validate(String),
+}
+
+impl fmt::Display for GenlibError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenlibError::ParseExpr(msg) => write!(f, "bad expression: {msg}"),
+            GenlibError::ParseGenlib { line, message } => {
+                write!(f, "genlib parse error at line {line}: {message}")
+            }
+            GenlibError::Validate(msg) => write!(f, "invalid library: {msg}"),
+        }
+    }
+}
+
+impl Error for GenlibError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_line() {
+        let e = GenlibError::ParseGenlib {
+            line: 12,
+            message: "missing area".into(),
+        };
+        assert!(e.to_string().contains("line 12"));
+    }
+}

@@ -1,0 +1,290 @@
+use std::fmt;
+
+use crate::{Expr, GenlibError};
+
+/// Identifier of a gate inside a [`Library`](crate::Library).
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GateId(pub(crate) u32);
+
+impl GateId {
+    /// Dense index into [`Library::gates`](crate::Library::gates).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    pub(crate) fn from_index(index: usize) -> Self {
+        GateId(u32::try_from(index).expect("gate index overflows u32"))
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// genlib pin phase: how the output responds to the pin.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum PinPhase {
+    /// Output falls when the pin rises (`INV`).
+    Inv,
+    /// Output rises when the pin rises (`NONINV`).
+    NonInv,
+    /// Either (`UNKNOWN`).
+    Unknown,
+}
+
+impl PinPhase {
+    /// genlib keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            PinPhase::Inv => "INV",
+            PinPhase::NonInv => "NONINV",
+            PinPhase::Unknown => "UNKNOWN",
+        }
+    }
+}
+
+/// genlib per-pin timing record.
+///
+/// Under the paper's load-independent delay model only the block (intrinsic)
+/// delays matter; the fanout (load-dependent) coefficients are carried for
+/// format fidelity but treated as zero by the mapper, exactly as footnote 4
+/// of the paper prescribes.
+#[derive(Debug, Copy, Clone, PartialEq)]
+pub struct PinTiming {
+    /// Phase keyword.
+    pub phase: PinPhase,
+    /// Input load presented by the pin.
+    pub input_load: f64,
+    /// Maximum load the pin may drive.
+    pub max_load: f64,
+    /// Intrinsic rise delay.
+    pub rise_block: f64,
+    /// Load-dependent rise delay per unit load (ignored by the mapper).
+    pub rise_fanout: f64,
+    /// Intrinsic fall delay.
+    pub fall_block: f64,
+    /// Load-dependent fall delay per unit load (ignored by the mapper).
+    pub fall_fanout: f64,
+}
+
+impl PinTiming {
+    /// A symmetric timing record with equal rise/fall block delay and zero
+    /// load dependence.
+    pub fn uniform(block: f64) -> PinTiming {
+        PinTiming {
+            phase: PinPhase::Unknown,
+            input_load: 1.0,
+            max_load: 999.0,
+            rise_block: block,
+            rise_fanout: 0.0,
+            fall_block: block,
+            fall_fanout: 0.0,
+        }
+    }
+
+    /// Load-independent pin-to-output delay: the worse of the intrinsic rise
+    /// and fall delays.
+    pub fn block_delay(&self) -> f64 {
+        self.rise_block.max(self.fall_block)
+    }
+}
+
+/// One library cell: a name, an area, a single-output Boolean expression and
+/// per-pin timing.
+///
+/// The canonical pin order is the order of first occurrence of each variable
+/// in the expression; [`Gate::pin_delay`] and the mapper index pins in that
+/// order.
+///
+/// ```
+/// use dagmap_genlib::{Gate, PinTiming};
+///
+/// # fn main() -> Result<(), dagmap_genlib::GenlibError> {
+/// let g = Gate::uniform("nand2", 2.0, "O", "!(a*b)", 1.5)?;
+/// assert_eq!(g.num_pins(), 2);
+/// assert_eq!(g.pin_delay(0), 1.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gate {
+    name: String,
+    area: f64,
+    output: String,
+    expr: Expr,
+    pins: Vec<(String, PinTiming)>,
+}
+
+impl Gate {
+    /// Builds a gate with explicit per-pin timing.
+    ///
+    /// `pins` must cover exactly the variables of `expr` (any order); they are
+    /// reordered into canonical (first-occurrence) order.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pin set does not match the expression variables.
+    pub fn new(
+        name: impl Into<String>,
+        area: f64,
+        output: impl Into<String>,
+        expr: Expr,
+        pins: Vec<(String, PinTiming)>,
+    ) -> Result<Gate, GenlibError> {
+        let name = name.into();
+        let vars = expr.vars();
+        if pins.len() != vars.len() {
+            return Err(GenlibError::Validate(format!(
+                "gate `{name}`: {} pins declared but expression uses {} inputs",
+                pins.len(),
+                vars.len()
+            )));
+        }
+        let mut ordered = Vec::with_capacity(vars.len());
+        for v in &vars {
+            let pin = pins
+                .iter()
+                .find(|(n, _)| n == v)
+                .ok_or_else(|| {
+                    GenlibError::Validate(format!("gate `{name}`: no PIN entry for input `{v}`"))
+                })?
+                .clone();
+            ordered.push(pin);
+        }
+        Ok(Gate {
+            name,
+            area,
+            output: output.into(),
+            expr,
+            pins: ordered,
+        })
+    }
+
+    /// Builds a gate whose pins all share one symmetric block delay
+    /// (the `PIN *` idiom).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `expr_text` does not parse.
+    pub fn uniform(
+        name: impl Into<String>,
+        area: f64,
+        output: impl Into<String>,
+        expr_text: &str,
+        block_delay: f64,
+    ) -> Result<Gate, GenlibError> {
+        let expr = Expr::parse(expr_text)?;
+        let pins = expr
+            .vars()
+            .into_iter()
+            .map(|v| (v, PinTiming::uniform(block_delay)))
+            .collect();
+        Gate::new(name, area, output, expr, pins)
+    }
+
+    /// Cell name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Cell area.
+    pub fn area(&self) -> f64 {
+        self.area
+    }
+
+    /// Output pin name.
+    pub fn output(&self) -> &str {
+        &self.output
+    }
+
+    /// Output expression.
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// Pins in canonical order with their timing.
+    pub fn pins(&self) -> &[(String, PinTiming)] {
+        &self.pins
+    }
+
+    /// Number of input pins.
+    pub fn num_pins(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Load-independent delay from pin `pin` to the output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pin` is out of range.
+    pub fn pin_delay(&self, pin: usize) -> f64 {
+        self.pins[pin].1.block_delay()
+    }
+
+    /// Worst pin-to-output delay.
+    pub fn max_delay(&self) -> f64 {
+        self.pins
+            .iter()
+            .map(|(_, t)| t.block_delay())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_order_follows_expression() {
+        let expr = Expr::parse("!(b*a)").unwrap();
+        let g = Gate::new(
+            "nand2",
+            2.0,
+            "O",
+            expr,
+            vec![
+                ("a".into(), PinTiming::uniform(1.0)),
+                ("b".into(), PinTiming::uniform(2.0)),
+            ],
+        )
+        .unwrap();
+        // First occurrence in the expression is `b`.
+        assert_eq!(g.pins()[0].0, "b");
+        assert_eq!(g.pin_delay(0), 2.0);
+        assert_eq!(g.pin_delay(1), 1.0);
+        assert_eq!(g.max_delay(), 2.0);
+    }
+
+    #[test]
+    fn rejects_pin_mismatches() {
+        let expr = Expr::parse("a*b").unwrap();
+        assert!(Gate::new(
+            "x",
+            1.0,
+            "O",
+            expr.clone(),
+            vec![("a".into(), PinTiming::uniform(1.0))]
+        )
+        .is_err());
+        assert!(Gate::new(
+            "x",
+            1.0,
+            "O",
+            expr,
+            vec![
+                ("a".into(), PinTiming::uniform(1.0)),
+                ("zzz".into(), PinTiming::uniform(1.0)),
+            ]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn block_delay_takes_worst_edge() {
+        let mut t = PinTiming::uniform(1.0);
+        t.fall_block = 3.0;
+        assert_eq!(t.block_delay(), 3.0);
+    }
+}

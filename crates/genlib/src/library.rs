@@ -1,0 +1,314 @@
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::{Gate, GateId, GenlibError, PatternGraph, PatternNode, TreeShape};
+
+/// Identifier of an expanded pattern inside a [`Library`].
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PatternId(u32);
+
+impl PatternId {
+    /// Dense index into [`Library::patterns`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    fn from_index(index: usize) -> Self {
+        PatternId(u32::try_from(index).expect("pattern index overflows u32"))
+    }
+}
+
+impl fmt::Display for PatternId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// One entry of the expanded pattern set: a gate together with one of its
+/// structural decompositions.
+#[derive(Debug, Clone)]
+pub struct LibPattern {
+    /// Owning gate.
+    pub gate: GateId,
+    /// Decomposition shape that produced this pattern.
+    pub shape: TreeShape,
+    /// The NAND2/INV pattern graph.
+    pub graph: PatternGraph,
+}
+
+/// A gate library with its expanded pattern set.
+///
+/// Construction eagerly decomposes every gate into NAND2/INV pattern graphs
+/// — one per [`TreeShape`], deduplicated — mirroring the "expanded pattern
+/// graphs" whose total node count `p` governs the paper's matching cost.
+/// Degenerate patterns (constants, wires such as a `buf` cell) are kept out
+/// of the matcher's index but their gates remain listed.
+///
+/// ```
+/// use dagmap_genlib::Library;
+///
+/// let lib = Library::lib_44_1_like();
+/// assert_eq!(lib.gates().len(), 7); // inv + nand2..4 + nor2..4
+/// assert!(lib.is_delay_mappable());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Library {
+    name: String,
+    gates: Vec<Gate>,
+    patterns: Vec<LibPattern>,
+    rooted_nand: Vec<PatternId>,
+    rooted_inv: Vec<PatternId>,
+}
+
+impl Library {
+    /// Builds a library and its expanded pattern set (all [`TreeShape`]s).
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate gate names, gates wider than 16 inputs, or
+    /// expressions that cannot be decomposed.
+    pub fn new(name: impl Into<String>, gates: Vec<Gate>) -> Result<Library, GenlibError> {
+        Library::new_with_shapes(name, gates, &TreeShape::ALL)
+    }
+
+    /// Like [`Library::new`] but restricting the decomposition shapes used
+    /// to expand patterns — shrinking `shapes` shrinks the matcher's search
+    /// (the paper's `p`) at the cost of coverage, which the ablation harness
+    /// measures.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Library::new`].
+    pub fn new_with_shapes(
+        name: impl Into<String>,
+        gates: Vec<Gate>,
+        shapes: &[TreeShape],
+    ) -> Result<Library, GenlibError> {
+        let name = name.into();
+        let mut seen = HashSet::new();
+        for g in &gates {
+            if !seen.insert(g.name().to_owned()) {
+                return Err(GenlibError::Validate(format!(
+                    "duplicate gate name `{}`",
+                    g.name()
+                )));
+            }
+            if g.num_pins() > 16 {
+                return Err(GenlibError::Validate(format!(
+                    "gate `{}` has {} inputs; at most 16 are supported",
+                    g.name(),
+                    g.num_pins()
+                )));
+            }
+        }
+        let mut patterns = Vec::new();
+        let mut rooted_nand = Vec::new();
+        let mut rooted_inv = Vec::new();
+        for (gi, gate) in gates.iter().enumerate() {
+            let pins: Vec<String> = gate.pins().iter().map(|(n, _)| n.clone()).collect();
+            let mut shapes_seen: Vec<PatternGraph> = Vec::new();
+            for &shape in shapes {
+                let Some(graph) = PatternGraph::from_expr(gate.expr(), &pins, shape)? else {
+                    continue;
+                };
+                if graph.is_trivial() || shapes_seen.contains(&graph) {
+                    continue;
+                }
+                let id = PatternId::from_index(patterns.len());
+                match graph.node(graph.root()) {
+                    PatternNode::Nand { .. } => rooted_nand.push(id),
+                    PatternNode::Inv { .. } => rooted_inv.push(id),
+                    PatternNode::Leaf { .. } => unreachable!("trivial patterns were skipped"),
+                }
+                shapes_seen.push(graph.clone());
+                patterns.push(LibPattern {
+                    gate: GateId::from_index(gi),
+                    shape,
+                    graph,
+                });
+            }
+        }
+        Ok(Library {
+            name,
+            gates,
+            patterns,
+            rooted_nand,
+            rooted_inv,
+        })
+    }
+
+    /// Library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All gates.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// A gate by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id came from a different library.
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// All gate ids, in [`Library::gates`] order.
+    pub fn gate_ids(&self) -> impl Iterator<Item = GateId> + '_ {
+        (0..self.gates.len()).map(GateId::from_index)
+    }
+
+    /// Looks a gate up by name.
+    pub fn find_gate(&self, name: &str) -> Option<GateId> {
+        self.gates
+            .iter()
+            .position(|g| g.name() == name)
+            .map(GateId::from_index)
+    }
+
+    /// The expanded pattern set.
+    pub fn patterns(&self) -> &[LibPattern] {
+        &self.patterns
+    }
+
+    /// A pattern by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id came from a different library.
+    pub fn pattern(&self, id: PatternId) -> &LibPattern {
+        &self.patterns[id.index()]
+    }
+
+    /// Patterns whose root is a NAND (candidates at subject NAND nodes).
+    pub fn patterns_rooted_nand(&self) -> &[PatternId] {
+        &self.rooted_nand
+    }
+
+    /// Patterns whose root is an inverter (candidates at subject INV nodes).
+    pub fn patterns_rooted_inv(&self) -> &[PatternId] {
+        &self.rooted_inv
+    }
+
+    /// True when every subject node can be covered: the pattern set contains
+    /// a bare inverter and a bare two-input NAND.
+    pub fn is_delay_mappable(&self) -> bool {
+        let bare_inv = self.rooted_inv.iter().any(|&p| {
+            let g = &self.patterns[p.index()].graph;
+            g.num_internal() == 1
+        });
+        let bare_nand = self.rooted_nand.iter().any(|&p| {
+            let g = &self.patterns[p.index()].graph;
+            g.num_internal() == 1
+        });
+        bare_inv && bare_nand
+    }
+
+    /// Total node count over the expanded pattern set — the paper's `p`.
+    pub fn total_pattern_nodes(&self) -> usize {
+        self.patterns.iter().map(|p| p.graph.len()).sum()
+    }
+
+    /// The largest gate input count.
+    pub fn max_gate_inputs(&self) -> usize {
+        self.gates.iter().map(Gate::num_pins).max().unwrap_or(0)
+    }
+
+    /// Parses genlib text (see the [`parser`](crate::GenlibError) grammar)
+    /// into a library named `"genlib"`.
+    ///
+    /// # Errors
+    ///
+    /// Reports parse failures with line numbers and library validation
+    /// errors.
+    pub fn from_genlib(text: &str) -> Result<Library, GenlibError> {
+        crate::parser::parse("genlib", text)
+    }
+
+    /// Like [`Library::from_genlib`] with an explicit library name.
+    ///
+    /// # Errors
+    ///
+    /// Reports parse failures with line numbers and library validation
+    /// errors.
+    pub fn from_genlib_named(name: &str, text: &str) -> Result<Library, GenlibError> {
+        crate::parser::parse(name, text)
+    }
+
+    /// Serializes the library to genlib text.
+    pub fn to_genlib_string(&self) -> String {
+        crate::writer::to_string(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Library {
+        Library::new(
+            "tiny",
+            vec![
+                Gate::uniform("inv", 1.0, "O", "!a", 1.0).unwrap(),
+                Gate::uniform("nand2", 2.0, "O", "!(a*b)", 1.0).unwrap(),
+                Gate::uniform("nand4", 4.0, "O", "!(a*b*c*d)", 2.0).unwrap(),
+                Gate::uniform("buf", 1.0, "O", "a", 1.0).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_pattern_index() {
+        let lib = tiny();
+        assert!(lib.is_delay_mappable());
+        // inv -> 1 pattern (inv-rooted); nand2 -> 1; nand4 -> 2 shapes;
+        // buf -> trivial, skipped.
+        assert_eq!(lib.patterns_rooted_inv().len(), 1);
+        assert_eq!(lib.patterns_rooted_nand().len(), 3);
+        assert_eq!(lib.patterns().len(), 4);
+        assert!(lib.total_pattern_nodes() > 0);
+    }
+
+    #[test]
+    fn narrow_gates_get_one_shape() {
+        let lib = tiny();
+        let nand2 = lib.find_gate("nand2").unwrap();
+        let count = lib.patterns().iter().filter(|p| p.gate == nand2).count();
+        assert_eq!(count, 1, "both shapes of a 2-input gate coincide");
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Library::new(
+            "dup",
+            vec![
+                Gate::uniform("inv", 1.0, "O", "!a", 1.0).unwrap(),
+                Gate::uniform("inv", 1.0, "O", "!b", 1.0).unwrap(),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, GenlibError::Validate(_)));
+    }
+
+    #[test]
+    fn incomplete_libraries_are_flagged() {
+        let lib = Library::new(
+            "no_inv",
+            vec![Gate::uniform("nand2", 2.0, "O", "!(a*b)", 1.0).unwrap()],
+        )
+        .unwrap();
+        assert!(!lib.is_delay_mappable());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let lib = tiny();
+        let id = lib.find_gate("nand4").unwrap();
+        assert_eq!(lib.gate(id).name(), "nand4");
+        assert!(lib.find_gate("zzz").is_none());
+    }
+}

@@ -1,0 +1,257 @@
+//! genlib format parsing.
+//!
+//! The accepted grammar is the classic SIS one:
+//!
+//! ```text
+//! GATE <name> <area> <output>=<expression>;
+//!     PIN <pin-name|*> <INV|NONINV|UNKNOWN> <input-load> <max-load>
+//!         <rise-block> <rise-fanout> <fall-block> <fall-fanout>
+//! ```
+//!
+//! `#` starts a comment. `LATCH` statements are rejected (sequential cells
+//! are modeled by `dagmap-retime`, not by the library).
+
+use crate::{Expr, Gate, GenlibError, Library, PinPhase, PinTiming};
+
+/// A token with the line it started on.
+struct Tok {
+    line: usize,
+    text: String,
+}
+
+fn tokenize(text: &str) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let body = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        };
+        // `;` and `=` are their own tokens regardless of spacing.
+        let mut cur = String::new();
+        let flush = |cur: &mut String, toks: &mut Vec<Tok>| {
+            if !cur.is_empty() {
+                toks.push(Tok {
+                    line,
+                    text: std::mem::take(cur),
+                });
+            }
+        };
+        for c in body.chars() {
+            match c {
+                ';' | '=' => {
+                    flush(&mut cur, &mut toks);
+                    toks.push(Tok {
+                        line,
+                        text: c.to_string(),
+                    });
+                }
+                _ if c.is_whitespace() => flush(&mut cur, &mut toks),
+                _ => cur.push(c),
+            }
+        }
+        flush(&mut cur, &mut toks);
+    }
+    toks
+}
+
+struct Cursor {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self, what: &str) -> Result<&Tok, GenlibError> {
+        let line = self
+            .toks
+            .get(self.pos.saturating_sub(1))
+            .map_or(1, |t| t.line);
+        let tok = self.toks.get(self.pos).ok_or(GenlibError::ParseGenlib {
+            line,
+            message: format!("unexpected end of file, expected {what}"),
+        })?;
+        self.pos += 1;
+        Ok(tok)
+    }
+
+    fn expect(&mut self, lit: &str) -> Result<(), GenlibError> {
+        let t = self.next(lit)?;
+        if t.text == lit {
+            Ok(())
+        } else {
+            Err(GenlibError::ParseGenlib {
+                line: t.line,
+                message: format!("expected `{lit}`, found `{}`", t.text),
+            })
+        }
+    }
+
+    fn number(&mut self, what: &str) -> Result<f64, GenlibError> {
+        let t = self.next(what)?;
+        t.text.parse::<f64>().map_err(|_| GenlibError::ParseGenlib {
+            line: t.line,
+            message: format!("expected a number for {what}, found `{}`", t.text),
+        })
+    }
+}
+
+/// Parses genlib text into a [`Library`].
+///
+/// # Errors
+///
+/// Reports malformed statements with line numbers, plus the validation
+/// errors of [`Library::new`].
+pub fn parse(name: &str, text: &str) -> Result<Library, GenlibError> {
+    let mut cur = Cursor {
+        toks: tokenize(text),
+        pos: 0,
+    };
+    let mut gates = Vec::new();
+    while let Some(t) = cur.peek() {
+        let line = t.line;
+        match t.text.as_str() {
+            "GATE" => {
+                cur.pos += 1;
+                gates.push(parse_gate(&mut cur)?);
+            }
+            "LATCH" => {
+                return Err(GenlibError::ParseGenlib {
+                    line,
+                    message: "LATCH cells are not supported; see dagmap-retime".into(),
+                })
+            }
+            other => {
+                return Err(GenlibError::ParseGenlib {
+                    line,
+                    message: format!("expected GATE, found `{other}`"),
+                })
+            }
+        }
+    }
+    Library::new(name, gates)
+}
+
+fn parse_gate(cur: &mut Cursor) -> Result<Gate, GenlibError> {
+    let name_tok = cur.next("gate name")?;
+    let (name, name_line) = (name_tok.text.clone(), name_tok.line);
+    let area = cur.number("gate area")?;
+    let output = cur.next("output pin")?.text.clone();
+    cur.expect("=")?;
+    // Expression tokens run until `;`.
+    let mut expr_text = String::new();
+    loop {
+        let t = cur.next("`;` terminating the expression")?;
+        if t.text == ";" {
+            break;
+        }
+        expr_text.push_str(&t.text);
+        expr_text.push(' ');
+    }
+    let expr = Expr::parse(&expr_text).map_err(|e| GenlibError::ParseGenlib {
+        line: name_line,
+        message: format!("gate `{name}`: {e}"),
+    })?;
+    let vars = expr.vars();
+
+    let mut explicit: Vec<(String, PinTiming)> = Vec::new();
+    let mut star: Option<PinTiming> = None;
+    while cur.peek().is_some_and(|t| t.text == "PIN") {
+        cur.pos += 1;
+        let pin_name = cur.next("pin name")?.text.clone();
+        let phase_tok = cur.next("pin phase")?;
+        let phase = match phase_tok.text.as_str() {
+            "INV" => PinPhase::Inv,
+            "NONINV" => PinPhase::NonInv,
+            "UNKNOWN" => PinPhase::Unknown,
+            other => {
+                return Err(GenlibError::ParseGenlib {
+                    line: phase_tok.line,
+                    message: format!("bad pin phase `{other}`"),
+                })
+            }
+        };
+        let timing = PinTiming {
+            phase,
+            input_load: cur.number("input load")?,
+            max_load: cur.number("max load")?,
+            rise_block: cur.number("rise block delay")?,
+            rise_fanout: cur.number("rise fanout delay")?,
+            fall_block: cur.number("fall block delay")?,
+            fall_fanout: cur.number("fall fanout delay")?,
+        };
+        if pin_name == "*" {
+            star = Some(timing);
+        } else {
+            explicit.push((pin_name, timing));
+        }
+    }
+
+    let pins: Vec<(String, PinTiming)> = if let Some(star) = star {
+        if !explicit.is_empty() {
+            return Err(GenlibError::ParseGenlib {
+                line: name_line,
+                message: format!("gate `{name}` mixes `PIN *` with named pins"),
+            });
+        }
+        vars.iter().map(|v| (v.clone(), star)).collect()
+    } else {
+        explicit
+    };
+    Gate::new(name, area, output, expr, pins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a small library
+GATE inv    1.0 O=!a;      PIN * INV 1 999 1.0 0.1 1.0 0.1
+GATE nand2  2.0 O=!(a*b);  PIN * INV 1 999 1.5 0.2 1.5 0.2
+GATE aoi21  3.0 O=!(a*b+c);
+    PIN a INV 1 999 2.0 0.2 2.0 0.2
+    PIN b INV 1 999 2.0 0.2 2.0 0.2
+    PIN c INV 1 999 1.2 0.2 1.4 0.2
+";
+
+    #[test]
+    fn parses_sample() {
+        let lib = parse("sample", SAMPLE).unwrap();
+        assert_eq!(lib.gates().len(), 3);
+        let aoi = lib.gate(lib.find_gate("aoi21").unwrap());
+        assert_eq!(aoi.num_pins(), 3);
+        // pin c has asymmetric rise/fall: block delay = max.
+        assert_eq!(aoi.pin_delay(2), 1.4);
+        assert!(lib.is_delay_mappable());
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = parse("x", "GATE broken\n").unwrap_err();
+        match err {
+            GenlibError::ParseGenlib { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_latch_cells() {
+        assert!(parse("x", "LATCH dff 1.0 Q=D;").is_err());
+    }
+
+    #[test]
+    fn rejects_mixed_star_and_named_pins() {
+        let text = "GATE g 1.0 O=!(a*b); PIN * INV 1 999 1 0 1 0\nPIN a INV 1 999 1 0 1 0\n";
+        assert!(parse("x", text).is_err());
+    }
+
+    #[test]
+    fn expression_may_span_tokens() {
+        let lib = parse("x", "GATE or2 2.0 O = a + b ; PIN * NONINV 1 999 1 0 1 0").unwrap();
+        assert_eq!(lib.gates()[0].num_pins(), 2);
+    }
+}

@@ -1,0 +1,64 @@
+//! genlib serialization.
+
+use std::fmt::Write as _;
+
+use crate::Library;
+
+/// Serializes a library back to genlib text.
+///
+/// Pin timing is written per named pin (no `PIN *` compression), which keeps
+/// the writer total and round-trippable.
+pub fn to_string(lib: &Library) -> String {
+    let mut s = String::new();
+    writeln!(s, "# library {} ({} gates)", lib.name(), lib.gates().len()).expect("string write");
+    for gate in lib.gates() {
+        writeln!(
+            s,
+            "GATE {} {} {}={};",
+            gate.name(),
+            gate.area(),
+            gate.output(),
+            gate.expr()
+        )
+        .expect("string write");
+        for (pin, t) in gate.pins() {
+            writeln!(
+                s,
+                "    PIN {pin} {} {} {} {} {} {} {}",
+                t.phase.keyword(),
+                t.input_load,
+                t.max_load,
+                t.rise_block,
+                t.rise_fanout,
+                t.fall_block,
+                t.fall_fanout
+            )
+            .expect("string write");
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser;
+
+    #[test]
+    fn round_trips_built_ins() {
+        for lib in [Library::lib_44_1_like(), Library::lib2_like()] {
+            let text = to_string(&lib);
+            let back = parser::parse(lib.name(), &text).unwrap();
+            assert_eq!(back.gates().len(), lib.gates().len());
+            for (a, b) in lib.gates().iter().zip(back.gates()) {
+                assert_eq!(a.name(), b.name());
+                assert_eq!(a.area(), b.area());
+                assert_eq!(a.num_pins(), b.num_pins());
+                for pin in 0..a.num_pins() {
+                    assert_eq!(a.pin_delay(pin), b.pin_delay(pin), "{} pin {pin}", a.name());
+                }
+            }
+            assert_eq!(back.patterns().len(), lib.patterns().len());
+        }
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+//! Pattern matching between subject graphs and library pattern graphs.
+//!
+//! Implements the three match semantics the paper distinguishes
+//! (Definitions 1–3):
+//!
+//! * **standard** — a one-to-one embedding of the pattern into the subject
+//!   that preserves edges and in-degrees; fanout *out of* covered nodes is
+//!   allowed (this is what DAG covering needs),
+//! * **exact** — a standard match whose internal nodes also agree on fanout
+//!   counts, i.e. covered logic has no escaping fanout (this is what
+//!   classical tree covering needs),
+//! * **extended** — a standard match without the one-to-one requirement, so
+//!   the pattern may *unfold* reconvergent subject structure (Figure 1 of
+//!   the paper).
+//!
+//! The matcher enumerates every successful match of every library pattern
+//! rooted at a given subject node, trying both fanin orders at each NAND —
+//! which explores input permutations the way SIS's expanded pattern set
+//! does.
+//!
+//! # Example
+//!
+//! ```
+//! use dagmap_genlib::Library;
+//! use dagmap_match::{Matcher, MatchMode};
+//! use dagmap_netlist::{Network, NodeFn, SubjectGraph};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut net = Network::new("n");
+//! let a = net.add_input("a");
+//! let b = net.add_input("b");
+//! let g = net.add_node(NodeFn::Nand, vec![a, b])?;
+//! net.add_output("f", g);
+//! let subject = SubjectGraph::from_network(&net)?;
+//!
+//! let library = Library::minimal();
+//! let matcher = Matcher::new(&library);
+//! let root = subject.network().outputs()[0].driver;
+//! let matches = matcher.matches_at(&subject, root, MatchMode::Standard);
+//! // The bare nand2 gate, in both pin orders.
+//! assert_eq!(matches.len(), 2);
+//! assert!(matches.iter().all(|m| library.gate(m.gate).name() == "nand2"));
+//! # Ok(())
+//! # }
+//! ```
+
+mod matcher;
+
+pub use matcher::{Match, MatchMode, Matcher};

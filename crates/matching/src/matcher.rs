@@ -1,0 +1,478 @@
+use std::collections::{HashMap, HashSet};
+
+use dagmap_genlib::{GateId, Library, PatternGraph, PatternId, PatternNode};
+use dagmap_netlist::{Network, NodeFn, NodeId, SubjectGraph};
+
+/// Which match semantics to enforce (Definitions 1–3 of the paper).
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum MatchMode {
+    /// One-to-one embedding preserving edges and in-degrees; covered nodes
+    /// may still fan out to uncovered logic (Definition 1).
+    Standard,
+    /// Standard plus fanout-count equality on internal nodes, so covered
+    /// logic never escapes the match (Definition 2) — the tree-covering
+    /// notion.
+    Exact,
+    /// Standard without the one-to-one requirement; the pattern may unfold
+    /// reconvergent subject structure (Definition 3).
+    Extended,
+}
+
+/// One successful match of a library gate rooted at a subject node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Match {
+    /// The gate this match instantiates.
+    pub gate: GateId,
+    /// The expanded pattern that produced the match; `None` for matches
+    /// found by non-structural means (Boolean matching).
+    pub pattern: Option<PatternId>,
+    /// Subject node bound to each gate pin, in canonical pin order.
+    /// Extended matches may bind the same node to several pins.
+    pub leaves: Vec<NodeId>,
+    /// Distinct subject nodes bound to internal pattern nodes (the logic the
+    /// gate replaces), root included.
+    pub covered: Vec<NodeId>,
+}
+
+/// Backtracking state shared across the recursive search.
+struct State {
+    binding: Vec<Option<NodeId>>,
+    owner: HashMap<NodeId, usize>,
+}
+
+/// Enumerates matches of a library's expanded pattern set at subject nodes.
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Debug, Clone, Copy)]
+pub struct Matcher<'a> {
+    library: &'a Library,
+}
+
+impl<'a> Matcher<'a> {
+    /// Creates a matcher over `library`'s expanded pattern set.
+    pub fn new(library: &'a Library) -> Self {
+        Matcher { library }
+    }
+
+    /// The library being matched against.
+    pub fn library(&self) -> &'a Library {
+        self.library
+    }
+
+    /// Enumerates all distinct matches rooted at `node`.
+    ///
+    /// Two matches are the same when they instantiate the same gate with the
+    /// same pin binding (different internal routes or pattern shapes do not
+    /// multiply results). Inputs, constants and latches have no matches.
+    pub fn matches_at(&self, subject: &SubjectGraph, node: NodeId, mode: MatchMode) -> Vec<Match> {
+        let net = subject.network();
+        let candidates: &[PatternId] = match net.node(node).func() {
+            NodeFn::Nand => self.library.patterns_rooted_nand(),
+            NodeFn::Not => self.library.patterns_rooted_inv(),
+            _ => return Vec::new(),
+        };
+        let mut out = Vec::new();
+        let mut seen: HashSet<(GateId, Vec<NodeId>)> = HashSet::new();
+        for &pid in candidates {
+            let lp = self.library.pattern(pid);
+            self.match_pattern(net, node, &lp.graph, mode, &mut |st: &State| {
+                let mut leaves = vec![NodeId::from_index(0); lp.graph.num_pins()];
+                let mut covered = Vec::new();
+                for (i, pn) in lp.graph.nodes().iter().enumerate() {
+                    let s = st.binding[i].expect("complete matches bind every node");
+                    match pn {
+                        PatternNode::Leaf { pin } => leaves[*pin] = s,
+                        _ => {
+                            if !covered.contains(&s) {
+                                covered.push(s);
+                            }
+                        }
+                    }
+                }
+                if seen.insert((lp.gate, leaves.clone())) {
+                    out.push(Match {
+                        gate: lp.gate,
+                        pattern: Some(pid),
+                        leaves,
+                        covered,
+                    });
+                }
+            });
+        }
+        out
+    }
+
+    /// Counts matches per mode at one node without materializing them.
+    pub fn count_matches_at(&self, subject: &SubjectGraph, node: NodeId, mode: MatchMode) -> usize {
+        self.matches_at(subject, node, mode).len()
+    }
+
+    fn match_pattern(
+        &self,
+        net: &Network,
+        root: NodeId,
+        pattern: &PatternGraph,
+        mode: MatchMode,
+        on_match: &mut dyn FnMut(&State),
+    ) {
+        let mut st = State {
+            binding: vec![None; pattern.len()],
+            owner: HashMap::new(),
+        };
+        try_bind(
+            net,
+            pattern,
+            mode,
+            pattern.root(),
+            root,
+            &mut st,
+            &mut |st| on_match(st),
+        );
+    }
+}
+
+/// Attempts to bind pattern node `p` to subject node `s`, invoking `cont`
+/// for every consistent completion of the remaining obligations and undoing
+/// the binding afterwards.
+fn try_bind(
+    net: &Network,
+    pattern: &PatternGraph,
+    mode: MatchMode,
+    p: usize,
+    s: NodeId,
+    st: &mut State,
+    cont: &mut dyn FnMut(&mut State),
+) {
+    // A shared pattern node (leaf-DAG / DAG patterns) may be reached twice;
+    // the second visit must agree with the first.
+    if let Some(bound) = st.binding[p] {
+        if bound == s {
+            cont(st);
+        }
+        return;
+    }
+    let node = net.node(s);
+    let pn = pattern.node(p);
+    let is_leaf = matches!(pn, PatternNode::Leaf { .. });
+    // Condition 2 (function / in-degree compatibility).
+    match pn {
+        PatternNode::Leaf { .. } => {}
+        PatternNode::Inv { .. } => {
+            if !matches!(node.func(), NodeFn::Not) {
+                return;
+            }
+        }
+        PatternNode::Nand { .. } => {
+            if !matches!(node.func(), NodeFn::Nand) || node.fanins().len() != 2 {
+                return;
+            }
+        }
+    }
+    // One-to-one requirement of standard and exact matches.
+    if mode != MatchMode::Extended && st.owner.contains_key(&s) {
+        return;
+    }
+    // Condition 3 of exact matches: internal nodes must not fan out beyond
+    // the pattern.
+    if mode == MatchMode::Exact
+        && !is_leaf
+        && p != pattern.root()
+        && node.fanouts().len() as u32 != pattern.fanout_count(p)
+    {
+        return;
+    }
+
+    st.binding[p] = Some(s);
+    if mode != MatchMode::Extended {
+        st.owner.insert(s, p);
+    }
+
+    match pn {
+        PatternNode::Leaf { .. } => cont(st),
+        PatternNode::Inv { fanin } => {
+            let target = node.fanins()[0];
+            try_bind(net, pattern, mode, fanin, target, st, cont);
+        }
+        PatternNode::Nand { fanins: [c0, c1] } => {
+            let f0 = node.fanins()[0];
+            let f1 = node.fanins()[1];
+            // Both fanin orders: this is where input permutations of the
+            // original gate are explored.
+            for (x, y) in [(f0, f1), (f1, f0)] {
+                try_bind(net, pattern, mode, c0, x, st, &mut |st| {
+                    try_bind(net, pattern, mode, c1, y, st, &mut |st| cont(st));
+                });
+                if c0 == c1 || f0 == f1 {
+                    break; // symmetric situations explore identical branches
+                }
+            }
+        }
+    }
+
+    st.binding[p] = None;
+    if mode != MatchMode::Extended {
+        st.owner.remove(&s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagmap_genlib::Gate;
+    use dagmap_netlist::NetlistError;
+
+    fn lib(gates: &[(&str, &str)]) -> Library {
+        Library::new(
+            "test",
+            gates
+                .iter()
+                .map(|(n, e)| Gate::uniform(*n, 1.0, "O", e, 1.0).expect("test gate"))
+                .collect(),
+        )
+        .expect("test library")
+    }
+
+    /// Subject graph wrapping hand-built NAND/INV structure (no strash).
+    fn wrap(net: Network) -> SubjectGraph {
+        SubjectGraph::from_subject_network(net).expect("valid subject")
+    }
+
+    fn gate_names(lib: &Library, matches: &[Match]) -> Vec<String> {
+        let mut v: Vec<String> = matches
+            .iter()
+            .map(|m| lib.gate(m.gate).name().to_owned())
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn nand2_matches_bare_nand() -> Result<(), NetlistError> {
+        let mut net = Network::new("n");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_node(NodeFn::Nand, vec![a, b])?;
+        net.add_output("f", g);
+        let subject = wrap(net);
+        let l = lib(&[("inv", "!a"), ("nand2", "!(a*b)")]);
+        let m = Matcher::new(&l).matches_at(&subject, g, MatchMode::Standard);
+        // Both pin orders of the symmetric NAND are distinct bindings of the
+        // same gate: (a,b) and (b,a).
+        assert_eq!(gate_names(&l, &m), ["nand2", "nand2"]);
+        let mut leaf_sets: Vec<Vec<NodeId>> = m.iter().map(|m| m.leaves.clone()).collect();
+        leaf_sets.sort();
+        assert_eq!(leaf_sets, vec![vec![a, b], vec![b, a]]);
+        Ok(())
+    }
+
+    #[test]
+    fn and2_matches_inv_over_nand() -> Result<(), NetlistError> {
+        let mut net = Network::new("n");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_node(NodeFn::Nand, vec![a, b])?;
+        let h = net.add_node(NodeFn::Not, vec![g])?;
+        net.add_output("f", h);
+        let subject = wrap(net);
+        let l = lib(&[("inv", "!a"), ("nand2", "!(a*b)"), ("and2", "a*b")]);
+        let m = Matcher::new(&l).matches_at(&subject, h, MatchMode::Standard);
+        // Both the inverter (covering h only) and and2 (covering h+g) match.
+        let names = gate_names(&l, &m);
+        assert!(names.contains(&"inv".to_owned()));
+        assert!(names.contains(&"and2".to_owned()));
+        Ok(())
+    }
+
+    #[test]
+    fn figure1_extended_but_not_standard() -> Result<(), NetlistError> {
+        // Subject: top = nand(inv(n), inv(n)) with two *distinct* inverters
+        // over the same NAND n — the reconvergent structure of Figure 1.
+        let mut net = Network::new("fig1");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let n = net.add_node(NodeFn::Nand, vec![a, b])?;
+        let u = net.add_node(NodeFn::Not, vec![n])?;
+        let v = net.add_node(NodeFn::Not, vec![n])?;
+        let top = net.add_node(NodeFn::Nand, vec![u, v])?;
+        net.add_output("f", top);
+        let subject = wrap(net);
+        // The balanced nand4 pattern is nand(inv(nand(x,y)), inv(nand(z,w))):
+        // m and m' are its two inner NANDs, which must both bind n.
+        let l = lib(&[("inv", "!a"), ("nand2", "!(a*b)"), ("nand4", "!(a*b*c*d)")]);
+        let matcher = Matcher::new(&l);
+        let std_names = gate_names(&l, &matcher.matches_at(&subject, top, MatchMode::Standard));
+        let ext_names = gate_names(&l, &matcher.matches_at(&subject, top, MatchMode::Extended));
+        assert!(!std_names.contains(&"nand4".to_owned()), "{std_names:?}");
+        assert!(ext_names.contains(&"nand4".to_owned()), "{ext_names:?}");
+        Ok(())
+    }
+
+    #[test]
+    fn exact_match_rejects_escaping_fanout() -> Result<(), NetlistError> {
+        // g = nand(a,b) fans out to BOTH inv(h) and an extra consumer:
+        // and2 (= inv over nand) is a standard match at h but not exact.
+        let mut net = Network::new("n");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_node(NodeFn::Nand, vec![a, b])?;
+        let h = net.add_node(NodeFn::Not, vec![g])?;
+        let extra = net.add_node(NodeFn::Not, vec![g])?;
+        net.add_output("f", h);
+        net.add_output("e", extra);
+        let subject = wrap(net);
+        let l = lib(&[("inv", "!a"), ("nand2", "!(a*b)"), ("and2", "a*b")]);
+        let matcher = Matcher::new(&l);
+        let std_names = gate_names(&l, &matcher.matches_at(&subject, h, MatchMode::Standard));
+        let exact_names = gate_names(&l, &matcher.matches_at(&subject, h, MatchMode::Exact));
+        assert!(std_names.contains(&"and2".to_owned()));
+        assert!(!exact_names.contains(&"and2".to_owned()));
+        assert!(exact_names.contains(&"inv".to_owned()));
+        Ok(())
+    }
+
+    #[test]
+    fn exact_and_standard_agree_without_fanout() -> Result<(), NetlistError> {
+        let mut net = Network::new("n");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_node(NodeFn::Nand, vec![a, b])?;
+        let h = net.add_node(NodeFn::Not, vec![g])?;
+        net.add_output("f", h);
+        let subject = wrap(net);
+        let l = lib(&[("inv", "!a"), ("nand2", "!(a*b)"), ("and2", "a*b")]);
+        let matcher = Matcher::new(&l);
+        assert_eq!(
+            gate_names(&l, &matcher.matches_at(&subject, h, MatchMode::Standard)),
+            gate_names(&l, &matcher.matches_at(&subject, h, MatchMode::Exact)),
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn xor_leaf_dag_matches_xor_structure() {
+        // Build via decomposition so the subject uses the SOP xor shape.
+        let mut net = Network::new("x");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let f = net.add_node(NodeFn::Xor, vec![a, b]).unwrap();
+        net.add_output("f", f);
+        let subject = SubjectGraph::from_network(&net).unwrap();
+        let l = lib(&[("inv", "!a"), ("nand2", "!(a*b)"), ("xor2", "a*!b + !a*b")]);
+        let root = subject.network().outputs()[0].driver;
+        let m = Matcher::new(&l).matches_at(&subject, root, MatchMode::Standard);
+        assert!(gate_names(&l, &m).contains(&"xor2".to_owned()));
+        // All leaves of the xor match are the primary inputs.
+        let xm = m
+            .iter()
+            .find(|m| l.gate(m.gate).name() == "xor2")
+            .expect("xor matched");
+        let mut leaves = xm.leaves.clone();
+        leaves.sort();
+        let mut pis = subject.network().inputs().to_vec();
+        pis.sort();
+        assert_eq!(leaves, pis);
+    }
+
+    #[test]
+    fn permutations_of_asymmetric_patterns_are_found() -> Result<(), NetlistError> {
+        // aoi21 = !(a*b + c): subject built with c in either fanin position.
+        let l = lib(&[("inv", "!a"), ("nand2", "!(a*b)"), ("aoi21", "!(a*b+c)")]);
+        for swap in [false, true] {
+            let mut net = Network::new("n");
+            let a = net.add_input("a");
+            let b = net.add_input("b");
+            let c = net.add_input("c");
+            // !(ab + c) decomposes (balanced, after folding) into
+            // inv(nand(nand(a,b), inv(c))).
+            let nab = net.add_node(NodeFn::Nand, vec![a, b])?;
+            let nc = net.add_node(NodeFn::Not, vec![c])?;
+            let or = if swap {
+                net.add_node(NodeFn::Nand, vec![nc, nab])?
+            } else {
+                net.add_node(NodeFn::Nand, vec![nab, nc])?
+            };
+            let top = net.add_node(NodeFn::Not, vec![or])?;
+            net.add_output("f", top);
+            let subject = wrap(net);
+            let m = Matcher::new(&l).matches_at(&subject, top, MatchMode::Standard);
+            assert!(
+                gate_names(&l, &m).contains(&"aoi21".to_owned()),
+                "swap={swap}"
+            );
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn no_matches_at_inputs() -> Result<(), NetlistError> {
+        let mut net = Network::new("n");
+        let a = net.add_input("a");
+        let g = net.add_node(NodeFn::Not, vec![a])?;
+        net.add_output("f", g);
+        let subject = wrap(net);
+        let l = lib(&[("inv", "!a"), ("nand2", "!(a*b)")]);
+        assert!(Matcher::new(&l)
+            .matches_at(&subject, a, MatchMode::Standard)
+            .is_empty());
+        Ok(())
+    }
+
+    #[test]
+    fn extended_subsumes_standard() -> Result<(), NetlistError> {
+        // On a reconvergent structure, every standard match must also be
+        // found in extended mode.
+        let mut net = Network::new("n");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let n = net.add_node(NodeFn::Nand, vec![a, b])?;
+        let u = net.add_node(NodeFn::Not, vec![n])?;
+        let v = net.add_node(NodeFn::Not, vec![n])?;
+        let top = net.add_node(NodeFn::Nand, vec![u, v])?;
+        net.add_output("f", top);
+        let subject = wrap(net);
+        let l = lib(&[
+            ("inv", "!a"),
+            ("nand2", "!(a*b)"),
+            ("nand4", "!(a*b*c*d)"),
+            ("and2", "a*b"),
+        ]);
+        let matcher = Matcher::new(&l);
+        for node in [n, u, v, top] {
+            let std: HashSet<(GateId, Vec<NodeId>)> = matcher
+                .matches_at(&subject, node, MatchMode::Standard)
+                .into_iter()
+                .map(|m| (m.gate, m.leaves))
+                .collect();
+            let ext: HashSet<(GateId, Vec<NodeId>)> = matcher
+                .matches_at(&subject, node, MatchMode::Extended)
+                .into_iter()
+                .map(|m| (m.gate, m.leaves))
+                .collect();
+            assert!(std.is_subset(&ext));
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn covered_nodes_are_the_internal_binding() -> Result<(), NetlistError> {
+        let mut net = Network::new("n");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_node(NodeFn::Nand, vec![a, b])?;
+        let h = net.add_node(NodeFn::Not, vec![g])?;
+        net.add_output("f", h);
+        let subject = wrap(net);
+        let l = lib(&[("and2", "a*b"), ("inv", "!a"), ("nand2", "!(a*b)")]);
+        let m = Matcher::new(&l).matches_at(&subject, h, MatchMode::Standard);
+        let and_match = m
+            .iter()
+            .find(|m| l.gate(m.gate).name() == "and2")
+            .expect("and2 matches");
+        let mut covered = and_match.covered.clone();
+        covered.sort();
+        let mut want = vec![g, h];
+        want.sort();
+        assert_eq!(covered, want);
+        Ok(())
+    }
+}

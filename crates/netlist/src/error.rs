@@ -1,0 +1,80 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors produced by the netlist substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetlistError {
+    /// A node was created with a fanin count its function does not allow.
+    Arity {
+        /// Function name (e.g. `"not"`).
+        func: &'static str,
+        /// Fanin count that was supplied.
+        got: usize,
+        /// Human-readable description of what is expected.
+        expected: &'static str,
+    },
+    /// A fanin id does not refer to an existing node.
+    UnknownNode(NodeId),
+    /// The combinational part of the network contains a cycle through this node.
+    CombinationalCycle(NodeId),
+    /// A named signal was referenced but never defined (BLIF).
+    UndefinedSignal(String),
+    /// A signal was defined twice (BLIF).
+    RedefinedSignal(String),
+    /// Parse failure with a 1-based line number.
+    Parse {
+        /// Line at which the failure occurred.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The network violates a structural invariant required by the operation.
+    Invariant(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::Arity {
+                func,
+                got,
+                expected,
+            } => write!(
+                f,
+                "node function {func} expects {expected} fanins, got {got}"
+            ),
+            NetlistError::UnknownNode(id) => write!(f, "fanin {id} does not exist"),
+            NetlistError::CombinationalCycle(id) => {
+                write!(f, "combinational cycle through node {id}")
+            }
+            NetlistError::UndefinedSignal(name) => {
+                write!(f, "signal `{name}` referenced but never defined")
+            }
+            NetlistError::RedefinedSignal(name) => write!(f, "signal `{name}` defined twice"),
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::Invariant(msg) => write!(f, "invariant violated: {msg}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_lowercase_and_specific() {
+        let e = NetlistError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at line 3: bad token");
+        let e = NetlistError::UndefinedSignal("x".into());
+        assert!(e.to_string().contains("`x`"));
+    }
+}

@@ -1,0 +1,66 @@
+use std::fmt;
+
+/// Identifier of a node inside a [`Network`](crate::Network).
+///
+/// `NodeId`s are dense indices assigned in creation order; they are only
+/// meaningful for the network that created them.
+///
+/// ```
+/// use dagmap_netlist::Network;
+///
+/// let mut net = Network::new("n");
+/// let a = net.add_input("a");
+/// assert_eq!(a.index(), 0);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates an id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index overflows u32"))
+    }
+
+    /// Returns the dense index backing this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_index() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+    }
+
+    #[test]
+    fn formats_compactly() {
+        assert_eq!(format!("{}", NodeId::from_index(7)), "n7");
+        assert_eq!(format!("{:?}", NodeId::from_index(7)), "n7");
+    }
+
+    #[test]
+    fn orders_by_index() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+//! Boolean-network substrate for the `dagmap` technology-mapping project.
+//!
+//! This crate provides everything the DAC 1998 DAG-covering mapper needs
+//! underneath it:
+//!
+//! * [`Network`] — a multi-level Boolean network (a DAG of logic nodes with
+//!   named primary inputs and outputs, plus edge-triggered latches),
+//! * [`SopCover`] — sum-of-products node functions as used by BLIF `.names`,
+//! * [`SubjectGraph`] — the NAND2/INV decomposition of a network that
+//!   technology mapping covers with library patterns,
+//! * [`blif`] — a reader and writer for the Berkeley BLIF interchange format,
+//! * [`sim`] — 64-bit word-parallel simulation and random equivalence
+//!   checking,
+//! * [`sta`] — simple static timing (arrival-time propagation / depth).
+//!
+//! # Example
+//!
+//! Build a tiny network, decompose it into a subject graph and measure its
+//! depth:
+//!
+//! ```
+//! use dagmap_netlist::{Network, NodeFn, SubjectGraph};
+//!
+//! # fn main() -> Result<(), dagmap_netlist::NetlistError> {
+//! let mut net = Network::new("toy");
+//! let a = net.add_input("a");
+//! let b = net.add_input("b");
+//! let c = net.add_input("c");
+//! let g = net.add_node(NodeFn::And, vec![a, b])?;
+//! let h = net.add_node(NodeFn::Xor, vec![g, c])?;
+//! net.add_output("f", h);
+//!
+//! let subject = SubjectGraph::from_network(&net)?;
+//! assert!(subject.depth() >= 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod aiger;
+pub mod blif;
+mod error;
+mod id;
+mod logic;
+mod network;
+pub mod sim;
+mod sop;
+pub mod sta;
+mod subject;
+
+pub use error::NetlistError;
+pub use id::NodeId;
+pub use logic::NodeFn;
+pub use network::{Network, Node, Output};
+pub use sop::{Cube, SopCover};
+pub use subject::{DecompShape, DecomposeOptions, SubjectGraph, SubjectKind};

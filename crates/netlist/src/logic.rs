@@ -1,0 +1,194 @@
+use crate::sop::SopCover;
+
+/// The logic function computed by a [`Node`](crate::Node).
+///
+/// Gate-style functions (`And`, `Or`, `Nand`, `Nor`, `Xor`, `Xnor`) are
+/// n-ary with at least one fanin; `Xor`/`Xnor` compute parity. `Mux` selects
+/// between its second and third fanin with the first (`s ? b : a` for fanins
+/// `[s, a, b]`), and `Maj` is the 3-input majority used by adder generators.
+///
+/// `Latch` is a single-fanin edge-triggered D flip-flop with initial value 0;
+/// its output is available at the start of each clock cycle, so it acts as a
+/// source for combinational ordering and as a sink for its data fanin.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeFn {
+    /// Primary input (no fanins).
+    Input,
+    /// Constant 0 or 1 (no fanins).
+    Const(bool),
+    /// Identity of a single fanin.
+    Buf,
+    /// Complement of a single fanin.
+    Not,
+    /// n-ary conjunction.
+    And,
+    /// n-ary disjunction.
+    Or,
+    /// Complemented n-ary conjunction.
+    Nand,
+    /// Complemented n-ary disjunction.
+    Nor,
+    /// n-ary parity (odd number of ones).
+    Xor,
+    /// Complemented n-ary parity.
+    Xnor,
+    /// 2:1 multiplexer over fanins `[s, a, b]`: output is `a` when `s = 0`.
+    Mux,
+    /// 3-input majority.
+    Maj,
+    /// Arbitrary single-output sum-of-products cover (BLIF `.names`).
+    Sop(SopCover),
+    /// Edge-triggered D latch (single data fanin, initial value 0).
+    Latch,
+}
+
+impl NodeFn {
+    /// Short lowercase name used in diagnostics and BLIF comments.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NodeFn::Input => "input",
+            NodeFn::Const(false) => "const0",
+            NodeFn::Const(true) => "const1",
+            NodeFn::Buf => "buf",
+            NodeFn::Not => "not",
+            NodeFn::And => "and",
+            NodeFn::Or => "or",
+            NodeFn::Nand => "nand",
+            NodeFn::Nor => "nor",
+            NodeFn::Xor => "xor",
+            NodeFn::Xnor => "xnor",
+            NodeFn::Mux => "mux",
+            NodeFn::Maj => "maj",
+            NodeFn::Sop(_) => "sop",
+            NodeFn::Latch => "latch",
+        }
+    }
+
+    /// Checks whether `fanins` fanins are legal for this function.
+    ///
+    /// Returns the expectation string on failure so the caller can build a
+    /// precise [`NetlistError::Arity`](crate::NetlistError::Arity).
+    pub(crate) fn check_arity(&self, fanins: usize) -> Result<(), &'static str> {
+        match self {
+            NodeFn::Input | NodeFn::Const(_) => {
+                if fanins == 0 {
+                    Ok(())
+                } else {
+                    Err("exactly 0")
+                }
+            }
+            NodeFn::Buf | NodeFn::Not | NodeFn::Latch => {
+                if fanins == 1 {
+                    Ok(())
+                } else {
+                    Err("exactly 1")
+                }
+            }
+            NodeFn::Mux | NodeFn::Maj => {
+                if fanins == 3 {
+                    Ok(())
+                } else {
+                    Err("exactly 3")
+                }
+            }
+            NodeFn::And | NodeFn::Or | NodeFn::Nand | NodeFn::Nor | NodeFn::Xor | NodeFn::Xnor => {
+                if fanins >= 1 {
+                    Ok(())
+                } else {
+                    Err("at least 1")
+                }
+            }
+            NodeFn::Sop(cover) => {
+                if fanins == cover.num_inputs() {
+                    Ok(())
+                } else {
+                    Err("as many as the cover has inputs")
+                }
+            }
+        }
+    }
+
+    /// True for functions that take part in combinational evaluation.
+    pub fn is_combinational(&self) -> bool {
+        !matches!(self, NodeFn::Latch)
+    }
+
+    /// Evaluates the function over 64 parallel bit-lanes.
+    ///
+    /// `inputs` holds one word per fanin, in fanin order. `Latch` evaluates to
+    /// its data input (callers model state explicitly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` violates the function's arity; networks built
+    /// through [`Network::add_node`](crate::Network::add_node) never do.
+    pub fn eval_words(&self, inputs: &[u64]) -> u64 {
+        match self {
+            NodeFn::Input => panic!("primary inputs have no evaluation rule"),
+            NodeFn::Const(false) => 0,
+            NodeFn::Const(true) => u64::MAX,
+            NodeFn::Buf | NodeFn::Latch => inputs[0],
+            NodeFn::Not => !inputs[0],
+            NodeFn::And => inputs.iter().fold(u64::MAX, |acc, w| acc & w),
+            NodeFn::Or => inputs.iter().fold(0, |acc, w| acc | w),
+            NodeFn::Nand => !inputs.iter().fold(u64::MAX, |acc, w| acc & w),
+            NodeFn::Nor => !inputs.iter().fold(0, |acc, w| acc | w),
+            NodeFn::Xor => inputs.iter().fold(0, |acc, w| acc ^ w),
+            NodeFn::Xnor => !inputs.iter().fold(0, |acc, w| acc ^ w),
+            NodeFn::Mux => {
+                let (s, a, b) = (inputs[0], inputs[1], inputs[2]);
+                (!s & a) | (s & b)
+            }
+            NodeFn::Maj => {
+                let (a, b, c) = (inputs[0], inputs[1], inputs[2]);
+                (a & b) | (b & c) | (a & c)
+            }
+            NodeFn::Sop(cover) => cover.eval_words(inputs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nary_gates_evaluate() {
+        assert_eq!(NodeFn::And.eval_words(&[0b1100, 0b1010]), 0b1000);
+        assert_eq!(NodeFn::Or.eval_words(&[0b1100, 0b1010]), 0b1110);
+        assert_eq!(NodeFn::Nand.eval_words(&[u64::MAX, u64::MAX]), 0);
+        assert_eq!(NodeFn::Nor.eval_words(&[0, 0]), u64::MAX);
+        assert_eq!(NodeFn::Xor.eval_words(&[0b1100, 0b1010]), 0b0110);
+        assert_eq!(NodeFn::Xnor.eval_words(&[0b1100, 0b1010]), !0b0110u64);
+    }
+
+    #[test]
+    fn mux_selects_by_lane() {
+        // s=0 picks a, s=1 picks b.
+        let out = NodeFn::Mux.eval_words(&[0b10, 0b01, 0b10]);
+        assert_eq!(out, 0b11);
+    }
+
+    #[test]
+    fn maj_is_majority() {
+        // Lanes (a,b,c): bit3=(1,1,1) bit2=(1,1,0) bit1=(1,0,1) bit0=(0,1,1).
+        assert_eq!(NodeFn::Maj.eval_words(&[0b1110, 0b1101, 0b1011]), 0b1111);
+        assert_eq!(NodeFn::Maj.eval_words(&[0b1, 0b0, 0b0]), 0b0);
+    }
+
+    #[test]
+    fn arity_is_enforced() {
+        assert!(NodeFn::Not.check_arity(1).is_ok());
+        assert!(NodeFn::Not.check_arity(2).is_err());
+        assert!(NodeFn::And.check_arity(0).is_err());
+        assert!(NodeFn::Mux.check_arity(3).is_ok());
+        assert!(NodeFn::Input.check_arity(0).is_ok());
+        assert!(NodeFn::Input.check_arity(1).is_err());
+    }
+
+    #[test]
+    fn xor_is_parity_for_three_inputs() {
+        assert_eq!(NodeFn::Xor.eval_words(&[1, 1, 1]) & 1, 1);
+        assert_eq!(NodeFn::Xor.eval_words(&[1, 1, 0]) & 1, 0);
+    }
+}

@@ -1,0 +1,398 @@
+//! 64-bit word-parallel simulation and random equivalence checking.
+//!
+//! Every `u64` word carries 64 independent simulation lanes, so one pass
+//! through the network evaluates 64 input vectors. [`equivalent_random`] uses
+//! this to compare two networks on thousands of seeded random vectors — the
+//! workhorse check that every technology-mapped netlist still computes the
+//! function of its subject graph.
+
+use std::collections::HashMap;
+
+use crate::{NetlistError, Network, NodeFn, NodeId};
+
+/// Deterministic splitmix64 generator so the crate stays dependency-free.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Reusable evaluator: captures the combinational topological order once and
+/// evaluates the network over 64 parallel lanes per call.
+///
+/// ```
+/// use dagmap_netlist::{Network, NodeFn, sim::Simulator};
+///
+/// # fn main() -> Result<(), dagmap_netlist::NetlistError> {
+/// let mut net = Network::new("n");
+/// let a = net.add_input("a");
+/// let b = net.add_input("b");
+/// let f = net.add_node(NodeFn::And, vec![a, b])?;
+/// net.add_output("f", f);
+/// let sim = Simulator::new(&net)?;
+/// let values = sim.eval(&[0b1100, 0b1010]);
+/// assert_eq!(values.output(&net, "f"), Some(0b1000));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    net: &'a Network,
+    order: Vec<NodeId>,
+}
+
+/// Per-node lane values produced by one evaluation pass.
+#[derive(Debug, Clone)]
+pub struct SimValues {
+    values: Vec<u64>,
+}
+
+impl SimValues {
+    /// Value word of an arbitrary node.
+    pub fn node(&self, id: NodeId) -> u64 {
+        self.values[id.index()]
+    }
+
+    /// Value word of a primary output looked up by name.
+    pub fn output(&self, net: &Network, name: &str) -> Option<u64> {
+        net.outputs()
+            .iter()
+            .find(|o| o.name == name)
+            .map(|o| self.values[o.driver.index()])
+    }
+}
+
+impl<'a> Simulator<'a> {
+    /// Prepares a simulator.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the combinational part of the network is cyclic.
+    pub fn new(net: &'a Network) -> Result<Self, NetlistError> {
+        Ok(Simulator {
+            net,
+            order: net.topo_order()?,
+        })
+    }
+
+    /// Evaluates one combinational pass. `inputs` supplies one word per
+    /// primary input in [`Network::inputs`] order; latches evaluate to 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the input count.
+    pub fn eval(&self, inputs: &[u64]) -> SimValues {
+        self.eval_with_state(inputs, &HashMap::new())
+    }
+
+    /// Evaluates one combinational pass with explicit latch output values
+    /// (missing latches read 0).
+    pub fn eval_with_state(&self, inputs: &[u64], state: &HashMap<NodeId, u64>) -> SimValues {
+        assert_eq!(
+            inputs.len(),
+            self.net.inputs().len(),
+            "one input word per primary input"
+        );
+        let mut values = vec![0u64; self.net.num_nodes()];
+        for (id, word) in self.net.inputs().iter().zip(inputs) {
+            values[id.index()] = *word;
+        }
+        for &id in &self.order {
+            let node = self.net.node(id);
+            match node.func() {
+                NodeFn::Input => {}
+                NodeFn::Latch => {
+                    values[id.index()] = state.get(&id).copied().unwrap_or(0);
+                }
+                f => {
+                    let ins: Vec<u64> = node.fanins().iter().map(|x| values[x.index()]).collect();
+                    values[id.index()] = f.eval_words(&ins);
+                }
+            }
+        }
+        SimValues { values }
+    }
+
+    /// Advances latch state by one clock edge given the values of a completed
+    /// combinational pass.
+    pub fn next_state(&self, values: &SimValues) -> HashMap<NodeId, u64> {
+        let mut state = HashMap::new();
+        for id in self.net.node_ids() {
+            if matches!(self.net.node(id).func(), NodeFn::Latch) {
+                let data = self.net.node(id).fanins()[0];
+                state.insert(id, values.values[data.index()]);
+            }
+        }
+        state
+    }
+}
+
+/// Interface pairing: `a`'s inputs resolved in `b`, and output driver pairs.
+type Alignment = (Vec<NodeId>, Vec<(NodeId, NodeId)>);
+
+/// Pairs the inputs and outputs of two networks by name.
+fn align(a: &Network, b: &Network) -> Result<Alignment, NetlistError> {
+    let mut b_inputs: Vec<NodeId> = Vec::with_capacity(a.inputs().len());
+    if a.inputs().len() != b.inputs().len() {
+        return Err(NetlistError::Invariant(format!(
+            "input counts differ: {} vs {}",
+            a.inputs().len(),
+            b.inputs().len()
+        )));
+    }
+    for &ai in a.inputs() {
+        let name = a.node(ai).name().expect("primary inputs are named");
+        let bi = b
+            .inputs()
+            .iter()
+            .copied()
+            .find(|&x| b.node(x).name() == Some(name))
+            .ok_or_else(|| NetlistError::UndefinedSignal(name.to_owned()))?;
+        b_inputs.push(bi);
+    }
+    if a.outputs().len() != b.outputs().len() {
+        return Err(NetlistError::Invariant(format!(
+            "output counts differ: {} vs {}",
+            a.outputs().len(),
+            b.outputs().len()
+        )));
+    }
+    let mut outs = Vec::with_capacity(a.outputs().len());
+    for ao in a.outputs() {
+        let bo = b
+            .outputs()
+            .iter()
+            .find(|x| x.name == ao.name)
+            .ok_or_else(|| NetlistError::UndefinedSignal(ao.name.clone()))?;
+        outs.push((ao.driver, bo.driver));
+    }
+    Ok((b_inputs, outs))
+}
+
+/// Checks two *combinational* networks for equality on `rounds * 64` seeded
+/// random vectors, pairing inputs and outputs by name.
+///
+/// A `false` result proves inequivalence; `true` is strong statistical
+/// evidence of equivalence (and exact whenever `rounds * 64` covers the whole
+/// input space).
+///
+/// # Errors
+///
+/// Fails if either network is cyclic or their interfaces cannot be paired.
+pub fn equivalent_random(
+    a: &Network,
+    b: &Network,
+    rounds: usize,
+    seed: u64,
+) -> Result<bool, NetlistError> {
+    let (b_inputs, outs) = align(a, b)?;
+    let sim_a = Simulator::new(a)?;
+    let sim_b = Simulator::new(b)?;
+    let n = a.inputs().len();
+    let mut rng = SplitMix64::new(seed);
+    for round in 0..rounds.max(1) {
+        let words_a: Vec<u64> = if round == 0 && n <= 6 {
+            // Exhaustive lanes for tiny interfaces.
+            (0..n).map(exhaustive_word).collect()
+        } else {
+            (0..n).map(|_| rng.next_u64()).collect()
+        };
+        let mut words_b = vec![0u64; n];
+        for (i, &bi) in b_inputs.iter().enumerate() {
+            let pos = b
+                .inputs()
+                .iter()
+                .position(|&x| x == bi)
+                .expect("aligned input exists");
+            words_b[pos] = words_a[i];
+        }
+        let va = sim_a.eval(&words_a);
+        let vb = sim_b.eval(&words_b);
+        for &(da, db) in &outs {
+            if va.node(da) != vb.node(db) {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Checks two *sequential* networks (latches start at 0) over `rounds`
+/// random input streams of `cycles` cycles each.
+///
+/// # Errors
+///
+/// Fails if either network is cyclic or their interfaces cannot be paired.
+pub fn equivalent_random_sequential(
+    a: &Network,
+    b: &Network,
+    cycles: usize,
+    rounds: usize,
+    seed: u64,
+) -> Result<bool, NetlistError> {
+    let (b_inputs, outs) = align(a, b)?;
+    let sim_a = Simulator::new(a)?;
+    let sim_b = Simulator::new(b)?;
+    let n = a.inputs().len();
+    let mut rng = SplitMix64::new(seed);
+    for _ in 0..rounds.max(1) {
+        let mut state_a = HashMap::new();
+        let mut state_b = HashMap::new();
+        for _ in 0..cycles.max(1) {
+            let words_a: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+            let mut words_b = vec![0u64; n];
+            for (i, &bi) in b_inputs.iter().enumerate() {
+                let pos = b
+                    .inputs()
+                    .iter()
+                    .position(|&x| x == bi)
+                    .expect("aligned input exists");
+                words_b[pos] = words_a[i];
+            }
+            let va = sim_a.eval_with_state(&words_a, &state_a);
+            let vb = sim_b.eval_with_state(&words_b, &state_b);
+            for &(da, db) in &outs {
+                if va.node(da) != vb.node(db) {
+                    return Ok(false);
+                }
+            }
+            state_a = sim_a.next_state(&va);
+            state_b = sim_b.next_state(&vb);
+        }
+    }
+    Ok(true)
+}
+
+/// The classic truth-table word for input position `i`: lane `l` holds bit
+/// `i` of `l`, so up to 6 inputs get exhaustively covered by one word.
+pub fn exhaustive_word(i: usize) -> u64 {
+    match i {
+        0 => 0xAAAA_AAAA_AAAA_AAAA,
+        1 => 0xCCCC_CCCC_CCCC_CCCC,
+        2 => 0xF0F0_F0F0_F0F0_F0F0,
+        3 => 0xFF00_FF00_FF00_FF00,
+        4 => 0xFFFF_0000_FFFF_0000,
+        5 => 0xFFFF_FFFF_0000_0000,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_net(name: &str) -> Network {
+        let mut net = Network::new(name);
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let f = net.add_node(NodeFn::Xor, vec![a, b]).unwrap();
+        net.add_output("f", f);
+        net
+    }
+
+    fn xor_via_nands(name: &str) -> Network {
+        let mut net = Network::new(name);
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let t = net.add_node(NodeFn::Nand, vec![a, b]).unwrap();
+        let l = net.add_node(NodeFn::Nand, vec![a, t]).unwrap();
+        let r = net.add_node(NodeFn::Nand, vec![t, b]).unwrap();
+        let f = net.add_node(NodeFn::Nand, vec![l, r]).unwrap();
+        net.add_output("f", f);
+        net
+    }
+
+    #[test]
+    fn equivalent_structures_compare_equal() {
+        assert!(equivalent_random(&xor_net("a"), &xor_via_nands("b"), 32, 1).unwrap());
+    }
+
+    #[test]
+    fn different_functions_compare_unequal() {
+        let mut and_net = Network::new("and");
+        let a = and_net.add_input("a");
+        let b = and_net.add_input("b");
+        let f = and_net.add_node(NodeFn::And, vec![a, b]).unwrap();
+        and_net.add_output("f", f);
+        assert!(!equivalent_random(&xor_net("x"), &and_net, 4, 1).unwrap());
+    }
+
+    #[test]
+    fn input_pairing_is_by_name_not_position() {
+        // Same function but inputs declared in swapped order: a AND NOT b.
+        let mut p = Network::new("p");
+        let a = p.add_input("a");
+        let b = p.add_input("b");
+        let nb = p.add_node(NodeFn::Not, vec![b]).unwrap();
+        let f = p.add_node(NodeFn::And, vec![a, nb]).unwrap();
+        p.add_output("f", f);
+
+        let mut q = Network::new("q");
+        let b2 = q.add_input("b");
+        let a2 = q.add_input("a");
+        let nb2 = q.add_node(NodeFn::Not, vec![b2]).unwrap();
+        let f2 = q.add_node(NodeFn::And, vec![a2, nb2]).unwrap();
+        q.add_output("f", f2);
+
+        assert!(equivalent_random(&p, &q, 8, 9).unwrap());
+    }
+
+    #[test]
+    fn interface_mismatch_is_an_error() {
+        let mut p = Network::new("p");
+        let _ = p.add_input("a");
+        let mut q = Network::new("q");
+        let _ = q.add_input("zzz");
+        assert!(equivalent_random(&p, &q, 1, 0).is_err());
+    }
+
+    #[test]
+    fn sequential_toggle_counts() {
+        // One-latch accumulator: q' = q XOR in.
+        let build = |name: &str| {
+            let mut net = Network::new(name);
+            let i = net.add_input("i");
+            // placeholder chain: latch fed by xor(q, i) requires q first; use
+            // the two-step idiom with replace is internal; here simply create
+            // xor after the latch by pre-creating the latch on the input and
+            // checking a different but equal structure is not possible; so
+            // both networks share the same construction order.
+            let l = net.add_node(NodeFn::Latch, vec![i]).unwrap();
+            let x = net.add_node(NodeFn::Xor, vec![l, i]).unwrap();
+            net.add_output("o", x);
+            net
+        };
+        assert!(equivalent_random_sequential(&build("a"), &build("b"), 16, 4, 5).unwrap());
+    }
+
+    #[test]
+    fn exhaustive_words_enumerate_minterms() {
+        // Lane l of word i must equal bit i of l.
+        for lane in 0..64u64 {
+            for i in 0..6 {
+                let bit = (exhaustive_word(i) >> lane) & 1;
+                assert_eq!(bit, (lane >> i) & 1);
+            }
+        }
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(1);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

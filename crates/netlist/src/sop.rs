@@ -1,0 +1,374 @@
+use std::fmt;
+
+/// Value of one input position inside a [`Cube`]: `0`, `1`, or don't-care.
+///
+/// Stored as the BLIF characters `'0'`, `'1'`, `'-'` would suggest.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum CubeLit {
+    /// Input must be 0.
+    Zero,
+    /// Input must be 1.
+    One,
+    /// Input is unconstrained.
+    DontCare,
+}
+
+/// One product term of a [`SopCover`]: a literal per input position.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cube(pub Vec<CubeLit>);
+
+impl Cube {
+    /// Parses a BLIF cube string such as `"1-0"`.
+    pub fn parse(text: &str) -> Option<Cube> {
+        let mut lits = Vec::with_capacity(text.len());
+        for c in text.chars() {
+            lits.push(match c {
+                '0' => CubeLit::Zero,
+                '1' => CubeLit::One,
+                '-' => CubeLit::DontCare,
+                _ => return None,
+            });
+        }
+        Some(Cube(lits))
+    }
+
+    /// Evaluates the cube over word-parallel input lanes.
+    fn eval_words(&self, inputs: &[u64]) -> u64 {
+        let mut acc = u64::MAX;
+        for (lit, &w) in self.0.iter().zip(inputs) {
+            match lit {
+                CubeLit::Zero => acc &= !w,
+                CubeLit::One => acc &= w,
+                CubeLit::DontCare => {}
+            }
+        }
+        acc
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for lit in &self.0 {
+            f.write_str(match lit {
+                CubeLit::Zero => "0",
+                CubeLit::One => "1",
+                CubeLit::DontCare => "-",
+            })?;
+        }
+        Ok(())
+    }
+}
+
+/// A single-output sum-of-products cover, as written by BLIF `.names`.
+///
+/// The function is the OR of all cubes if `output_value` is `true` (the
+/// common `... 1` form), or the complement of that OR for the `... 0` form.
+/// An empty cube list denotes constant `!output_value`... more precisely BLIF
+/// semantics: no cubes means the output never matches, i.e. the function is
+/// constant 0 for the `1`-phase and constant 1 for the `0`-phase.
+///
+/// ```
+/// use dagmap_netlist::SopCover;
+///
+/// // f = a & !b  (cover "10 1")
+/// let cover = SopCover::parse_cubes(2, &["10"], true).expect("well-formed cube");
+/// assert_eq!(cover.eval_words(&[0b1100, 0b1010]) & 0b1111, 0b0100);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SopCover {
+    num_inputs: usize,
+    cubes: Vec<Cube>,
+    output_value: bool,
+}
+
+impl SopCover {
+    /// Builds a cover from parsed cubes.
+    ///
+    /// Returns `None` if any cube's width differs from `num_inputs`.
+    pub fn new(num_inputs: usize, cubes: Vec<Cube>, output_value: bool) -> Option<SopCover> {
+        if cubes.iter().any(|c| c.0.len() != num_inputs) {
+            return None;
+        }
+        Some(SopCover {
+            num_inputs,
+            cubes,
+            output_value,
+        })
+    }
+
+    /// Builds a cover by parsing BLIF cube strings.
+    pub fn parse_cubes(num_inputs: usize, cubes: &[&str], output_value: bool) -> Option<SopCover> {
+        let parsed: Option<Vec<Cube>> = cubes.iter().map(|c| Cube::parse(c)).collect();
+        SopCover::new(num_inputs, parsed?, output_value)
+    }
+
+    /// Constant-function cover with no inputs.
+    pub fn constant(value: bool) -> SopCover {
+        SopCover {
+            num_inputs: 0,
+            // BLIF writes constant 1 as a bare "1" line: one empty cube.
+            cubes: if value {
+                vec![Cube(Vec::new())]
+            } else {
+                Vec::new()
+            },
+            output_value: true,
+        }
+    }
+
+    /// Number of input positions.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// The product terms.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Phase of the cover (`true` for the `... 1` form).
+    pub fn output_value(&self) -> bool {
+        self.output_value
+    }
+
+    /// Evaluates the cover over 64 parallel lanes.
+    pub fn eval_words(&self, inputs: &[u64]) -> u64 {
+        let or = self
+            .cubes
+            .iter()
+            .fold(0u64, |acc, cube| acc | cube.eval_words(inputs));
+        if self.output_value {
+            or
+        } else {
+            !or
+        }
+    }
+
+    /// Builds a *minimized* cover for a completely-specified function of up
+    /// to 6 inputs given as one `u64` truth-table word (bit `m` = value on
+    /// minterm `m`): each 1-minterm is expanded to a maximal implicant
+    /// (a prime), then a greedy most-covering-first selection builds the
+    /// cover — Quine–McCluskey-style, near-minimal and always correct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_inputs > 6`.
+    pub fn from_truth_table_minimized(num_inputs: usize, word: u64) -> SopCover {
+        assert!(num_inputs <= 6, "one u64 holds at most 6 inputs");
+        let total = 1usize << num_inputs;
+        let word = if num_inputs == 6 {
+            word
+        } else {
+            word & ((1u64 << total) - 1)
+        };
+        if word == 0 {
+            // Constant 0 over `num_inputs` inputs: no cubes, positive phase.
+            return SopCover {
+                num_inputs,
+                cubes: Vec::new(),
+                output_value: true,
+            };
+        }
+        if num_inputs == 0 {
+            return SopCover::constant(true);
+        }
+        if word.count_ones() as usize == total {
+            // Constant 1 of n inputs: a single all-don't-care cube.
+            return SopCover {
+                num_inputs,
+                cubes: vec![Cube(vec![CubeLit::DontCare; num_inputs])],
+                output_value: true,
+            };
+        }
+
+        // Implicants as (value, mask): `mask` bits are don't-cares; an
+        // implicant covers minterm m iff (m & !mask) == value.
+        let covers_only_ones = |value: usize, mask: usize| -> bool {
+            // All 2^popcount(mask) minterms must be 1.
+            let mut sub = mask;
+            loop {
+                let m = value | sub;
+                if (word >> m) & 1 == 0 {
+                    return false;
+                }
+                if sub == 0 {
+                    return true;
+                }
+                sub = (sub - 1) & mask;
+            }
+        };
+        // Grow each minterm into a maximal implicant by absorbing one
+        // variable at a time; collect distinct maximal implicants (this
+        // yields primes, possibly with duplicates removed).
+        let mut primes: Vec<(usize, usize)> = Vec::new();
+        for m in 0..total {
+            if (word >> m) & 1 == 0 {
+                continue;
+            }
+            let mut value = m;
+            let mut mask = 0usize;
+            loop {
+                let mut grown = false;
+                for i in 0..num_inputs {
+                    let bit = 1usize << i;
+                    if mask & bit != 0 {
+                        continue;
+                    }
+                    if covers_only_ones(value & !bit, mask | bit) {
+                        mask |= bit;
+                        value &= !bit;
+                        grown = true;
+                    }
+                }
+                if !grown {
+                    break;
+                }
+            }
+            if !primes.contains(&(value, mask)) {
+                primes.push((value, mask));
+            }
+        }
+        // Greedy cover: repeatedly take the implicant covering the most
+        // still-uncovered minterms.
+        let mut uncovered: Vec<usize> = (0..total).filter(|&m| (word >> m) & 1 == 1).collect();
+        let mut chosen: Vec<(usize, usize)> = Vec::new();
+        while !uncovered.is_empty() {
+            let best = primes
+                .iter()
+                .max_by_key(|&&(value, mask)| {
+                    uncovered.iter().filter(|&&m| (m & !mask) == value).count()
+                })
+                .copied()
+                .expect("primes cover every 1-minterm");
+            chosen.push(best);
+            uncovered.retain(|&m| (m & !best.1) != best.0);
+        }
+        let cubes = chosen
+            .into_iter()
+            .map(|(value, mask)| {
+                Cube(
+                    (0..num_inputs)
+                        .map(|i| {
+                            if (mask >> i) & 1 == 1 {
+                                CubeLit::DontCare
+                            } else if (value >> i) & 1 == 1 {
+                                CubeLit::One
+                            } else {
+                                CubeLit::Zero
+                            }
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        SopCover {
+            num_inputs,
+            cubes,
+            output_value: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_prints_cubes() {
+        let c = Cube::parse("1-0").unwrap();
+        assert_eq!(c.to_string(), "1-0");
+        assert!(Cube::parse("1x0").is_none());
+    }
+
+    #[test]
+    fn or_of_cubes() {
+        // f = a!b + !ab (xor)
+        let cover = SopCover::parse_cubes(2, &["10", "01"], true).unwrap();
+        let a = 0b1100u64;
+        let b = 0b1010u64;
+        assert_eq!(cover.eval_words(&[a, b]) & 0b1111, 0b0110);
+    }
+
+    #[test]
+    fn zero_phase_complements() {
+        let cover = SopCover::parse_cubes(2, &["11"], false).unwrap();
+        assert_eq!(cover.eval_words(&[0b1100, 0b1010]) & 0b1111, 0b0111);
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(SopCover::constant(true).eval_words(&[]), u64::MAX);
+        assert_eq!(SopCover::constant(false).eval_words(&[]), 0);
+    }
+
+    #[test]
+    fn rejects_ragged_cubes() {
+        assert!(SopCover::parse_cubes(3, &["10"], true).is_none());
+    }
+
+    /// Reference evaluation for the minimizer tests.
+    fn tt_of_cover(cover: &SopCover, n: usize) -> u64 {
+        let mut out = 0u64;
+        for m in 0..(1usize << n) {
+            let inputs: Vec<u64> = (0..n).map(|i| ((m >> i) & 1) as u64 * u64::MAX).collect();
+            if cover.eval_words(&inputs) & 1 == 1 {
+                out |= 1 << m;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn minimizer_is_exact_on_classics() {
+        // f = a&b | a&!b = a : one single-literal cube.
+        let c = SopCover::from_truth_table_minimized(2, 0b1010);
+        assert_eq!(c.cubes().len(), 1);
+        assert_eq!(tt_of_cover(&c, 2), 0b1010);
+
+        // xor2 needs two cubes.
+        let c = SopCover::from_truth_table_minimized(2, 0b0110);
+        assert_eq!(c.cubes().len(), 2);
+        assert_eq!(tt_of_cover(&c, 2), 0b0110);
+
+        // Majority-of-3: three 2-literal cubes.
+        let maj = 0b1110_1000u64;
+        let c = SopCover::from_truth_table_minimized(3, maj);
+        assert_eq!(c.cubes().len(), 3);
+        assert!(c
+            .cubes()
+            .iter()
+            .all(|cube| { cube.0.iter().filter(|l| **l != CubeLit::DontCare).count() == 2 }));
+        assert_eq!(tt_of_cover(&c, 3), maj);
+    }
+
+    #[test]
+    fn minimizer_handles_constants() {
+        assert_eq!(
+            SopCover::from_truth_table_minimized(3, 0).eval_words(&[0, 0, 0]),
+            0
+        );
+        let ones = SopCover::from_truth_table_minimized(3, 0xFF);
+        assert_eq!(ones.cubes().len(), 1);
+        assert_eq!(tt_of_cover(&ones, 3), 0xFF);
+    }
+
+    #[test]
+    fn minimizer_preserves_random_functions() {
+        let mut state = 0x0123_4567_89AB_CDEF_u64;
+        for n in 1..=6usize {
+            for _ in 0..20 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let mask = if n == 6 {
+                    u64::MAX
+                } else {
+                    (1u64 << (1 << n)) - 1
+                };
+                let word = state & mask;
+                let c = SopCover::from_truth_table_minimized(n, word);
+                assert_eq!(tt_of_cover(&c, n), word, "n={n} word={word:#x}");
+                // Minimization never exceeds the raw minterm count.
+                assert!(c.cubes().len() <= word.count_ones() as usize + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Static timing over a [`Network`] with a caller-supplied delay model.
+//!
+//! Technology-independent networks use unit delays; mapped netlists (in
+//! `dagmap-core`) carry per-pin library delays and use their own timer. The
+//! helpers here serve the subject-graph side: unit-delay depth and arrival
+//! levels, plus required times / slacks for area-recovery experiments.
+
+use crate::{NetlistError, Network, NodeFn, NodeId};
+
+/// Arrival times under a per-edge delay model.
+///
+/// `delay(node, pin)` gives the delay from fanin position `pin` to the output
+/// of `node`. Primary inputs, constants and latch outputs arrive at 0.
+///
+/// # Errors
+///
+/// Fails if the combinational network is cyclic.
+///
+/// ```
+/// use dagmap_netlist::{Network, NodeFn, sta};
+///
+/// # fn main() -> Result<(), dagmap_netlist::NetlistError> {
+/// let mut net = Network::new("n");
+/// let a = net.add_input("a");
+/// let g = net.add_node(NodeFn::Not, vec![a])?;
+/// let h = net.add_node(NodeFn::Not, vec![g])?;
+/// net.add_output("f", h);
+/// let arr = sta::arrival_times(&net, |_, _| 1.0)?;
+/// assert_eq!(arr[h.index()], 2.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn arrival_times(
+    net: &Network,
+    mut delay: impl FnMut(NodeId, usize) -> f64,
+) -> Result<Vec<f64>, NetlistError> {
+    let order = net.topo_order()?;
+    let mut arr = vec![0.0f64; net.num_nodes()];
+    for id in order {
+        let node = net.node(id);
+        if matches!(
+            node.func(),
+            NodeFn::Input | NodeFn::Const(_) | NodeFn::Latch
+        ) {
+            continue;
+        }
+        let mut t: f64 = 0.0;
+        for (pin, f) in node.fanins().iter().enumerate() {
+            t = t.max(arr[f.index()] + delay(id, pin));
+        }
+        arr[id.index()] = t;
+    }
+    Ok(arr)
+}
+
+/// Worst arrival over primary outputs and latch data inputs.
+pub fn critical_delay(net: &Network, arrivals: &[f64]) -> f64 {
+    let mut worst: f64 = 0.0;
+    for out in net.outputs() {
+        worst = worst.max(arrivals[out.driver.index()]);
+    }
+    for id in net.node_ids() {
+        if matches!(net.node(id).func(), NodeFn::Latch) {
+            worst = worst.max(arrivals[net.node(id).fanins()[0].index()]);
+        }
+    }
+    worst
+}
+
+/// Required times for a target delay: outputs (and latch data inputs) must
+/// settle by `target`; internal nodes inherit the tightest consumer
+/// requirement minus the consumer's pin delay.
+///
+/// # Errors
+///
+/// Fails if the combinational network is cyclic.
+pub fn required_times(
+    net: &Network,
+    target: f64,
+    mut delay: impl FnMut(NodeId, usize) -> f64,
+) -> Result<Vec<f64>, NetlistError> {
+    let order = net.topo_order()?;
+    let mut req = vec![f64::INFINITY; net.num_nodes()];
+    for out in net.outputs() {
+        let r = &mut req[out.driver.index()];
+        *r = r.min(target);
+    }
+    for id in net.node_ids() {
+        if matches!(net.node(id).func(), NodeFn::Latch) {
+            let d = net.node(id).fanins()[0];
+            let r = &mut req[d.index()];
+            *r = r.min(target);
+        }
+    }
+    for &id in order.iter().rev() {
+        let node = net.node(id);
+        if matches!(node.func(), NodeFn::Latch) {
+            continue;
+        }
+        let my_req = req[id.index()];
+        if my_req.is_infinite() {
+            continue;
+        }
+        for (pin, f) in node.fanins().iter().enumerate() {
+            let r = &mut req[f.index()];
+            *r = r.min(my_req - delay(id, pin));
+        }
+    }
+    Ok(req)
+}
+
+/// Unit-delay depth of the combinational network (every non-source node
+/// contributes one level).
+///
+/// # Errors
+///
+/// Fails if the combinational network is cyclic.
+pub fn unit_depth(net: &Network) -> Result<u32, NetlistError> {
+    let arr = arrival_times(net, |_, _| 1.0)?;
+    Ok(critical_delay(net, &arr) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> Network {
+        let mut net = Network::new("chain");
+        let mut cur = net.add_input("a");
+        for _ in 0..n {
+            cur = net.add_node(NodeFn::Not, vec![cur]).unwrap();
+        }
+        net.add_output("f", cur);
+        net
+    }
+
+    #[test]
+    fn unit_depth_of_chain() {
+        assert_eq!(unit_depth(&chain(5)).unwrap(), 5);
+    }
+
+    #[test]
+    fn arrivals_take_max_over_pins() {
+        let mut net = Network::new("m");
+        let a = net.add_input("a");
+        let slow = net.add_node(NodeFn::Not, vec![a]).unwrap();
+        let slow2 = net.add_node(NodeFn::Not, vec![slow]).unwrap();
+        let g = net.add_node(NodeFn::And, vec![a, slow2]).unwrap();
+        net.add_output("f", g);
+        let arr = arrival_times(&net, |_, _| 1.0).unwrap();
+        assert_eq!(arr[g.index()], 3.0);
+    }
+
+    #[test]
+    fn required_minus_arrival_is_slack() {
+        let net = chain(3);
+        let arr = arrival_times(&net, |_, _| 1.0).unwrap();
+        let target = critical_delay(&net, &arr);
+        let req = required_times(&net, target, |_, _| 1.0).unwrap();
+        // On a pure chain every node is critical: slack 0.
+        for id in net.node_ids() {
+            if req[id.index()].is_finite() {
+                assert!((req[id.index()] - arr[id.index()]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn latch_boundaries_reset_timing() {
+        let mut net = Network::new("seq");
+        let a = net.add_input("a");
+        let n1 = net.add_node(NodeFn::Not, vec![a]).unwrap();
+        let l = net.add_node(NodeFn::Latch, vec![n1]).unwrap();
+        let n2 = net.add_node(NodeFn::Not, vec![l]).unwrap();
+        net.add_output("f", n2);
+        let arr = arrival_times(&net, |_, _| 1.0).unwrap();
+        assert_eq!(arr[l.index()], 0.0);
+        assert_eq!(arr[n2.index()], 1.0);
+        assert_eq!(critical_delay(&net, &arr), 1.0);
+    }
+}

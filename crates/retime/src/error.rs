@@ -1,0 +1,41 @@
+use std::error::Error;
+use std::fmt;
+
+use dagmap_netlist::NetlistError;
+
+/// Errors produced by retiming and sequential mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RetimeError {
+    /// The zero-register subgraph contains a cycle — no clock period exists.
+    CombinationalLoop,
+    /// No clock period is achievable (a cycle has no registers at all).
+    Infeasible(String),
+    /// Substrate failure.
+    Netlist(NetlistError),
+    /// Mapping failure inside the sequential decision procedure.
+    Map(String),
+}
+
+impl fmt::Display for RetimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetimeError::CombinationalLoop => {
+                write!(
+                    f,
+                    "zero-register cycle: the circuit has no valid clock period"
+                )
+            }
+            RetimeError::Infeasible(msg) => write!(f, "retiming infeasible: {msg}"),
+            RetimeError::Netlist(e) => write!(f, "netlist error: {e}"),
+            RetimeError::Map(msg) => write!(f, "sequential mapping failed: {msg}"),
+        }
+    }
+}
+
+impl Error for RetimeError {}
+
+impl From<NetlistError> for RetimeError {
+    fn from(e: NetlistError) -> Self {
+        RetimeError::Netlist(e)
+    }
+}

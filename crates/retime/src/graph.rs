@@ -1,0 +1,394 @@
+use dagmap_netlist::{Network, NodeFn, NodeId};
+
+use crate::RetimeError;
+
+/// A vertex of a [`SeqGraph`]: one combinational node with its delay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeqVertex {
+    /// Propagation delay of the vertex.
+    pub delay: f64,
+    /// Originating network node (`None` for the host vertex).
+    pub origin: Option<NodeId>,
+}
+
+/// A weighted edge: `weight` registers sit between `from` and `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqEdge {
+    /// Source vertex index.
+    pub from: usize,
+    /// Target vertex index.
+    pub to: usize,
+    /// Register count.
+    pub weight: u32,
+}
+
+/// The Leiserson–Saxe retiming graph: combinational vertices and register
+/// weights on edges.
+///
+/// Graphs built from netlists pin the environment with a *split host*:
+/// vertex 0 (`host_out`) sources every primary-input edge, a dedicated
+/// sink vertex (`host_in`) absorbs every primary-output edge, and one
+/// weight-1 edge `host_in -> host_out` models the *registered* environment
+/// (outputs sampled at each clock edge, fresh inputs issued at the next —
+/// the Pan-Liu I/O convention, under which a circuit may legally be
+/// pipelined deeper by retiming registers off its output edges). The two
+/// host halves share one lag during feasibility, so the environment
+/// register itself can never be stolen, and register-free input-to-output
+/// through-paths still bound the period via the weight-1 host cycle
+/// without compounding.
+#[derive(Debug, Clone)]
+pub struct SeqGraph {
+    vertices: Vec<SeqVertex>,
+    edges: Vec<SeqEdge>,
+    host_in: Option<usize>,
+}
+
+impl SeqGraph {
+    /// Extracts the retiming graph from a network: latch chains become edge
+    /// weights, primary inputs/outputs connect through the host vertex.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on malformed networks (the combinational topological
+    /// order is not needed here, so latch cycles are fine).
+    pub fn from_network(
+        net: &Network,
+        mut delay: impl FnMut(NodeId) -> f64,
+    ) -> Result<SeqGraph, RetimeError> {
+        // Resolve a signal through latch chains: (driving vertex node, count).
+        let resolve = |mut id: NodeId| -> (Option<NodeId>, u32) {
+            let mut count = 0;
+            loop {
+                match net.node(id).func() {
+                    NodeFn::Latch => {
+                        count += 1;
+                        id = net.node(id).fanins()[0];
+                    }
+                    NodeFn::Input | NodeFn::Const(_) => return (None, count),
+                    _ => return (Some(id), count),
+                }
+            }
+        };
+        let mut vertices = vec![SeqVertex {
+            delay: 0.0,
+            origin: None,
+        }];
+        let mut index = vec![usize::MAX; net.num_nodes()];
+        for id in net.node_ids() {
+            if !matches!(
+                net.node(id).func(),
+                NodeFn::Input | NodeFn::Const(_) | NodeFn::Latch
+            ) {
+                index[id.index()] = vertices.len();
+                vertices.push(SeqVertex {
+                    delay: delay(id),
+                    origin: Some(id),
+                });
+            }
+        }
+        let mut edges = Vec::new();
+        for id in net.node_ids() {
+            let v = index[id.index()];
+            if v == usize::MAX {
+                continue;
+            }
+            for &f in net.node(id).fanins() {
+                let (src, weight) = resolve(f);
+                let from = src.map_or(0, |s| index[s.index()]);
+                edges.push(SeqEdge {
+                    from,
+                    to: v,
+                    weight,
+                });
+            }
+        }
+        // Outputs close into the host sink.
+        let host_in = vertices.len();
+        vertices.push(SeqVertex {
+            delay: 0.0,
+            origin: None,
+        });
+        for out in net.outputs() {
+            let (src, weight) = resolve(out.driver);
+            let from = src.map_or(0, |s| index[s.index()]);
+            edges.push(SeqEdge {
+                from,
+                to: host_in,
+                weight,
+            });
+        }
+        // The environment itself is registered (Pan-Liu semantics): outputs
+        // are sampled at each clock edge, inputs issued at the next.
+        edges.push(SeqEdge {
+            from: host_in,
+            to: 0,
+            weight: 1,
+        });
+        Ok(SeqGraph {
+            vertices,
+            edges,
+            host_in: Some(host_in),
+        })
+    }
+
+    /// Builds a graph directly (vertex 0 must be the host; no I/O pinning
+    /// beyond what the edges express).
+    pub fn from_parts(vertices: Vec<SeqVertex>, edges: Vec<SeqEdge>) -> SeqGraph {
+        SeqGraph {
+            vertices,
+            edges,
+            host_in: None,
+        }
+    }
+
+    /// Extracts the retiming graph of a technology-mapped netlist: one
+    /// vertex per cell with its worst pin-to-output block delay, mapped
+    /// latches as edge weights, primary I/O through the host.
+    pub fn from_mapped(mapped: &dagmap_core::MappedNetlist) -> SeqGraph {
+        use dagmap_core::Signal;
+        // Resolve a signal through latch chains to (cell vertex | host).
+        let resolve = |mut sig: Signal| -> (Option<usize>, u32) {
+            let mut weight = 0;
+            loop {
+                match sig {
+                    Signal::Latch(l) => {
+                        weight += 1;
+                        sig = mapped.latches()[l as usize].1;
+                    }
+                    Signal::Input(_) | Signal::Const(_) => return (None, weight),
+                    Signal::Cell(c) => return (Some(c as usize), weight),
+                }
+            }
+        };
+        let mut vertices = vec![SeqVertex {
+            delay: 0.0,
+            origin: None,
+        }];
+        for i in 0..mapped.num_cells() {
+            let kind = mapped.kind_of(i);
+            let delay = kind.pin_delays.iter().copied().fold(0.0f64, f64::max);
+            vertices.push(SeqVertex {
+                delay,
+                origin: Some(mapped.cells()[i].subject_root),
+            });
+        }
+        let mut edges = Vec::new();
+        for (i, cell) in mapped.cells().iter().enumerate() {
+            for &f in &cell.fanins {
+                let (src, weight) = resolve(f);
+                edges.push(SeqEdge {
+                    from: src.map_or(0, |c| c + 1),
+                    to: i + 1,
+                    weight,
+                });
+            }
+        }
+        let host_in = vertices.len();
+        vertices.push(SeqVertex {
+            delay: 0.0,
+            origin: None,
+        });
+        for (_, sig) in mapped.outputs() {
+            let (src, weight) = resolve(*sig);
+            edges.push(SeqEdge {
+                from: src.map_or(0, |c| c + 1),
+                to: host_in,
+                weight,
+            });
+        }
+        edges.push(SeqEdge {
+            from: host_in,
+            to: 0,
+            weight: 1,
+        });
+        SeqGraph {
+            vertices,
+            edges,
+            host_in: Some(host_in),
+        }
+    }
+
+    /// The host sink vertex of a netlist-derived graph (`None` for graphs
+    /// assembled via [`SeqGraph::from_parts`]).
+    pub fn host_in(&self) -> Option<usize> {
+        self.host_in
+    }
+
+    /// True when a zero-weight cycle exists that avoids the host — a real
+    /// combinational loop.
+    pub fn has_internal_combinational_loop(&self) -> bool {
+        let n = self.vertices.len();
+        let mut indeg = vec![0usize; n];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in &self.edges {
+            if e.weight == 0 && e.from != 0 && e.to != 0 {
+                indeg[e.to] += 1;
+                adj[e.from].push(e.to);
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut seen = 0;
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            seen += 1;
+            for &v in &adj[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        seen != n
+    }
+
+    /// Vertices (host first).
+    pub fn vertices(&self) -> &[SeqVertex] {
+        &self.vertices
+    }
+
+    /// Edges with register weights.
+    pub fn edges(&self) -> &[SeqEdge] {
+        &self.edges
+    }
+
+    /// The clock period of the graph as-is: the longest delay path through
+    /// zero-weight edges (register-free input-to-output through-paths are
+    /// measured once; the split host prevents them from compounding).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetimeError::CombinationalLoop`] if zero-weight edges form
+    /// a cycle.
+    pub fn clock_period(&self) -> Result<f64, RetimeError> {
+        self.clock_period_with(&vec![0u32; self.edges.len()].into_iter().collect::<Vec<_>>())
+    }
+
+    /// Clock period under substituted edge weights (used to check a
+    /// retiming): longest vertex-delay path through edges whose substituted
+    /// weight is zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetimeError::CombinationalLoop`] on zero-weight cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extra.len()` differs from the edge count.
+    pub fn clock_period_with(&self, extra: &[u32]) -> Result<f64, RetimeError> {
+        assert_eq!(extra.len(), self.edges.len(), "one weight per edge");
+        let n = self.vertices.len();
+        // Kahn over the zero-weight subgraph, accumulating arrival times.
+        let mut indeg = vec![0usize; n];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.weight + extra[i] == 0 {
+                indeg[e.to] += 1;
+                adj[e.from].push(e.to);
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut arrive: Vec<f64> = (0..n).map(|v| self.vertices[v].delay).collect();
+        let mut seen = 0;
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            seen += 1;
+            for &v in &adj[u] {
+                arrive[v] = arrive[v].max(arrive[u] + self.vertices[v].delay);
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if seen != n {
+            return Err(RetimeError::CombinationalLoop);
+        }
+        Ok(arrive.into_iter().fold(0.0, f64::max))
+    }
+
+    /// Total register count under substituted extra weights.
+    pub fn register_count_with(&self, extra: &[u32]) -> u64 {
+        self.edges
+            .iter()
+            .zip(extra)
+            .map(|(e, &x)| u64::from(e.weight + x))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_latch_chains() {
+        let mut net = Network::new("n");
+        let a = net.add_input("a");
+        let g = net.add_node(NodeFn::Not, vec![a]).unwrap();
+        let l1 = net.add_node(NodeFn::Latch, vec![g]).unwrap();
+        let l2 = net.add_node(NodeFn::Latch, vec![l1]).unwrap();
+        let h = net.add_node(NodeFn::Not, vec![l2]).unwrap();
+        net.add_output("f", h);
+        let graph = SeqGraph::from_network(&net, |_| 1.0).unwrap();
+        // host_out + 2 inverters + host_in.
+        assert_eq!(graph.vertices().len(), 4);
+        let weights: Vec<u32> = graph.edges().iter().map(|e| e.weight).collect();
+        assert!(weights.contains(&2), "{weights:?}");
+    }
+
+    #[test]
+    fn period_is_longest_zero_weight_path() {
+        let mut net = Network::new("n");
+        let a = net.add_input("a");
+        let mut cur = a;
+        for _ in 0..3 {
+            cur = net.add_node(NodeFn::Not, vec![cur]).unwrap();
+        }
+        let l = net.add_node(NodeFn::Latch, vec![cur]).unwrap();
+        let tail = net.add_node(NodeFn::Not, vec![l]).unwrap();
+        net.add_output("f", tail);
+        let graph = SeqGraph::from_network(&net, |_| 1.0).unwrap();
+        // Input cone (3 inverters) and output cone (1 inverter) are
+        // separate paths: the registered environment decouples them.
+        assert_eq!(graph.clock_period().unwrap(), 3.0);
+    }
+
+    #[test]
+    fn combinational_loops_are_rejected() {
+        let vertices = vec![
+            SeqVertex {
+                delay: 0.0,
+                origin: None,
+            },
+            SeqVertex {
+                delay: 1.0,
+                origin: None,
+            },
+            SeqVertex {
+                delay: 1.0,
+                origin: None,
+            },
+        ];
+        let edges = vec![
+            SeqEdge {
+                from: 1,
+                to: 2,
+                weight: 0,
+            },
+            SeqEdge {
+                from: 2,
+                to: 1,
+                weight: 0,
+            },
+        ];
+        let g = SeqGraph::from_parts(vertices, edges);
+        assert_eq!(
+            g.clock_period().unwrap_err(),
+            RetimeError::CombinationalLoop
+        );
+    }
+}

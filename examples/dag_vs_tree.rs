@@ -1,0 +1,77 @@
+//! The paper's Figure 2, executable: DAG covering duplicates a shared cone
+//! across a multi-fanout point and beats tree covering on delay; plus a
+//! sweep showing the delay gap growing with library richness (the headline
+//! of Tables 1-3).
+//!
+//! ```text
+//! cargo run --release --example dag_vs_tree
+//! ```
+
+use dagmap::core::{MapOptions, Mapper};
+use dagmap::genlib::Library;
+use dagmap::netlist::{Network, NodeFn, SubjectGraph};
+
+fn figure2() -> Result<(), Box<dyn std::error::Error>> {
+    // f = a·(b·c), g = (b·c)·d: the cone b·c is shared.
+    let mut net = Network::new("figure2");
+    let a = net.add_input("a");
+    let b = net.add_input("b");
+    let c = net.add_input("c");
+    let d = net.add_input("d");
+    let mid = net.add_node(NodeFn::And, vec![b, c])?;
+    let top = net.add_node(NodeFn::And, vec![a, mid])?;
+    let bot = net.add_node(NodeFn::And, vec![mid, d])?;
+    net.add_output("f", top);
+    net.add_output("g", bot);
+    let subject = SubjectGraph::from_network(&net)?;
+
+    let library = Library::lib_44_3_like();
+    let mapper = Mapper::new(&library);
+    let (tree, _) = mapper.map_with_report(&subject, MapOptions::tree())?;
+    let (dag, rep) = mapper.map_with_report(&subject, MapOptions::dag())?;
+    println!("Figure 2 circuit (shared cone feeding two outputs):");
+    println!(
+        "  tree: delay {:.2}, area {:.0} — the multi-fanout point is preserved",
+        tree.delay(),
+        tree.area()
+    );
+    println!(
+        "  dag:  delay {:.2}, area {:.0} — {} subject nodes duplicated into both cones",
+        dag.delay(),
+        dag.area(),
+        rep.duplicated_subject_nodes
+    );
+    assert!(dag.delay() < tree.delay());
+    Ok(())
+}
+
+fn richness_sweep() -> Result<(), Box<dyn std::error::Error>> {
+    println!("\nDelay gap vs library richness (C3540-like ALU):");
+    let net = dagmap::benchgen::c3540_like();
+    let subject = SubjectGraph::from_network(&net)?;
+    for library in [
+        Library::minimal(),
+        Library::lib_44_1_like(),
+        Library::lib2_like(),
+        Library::lib_44_3_like(),
+    ] {
+        let mapper = Mapper::new(&library);
+        let tree = mapper.map(&subject, MapOptions::tree())?;
+        let dag = mapper.map(&subject, MapOptions::dag())?;
+        println!(
+            "  {:<12} ({:>3} gates): tree {:>6.2}  dag {:>6.2}  ratio {:.2}",
+            library.name(),
+            library.gates().len(),
+            tree.delay(),
+            dag.delay(),
+            tree.delay() / dag.delay()
+        );
+    }
+    println!("  => the richer the library, the more DAG covering wins (Tables 1-3).");
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    figure2()?;
+    richness_sweep()
+}

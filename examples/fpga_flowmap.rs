@@ -1,0 +1,41 @@
+//! FlowMap (Section 2 of the paper): delay-optimal k-LUT mapping of an ALU,
+//! sweeping the LUT size and verifying each cover functionally.
+//!
+//! ```text
+//! cargo run --release --example fpga_flowmap
+//! ```
+
+use dagmap::flowmap::{label_network, map_luts, map_luts_area};
+use dagmap::netlist::{sim, sta, SubjectGraph};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = dagmap::benchgen::alu(8);
+    let subject = SubjectGraph::from_network(&net)?.into_network();
+    let gate_depth = sta::unit_depth(&subject)?;
+    println!(
+        "8-bit ALU subject graph: {} nodes, NAND/INV depth {gate_depth}",
+        subject.num_nodes()
+    );
+
+    for k in [3usize, 4, 5, 6] {
+        let labels = label_network(&subject, k)?;
+        let mapping = map_luts(&subject, &labels)?;
+        let recovered = map_luts_area(&subject, &labels, 8)?;
+        for m in [&mapping, &recovered] {
+            let lowered = m.to_network(&subject)?;
+            assert!(
+                sim::equivalent_random(&subject, &lowered, 16, 0xF1)?,
+                "LUT cover must be equivalent"
+            );
+        }
+        println!(
+            "  k = {k}: optimal depth {:>2}, {} LUTs plain / {} after area recovery (verified)",
+            mapping.depth(),
+            mapping.num_luts(),
+            recovered.num_luts()
+        );
+    }
+    println!("labels are provably depth-optimal: this is the machinery the");
+    println!("paper transplants from k-cuts to library pattern matching.");
+    Ok(())
+}

@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+//! # dagmap — Delay-Optimal Technology Mapping by DAG Covering
+//!
+//! A from-scratch Rust reproduction of Kukimoto, Brayton and Sawkar's DAC
+//! 1998 paper: minimum-delay library technology mapping performed directly on
+//! the subject **DAG** (no tree decomposition), by adapting FlowMap's
+//! labeling idea to library pattern matching under a load-independent delay
+//! model.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`netlist`] — Boolean networks, NAND2/INV subject graphs, BLIF,
+//!   simulation, timing,
+//! * [`genlib`] — gate libraries, genlib I/O, pattern graphs, built-in
+//!   libraries (`lib2`-like, `44-1`-like, `44-3`-like),
+//! * [`matching`] — standard / exact / extended pattern matching
+//!   (Definitions 1–3 of the paper),
+//! * [`core`] — the DAG mapper (the paper's contribution) and the classical
+//!   tree-mapping baseline,
+//! * [`boolmatch`] — Boolean matching (cuts + canonical truth tables) as a
+//!   structural-bias-free alternative matcher,
+//! * [`flowmap`] — FlowMap k-LUT mapping, the algorithm the paper builds on,
+//! * [`retime`] — retiming and the sequential mapping extension (Section 4),
+//! * [`benchgen`] — circuit generators standing in for the MCNC benchmarks.
+//!
+//! # Quickstart
+//!
+//! Map a small circuit with both algorithms and compare delays:
+//!
+//! ```
+//! use dagmap::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = dagmap::benchgen::ripple_adder(4);
+//! let subject = SubjectGraph::from_network(&net)?;
+//! let library = Library::lib2_like();
+//!
+//! let dag = Mapper::new(&library).map(&subject, MapOptions::dag())?;
+//! let tree = Mapper::new(&library).map(&subject, MapOptions::tree())?;
+//! assert!(dag.delay() <= tree.delay() + 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use dagmap_benchgen as benchgen;
+pub use dagmap_boolmatch as boolmatch;
+pub use dagmap_core as core;
+pub use dagmap_flowmap as flowmap;
+pub use dagmap_genlib as genlib;
+pub use dagmap_match as matching;
+pub use dagmap_netlist as netlist;
+pub use dagmap_retime as retime;
+
+/// Convenient glob import for examples and downstream experiments.
+pub mod prelude {
+    pub use dagmap_core::{MapOptions, MappedNetlist, Mapper};
+    pub use dagmap_genlib::Library;
+    pub use dagmap_match::MatchMode;
+    pub use dagmap_netlist::{Network, NodeFn, SubjectGraph};
+}

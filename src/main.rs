@@ -1,0 +1,399 @@
+//! `dagmap` — command-line front end to the DAG-covering technology mapper.
+//!
+//! ```text
+//! dagmap map    <in.blif> [--builtin lib2|44-1|44-3|minimal | --lib <f.genlib>]
+//!               [--algo dag|tree|dag-extended|boolean|hybrid] [--objective delay|area]
+//!               [--recover] [--buffer <max_load>] [--out <f.blif>]
+//!               [--verilog <f.v>] [--no-verify]
+//! dagmap luts   <in.blif> [-k <k>] [--out <f.blif>]
+//! dagmap retime <in.blif> [--builtin ... | --lib <f.genlib>] [--tol <t>]
+//! dagmap stats  <in.blif>
+//! dagmap lib    (--builtin <name> | <f.genlib>)
+//! dagmap gen    <c2670|c3540|c5315|c6288|c7552|add<N>|mul<N>|alu<N>> [--out <f.blif>]
+//! ```
+
+use std::error::Error;
+use std::fs;
+use std::process::ExitCode;
+
+use dagmap::core::{load, verify, verilog, MapOptions, Mapper, Objective};
+use dagmap::genlib::Library;
+use dagmap::matching::MatchMode;
+use dagmap::netlist::{blif, Network, SubjectGraph};
+use dagmap::retime::{min_cycle_period, minimize_period, SeqGraph};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("map") => cmd_map(&args[1..]),
+        Some("luts") => cmd_luts(&args[1..]),
+        Some("retime") => cmd_retime(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("lib") => cmd_lib(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("--help" | "-h") | None => {
+            eprint!("{}", USAGE);
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command `{other}`; try --help").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+const USAGE: &str = "\
+dagmap — delay-optimal technology mapping by DAG covering (DAC 1998)
+
+usage:
+  dagmap map    <in.blif> [options]   map against a gate library
+  dagmap luts   <in.blif> [-k <k>]    FlowMap k-LUT mapping
+  dagmap retime <in.blif> [options]   minimum clock period (retime + map)
+  dagmap stats  <in.blif>             network and subject-graph statistics
+  dagmap lib    <f.genlib>|--builtin  library statistics
+  dagmap gen    <name> [--out f]      emit a generated benchmark as BLIF
+
+files ending in .aag are read/written as ASCII AIGER; everything else is
+BLIF.
+
+map options:
+  --builtin lib2|44-1|44-3|minimal    built-in library (default lib2)
+  --lib <f.genlib>                    library from a genlib file
+  --algo dag|tree|dag-extended|boolean|hybrid  covering algorithm (default dag)
+  -k <n>                              cut size for --algo boolean (default 4)
+  --objective delay|area              optimization goal (default delay)
+  --recover                           slack-driven area recovery
+  --buffer <max_load>                 bound fanout loads with buffers
+  --out <f.blif>                      write the mapped netlist as BLIF
+  --verilog <f.v>                     write structural Verilog
+  --report-path                       print the critical path
+  --no-verify                         skip the equivalence check
+";
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Pulls the value following a flag out of `args`.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, Box<dyn Error>> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            return Err(format!("{flag} needs a value").into());
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        Ok(Some(value))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Removes a boolean flag, reporting whether it was present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+fn load_library(args: &mut Vec<String>) -> Result<Library, Box<dyn Error>> {
+    let builtin = take_value(args, "--builtin")?;
+    let file = take_value(args, "--lib")?;
+    match (builtin.as_deref(), file) {
+        (Some(_), Some(_)) => Err("--builtin and --lib are mutually exclusive".into()),
+        (Some("lib2") | None, None) => Ok(Library::lib2_like()),
+        (Some("44-1"), None) => Ok(Library::lib_44_1_like()),
+        (Some("44-3"), None) => Ok(Library::lib_44_3_like()),
+        (Some("minimal"), None) => Ok(Library::minimal()),
+        (Some(other), None) => Err(format!("unknown builtin library `{other}`").into()),
+        (None, Some(path)) => {
+            let text = fs::read_to_string(&path)?;
+            Ok(Library::from_genlib_named(&path, &text)?)
+        }
+    }
+}
+
+fn read_network(path: &str) -> Result<Network, Box<dyn Error>> {
+    let text = fs::read_to_string(path)?;
+    if path.ends_with(".aag") {
+        Ok(dagmap::netlist::aiger::parse_ascii(&text)?)
+    } else {
+        Ok(blif::parse(&text)?)
+    }
+}
+
+fn write_network(path: &str, net: &Network) -> Result<(), Box<dyn Error>> {
+    let text = if path.ends_with(".aag") {
+        dagmap::netlist::aiger::to_ascii(net)?
+    } else {
+        blif::to_string(net)?
+    };
+    fs::write(path, text)?;
+    Ok(())
+}
+
+fn positional(args: &[String], what: &str) -> Result<String, Box<dyn Error>> {
+    args.iter()
+        .find(|a| !a.starts_with('-'))
+        .cloned()
+        .ok_or_else(|| format!("missing {what}").into())
+}
+
+fn cmd_map(args: &[String]) -> CmdResult {
+    let mut args = args.to_vec();
+    let library = load_library(&mut args)?;
+    let algo = take_value(&mut args, "--algo")?.unwrap_or_else(|| "dag".into());
+    let objective = take_value(&mut args, "--objective")?.unwrap_or_else(|| "delay".into());
+    let recover = take_flag(&mut args, "--recover");
+    let buffer: Option<f64> = take_value(&mut args, "--buffer")?
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--buffer needs a number")?;
+    let out = take_value(&mut args, "--out")?;
+    let vout = take_value(&mut args, "--verilog")?;
+    let no_verify = take_flag(&mut args, "--no-verify");
+    let report_path = take_flag(&mut args, "--report-path");
+    let k: usize = take_value(&mut args, "-k")?
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "-k needs an integer")?
+        .unwrap_or(4);
+    let input = positional(&args, "input BLIF file")?;
+
+    let net = read_network(&input)?;
+    let subject = SubjectGraph::from_network(&net)?;
+    if algo == "boolean" || algo == "hybrid" {
+        // Boolean/hybrid matching has its own pipeline; it shares the cover
+        // construction and verification with the structural mapper.
+        let mapped = if algo == "boolean" {
+            dagmap::boolmatch::map_boolean(&subject, &library, k)?
+        } else {
+            dagmap::boolmatch::map_hybrid(&subject, &library, k)?
+        };
+        if !no_verify {
+            verify::check(&mapped, &subject, 0xB001)?;
+        }
+        println!(
+            "{}: {} subject gates -> {} cells, delay {:.3}, area {:.1} ({algo} matching, k={k})",
+            net.name(),
+            subject.num_gates(),
+            mapped.num_cells(),
+            mapped.delay(),
+            mapped.area(),
+        );
+        if let Some(path) = out {
+            write_network(&path, &mapped.to_network()?)?;
+            println!("wrote {path}");
+        }
+        if let Some(path) = vout {
+            fs::write(&path, verilog::to_verilog(&mapped))?;
+            println!("wrote {path}");
+        }
+        return Ok(());
+    }
+    let mut opts = match algo.as_str() {
+        "dag" => MapOptions::dag(),
+        "tree" => MapOptions::tree(),
+        "dag-extended" => MapOptions::dag_extended(),
+        other => return Err(format!("unknown algorithm `{other}`").into()),
+    };
+    opts.objective = match objective.as_str() {
+        "delay" => Objective::Delay,
+        "area" => Objective::Area,
+        other => return Err(format!("unknown objective `{other}`").into()),
+    };
+    if recover {
+        opts = opts.with_area_recovery();
+    }
+    let (mut mapped, report) = Mapper::new(&library).map_with_report(&subject, opts)?;
+    if let Some(max_load) = buffer {
+        mapped = load::insert_buffers(&mapped, &library, max_load)?;
+    }
+    if !no_verify {
+        verify::check(&mapped, &subject, 0xC11)?;
+    }
+    println!(
+        "{}: {} subject gates -> {} cells, delay {:.3}, area {:.1} ({} algorithm, {} matches, {} duplicated)",
+        net.name(),
+        subject.num_gates(),
+        mapped.num_cells(),
+        mapped.delay(),
+        mapped.area(),
+        report.algorithm,
+        report.matches_enumerated,
+        mapped.duplicated_subject_nodes(),
+    );
+    for (gate, count) in mapped.gate_histogram() {
+        println!("  {gate:<12} x{count}");
+    }
+    if report_path {
+        println!("critical path (input side first):");
+        for &c in &mapped.critical_path() {
+            println!(
+                "  {:<12} arrival {:>8.3}",
+                mapped.kind_of(c).name,
+                mapped.cell_arrival(c)
+            );
+        }
+    }
+    if buffer.is_some() {
+        let timing = load::analyze(&mapped);
+        println!("load-aware delay: {:.3}", timing.delay);
+    }
+    if let Some(path) = out {
+        write_network(&path, &mapped.to_network()?)?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = vout {
+        fs::write(&path, verilog::to_verilog(&mapped))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_luts(args: &[String]) -> CmdResult {
+    let mut args = args.to_vec();
+    let k: usize = take_value(&mut args, "-k")?
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "-k needs an integer")?
+        .unwrap_or(6);
+    let out = take_value(&mut args, "--out")?;
+    let input = positional(&args, "input BLIF file")?;
+    let net = read_network(&input)?;
+    let subject = SubjectGraph::from_network(&net)?.into_network();
+    let labels = dagmap::flowmap::label_network(&subject, k)?;
+    let mapping = dagmap::flowmap::map_luts(&subject, &labels)?;
+    println!(
+        "{}: optimal {k}-LUT depth {}, {} LUTs",
+        net.name(),
+        mapping.depth(),
+        mapping.num_luts()
+    );
+    if let Some(path) = out {
+        write_network(&path, &mapping.to_network(&subject)?)?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_retime(args: &[String]) -> CmdResult {
+    let mut args = args.to_vec();
+    let library = load_library(&mut args)?;
+    let tol: f64 = take_value(&mut args, "--tol")?
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--tol needs a number")?
+        .unwrap_or(1e-3);
+    let input = positional(&args, "input BLIF file")?;
+    let net = read_network(&input)?;
+    let subject = SubjectGraph::from_network(&net)?;
+
+    let graph = SeqGraph::from_network(subject.network(), |_| 1.0)?;
+    let before = graph.clock_period()?;
+    let pure = minimize_period(&graph)?;
+    println!(
+        "unit-delay subject graph: period {before:.2} as built, {:.2} after retiming",
+        pure.period
+    );
+
+    let mapped = min_cycle_period(&subject, &library, MatchMode::Standard, tol)?;
+    println!(
+        "with mapping into `{}`: minimum clock period {:.3}",
+        library.name(),
+        mapped.period
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> CmdResult {
+    let input = positional(args, "input BLIF file")?;
+    let net = read_network(&input)?;
+    println!(
+        "{}: {} inputs, {} outputs, {} latches, {} internal nodes, {} edges",
+        net.name(),
+        net.inputs().len(),
+        net.outputs().len(),
+        net.num_latches(),
+        net.num_internal(),
+        net.num_edges()
+    );
+    let subject = SubjectGraph::from_network(&net)?;
+    println!(
+        "subject graph: {} NAND/INV nodes, depth {}, {} multi-fanout points",
+        subject.num_gates(),
+        subject.depth(),
+        subject.num_multi_fanout()
+    );
+    Ok(())
+}
+
+fn cmd_lib(args: &[String]) -> CmdResult {
+    let mut args = args.to_vec();
+    let library = if args.iter().any(|a| a == "--builtin") {
+        load_library(&mut args)?
+    } else {
+        let path = positional(&args, "genlib file")?;
+        let text = fs::read_to_string(&path)?;
+        Library::from_genlib_named(&path, &text)?
+    };
+    println!(
+        "library `{}`: {} gates, {} expanded patterns, p = {} pattern nodes, max {} inputs, delay-mappable: {}",
+        library.name(),
+        library.gates().len(),
+        library.patterns().len(),
+        library.total_pattern_nodes(),
+        library.max_gate_inputs(),
+        library.is_delay_mappable()
+    );
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> CmdResult {
+    let mut args = args.to_vec();
+    let out = take_value(&mut args, "--out")?;
+    let name = positional(&args, "benchmark name")?;
+    let net = generate(&name)?;
+    match out {
+        Some(path) => {
+            write_network(&path, &net)?;
+            println!("wrote {path}");
+        }
+        None => print!("{}", blif::to_string(&net)?),
+    }
+    Ok(())
+}
+
+fn generate(name: &str) -> Result<Network, Box<dyn Error>> {
+    let parse_width =
+        |prefix: &str| -> Option<usize> { name.strip_prefix(prefix).and_then(|w| w.parse().ok()) };
+    Ok(match name {
+        "c2670" => dagmap::benchgen::c2670_like(),
+        "c3540" => dagmap::benchgen::c3540_like(),
+        "c5315" => dagmap::benchgen::c5315_like(),
+        "c6288" => dagmap::benchgen::c6288_like(),
+        "c7552" => dagmap::benchgen::c7552_like(),
+        _ => {
+            if let Some(w) = parse_width("add") {
+                dagmap::benchgen::ripple_adder(w)
+            } else if let Some(w) = parse_width("mul") {
+                dagmap::benchgen::array_multiplier(w)
+            } else if let Some(w) = parse_width("alu") {
+                dagmap::benchgen::alu(w)
+            } else if let Some(w) = parse_width("cmp") {
+                dagmap::benchgen::comparator(w)
+            } else if let Some(w) = parse_width("acc") {
+                dagmap::benchgen::accumulator(w)
+            } else {
+                return Err(format!(
+                    "unknown benchmark `{name}` (try c6288, add32, mul8, alu8, cmp16, acc8)"
+                )
+                .into());
+            }
+        }
+    })
+}

@@ -1,0 +1,142 @@
+//! End-to-end tests of the `dagmap` command-line binary.
+
+use std::process::Command;
+
+fn dagmap(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dagmap"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn temp_path(name: &str) -> String {
+    let dir = std::env::temp_dir().join("dagmap_cli_tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+#[test]
+fn gen_stats_map_round_trip() {
+    let blif = temp_path("add6.blif");
+    let (ok, _, err) = dagmap(&["gen", "add6", "--out", &blif]);
+    assert!(ok, "{err}");
+
+    let (ok, out, err) = dagmap(&["stats", &blif]);
+    assert!(ok, "{err}");
+    assert!(out.contains("subject graph"), "{out}");
+
+    let mapped = temp_path("add6_mapped.blif");
+    let vfile = temp_path("add6.v");
+    let (ok, out, err) = dagmap(&[
+        "map",
+        &blif,
+        "--builtin",
+        "44-1",
+        "--out",
+        &mapped,
+        "--verilog",
+        &vfile,
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("delay"), "{out}");
+    let vtext = std::fs::read_to_string(&vfile).expect("verilog written");
+    assert!(vtext.contains("module ripple6"));
+
+    // The emitted BLIF re-parses and re-maps.
+    let (ok, _, err) = dagmap(&["stats", &mapped]);
+    assert!(ok, "{err}");
+}
+
+#[test]
+fn luts_and_retime_commands() {
+    let blif = temp_path("alu4.blif");
+    let (ok, _, err) = dagmap(&["gen", "alu4", "--out", &blif]);
+    assert!(ok, "{err}");
+    let (ok, out, err) = dagmap(&["luts", &blif, "-k", "4"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("4-LUT depth"), "{out}");
+
+    let seq = temp_path("acc4.blif");
+    let (ok, _, err) = dagmap(&["gen", "acc4", "--out", &seq]);
+    assert!(ok, "{err}");
+    let (ok, out, err) = dagmap(&["retime", &seq, "--builtin", "minimal"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("minimum clock period"), "{out}");
+}
+
+#[test]
+fn lib_command_reports_pattern_counts() {
+    let (ok, out, err) = dagmap(&["lib", "--builtin", "44-3"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("pattern nodes"), "{out}");
+    assert!(out.contains("delay-mappable: true"), "{out}");
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let (ok, _, err) = dagmap(&["map", "/nonexistent/file.blif"]);
+    assert!(!ok);
+    assert!(err.contains("error:"), "{err}");
+
+    let (ok, _, err) = dagmap(&["map"]);
+    assert!(!ok);
+    assert!(err.contains("missing input"), "{err}");
+
+    let (ok, _, err) = dagmap(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"), "{err}");
+
+    let (ok, _, err) = dagmap(&["gen", "nonsense99"]);
+    assert!(!ok);
+    assert!(err.contains("unknown benchmark"), "{err}");
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, _, err) = dagmap(&["--help"]);
+    assert!(ok);
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn boolean_and_hybrid_algorithms_map() {
+    let blif = temp_path("ks8.blif");
+    let (ok, _, err) = dagmap(&["gen", "add8", "--out", &blif]);
+    assert!(ok, "{err}");
+    for algo in ["boolean", "hybrid"] {
+        let (ok, out, err) = dagmap(&["map", &blif, "--algo", algo, "-k", "4"]);
+        assert!(ok, "{algo}: {err}");
+        assert!(out.contains("delay"), "{out}");
+    }
+}
+
+#[test]
+fn report_path_prints_the_critical_chain() {
+    let blif = temp_path("rp.blif");
+    let (ok, _, err) = dagmap(&["gen", "add6", "--out", &blif]);
+    assert!(ok, "{err}");
+    let (ok, out, err) = dagmap(&["map", &blif, "--builtin", "44-1", "--report-path"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("critical path"), "{out}");
+    assert!(out.contains("arrival"), "{out}");
+}
+
+#[test]
+fn aiger_files_round_trip_through_the_cli() {
+    let aag = temp_path("alu4.aag");
+    let (ok, _, err) = dagmap(&["gen", "alu4", "--out", &aag]);
+    assert!(ok, "{err}");
+    let (ok, out, err) = dagmap(&["stats", &aag]);
+    assert!(ok, "{err}");
+    assert!(out.contains("subject graph"), "{out}");
+    let mapped = temp_path("alu4_mapped.aag");
+    let (ok, _, err) = dagmap(&["map", &aag, "--builtin", "44-1", "--out", &mapped]);
+    assert!(ok, "{err}");
+    let (ok, _, err) = dagmap(&["stats", &mapped]);
+    assert!(ok, "{err}");
+}

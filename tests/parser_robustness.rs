@@ -1,0 +1,94 @@
+//! Parser robustness: malformed BLIF and genlib inputs must produce
+//! descriptive errors, never panics; well-formed expressions survive
+//! print-parse round trips (property-based).
+
+use proptest::prelude::*;
+
+use dagmap::genlib::{Expr, Library};
+use dagmap::netlist::blif;
+
+#[test]
+fn malformed_blif_yields_errors_not_panics() {
+    // Empty files and a bare `.model` parse leniently (as empty networks);
+    // everything structurally wrong must be rejected.
+    let corpora: &[&str] = &[
+        ".names\n",
+        ".model m\n.inputs a\n.outputs f\n.names a f\nxx 1\n.end",
+        ".model m\n.inputs a\n.outputs f\n.names a f\n1 2\n.end",
+        ".model m\n.inputs a\n.outputs f\n.names a a\n1 1\n.end", // redefines input
+        ".model m\n.outputs f\n.end",                             // undefined output
+        ".model m\n.inputs a\n.outputs f\n.subckt foo x=a y=f\n.end",
+        ".model m\n.inputs a\n.outputs f\n.names a b f\n11 1\n.end", // undefined b
+        ".model m\n.inputs a\n.outputs f\n.latch\n.end",
+        "garbage tokens before any directive",
+        ".model m\n.inputs a\n.outputs f\n.names a f\n1- 1\n.end", // cube too wide
+    ];
+    for text in corpora {
+        assert!(blif::parse(text).is_err(), "accepted malformed: {text:?}");
+    }
+}
+
+#[test]
+fn malformed_genlib_yields_errors_not_panics() {
+    let corpora: &[&str] = &[
+        "GATE",
+        "GATE inv",
+        "GATE inv area O=!a;",
+        "GATE inv 1.0 O=!a",   // missing semicolon
+        "GATE inv 1.0 O=!(a;", // broken expression
+        "GATE inv 1.0 O=!a; PIN * BAD 1 2 3 4 5 6",
+        "GATE inv 1.0 O=!a; PIN * INV 1 2 3",
+        "GATE g 1.0 O=a*b; PIN a INV 1 2 3 4 5 6", // pin b missing
+        "LATCH dff 1.0 Q=D;",
+        "NOTAKEYWORD x",
+    ];
+    for text in corpora {
+        assert!(
+            Library::from_genlib(text).is_err(),
+            "accepted malformed: {text:?}"
+        );
+    }
+}
+
+/// Random expression trees over a small variable set.
+fn arbitrary_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0usize..4).prop_map(|i| Expr::Var(format!("v{i}"))),
+        any::<bool>().prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Expr::And),
+            prop::collection::vec(inner, 2..4).prop_map(Expr::Or),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn expressions_round_trip_through_display(e in arbitrary_expr()) {
+        let text = e.to_string();
+        let parsed = Expr::parse(&text).expect("printed expressions parse");
+        let vars: Vec<String> = (0..4).map(|i| format!("v{i}")).collect();
+        prop_assert_eq!(
+            e.truth_table(&vars).expect("few variables"),
+            parsed.truth_table(&vars).expect("few variables"),
+            "{}", text
+        );
+    }
+
+    #[test]
+    fn gates_from_random_expressions_build_libraries(e in arbitrary_expr()) {
+        use dagmap::genlib::Gate;
+        // Any expression with at least one variable makes a legal gate; the
+        // library must either build or report a clean validation error.
+        if e.vars().is_empty() {
+            return Ok(());
+        }
+        let gate = Gate::uniform("g", 1.0, "O", &e.to_string(), 1.0).expect("well-formed gate");
+        let _ = Library::new("r", vec![gate]).expect("single-gate library builds");
+    }
+}

@@ -1,0 +1,112 @@
+//! Sequential-circuit integration: mapping with latches, retiming, and the
+//! Section 4 minimum-cycle machinery working together.
+
+use dagmap::core::{verify, MapOptions, Mapper};
+use dagmap::genlib::Library;
+use dagmap::matching::MatchMode;
+use dagmap::netlist::SubjectGraph;
+use dagmap::retime::{min_cycle_period, minimize_period, period_feasible, SeqGraph};
+
+fn sequential_circuits() -> Vec<dagmap::netlist::Network> {
+    vec![
+        dagmap::benchgen::counter(6),
+        dagmap::benchgen::shift_register(8),
+        dagmap::benchgen::lfsr(6),
+        dagmap::benchgen::accumulator(5),
+    ]
+}
+
+#[test]
+fn sequential_circuits_map_and_verify() {
+    for net in sequential_circuits() {
+        let subject = SubjectGraph::from_network(&net).expect("decomposes");
+        for library in [Library::minimal(), Library::lib2_like()] {
+            let mapper = Mapper::new(&library);
+            for opts in [MapOptions::tree(), MapOptions::dag()] {
+                let mapped = mapper.map(&subject, opts).expect("maps");
+                verify::check(&mapped, &subject, 0x5E9)
+                    .unwrap_or_else(|e| panic!("{}: {e}", net.name()));
+            }
+        }
+    }
+}
+
+#[test]
+fn retiming_improves_or_preserves_every_circuit() {
+    for net in sequential_circuits() {
+        let subject = SubjectGraph::from_network(&net).expect("decomposes");
+        let graph = SeqGraph::from_network(subject.network(), |_| 1.0).expect("extracts");
+        let before = graph.clock_period().expect("acyclic combinational part");
+        let retimed = minimize_period(&graph).expect("feasible");
+        assert!(
+            retimed.period <= before + 1e-9,
+            "{}: {} -> {}",
+            net.name(),
+            before,
+            retimed.period
+        );
+    }
+}
+
+#[test]
+fn min_cycle_is_at_most_combinational_optimum() {
+    for net in sequential_circuits() {
+        let subject = SubjectGraph::from_network(&net).expect("decomposes");
+        let library = Library::lib_44_1_like();
+        let comb = Mapper::new(&library)
+            .map(&subject, MapOptions::dag())
+            .expect("maps")
+            .delay();
+        let seq =
+            min_cycle_period(&subject, &library, MatchMode::Standard, 1e-3).expect("feasible");
+        assert!(
+            seq.period <= comb * (1.0 + 1e-5) + 1e-6,
+            "{}: sequential {} vs combinational {}",
+            net.name(),
+            seq.period,
+            comb
+        );
+    }
+}
+
+#[test]
+fn feasibility_brackets_the_minimum() {
+    let net = dagmap::benchgen::accumulator(4);
+    let subject = SubjectGraph::from_network(&net).expect("decomposes");
+    let library = Library::lib2_like();
+    let result = min_cycle_period(&subject, &library, MatchMode::Standard, 1e-3).expect("feasible");
+    assert!(period_feasible(
+        &subject,
+        &library,
+        MatchMode::Standard,
+        result.period * 1.05
+    )
+    .expect("decides"));
+    assert!(
+        !period_feasible(&subject, &library, MatchMode::Standard, result.period * 0.5)
+            .expect("decides")
+    );
+}
+
+#[test]
+fn richer_libraries_shorten_the_cycle() {
+    let net = dagmap::benchgen::accumulator(6);
+    let subject = SubjectGraph::from_network(&net).expect("decomposes");
+    let p_small = min_cycle_period(
+        &subject,
+        &Library::lib_44_1_like(),
+        MatchMode::Standard,
+        1e-3,
+    )
+    .expect("feasible")
+    .period;
+    let p_rich = min_cycle_period(
+        &subject,
+        &Library::lib_44_3_like(),
+        MatchMode::Standard,
+        1e-3,
+    )
+    .expect("feasible")
+    .period;
+    assert!(p_rich <= p_small + 1e-6, "rich {p_rich} vs small {p_small}");
+}
