@@ -1,44 +1,33 @@
 //! FlowMap labeling runtime (the Section 2 substrate): max-flow labeling
 //! versus exhaustive cut enumeration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use dagmap_bench::harness::{bench, report};
 use dagmap_flowmap::{cuts, label_network, map_luts};
 use dagmap_netlist::SubjectGraph;
 
-fn bench_flowmap(c: &mut Criterion) {
-    let mut group = c.benchmark_group("flowmap");
-    group.sample_size(10);
+fn main() {
+    let mut rows = Vec::new();
     let subject = SubjectGraph::from_network(&dagmap_benchgen::alu(8))
         .expect("benchmark decomposes")
         .into_network();
     for k in [4usize, 6] {
-        group.bench_with_input(BenchmarkId::new("label", k), &k, |b, &k| {
-            b.iter(|| {
-                let labels = label_network(black_box(&subject), k).expect("labels");
-                black_box(labels.depth(&subject))
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("label_and_map", k), &k, |b, &k| {
-            b.iter(|| {
-                let labels = label_network(black_box(&subject), k).expect("labels");
-                let mapping = map_luts(&subject, &labels).expect("maps");
-                black_box(mapping.num_luts())
-            })
-        });
+        rows.push(bench(&format!("flowmap/label/{k}"), || {
+            let labels = label_network(black_box(&subject), k).expect("labels");
+            labels.depth(&subject)
+        }));
+        rows.push(bench(&format!("flowmap/label_and_map/{k}"), || {
+            let labels = label_network(black_box(&subject), k).expect("labels");
+            let mapping = map_luts(&subject, &labels).expect("maps");
+            mapping.num_luts()
+        }));
     }
     let small = SubjectGraph::from_network(&dagmap_benchgen::ripple_adder(6))
         .expect("benchmark decomposes")
         .into_network();
-    group.bench_function("exhaustive_cuts_k4", |b| {
-        b.iter(|| {
-            let d = cuts::depth_via_cuts(black_box(&small), 4).expect("cuts");
-            black_box(d)
-        })
-    });
-    group.finish();
+    rows.push(bench("flowmap/exhaustive_cuts_k4", || {
+        cuts::depth_via_cuts(black_box(&small), 4).expect("cuts")
+    }));
+    report("flowmap", &rows);
 }
-
-criterion_group!(benches, bench_flowmap);
-criterion_main!(benches);

@@ -1,15 +1,14 @@
 //! CPU-time columns of Tables 1–3: tree vs DAG mapping runtime per library.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use dagmap_bench::harness::{bench, report};
 use dagmap_core::{MapOptions, Mapper};
 use dagmap_genlib::Library;
 use dagmap_netlist::SubjectGraph;
 
-fn bench_mapping(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mapping");
-    group.sample_size(10);
+fn main() {
+    let mut rows = Vec::new();
     let subject =
         SubjectGraph::from_network(&dagmap_benchgen::c2670_like()).expect("benchmark decomposes");
     for (lib_name, library) in [
@@ -19,42 +18,26 @@ fn bench_mapping(c: &mut Criterion) {
     ] {
         let mapper = Mapper::new(&library);
         for (algo, opts) in [("tree", MapOptions::tree()), ("dag", MapOptions::dag())] {
-            group.bench_with_input(BenchmarkId::new(lib_name, algo), &opts, |b, &opts| {
-                b.iter(|| {
-                    let mapped = mapper.map(black_box(&subject), opts).expect("maps");
-                    black_box(mapped.delay())
-                })
-            });
+            rows.push(bench(&format!("mapping/{lib_name}/{algo}"), || {
+                let mapped = mapper.map(black_box(&subject), opts).expect("maps");
+                mapped.delay()
+            }));
         }
     }
-    group.finish();
-}
 
-fn bench_mapping_scaling(c: &mut Criterion) {
     // Linear-in-subject-size claim (Section 3.4): time DAG mapping on
     // multipliers of growing width.
-    let mut group = c.benchmark_group("mapping_scaling");
-    group.sample_size(10);
     let library = Library::lib2_like();
     let mapper = Mapper::new(&library);
     for width in [4usize, 8, 12] {
         let subject = SubjectGraph::from_network(&dagmap_benchgen::array_multiplier(width))
             .expect("benchmark decomposes");
-        group.bench_with_input(
-            BenchmarkId::new("dag_multiplier", width),
-            &subject,
-            |b, subject| {
-                b.iter(|| {
-                    let mapped = mapper
-                        .map(black_box(subject), MapOptions::dag())
-                        .expect("maps");
-                    black_box(mapped.num_cells())
-                })
-            },
-        );
+        rows.push(bench(&format!("mapping/dag_multiplier/{width}"), || {
+            let mapped = mapper
+                .map(black_box(&subject), MapOptions::dag())
+                .expect("maps");
+            mapped.num_cells()
+        }));
     }
-    group.finish();
+    report("mapping", &rows);
 }
-
-criterion_group!(benches, bench_mapping, bench_mapping_scaling);
-criterion_main!(benches);

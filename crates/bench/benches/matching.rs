@@ -1,16 +1,15 @@
 //! Matcher throughput: the `O(p)` per-node cost of `graph_match` across
 //! match modes and library sizes (footnote 2 / Section 3.4 of the paper).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use dagmap_bench::harness::{bench, report};
 use dagmap_genlib::Library;
-use dagmap_match::{MatchMode, Matcher};
+use dagmap_match::{MatchMode, MatchScratch, Matcher};
 use dagmap_netlist::SubjectGraph;
 
-fn bench_matching(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matching");
-    group.sample_size(10);
+fn main() {
+    let mut rows = Vec::new();
     let subject =
         SubjectGraph::from_network(&dagmap_benchgen::alu(8)).expect("benchmark decomposes");
     let nodes: Vec<_> = subject.network().node_ids().collect();
@@ -19,64 +18,39 @@ fn bench_matching(c: &mut Criterion) {
         ("44-3", Library::lib_44_3_like()),
     ] {
         let matcher = Matcher::new(&library);
+        let mut scratch = MatchScratch::new();
         for mode in [MatchMode::Exact, MatchMode::Standard, MatchMode::Extended] {
-            group.bench_with_input(
-                BenchmarkId::new(lib_name, format!("{mode:?}")),
-                &mode,
-                |b, &mode| {
-                    b.iter(|| {
-                        let mut total = 0usize;
-                        for &id in &nodes {
-                            total += matcher.matches_at(black_box(&subject), id, mode).len();
-                        }
-                        black_box(total)
-                    })
-                },
-            );
+            rows.push(bench(&format!("matching/{lib_name}/{mode:?}"), || {
+                let mut total = 0usize;
+                for &id in &nodes {
+                    total += matcher
+                        .for_each_match_at(black_box(&subject), id, mode, &mut scratch, &mut |_| {})
+                        .enumerated;
+                }
+                total
+            }));
         }
     }
-    group.finish();
-}
 
-fn bench_matching_styles(c: &mut Criterion) {
     // Whole-circuit mapping time by matcher style (the ablation [6] cost
     // side): structural patterns vs Boolean cuts vs their union.
-    let mut group = c.benchmark_group("matching_styles");
-    group.sample_size(10);
-    let subject =
-        SubjectGraph::from_network(&dagmap_benchgen::alu(8)).expect("benchmark decomposes");
     let library = Library::lib2_like();
-    group.bench_function("structural", |b| {
-        let mapper = dagmap_core::Mapper::new(&library);
-        b.iter(|| {
-            black_box(
-                mapper
-                    .map(black_box(&subject), dagmap_core::MapOptions::dag())
-                    .expect("maps")
-                    .delay(),
-            )
-        })
-    });
-    group.bench_function("boolean_k4", |b| {
-        b.iter(|| {
-            black_box(
-                dagmap_boolmatch::map_boolean(black_box(&subject), &library, 4)
-                    .expect("maps")
-                    .delay(),
-            )
-        })
-    });
-    group.bench_function("hybrid_k4", |b| {
-        b.iter(|| {
-            black_box(
-                dagmap_boolmatch::map_hybrid(black_box(&subject), &library, 4)
-                    .expect("maps")
-                    .delay(),
-            )
-        })
-    });
-    group.finish();
+    let mapper = dagmap_core::Mapper::new(&library);
+    rows.push(bench("matching_styles/structural", || {
+        mapper
+            .map(black_box(&subject), dagmap_core::MapOptions::dag())
+            .expect("maps")
+            .delay()
+    }));
+    rows.push(bench("matching_styles/boolean_k4", || {
+        dagmap_boolmatch::map_boolean(black_box(&subject), &library, 4)
+            .expect("maps")
+            .delay()
+    }));
+    rows.push(bench("matching_styles/hybrid_k4", || {
+        dagmap_boolmatch::map_hybrid(black_box(&subject), &library, 4)
+            .expect("maps")
+            .delay()
+    }));
+    report("matching", &rows);
 }
-
-criterion_group!(benches, bench_matching, bench_matching_styles);
-criterion_main!(benches);

@@ -1,31 +1,23 @@
 //! Section 4 extension runtime: Leiserson–Saxe retiming and the Pan–Liu
 //! style sequential-mapping decision procedure.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use dagmap_bench::harness::{bench, report};
 use dagmap_genlib::Library;
 use dagmap_match::MatchMode;
 use dagmap_netlist::SubjectGraph;
 use dagmap_retime::{min_cycle_period, minimize_period, SeqGraph};
 
-fn bench_retiming(c: &mut Criterion) {
-    let mut group = c.benchmark_group("retiming");
-    group.sample_size(10);
+fn main() {
+    let mut rows = Vec::new();
     for width in [8usize, 16] {
         let net = dagmap_benchgen::accumulator(width);
         let subject = SubjectGraph::from_network(&net).expect("benchmark decomposes");
-        group.bench_with_input(
-            BenchmarkId::new("leiserson_saxe", width),
-            &subject,
-            |b, subject| {
-                b.iter(|| {
-                    let graph =
-                        SeqGraph::from_network(subject.network(), |_| 1.0).expect("extracts");
-                    black_box(minimize_period(&graph).expect("feasible").period)
-                })
-            },
-        );
+        rows.push(bench(&format!("retiming/leiserson_saxe/{width}"), || {
+            let graph = SeqGraph::from_network(subject.network(), |_| 1.0).expect("extracts");
+            minimize_period(&graph).expect("feasible").period
+        }));
     }
     let net = dagmap_benchgen::accumulator(6);
     let subject = SubjectGraph::from_network(&net).expect("benchmark decomposes");
@@ -33,21 +25,11 @@ fn bench_retiming(c: &mut Criterion) {
         ("minimal", Library::minimal()),
         ("lib2", Library::lib2_like()),
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("pan_liu_min_cycle", name),
-            &library,
-            |b, library| {
-                b.iter(|| {
-                    let r =
-                        min_cycle_period(black_box(&subject), library, MatchMode::Standard, 1e-2)
-                            .expect("feasible");
-                    black_box(r.period)
-                })
-            },
-        );
+        rows.push(bench(&format!("retiming/pan_liu_min_cycle/{name}"), || {
+            let r = min_cycle_period(black_box(&subject), &library, MatchMode::Standard, 1e-2)
+                .expect("feasible");
+            r.period
+        }));
     }
-    group.finish();
+    report("retiming", &rows);
 }
-
-criterion_group!(benches, bench_retiming);
-criterion_main!(benches);

@@ -1,0 +1,176 @@
+//! Serial vs parallel wavefront labeling micro-benchmark.
+//!
+//! Times `dagmap_core::label_with` with one worker and with `--threads N`
+//! workers over the benchgen circuits, checks the results are bit-identical,
+//! and writes the numbers to `BENCH_label.json` (hand-rolled JSON — the
+//! workspace is dependency-free).
+//!
+//! Usage: `labelperf [--quick] [--threads N] [--out PATH]`
+//!
+//! `--quick` shrinks the circuit set and repetition count (the tier-1 smoke
+//! run); `--threads` defaults to `std::thread::available_parallelism()`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dagmap_core::{label_with, MatchMode, Objective};
+use dagmap_genlib::Library;
+use dagmap_netlist::SubjectGraph;
+
+struct CircuitResult {
+    name: String,
+    subject_nodes: usize,
+    levels: usize,
+    max_width: usize,
+    matches_enumerated: usize,
+    matches_pruned: usize,
+    serial_s: f64,
+    parallel_s: f64,
+    identical: bool,
+}
+
+fn best_of(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    (0..reps).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+fn time_label(subject: &SubjectGraph, lib: &Library, threads: usize, reps: usize) -> f64 {
+    best_of(reps, || {
+        let t = Instant::now();
+        let labels = label_with(
+            subject,
+            lib,
+            MatchMode::Standard,
+            Objective::Delay,
+            Some(threads),
+        )
+        .expect("labels");
+        std::hint::black_box(labels.matches_enumerated);
+        t.elapsed().as_secs_f64()
+    })
+}
+
+fn main() {
+    let mut quick = false;
+    let mut threads: Option<usize> = None;
+    let mut out = String::from("BENCH_label.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--threads" => {
+                threads = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--threads needs a positive integer"),
+                )
+            }
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = threads.unwrap_or(available).max(2);
+    let reps = if quick { 1 } else { 3 };
+
+    let circuits: Vec<(String, dagmap_netlist::Network)> = if quick {
+        vec![
+            ("alu8".into(), dagmap_benchgen::alu(8)),
+            ("mult8".into(), dagmap_benchgen::array_multiplier(8)),
+        ]
+    } else {
+        vec![
+            ("alu8".into(), dagmap_benchgen::alu(8)),
+            ("c2670_like".into(), dagmap_benchgen::c2670_like()),
+            ("c3540_like".into(), dagmap_benchgen::c3540_like()),
+            ("mult12".into(), dagmap_benchgen::array_multiplier(12)),
+            ("c6288_like".into(), dagmap_benchgen::c6288_like()),
+        ]
+    };
+    let lib = Library::lib2_like();
+
+    println!(
+        "labelperf: {} hardware threads available, timing serial vs {} workers ({} reps)",
+        available, threads, reps
+    );
+    let mut results = Vec::new();
+    for (name, net) in circuits {
+        let subject = SubjectGraph::from_network(&net).expect("benchgen circuits decompose");
+        let levels = subject.levels();
+        let (num_levels, max_width) = (levels.num_levels(), levels.max_width());
+        let serial = label_with(&subject, &lib, MatchMode::Standard, Objective::Delay, Some(1))
+            .expect("labels");
+        let parallel = label_with(
+            &subject,
+            &lib,
+            MatchMode::Standard,
+            Objective::Delay,
+            Some(threads),
+        )
+        .expect("labels");
+        let identical = serial.arrival == parallel.arrival
+            && serial.area_flow == parallel.area_flow
+            && serial.best == parallel.best
+            && serial.matches_enumerated == parallel.matches_enumerated;
+        let serial_s = time_label(&subject, &lib, 1, reps);
+        let parallel_s = time_label(&subject, &lib, threads, reps);
+        println!(
+            "  {name:12} {:>6} nodes {:>4} levels (width {:>4}): serial {:>8.2} ms, {} threads {:>8.2} ms, speedup {:.2}x, identical={identical}",
+            subject.network().num_nodes(),
+            num_levels,
+            max_width,
+            serial_s * 1e3,
+            threads,
+            parallel_s * 1e3,
+            serial_s / parallel_s,
+        );
+        results.push(CircuitResult {
+            name,
+            subject_nodes: subject.network().num_nodes(),
+            levels: num_levels,
+            max_width,
+            matches_enumerated: serial.matches_enumerated,
+            matches_pruned: serial.matches_pruned,
+            serial_s,
+            parallel_s,
+            identical,
+        });
+    }
+
+    let all_identical = results.iter().all(|r| r.identical);
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"labelperf\",");
+    let _ = writeln!(json, "  \"library\": \"{}\",", lib.name());
+    let _ = writeln!(json, "  \"hardware_threads\": {available},");
+    let _ = writeln!(json, "  \"parallel_threads\": {threads},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"all_identical\": {all_identical},");
+    json.push_str("  \"circuits\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"subject_nodes\": {}, \"levels\": {}, \"max_width\": {}, \
+             \"matches_enumerated\": {}, \"matches_pruned\": {}, \
+             \"serial_s\": {:.6}, \"parallel_s\": {:.6}, \"speedup\": {:.3}, \
+             \"matches_per_sec_serial\": {:.0}, \"matches_per_sec_parallel\": {:.0}, \
+             \"identical\": {}}}{sep}",
+            r.name,
+            r.subject_nodes,
+            r.levels,
+            r.max_width,
+            r.matches_enumerated,
+            r.matches_pruned,
+            r.serial_s,
+            r.parallel_s,
+            r.serial_s / r.parallel_s,
+            r.matches_enumerated as f64 / r.serial_s,
+            r.matches_enumerated as f64 / r.parallel_s,
+            r.identical,
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, &json).expect("write BENCH_label.json");
+    println!("wrote {out}");
+    assert!(all_identical, "parallel labels diverged from serial");
+}

@@ -7,10 +7,15 @@
 //!   `44-3`-like libraries,
 //! * `figures` binary — Figure 1 (standard vs extended match) and Figure 2
 //!   (node duplication across a multi-fanout point),
-//! * Criterion benches — mapping/matching/FlowMap/retiming runtime.
+//! * `labelperf` binary — serial vs parallel wavefront labeling wall-clock
+//!   and matcher throughput, written to `BENCH_label.json`,
+//! * [`harness`]-based benches — mapping/matching/FlowMap/retiming runtime
+//!   (dependency-free; the workspace builds with no network access).
 //!
 //! Every mapped netlist produced here is verified functionally equivalent
 //! to its subject graph before its numbers are reported.
+
+pub mod harness;
 
 use std::time::Instant;
 

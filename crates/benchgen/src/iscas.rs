@@ -8,8 +8,7 @@
 //! graph structure (arithmetic reconvergence, multi-fanout density), which
 //! these analogues share with the originals.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use dagmap_rng::StdRng;
 
 use dagmap_netlist::{Network, NodeFn, NodeId};
 

@@ -1,8 +1,7 @@
 //! Seeded random logic networks for property-based testing and as filler
 //! "control logic" in the ISCAS-85 analogues.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use dagmap_rng::StdRng;
 
 use dagmap_netlist::{Network, NodeFn, NodeId};
 

@@ -91,8 +91,7 @@ pub fn accumulator(width: usize) -> Network {
 /// next-state and `outputs` functions are random logic over
 /// {state, inputs} — the flavour of the ISCAS-89 controller benchmarks.
 pub fn fsm(state_bits: usize, input_bits: usize, gates: usize, seed: u64) -> Network {
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use dagmap_rng::StdRng;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut net = Network::new(format!("fsm{state_bits}x{input_bits}_s{seed}"));
     let inputs = input_bus(&mut net, "x", input_bits);

@@ -1,8 +1,19 @@
-use dagmap_genlib::Library;
-use dagmap_match::{Match, MatchMode, Matcher};
-use dagmap_netlist::{NodeFn, NodeId, SubjectGraph};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Barrier, Mutex, RwLock};
+
+use dagmap_genlib::{GateId, Library};
+use dagmap_match::{Match, MatchMode, MatchScratch, MatchStats, Matcher};
+use dagmap_netlist::{Levels, NodeFn, NodeId, SubjectGraph};
 
 use crate::{MapError, Objective};
+
+/// Tie-breaking tolerance of the label comparisons.
+const EPS: f64 = 1e-9;
+
+/// Auto mode ([`label_with`] with `num_threads = None`) stays serial below
+/// this many mappable nodes — thread startup and barrier traffic dominate on
+/// small circuits.
+const PARALLEL_THRESHOLD: usize = 256;
 
 /// Result of the labeling pass: per subject node, the arrival time and
 /// estimated area of the selected match.
@@ -21,6 +32,13 @@ use crate::{MapError, Objective};
 /// labels are provably optimal arrivals (the paper's theorem); under
 /// [`Objective::Area`] the same machinery minimizes an area estimate that
 /// is exact for tree covering and an area-flow heuristic for DAG covering.
+///
+/// The pass runs level-synchronized: every fanin of a level-`l` node sits at
+/// a level strictly below `l`, so once levels `0..l` are labeled, all
+/// level-`l` nodes are independent subproblems. [`label_with`] exploits this
+/// as a parallel wavefront; the result is bit-identical to the serial pass
+/// because each node's candidate enumeration and tie-breaking never observe
+/// same-level work.
 #[derive(Debug, Clone)]
 pub struct Labels {
     /// Arrival of the selected match per subject node (sources are 0).
@@ -31,6 +49,12 @@ pub struct Labels {
     pub best: Vec<Option<Match>>,
     /// Total matches enumerated (a proxy for the paper's `O(s·p)` cost).
     pub matches_enumerated: usize,
+    /// Pattern attempts skipped by the matcher's depth pre-filter.
+    pub matches_pruned: usize,
+    /// Topological levels of the subject graph (wavefront count).
+    pub levels: usize,
+    /// Worker threads the pass actually used (1 = serial).
+    pub threads_used: usize,
 }
 
 impl Labels {
@@ -59,85 +83,17 @@ impl Labels {
 
 /// Computes the arrival of `m` at a node given current labels.
 pub(crate) fn match_arrival(library: &Library, arrival: &[f64], m: &Match) -> f64 {
-    let gate = library.gate(m.gate);
+    arrival_of_leaves(library, arrival, m.gate, &m.leaves)
+}
+
+/// Arrival of a gate instantiated with `leaves` as its pin binding.
+fn arrival_of_leaves(library: &Library, arrival: &[f64], gate: GateId, leaves: &[NodeId]) -> f64 {
+    let gate = library.gate(gate);
     let mut t: f64 = 0.0;
-    for (pin, leaf) in m.leaves.iter().enumerate() {
+    for (pin, leaf) in leaves.iter().enumerate() {
         t = t.max(arrival[leaf.index()] + gate.pin_delay(pin));
     }
     t
-}
-
-/// Runs the labeling pass.
-///
-/// # Errors
-///
-/// Returns [`MapError::NoMatch`] if some internal node has no match — i.e.
-/// the library lacks a bare inverter or NAND2 — and propagates substrate
-/// errors for cyclic subject graphs.
-pub fn label(
-    subject: &SubjectGraph,
-    library: &Library,
-    mode: MatchMode,
-    objective: Objective,
-) -> Result<Labels, MapError> {
-    let net = subject.network();
-    let matcher = Matcher::new(library);
-    let order = net.topo_order()?;
-    let mut arrival = vec![0.0f64; net.num_nodes()];
-    let mut area_flow = vec![0.0f64; net.num_nodes()];
-    let mut best: Vec<Option<Match>> = vec![None; net.num_nodes()];
-    let mut matches_enumerated = 0usize;
-
-    const EPS: f64 = 1e-9;
-    for id in order {
-        let node = net.node(id);
-        match node.func() {
-            NodeFn::Input | NodeFn::Const(_) | NodeFn::Latch => continue,
-            NodeFn::Nand | NodeFn::Not => {}
-            other => unreachable!("subject graphs never hold {}", other.name()),
-        }
-        let matches = matcher.matches_at(subject, id, mode);
-        matches_enumerated += matches.len();
-        // (arrival, area estimate, pins) per candidate.
-        let mut chosen: Option<(f64, f64, usize, Match)> = None;
-        for m in matches {
-            let t = match_arrival(library, &arrival, &m);
-            let af = match_area(net, library, &area_flow, &m, mode);
-            let pins = m.leaves.len();
-            let better = match &chosen {
-                None => true,
-                Some((bt, ba, bp, _)) => match objective {
-                    Objective::Delay => {
-                        t < *bt - EPS
-                            || (t < *bt + EPS && af < *ba - EPS)
-                            || (t < *bt + EPS && (af - *ba).abs() <= EPS && pins < *bp)
-                    }
-                    Objective::Area => {
-                        af < *ba - EPS
-                            || (af < *ba + EPS && t < *bt - EPS)
-                            || (af < *ba + EPS && (t - *bt).abs() <= EPS && pins < *bp)
-                    }
-                },
-            };
-            if better {
-                chosen = Some((t, af, pins, m));
-            }
-        }
-        match chosen {
-            Some((t, af, _, m)) => {
-                arrival[id.index()] = t;
-                area_flow[id.index()] = af;
-                best[id.index()] = Some(m);
-            }
-            None => return Err(MapError::NoMatch { node: id }),
-        }
-    }
-    Ok(Labels {
-        arrival,
-        area_flow,
-        best,
-        matches_enumerated,
-    })
 }
 
 /// Estimated area of realizing a match. For exact (tree) matches the
@@ -145,15 +101,16 @@ pub fn label(
 /// is accounted once at that root, so it contributes 0 here. For
 /// standard/extended matches sharing is approximated by dividing each
 /// leaf's cost by its fanout count (area flow).
-fn match_area(
+fn area_of_leaves(
     net: &dagmap_netlist::Network,
     library: &Library,
     area_flow: &[f64],
-    m: &Match,
+    gate: GateId,
+    leaves: &[NodeId],
     mode: MatchMode,
 ) -> f64 {
-    let mut a = library.gate(m.gate).area();
-    for leaf in &m.leaves {
+    let mut a = library.gate(gate).area();
+    for leaf in leaves {
         let fanouts = net.node(*leaf).fanouts().len();
         let contribution = match mode {
             MatchMode::Exact => {
@@ -170,6 +127,293 @@ fn match_area(
         a += contribution;
     }
     a
+}
+
+/// The per-node step of the dynamic program: enumerate matches rooted at
+/// `id` through `scratch` and keep the winner under `objective`.
+///
+/// Reads only `arrival`/`area_flow` of strict fanins (all at lower levels),
+/// which is what makes whole levels independently computable.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_node(
+    subject: &SubjectGraph,
+    matcher: &Matcher<'_>,
+    mode: MatchMode,
+    objective: Objective,
+    arrival: &[f64],
+    area_flow: &[f64],
+    id: NodeId,
+    scratch: &mut MatchScratch,
+) -> (Option<(f64, f64, Match)>, MatchStats) {
+    let net = subject.network();
+    let library = matcher.library();
+    // (arrival, area estimate, pins) of the incumbent.
+    let mut chosen: Option<(f64, f64, usize, Match)> = None;
+    let stats = matcher.for_each_match_at(subject, id, mode, scratch, &mut |mv| {
+        let t = arrival_of_leaves(library, arrival, mv.gate, mv.leaves);
+        let af = area_of_leaves(net, library, area_flow, mv.gate, mv.leaves, mode);
+        let pins = mv.leaves.len();
+        let better = match &chosen {
+            None => true,
+            Some((bt, ba, bp, _)) => match objective {
+                Objective::Delay => {
+                    t < *bt - EPS
+                        || (t < *bt + EPS && af < *ba - EPS)
+                        || (t < *bt + EPS && (af - *ba).abs() <= EPS && pins < *bp)
+                }
+                Objective::Area => {
+                    af < *ba - EPS
+                        || (af < *ba + EPS && t < *bt - EPS)
+                        || (af < *ba + EPS && (t - *bt).abs() <= EPS && pins < *bp)
+                }
+            },
+        };
+        if better {
+            chosen = Some((t, af, pins, mv.to_match()));
+        }
+    });
+    (chosen.map(|(t, af, _, m)| (t, af, m)), stats)
+}
+
+fn is_mappable(func: &NodeFn) -> bool {
+    match func {
+        NodeFn::Nand | NodeFn::Not => true,
+        NodeFn::Input | NodeFn::Const(_) | NodeFn::Latch => false,
+        other => unreachable!("subject graphs never hold {}", other.name()),
+    }
+}
+
+/// Runs the labeling pass serially (one thread, no wavefront machinery).
+///
+/// # Errors
+///
+/// Returns [`MapError::NoMatch`] if some internal node has no match — i.e.
+/// the library lacks a bare inverter or NAND2.
+pub fn label(
+    subject: &SubjectGraph,
+    library: &Library,
+    mode: MatchMode,
+    objective: Objective,
+) -> Result<Labels, MapError> {
+    label_with(subject, library, mode, objective, Some(1))
+}
+
+/// Runs the labeling pass over the level wavefronts of the subject graph,
+/// optionally in parallel.
+///
+/// `num_threads = None` picks [`std::thread::available_parallelism`] (falling
+/// back to serial on small circuits); `Some(1)` forces the serial pass;
+/// `Some(n)` forces `n` workers. Every choice produces bit-identical
+/// [`Labels`] — see the module docs of `dagmap_netlist::Levels` and
+/// DESIGN.md for the determinism argument.
+///
+/// # Errors
+///
+/// Returns [`MapError::NoMatch`] if some internal node has no match; the
+/// reported node is the same (smallest-id, earliest-level failure) however
+/// many threads run.
+pub fn label_with(
+    subject: &SubjectGraph,
+    library: &Library,
+    mode: MatchMode,
+    objective: Objective,
+    num_threads: Option<usize>,
+) -> Result<Labels, MapError> {
+    let levels = subject.levels();
+    let requested = num_threads.unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    });
+    let auto = num_threads.is_none();
+    let net = subject.network();
+    let mappable = net
+        .node_ids()
+        .filter(|&id| is_mappable(net.node(id).func()))
+        .count();
+    let nt = if requested <= 1 || (auto && mappable < PARALLEL_THRESHOLD) {
+        1
+    } else {
+        requested
+    };
+    if nt == 1 {
+        label_serial(subject, library, mode, objective, levels)
+    } else {
+        label_parallel(subject, library, mode, objective, levels, nt)
+    }
+}
+
+fn label_serial(
+    subject: &SubjectGraph,
+    library: &Library,
+    mode: MatchMode,
+    objective: Objective,
+    levels: &Levels,
+) -> Result<Labels, MapError> {
+    let net = subject.network();
+    let matcher = Matcher::new(library);
+    let mut arrival = vec![0.0f64; net.num_nodes()];
+    let mut area_flow = vec![0.0f64; net.num_nodes()];
+    let mut best: Vec<Option<Match>> = vec![None; net.num_nodes()];
+    let mut stats = MatchStats::default();
+    let mut scratch = MatchScratch::new();
+
+    // Level groups enumerate the nodes in a topological order.
+    for group in levels.groups() {
+        for &id in group {
+            if !is_mappable(net.node(id).func()) {
+                continue;
+            }
+            let (chosen, s) = evaluate_node(
+                subject, &matcher, mode, objective, &arrival, &area_flow, id, &mut scratch,
+            );
+            stats.absorb(s);
+            match chosen {
+                Some((t, af, m)) => {
+                    arrival[id.index()] = t;
+                    area_flow[id.index()] = af;
+                    best[id.index()] = Some(m);
+                }
+                None => return Err(MapError::NoMatch { node: id }),
+            }
+        }
+    }
+    Ok(Labels {
+        arrival,
+        area_flow,
+        best,
+        matches_enumerated: stats.enumerated,
+        matches_pruned: stats.pruned,
+        levels: levels.num_levels(),
+        threads_used: 1,
+    })
+}
+
+/// Per-node outcome a worker hands back to the coordinator.
+type NodeResult = (NodeId, Option<(f64, f64, Match)>, MatchStats);
+
+/// The parallel wavefront engine.
+///
+/// Levels are processed one at a time behind two [`Barrier`]s: the
+/// coordinator releases all workers into level `l` (`start`), each worker
+/// labels its stride of the level against a read-locked snapshot of the
+/// arrival/area tables, and after `done` the coordinator alone holds the
+/// write lock, folding the per-worker buffers back into the tables in
+/// ascending node-id order. Workers never observe same-level writes, so
+/// every per-node computation sees exactly the state the serial pass sees —
+/// the merge order only affects the order of floating-point *accumulation
+/// of counters*, never the labels themselves, which are per-node values.
+///
+/// A `NoMatch` failure sets the abort flag; everyone still rendezvous at
+/// both barriers for the remaining levels (cheaply, skipping the work), so
+/// barrier accounting stays consistent, and the reported failing node is
+/// the smallest id in the earliest failing level — exactly the serial one.
+fn label_parallel(
+    subject: &SubjectGraph,
+    library: &Library,
+    mode: MatchMode,
+    objective: Objective,
+    levels: &Levels,
+    nt: usize,
+) -> Result<Labels, MapError> {
+    let net = subject.network();
+    let matcher = Matcher::new(library);
+    let n = net.num_nodes();
+    let num_levels = levels.num_levels();
+
+    let state = RwLock::new((vec![0.0f64; n], vec![0.0f64; n]));
+    let buffers: Vec<Mutex<Vec<NodeResult>>> = (0..nt).map(|_| Mutex::new(Vec::new())).collect();
+    let start = Barrier::new(nt + 1);
+    let done = Barrier::new(nt + 1);
+    let abort = AtomicBool::new(false);
+
+    let mut best: Vec<Option<Match>> = vec![None; n];
+    let mut stats = MatchStats::default();
+    let mut failed: Option<NodeId> = None;
+
+    std::thread::scope(|s| {
+        for w in 0..nt {
+            let state = &state;
+            let buffers = &buffers;
+            let start = &start;
+            let done = &done;
+            let abort = &abort;
+            let matcher = &matcher;
+            s.spawn(move || {
+                let mut scratch = MatchScratch::new();
+                let mut out: Vec<NodeResult> = Vec::new();
+                for l in 0..num_levels {
+                    start.wait();
+                    if !abort.load(Ordering::Acquire) {
+                        let guard = state.read().expect("label state lock");
+                        let (arrival, area_flow) = &*guard;
+                        for (i, &id) in levels.group(l).iter().enumerate() {
+                            if i % nt != w || !is_mappable(net.node(id).func()) {
+                                continue;
+                            }
+                            let (chosen, st) = evaluate_node(
+                                subject, matcher, mode, objective, arrival, area_flow, id,
+                                &mut scratch,
+                            );
+                            out.push((id, chosen, st));
+                        }
+                        drop(guard);
+                        if !out.is_empty() {
+                            buffers[w].lock().expect("worker buffer lock").append(&mut out);
+                        }
+                    }
+                    done.wait();
+                }
+            });
+        }
+
+        // Coordinator: drive the barriers for every level and merge.
+        let mut level_results: Vec<NodeResult> = Vec::new();
+        for _ in 0..num_levels {
+            start.wait();
+            done.wait();
+            if failed.is_some() {
+                continue;
+            }
+            level_results.clear();
+            for b in &buffers {
+                level_results.append(&mut b.lock().expect("worker buffer lock"));
+            }
+            // Ascending node id: the exact order the serial pass commits in.
+            level_results.sort_unstable_by_key(|r| r.0);
+            let mut guard = state.write().expect("label state lock");
+            let (arrival, area_flow) = &mut *guard;
+            for (id, chosen, st) in level_results.drain(..) {
+                if failed.is_some() {
+                    continue;
+                }
+                stats.absorb(st);
+                match chosen {
+                    Some((t, af, m)) => {
+                        arrival[id.index()] = t;
+                        area_flow[id.index()] = af;
+                        best[id.index()] = Some(m);
+                    }
+                    None => {
+                        failed = Some(id);
+                        abort.store(true, Ordering::Release);
+                    }
+                }
+            }
+        }
+    });
+
+    if let Some(node) = failed {
+        return Err(MapError::NoMatch { node });
+    }
+    let (arrival, area_flow) = state.into_inner().expect("label state lock");
+    Ok(Labels {
+        arrival,
+        area_flow,
+        best,
+        matches_enumerated: stats.enumerated,
+        matches_pruned: stats.pruned,
+        levels: num_levels,
+        threads_used: nt,
+    })
 }
 
 #[cfg(test)]
@@ -199,6 +443,8 @@ mod tests {
         let labels = label(&subject, &lib, MatchMode::Standard, Objective::Delay).unwrap();
         // With only inv/nand2 (delay 1 each), arrival = unit depth.
         assert_eq!(labels.critical_delay(&subject), 6.0);
+        assert_eq!(labels.threads_used, 1);
+        assert_eq!(labels.levels, 7, "six gates + the source level");
     }
 
     #[test]
@@ -252,5 +498,55 @@ mod tests {
         let root = subject.network().outputs()[0].driver;
         assert!(area_l.area_flow[root.index()] <= delay_l.area_flow[root.index()] + 1e-9);
         assert!(delay_l.arrival_of(root) <= area_l.arrival_of(root) + 1e-9);
+    }
+
+    #[test]
+    fn parallel_labels_match_serial_on_a_chain() {
+        let subject = chain_subject(9);
+        let lib = Library::lib2_like();
+        let serial = label(&subject, &lib, MatchMode::Standard, Objective::Delay).unwrap();
+        for nt in [2, 3, 5] {
+            let par = label_with(
+                &subject,
+                &lib,
+                MatchMode::Standard,
+                Objective::Delay,
+                Some(nt),
+            )
+            .unwrap();
+            assert_eq!(par.threads_used, nt);
+            assert_eq!(par.arrival, serial.arrival, "nt={nt}");
+            assert_eq!(par.area_flow, serial.area_flow, "nt={nt}");
+            assert_eq!(par.best, serial.best, "nt={nt}");
+            assert_eq!(par.matches_enumerated, serial.matches_enumerated);
+            assert_eq!(par.matches_pruned, serial.matches_pruned);
+        }
+    }
+
+    #[test]
+    fn parallel_failure_reports_the_serial_node() {
+        use dagmap_genlib::Gate;
+        let subject = chain_subject(4);
+        let lib = Library::new(
+            "no_inv",
+            vec![Gate::uniform("nand2", 2.0, "O", "!(a*b)", 1.0).unwrap()],
+        )
+        .unwrap();
+        let serial = label(&subject, &lib, MatchMode::Standard, Objective::Delay).unwrap_err();
+        let par = label_with(&subject, &lib, MatchMode::Standard, Objective::Delay, Some(4))
+            .unwrap_err();
+        match (serial, par) {
+            (MapError::NoMatch { node: a }, MapError::NoMatch { node: b }) => assert_eq!(a, b),
+            other => panic!("unexpected errors {other:?}"),
+        }
+    }
+
+    #[test]
+    fn auto_mode_stays_serial_on_small_circuits() {
+        let subject = chain_subject(5);
+        let lib = Library::minimal();
+        let labels =
+            label_with(&subject, &lib, MatchMode::Standard, Objective::Delay, None).unwrap();
+        assert_eq!(labels.threads_used, 1, "below the parallel threshold");
     }
 }

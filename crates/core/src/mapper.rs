@@ -4,7 +4,7 @@ use dagmap_genlib::Library;
 use dagmap_match::MatchMode;
 use dagmap_netlist::SubjectGraph;
 
-use crate::label::{label, Labels};
+use crate::label::{label, label_with, Labels};
 use crate::{area, cover, MapError, MapOptions, MappedNetlist};
 
 /// Statistics of one mapping run, for experiment tables.
@@ -25,6 +25,12 @@ pub struct MapReport {
     pub duplicated_subject_nodes: usize,
     /// Matches enumerated during labeling (cost proxy).
     pub matches_enumerated: usize,
+    /// Pattern attempts skipped by the matcher's depth pre-filter.
+    pub matches_pruned: usize,
+    /// Worker threads the labeling pass used (1 = serial).
+    pub label_threads: usize,
+    /// Topological levels of the subject graph (parallel wavefront count).
+    pub levels: usize,
     /// Wall-clock seconds spent labeling.
     pub label_seconds: f64,
     /// Wall-clock seconds spent constructing the cover.
@@ -109,7 +115,13 @@ impl<'a> Mapper<'a> {
             });
         }
         let t0 = Instant::now();
-        let labels = label(subject, self.library, options.match_mode, options.objective)?;
+        let labels = label_with(
+            subject,
+            self.library,
+            options.match_mode,
+            options.objective,
+            options.num_threads,
+        )?;
         let label_seconds = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
@@ -165,6 +177,9 @@ impl<'a> Mapper<'a> {
             num_cells: mapped.num_cells(),
             duplicated_subject_nodes: mapped.duplicated_subject_nodes(),
             matches_enumerated: labels.matches_enumerated,
+            matches_pruned: labels.matches_pruned,
+            label_threads: labels.threads_used,
+            levels: labels.levels,
             label_seconds,
             cover_seconds,
         };

@@ -44,6 +44,11 @@ pub struct MapOptions {
     /// sweeping this traces the delay/area Pareto frontier of Section 6.
     /// Implies [`MapOptions::area_recovery`].
     pub delay_target: Option<f64>,
+    /// Worker threads for the wavefront labeling pass. `None` (the default)
+    /// uses [`std::thread::available_parallelism`], falling back to serial
+    /// on small circuits; `Some(1)` forces the exact serial pass; `Some(n)`
+    /// forces `n` workers. All settings produce bit-identical results.
+    pub num_threads: Option<usize>,
 }
 
 impl MapOptions {
@@ -55,6 +60,7 @@ impl MapOptions {
             objective: Objective::Delay,
             area_recovery: false,
             delay_target: None,
+            num_threads: None,
         }
     }
 
@@ -66,6 +72,7 @@ impl MapOptions {
             objective: Objective::Delay,
             area_recovery: false,
             delay_target: None,
+            num_threads: None,
         }
     }
 
@@ -77,6 +84,7 @@ impl MapOptions {
             objective: Objective::Delay,
             area_recovery: false,
             delay_target: None,
+            num_threads: None,
         }
     }
 
@@ -87,6 +95,7 @@ impl MapOptions {
             objective: Objective::Area,
             area_recovery: false,
             delay_target: None,
+            num_threads: None,
         }
     }
 
@@ -98,6 +107,7 @@ impl MapOptions {
             objective: Objective::Area,
             area_recovery: false,
             delay_target: None,
+            num_threads: None,
         }
     }
 
@@ -112,6 +122,14 @@ impl MapOptions {
     pub fn with_delay_target(mut self, target: f64) -> MapOptions {
         self.area_recovery = true;
         self.delay_target = Some(target);
+        self
+    }
+
+    /// Pins the wavefront labeling pass to `n` worker threads (`1` forces
+    /// the serial pass). Results are identical either way; this only trades
+    /// wall clock.
+    pub fn with_num_threads(mut self, n: usize) -> MapOptions {
+        self.num_threads = Some(n.max(1));
         self
     }
 
@@ -139,5 +157,12 @@ mod tests {
         assert_eq!(MapOptions::dag_extended().algorithm_name(), "dag-extended");
         assert!(!MapOptions::dag().area_recovery);
         assert!(MapOptions::dag().with_area_recovery().area_recovery);
+    }
+
+    #[test]
+    fn thread_count_defaults_to_auto() {
+        assert_eq!(MapOptions::dag().num_threads, None);
+        assert_eq!(MapOptions::dag().with_num_threads(4).num_threads, Some(4));
+        assert_eq!(MapOptions::dag().with_num_threads(0).num_threads, Some(1));
     }
 }

@@ -1,0 +1,66 @@
+//! Determinism of the parallel wavefront labeling engine: on random subject
+//! graphs, any thread count must reproduce the serial labels bit for bit —
+//! arrivals, area flows, selected matches and critical delay — for every
+//! match semantics and both objectives.
+
+use dagmap_benchgen::random_network;
+use dagmap_core::{label_with, MapOptions, Mapper, MatchMode, Objective};
+use dagmap_genlib::Library;
+use dagmap_netlist::SubjectGraph;
+
+#[test]
+fn parallel_labeling_is_bit_identical_to_serial() {
+    let lib = Library::lib2_like();
+    for seed in 0..6u64 {
+        let net = random_network(6 + seed as usize % 4, 60 + 25 * seed as usize, seed);
+        let subject = SubjectGraph::from_network(&net).expect("random nets are acyclic");
+        for mode in [MatchMode::Standard, MatchMode::Exact, MatchMode::Extended] {
+            for objective in [Objective::Delay, Objective::Area] {
+                let serial =
+                    label_with(&subject, &lib, mode, objective, Some(1)).expect("serial labels");
+                for nt in 2..=8usize {
+                    let par = label_with(&subject, &lib, mode, objective, Some(nt))
+                        .expect("parallel labels");
+                    assert_eq!(par.threads_used, nt);
+                    // Bit-identical, not approximately equal: the parallel
+                    // engine performs the same float operations in the same
+                    // per-node order.
+                    assert_eq!(
+                        par.arrival, serial.arrival,
+                        "seed={seed} mode={mode:?} obj={objective:?} nt={nt}"
+                    );
+                    assert_eq!(par.area_flow, serial.area_flow);
+                    assert_eq!(par.best, serial.best);
+                    assert_eq!(par.matches_enumerated, serial.matches_enumerated);
+                    assert_eq!(par.matches_pruned, serial.matches_pruned);
+                    assert_eq!(
+                        par.critical_delay(&subject).to_bits(),
+                        serial.critical_delay(&subject).to_bits()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn threaded_map_report_matches_serial_end_to_end() {
+    let lib = Library::lib_44_1_like();
+    let net = random_network(8, 120, 7);
+    let subject = SubjectGraph::from_network(&net).expect("acyclic");
+    let mapper = Mapper::new(&lib);
+    let (_, serial) = mapper
+        .map_with_report(&subject, MapOptions::dag().with_num_threads(1))
+        .expect("serial map");
+    let (_, par) = mapper
+        .map_with_report(&subject, MapOptions::dag().with_num_threads(4))
+        .expect("parallel map");
+    assert_eq!(serial.label_threads, 1);
+    assert_eq!(par.label_threads, 4);
+    assert_eq!(par.delay.to_bits(), serial.delay.to_bits());
+    assert_eq!(par.area.to_bits(), serial.area.to_bits());
+    assert_eq!(par.num_cells, serial.num_cells);
+    assert_eq!(par.matches_enumerated, serial.matches_enumerated);
+    assert_eq!(par.matches_pruned, serial.matches_pruned);
+    assert_eq!(par.levels, serial.levels);
+}

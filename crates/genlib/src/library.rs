@@ -34,6 +34,10 @@ pub struct LibPattern {
     pub shape: TreeShape,
     /// The NAND2/INV pattern graph.
     pub graph: PatternGraph,
+    /// Cached [`PatternGraph::depth`] — a match rooted at a subject node is
+    /// only possible when the node's topological level is at least this, the
+    /// invariant the matcher's depth pre-filter prunes on.
+    pub depth: u32,
 }
 
 /// A gate library with its expanded pattern set.
@@ -121,10 +125,12 @@ impl Library {
                     PatternNode::Leaf { .. } => unreachable!("trivial patterns were skipped"),
                 }
                 shapes_seen.push(graph.clone());
+                let depth = graph.depth();
                 patterns.push(LibPattern {
                     gate: GateId::from_index(gi),
                     shape,
                     graph,
+                    depth,
                 });
             }
         }

@@ -47,4 +47,4 @@
 
 mod matcher;
 
-pub use matcher::{Match, MatchMode, Matcher};
+pub use matcher::{Match, MatchMode, MatchScratch, MatchStats, MatchView, Matcher};

@@ -1,5 +1,3 @@
-use std::collections::{HashMap, HashSet};
-
 use dagmap_genlib::{GateId, Library, PatternGraph, PatternId, PatternNode};
 use dagmap_netlist::{Network, NodeFn, NodeId, SubjectGraph};
 
@@ -34,10 +32,91 @@ pub struct Match {
     pub covered: Vec<NodeId>,
 }
 
-/// Backtracking state shared across the recursive search.
-struct State {
+/// A borrowed view of one match, valid only inside the enumeration
+/// callback of [`Matcher::for_each_match_at`].
+///
+/// The leaf and covered slices point into the caller's [`MatchScratch`], so
+/// consuming a match costs nothing; call [`MatchView::to_match`] only when
+/// the match must outlive the callback.
+#[derive(Debug, Copy, Clone)]
+pub struct MatchView<'a> {
+    /// The gate this match instantiates.
+    pub gate: GateId,
+    /// The expanded pattern that produced the match.
+    pub pattern: PatternId,
+    /// Subject node bound to each gate pin, in canonical pin order.
+    pub leaves: &'a [NodeId],
+    /// Distinct subject nodes bound to internal pattern nodes, root included.
+    pub covered: &'a [NodeId],
+}
+
+impl MatchView<'_> {
+    /// Materializes an owned [`Match`].
+    pub fn to_match(&self) -> Match {
+        Match {
+            gate: self.gate,
+            pattern: Some(self.pattern),
+            leaves: self.leaves.to_vec(),
+            covered: self.covered.to_vec(),
+        }
+    }
+}
+
+/// Counters of one enumeration call.
+#[derive(Debug, Copy, Clone, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Distinct matches reported (after per-node dedup).
+    pub enumerated: usize,
+    /// Patterns skipped by the depth pre-filter without any search.
+    pub pruned: usize,
+}
+
+impl MatchStats {
+    /// Accumulates another call's counters.
+    pub fn absorb(&mut self, other: MatchStats) {
+        self.enumerated += other.enumerated;
+        self.pruned += other.pruned;
+    }
+}
+
+/// Reusable buffers for allocation-free match enumeration.
+///
+/// The matcher's hot loop used to build a fresh `HashMap` owner table,
+/// `HashSet` dedup set and `Vec<Match>` per node per pattern attempt; with a
+/// `MatchScratch` every table is a plain reused `Vec`:
+///
+/// * `binding` — pattern-node → subject-node table, reset per pattern (its
+///   length is the pattern size, a handful of entries),
+/// * `owned` — subject-node membership flags for the one-to-one rule,
+///   restored exactly by the backtracking search, so it is never cleared,
+/// * `seen_keys`/`seen_leaves` — a flat arena of (gate, leaf-slice) keys for
+///   per-node dedup, replacing the hashing of owned `Vec<NodeId>` keys,
+/// * `leaves_buf`/`covered_buf` — the current match's pin binding, bounded
+///   by the widest gate of the library.
+///
+/// One scratch per thread is the intended usage; the parallel labeling
+/// engine of `dagmap-core` keeps one per worker.
+#[derive(Debug, Default, Clone)]
+pub struct MatchScratch {
     binding: Vec<Option<NodeId>>,
-    owner: HashMap<NodeId, usize>,
+    owned: Vec<bool>,
+    seen_keys: Vec<(GateId, u32, u32)>,
+    seen_leaves: Vec<NodeId>,
+    leaves_buf: Vec<NodeId>,
+    covered_buf: Vec<NodeId>,
+}
+
+impl MatchScratch {
+    /// Creates an empty scratch; buffers grow to steady-state on first use.
+    pub fn new() -> MatchScratch {
+        MatchScratch::default()
+    }
+}
+
+/// Backtracking state shared across the recursive search.
+struct State<'a> {
+    binding: &'a mut Vec<Option<NodeId>>,
+    owned: &'a mut Vec<bool>,
 }
 
 /// Enumerates matches of a library's expanded pattern set at subject nodes.
@@ -59,75 +138,120 @@ impl<'a> Matcher<'a> {
         self.library
     }
 
-    /// Enumerates all distinct matches rooted at `node`.
+    /// Enumerates all distinct matches rooted at `node`, invoking `f` once
+    /// per match with a zero-copy [`MatchView`] into `scratch`.
     ///
     /// Two matches are the same when they instantiate the same gate with the
     /// same pin binding (different internal routes or pattern shapes do not
     /// multiply results). Inputs, constants and latches have no matches.
-    pub fn matches_at(&self, subject: &SubjectGraph, node: NodeId, mode: MatchMode) -> Vec<Match> {
+    ///
+    /// Patterns whose NAND/INV depth exceeds the subject node's topological
+    /// level cannot embed (every pattern edge descends at least one subject
+    /// level) and are skipped without search; [`MatchStats::pruned`] counts
+    /// them.
+    pub fn for_each_match_at(
+        &self,
+        subject: &SubjectGraph,
+        node: NodeId,
+        mode: MatchMode,
+        scratch: &mut MatchScratch,
+        f: &mut dyn FnMut(MatchView<'_>),
+    ) -> MatchStats {
         let net = subject.network();
         let candidates: &[PatternId] = match net.node(node).func() {
             NodeFn::Nand => self.library.patterns_rooted_nand(),
             NodeFn::Not => self.library.patterns_rooted_inv(),
-            _ => return Vec::new(),
+            _ => return MatchStats::default(),
         };
-        let mut out = Vec::new();
-        let mut seen: HashSet<(GateId, Vec<NodeId>)> = HashSet::new();
+        let node_level = subject.level(node);
+        let mut stats = MatchStats::default();
+
+        if scratch.owned.len() < net.num_nodes() {
+            scratch.owned.resize(net.num_nodes(), false);
+        }
+        scratch.seen_keys.clear();
+        scratch.seen_leaves.clear();
+
+        let MatchScratch {
+            binding,
+            owned,
+            seen_keys,
+            seen_leaves,
+            leaves_buf,
+            covered_buf,
+        } = scratch;
+
         for &pid in candidates {
             let lp = self.library.pattern(pid);
-            self.match_pattern(net, node, &lp.graph, mode, &mut |st: &State| {
-                let mut leaves = vec![NodeId::from_index(0); lp.graph.num_pins()];
-                let mut covered = Vec::new();
-                for (i, pn) in lp.graph.nodes().iter().enumerate() {
+            if lp.depth > node_level {
+                stats.pruned += 1;
+                continue;
+            }
+            let graph = &lp.graph;
+            binding.clear();
+            binding.resize(graph.len(), None);
+            let mut st = State { binding, owned };
+            try_bind(net, graph, mode, graph.root(), node, &mut st, &mut |st| {
+                // Complete binding: extract the pin assignment and the
+                // covered internal nodes into the reused buffers.
+                leaves_buf.clear();
+                leaves_buf.resize(graph.num_pins(), NodeId::from_index(0));
+                covered_buf.clear();
+                for (i, pn) in graph.nodes().iter().enumerate() {
                     let s = st.binding[i].expect("complete matches bind every node");
                     match pn {
-                        PatternNode::Leaf { pin } => leaves[*pin] = s,
+                        PatternNode::Leaf { pin } => leaves_buf[*pin] = s,
                         _ => {
-                            if !covered.contains(&s) {
-                                covered.push(s);
+                            if !covered_buf.contains(&s) {
+                                covered_buf.push(s);
                             }
                         }
                     }
                 }
-                if seen.insert((lp.gate, leaves.clone())) {
-                    out.push(Match {
+                // Dedup against earlier matches at this node: linear scan of
+                // the flat key arena (match counts per node are small).
+                let duplicate = seen_keys.iter().any(|&(g, off, len)| {
+                    g == lp.gate
+                        && &seen_leaves[off as usize..(off + len) as usize] == leaves_buf.as_slice()
+                });
+                if !duplicate {
+                    let off = u32::try_from(seen_leaves.len()).expect("arena fits u32");
+                    let len = u32::try_from(leaves_buf.len()).expect("pin count fits u32");
+                    seen_leaves.extend_from_slice(leaves_buf);
+                    seen_keys.push((lp.gate, off, len));
+                    stats.enumerated += 1;
+                    f(MatchView {
                         gate: lp.gate,
-                        pattern: Some(pid),
-                        leaves,
-                        covered,
+                        pattern: pid,
+                        leaves: leaves_buf,
+                        covered: covered_buf,
                     });
                 }
             });
         }
+        stats
+    }
+
+    /// Enumerates all distinct matches rooted at `node` as owned values.
+    ///
+    /// A convenience wrapper over [`Matcher::for_each_match_at`] for callers
+    /// that are not on a hot path; it allocates a fresh scratch and one
+    /// `Match` per result.
+    pub fn matches_at(&self, subject: &SubjectGraph, node: NodeId, mode: MatchMode) -> Vec<Match> {
+        let mut scratch = MatchScratch::new();
+        let mut out = Vec::new();
+        self.for_each_match_at(subject, node, mode, &mut scratch, &mut |mv| {
+            out.push(mv.to_match());
+        });
         out
     }
 
-    /// Counts matches per mode at one node without materializing them.
+    /// Counts distinct matches at one node via the enumeration callback,
+    /// without materializing any `Match` value.
     pub fn count_matches_at(&self, subject: &SubjectGraph, node: NodeId, mode: MatchMode) -> usize {
-        self.matches_at(subject, node, mode).len()
-    }
-
-    fn match_pattern(
-        &self,
-        net: &Network,
-        root: NodeId,
-        pattern: &PatternGraph,
-        mode: MatchMode,
-        on_match: &mut dyn FnMut(&State),
-    ) {
-        let mut st = State {
-            binding: vec![None; pattern.len()],
-            owner: HashMap::new(),
-        };
-        try_bind(
-            net,
-            pattern,
-            mode,
-            pattern.root(),
-            root,
-            &mut st,
-            &mut |st| on_match(st),
-        );
+        let mut scratch = MatchScratch::new();
+        self.for_each_match_at(subject, node, mode, &mut scratch, &mut |_| {})
+            .enumerated
     }
 }
 
@@ -169,7 +293,7 @@ fn try_bind(
         }
     }
     // One-to-one requirement of standard and exact matches.
-    if mode != MatchMode::Extended && st.owner.contains_key(&s) {
+    if mode != MatchMode::Extended && st.owned[s.index()] {
         return;
     }
     // Condition 3 of exact matches: internal nodes must not fan out beyond
@@ -184,7 +308,7 @@ fn try_bind(
 
     st.binding[p] = Some(s);
     if mode != MatchMode::Extended {
-        st.owner.insert(s, p);
+        st.owned[s.index()] = true;
     }
 
     match pn {
@@ -211,7 +335,7 @@ fn try_bind(
 
     st.binding[p] = None;
     if mode != MatchMode::Extended {
-        st.owner.remove(&s);
+        st.owned[s.index()] = false;
     }
 }
 
@@ -220,6 +344,7 @@ mod tests {
     use super::*;
     use dagmap_genlib::Gate;
     use dagmap_netlist::NetlistError;
+    use std::collections::HashSet;
 
     fn lib(gates: &[(&str, &str)]) -> Library {
         Library::new(
@@ -474,5 +599,90 @@ mod tests {
         want.sort();
         assert_eq!(covered, want);
         Ok(())
+    }
+
+    #[test]
+    fn scratch_reuse_across_nodes_and_subjects_is_clean() {
+        // One scratch driven over every node of two different subjects must
+        // give exactly what fresh-scratch enumeration gives.
+        let l = lib(&[
+            ("inv", "!a"),
+            ("nand2", "!(a*b)"),
+            ("and2", "a*b"),
+            ("nand4", "!(a*b*c*d)"),
+        ]);
+        let matcher = Matcher::new(&l);
+        let mut shared = MatchScratch::new();
+        for seed_shape in 0..2 {
+            let mut net = Network::new("s");
+            let a = net.add_input("a");
+            let b = net.add_input("b");
+            let g = net.add_node(NodeFn::Nand, vec![a, b]).unwrap();
+            let h = net.add_node(NodeFn::Not, vec![g]).unwrap();
+            let top = if seed_shape == 0 {
+                let k = net.add_node(NodeFn::Nand, vec![h, a]).unwrap();
+                net.add_node(NodeFn::Not, vec![k]).unwrap()
+            } else {
+                net.add_node(NodeFn::Nand, vec![h, b]).unwrap()
+            };
+            net.add_output("f", top);
+            let subject = wrap(net);
+            for node in subject.network().node_ids() {
+                for mode in [MatchMode::Standard, MatchMode::Exact, MatchMode::Extended] {
+                    let mut via_shared = Vec::new();
+                    matcher.for_each_match_at(&subject, node, mode, &mut shared, &mut |mv| {
+                        via_shared.push(mv.to_match());
+                    });
+                    let fresh = matcher.matches_at(&subject, node, mode);
+                    assert_eq!(via_shared, fresh);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_matches_agrees_with_enumeration() {
+        let l = lib(&[("inv", "!a"), ("nand2", "!(a*b)"), ("and2", "a*b")]);
+        let matcher = Matcher::new(&l);
+        let mut net = Network::new("c");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_node(NodeFn::Nand, vec![a, b]).unwrap();
+        let h = net.add_node(NodeFn::Not, vec![g]).unwrap();
+        net.add_output("f", h);
+        let subject = wrap(net);
+        for node in subject.network().node_ids() {
+            for mode in [MatchMode::Standard, MatchMode::Exact, MatchMode::Extended] {
+                assert_eq!(
+                    matcher.count_matches_at(&subject, node, mode),
+                    matcher.matches_at(&subject, node, mode).len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn depth_prefilter_prunes_without_changing_results() {
+        // nand4's balanced pattern has depth 3; at the level-1 bare NAND it
+        // must be pruned up front, while everything that can match still
+        // does.
+        let l = lib(&[("inv", "!a"), ("nand2", "!(a*b)"), ("nand4", "!(a*b*c*d)")]);
+        let matcher = Matcher::new(&l);
+        let mut net = Network::new("p");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_node(NodeFn::Nand, vec![a, b]).unwrap();
+        net.add_output("f", g);
+        let subject = wrap(net);
+        let mut scratch = MatchScratch::new();
+        let mut n = 0usize;
+        let stats =
+            matcher.for_each_match_at(&subject, g, MatchMode::Standard, &mut scratch, &mut |_| {
+                n += 1;
+            });
+        assert_eq!(n, 2, "both pin orders of nand2 still match");
+        assert_eq!(stats.enumerated, 2);
+        // Depth-3 nand4 patterns (both shapes) were pruned at level 1.
+        assert!(stats.pruned >= 1, "{stats:?}");
     }
 }

@@ -1,0 +1,220 @@
+//! Topological levels of a [`Network`] — the wavefront structure the
+//! parallel labeling engine of `dagmap-core` synchronizes on.
+//!
+//! The level of a node is its unit-delay depth: sources (primary inputs,
+//! constants and latches — a latch's output is available at the start of
+//! the clock cycle) sit at level 0, and every combinational node sits one
+//! past the deepest of its fanins. Two facts make levels the right
+//! parallelization grain for the labeling dynamic program:
+//!
+//! 1. every fanin of a level-`l` node lives at a level strictly below `l`,
+//!    so once levels `0..l` are finalized, all level-`l` nodes can be
+//!    labeled independently, and
+//! 2. levels partition the nodes, so a pass over the level groups visits
+//!    each node exactly once — the grouping *is* a topological order.
+
+use crate::{NetlistError, Network, NodeId};
+
+/// Per-node topological levels of a network, with nodes grouped by level.
+///
+/// Produced by [`Network::topo_levels`]. Within each group, nodes are held
+/// in ascending id order, so any per-level traversal is deterministic.
+///
+/// ```
+/// use dagmap_netlist::{Network, NodeFn};
+///
+/// # fn main() -> Result<(), dagmap_netlist::NetlistError> {
+/// let mut net = Network::new("n");
+/// let a = net.add_input("a");
+/// let b = net.add_input("b");
+/// let g = net.add_node(NodeFn::And, vec![a, b])?;
+/// let h = net.add_node(NodeFn::Not, vec![g])?;
+/// net.add_output("f", h);
+/// let levels = net.topo_levels()?;
+/// assert_eq!(levels.num_levels(), 3); // longest path (2 edges) + 1
+/// assert_eq!(levels.level_of(a), 0);
+/// assert_eq!(levels.level_of(h), 2);
+/// assert_eq!(levels.group(1), &[g]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Levels {
+    level: Vec<u32>,
+    groups: Vec<Vec<NodeId>>,
+}
+
+impl Levels {
+    /// Level of one node (sources are 0).
+    pub fn level_of(&self, id: NodeId) -> u32 {
+        self.level[id.index()]
+    }
+
+    /// Per-node levels, indexed by [`NodeId::index`].
+    pub fn as_slice(&self) -> &[u32] {
+        &self.level
+    }
+
+    /// Number of distinct levels — the longest combinational path plus one
+    /// (0 for an empty network).
+    pub fn num_levels(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The nodes of level `l`, in ascending id order.
+    pub fn group(&self, l: usize) -> &[NodeId] {
+        &self.groups[l]
+    }
+
+    /// All level groups, shallowest first.
+    pub fn groups(&self) -> &[Vec<NodeId>] {
+        &self.groups
+    }
+
+    /// The widest level's node count — an upper bound on the useful
+    /// parallelism of a level-synchronized pass.
+    pub fn max_width(&self) -> usize {
+        self.groups.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+impl Network {
+    /// Computes topological levels: sources (inputs, constants, latches) at
+    /// level 0, every combinational node one past its deepest fanin.
+    ///
+    /// Latches are level-0 sources even though they have a data fanin — the
+    /// fanin is consumed at the *end* of the cycle, mirroring
+    /// [`Network::topo_order`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the latch-free part
+    /// of the network is cyclic.
+    pub fn topo_levels(&self) -> Result<Levels, NetlistError> {
+        let order = self.topo_order()?;
+        let mut level = vec![0u32; self.num_nodes()];
+        let mut deepest: u32 = 0;
+        for &id in &order {
+            let node = self.node(id);
+            if !node.func().is_combinational() || node.fanins().is_empty() {
+                continue;
+            }
+            let l = 1 + node
+                .fanins()
+                .iter()
+                .map(|f| level[f.index()])
+                .max()
+                .expect("non-empty fanins");
+            level[id.index()] = l;
+            deepest = deepest.max(l);
+        }
+        let num_levels = if self.num_nodes() == 0 {
+            0
+        } else {
+            deepest as usize + 1
+        };
+        let mut groups: Vec<Vec<NodeId>> = vec![Vec::new(); num_levels];
+        // node_ids() ascends, so each group ends up sorted by id.
+        for id in self.node_ids() {
+            groups[level[id.index()] as usize].push(id);
+        }
+        Ok(Levels { level, groups })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeFn;
+
+    #[test]
+    fn levels_respect_fanin_order() {
+        let mut net = Network::new("d");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_node(NodeFn::And, vec![a, b]).unwrap();
+        let h = net.add_node(NodeFn::Not, vec![g]).unwrap();
+        let k = net.add_node(NodeFn::Or, vec![g, h]).unwrap();
+        net.add_output("f", k);
+        let levels = net.topo_levels().unwrap();
+        for id in net.node_ids() {
+            for f in net.node(id).fanins() {
+                assert!(
+                    levels.level_of(*f) < levels.level_of(id),
+                    "fanin {f} of {id} must sit strictly below"
+                );
+            }
+        }
+        // The reconvergent Or sees g (level 1) and h (level 2): level 3.
+        assert_eq!(levels.level_of(k), 3);
+    }
+
+    #[test]
+    fn sources_sit_at_level_zero() {
+        let mut net = Network::new("s");
+        let a = net.add_input("a");
+        let k = net.add_node(NodeFn::Const(true), vec![]).unwrap();
+        let g = net.add_node(NodeFn::And, vec![a, a]).unwrap();
+        let latch = net.add_node(NodeFn::Latch, vec![g]).unwrap();
+        let h = net.add_node(NodeFn::Xor, vec![latch, k]).unwrap();
+        net.add_output("q", h);
+        let levels = net.topo_levels().unwrap();
+        assert_eq!(levels.level_of(a), 0, "inputs are sources");
+        assert_eq!(levels.level_of(k), 0, "constants are sources");
+        assert_eq!(levels.level_of(latch), 0, "latches are sources");
+        assert_eq!(levels.level_of(h), 1, "consumers of latches start at 1");
+        assert!(levels.group(0).contains(&latch));
+    }
+
+    #[test]
+    fn level_count_is_longest_path_plus_one() {
+        let mut net = Network::new("chain");
+        let mut cur = net.add_input("a");
+        for _ in 0..5 {
+            cur = net.add_node(NodeFn::Not, vec![cur]).unwrap();
+        }
+        net.add_output("f", cur);
+        let levels = net.topo_levels().unwrap();
+        assert_eq!(levels.num_levels(), 6);
+        assert_eq!(levels.max_width(), 1);
+    }
+
+    #[test]
+    fn groups_partition_nodes_in_id_order() {
+        let mut net = Network::new("p");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_node(NodeFn::And, vec![a, b]).unwrap();
+        let h = net.add_node(NodeFn::Or, vec![a, b]).unwrap();
+        net.add_output("f", g);
+        net.add_output("g", h);
+        let levels = net.topo_levels().unwrap();
+        let total: usize = levels.groups().iter().map(Vec::len).sum();
+        assert_eq!(total, net.num_nodes());
+        for group in levels.groups() {
+            assert!(group.windows(2).all(|w| w[0] < w[1]), "ascending ids");
+        }
+        assert_eq!(levels.group(1), &[g, h]);
+    }
+
+    #[test]
+    fn cyclic_networks_are_rejected() {
+        // A latch-free cycle can only be fabricated through the placeholder
+        // patch API.
+        let mut net = Network::new("cyc");
+        let a = net.add_input("a");
+        let g = net.add_node(NodeFn::Not, vec![a]).unwrap();
+        let h = net.add_node(NodeFn::Not, vec![g]).unwrap();
+        net.replace_single_fanin(g, h);
+        net.add_output("f", h);
+        assert!(net.topo_levels().is_err());
+    }
+
+    #[test]
+    fn empty_network_has_no_levels() {
+        let net = Network::new("empty");
+        let levels = net.topo_levels().unwrap();
+        assert_eq!(levels.num_levels(), 0);
+        assert_eq!(levels.max_width(), 0);
+    }
+}

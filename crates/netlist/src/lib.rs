@@ -41,6 +41,7 @@ pub mod aiger;
 pub mod blif;
 mod error;
 mod id;
+mod levels;
 mod logic;
 mod network;
 pub mod sim;
@@ -50,6 +51,7 @@ mod subject;
 
 pub use error::NetlistError;
 pub use id::NodeId;
+pub use levels::Levels;
 pub use logic::NodeFn;
 pub use network::{Network, Node, Output};
 pub use sop::{Cube, SopCover};

@@ -77,7 +77,7 @@ impl Default for DecomposeOptions {
 #[derive(Debug, Clone)]
 pub struct SubjectGraph {
     net: Network,
-    levels: Vec<u32>,
+    levels: crate::Levels,
 }
 
 #[derive(PartialEq, Eq, Hash)]
@@ -557,7 +557,13 @@ impl SubjectGraph {
 
     /// Unit-delay level of a node (inputs, constants and latches are 0).
     pub fn level(&self, id: NodeId) -> u32 {
-        self.levels[id.index()]
+        self.levels.level_of(id)
+    }
+
+    /// The full level structure: per-node levels plus nodes grouped by
+    /// level — the wavefronts a level-synchronized labeling pass iterates.
+    pub fn levels(&self) -> &crate::Levels {
+        &self.levels
     }
 
     /// Unit-delay depth: the maximum level over primary-output drivers and
@@ -565,11 +571,11 @@ impl SubjectGraph {
     pub fn depth(&self) -> u32 {
         let mut d = 0;
         for out in self.net.outputs() {
-            d = d.max(self.levels[out.driver.index()]);
+            d = d.max(self.levels.level_of(out.driver));
         }
         for id in self.net.node_ids() {
             if matches!(self.net.node(id).func(), NodeFn::Latch) {
-                d = d.max(self.levels[self.net.node(id).fanins()[0].index()]);
+                d = d.max(self.levels.level_of(self.net.node(id).fanins()[0]));
             }
         }
         d
@@ -593,22 +599,8 @@ impl SubjectGraph {
     }
 }
 
-fn compute_levels(net: &Network) -> Vec<u32> {
-    let order = net.topo_order().expect("subject graphs are acyclic");
-    let mut levels = vec![0u32; net.num_nodes()];
-    for id in order {
-        let node = net.node(id);
-        if !node.func().is_combinational() || node.fanins().is_empty() {
-            continue;
-        }
-        levels[id.index()] = 1 + node
-            .fanins()
-            .iter()
-            .map(|f| levels[f.index()])
-            .max()
-            .expect("non-empty fanins");
-    }
-    levels
+fn compute_levels(net: &Network) -> crate::Levels {
+    net.topo_levels().expect("subject graphs are acyclic")
 }
 
 #[cfg(test)]

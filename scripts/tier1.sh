@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification: offline workspace build, full test suite, and a
+# labelperf smoke run (serial-vs-parallel labeling must stay bit-identical).
+#
+# The build environment has no registry access; --offline makes that
+# assumption explicit so a dependency regression fails here, not in CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline --workspace
+
+# Smoke-run the labeling micro-bench: asserts parallel == serial labels and
+# writes BENCH_label.json (quick mode keeps this to a couple of seconds).
+DAGMAP_BENCH_QUICK=1 cargo run -q --release --offline -p dagmap-bench --bin labelperf -- \
+  --quick --out target/BENCH_label_smoke.json
+
+echo "tier1: OK"

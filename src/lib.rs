@@ -21,7 +21,9 @@
 //!   structural-bias-free alternative matcher,
 //! * [`flowmap`] — FlowMap k-LUT mapping, the algorithm the paper builds on,
 //! * [`retime`] — retiming and the sequential mapping extension (Section 4),
-//! * [`benchgen`] — circuit generators standing in for the MCNC benchmarks.
+//! * [`benchgen`] — circuit generators standing in for the MCNC benchmarks,
+//! * [`rng`] — the small seeded PRNG the workspace uses instead of external
+//!   randomness crates (the build environment has no registry access).
 //!
 //! # Quickstart
 //!
@@ -50,6 +52,7 @@ pub use dagmap_genlib as genlib;
 pub use dagmap_match as matching;
 pub use dagmap_netlist as netlist;
 pub use dagmap_retime as retime;
+pub use dagmap_rng as rng;
 
 /// Convenient glob import for examples and downstream experiments.
 pub mod prelude {

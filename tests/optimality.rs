@@ -140,7 +140,7 @@ fn exhaustive_all_covers_oracle() {
     use dagmap::core::verify;
     use dagmap::matching::{Match, Matcher};
     use dagmap::netlist::{Network, NodeFn};
-    use rand::{rngs::StdRng, RngExt, SeedableRng};
+    use dagmap_rng::StdRng;
 
     // Small library so the product of choices stays tractable.
     let library = Library::new(
@@ -292,7 +292,7 @@ fn worked_example_has_the_predicted_optimum() {
 fn tree_area_objective_is_optimal_on_trees() {
     use dagmap::matching::{Match, Matcher};
     use dagmap::netlist::{Network, NodeFn};
-    use rand::{rngs::StdRng, RngExt, SeedableRng};
+    use dagmap_rng::StdRng;
 
     let library = Library::new(
         "area_tiny",

@@ -1,11 +1,11 @@
 //! Parser robustness: malformed BLIF and genlib inputs must produce
 //! descriptive errors, never panics; well-formed expressions survive
-//! print-parse round trips (property-based).
-
-use proptest::prelude::*;
+//! print-parse round trips (seeded random sweep — the workspace builds with
+//! no external property-testing framework).
 
 use dagmap::genlib::{Expr, Library};
 use dagmap::netlist::blif;
+use dagmap::rng::StdRng;
 
 #[test]
 fn malformed_blif_yields_errors_not_panics() {
@@ -50,45 +50,60 @@ fn malformed_genlib_yields_errors_not_panics() {
     }
 }
 
-/// Random expression trees over a small variable set.
-fn arbitrary_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0usize..4).prop_map(|i| Expr::Var(format!("v{i}"))),
-        any::<bool>().prop_map(Expr::Const),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            prop::collection::vec(inner.clone(), 2..4).prop_map(Expr::And),
-            prop::collection::vec(inner, 2..4).prop_map(Expr::Or),
-        ]
-    })
+/// A random expression tree over `v0..v3`, at most `depth` operators deep —
+/// the old proptest strategy, hand-rolled over the workspace PRNG.
+fn arbitrary_expr(rng: &mut StdRng, depth: u32) -> Expr {
+    let roll = if depth == 0 {
+        rng.random_range(0..2u32) // leaves only
+    } else {
+        rng.random_range(0..5u32)
+    };
+    match roll {
+        0 => Expr::Var(format!("v{}", rng.random_range(0..4u32))),
+        1 => Expr::Const(rng.random_bool(0.5)),
+        2 => Expr::Not(Box::new(arbitrary_expr(rng, depth - 1))),
+        op => {
+            let n = rng.random_range(2..4usize);
+            let kids = (0..n).map(|_| arbitrary_expr(rng, depth - 1)).collect();
+            if op == 3 {
+                Expr::And(kids)
+            } else {
+                Expr::Or(kids)
+            }
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn expressions_round_trip_through_display(e in arbitrary_expr()) {
+#[test]
+fn expressions_round_trip_through_display() {
+    let vars: Vec<String> = (0..4).map(|i| format!("v{i}")).collect();
+    let mut rng = StdRng::seed_from_u64(0xE09);
+    for case in 0..64 {
+        let e = arbitrary_expr(&mut rng, 4);
         let text = e.to_string();
         let parsed = Expr::parse(&text).expect("printed expressions parse");
-        let vars: Vec<String> = (0..4).map(|i| format!("v{i}")).collect();
-        prop_assert_eq!(
+        assert_eq!(
             e.truth_table(&vars).expect("few variables"),
             parsed.truth_table(&vars).expect("few variables"),
-            "{}", text
+            "case={case}: {text}"
         );
     }
+}
 
-    #[test]
-    fn gates_from_random_expressions_build_libraries(e in arbitrary_expr()) {
-        use dagmap::genlib::Gate;
+#[test]
+fn gates_from_random_expressions_build_libraries() {
+    use dagmap::genlib::Gate;
+    let mut rng = StdRng::seed_from_u64(0x6A7E);
+    for case in 0..64 {
+        let e = arbitrary_expr(&mut rng, 4);
         // Any expression with at least one variable makes a legal gate; the
         // library must either build or report a clean validation error.
         if e.vars().is_empty() {
-            return Ok(());
+            continue;
         }
         let gate = Gate::uniform("g", 1.0, "O", &e.to_string(), 1.0).expect("well-formed gate");
-        let _ = Library::new("r", vec![gate]).expect("single-gate library builds");
+        let _ = Library::new("r", vec![gate]).unwrap_or_else(|err| {
+            panic!("case={case}: single-gate library builds: {err}");
+        });
     }
 }
