@@ -1,0 +1,261 @@
+//! Supergate delay-gap experiment: a Table-3-style comparison of base vs
+//! supergate-extended libraries over the ISCAS-85-like suite.
+//!
+//! For each library the extension is generated twice — serial and with
+//! `--threads N` workers — and the two extended libraries are asserted
+//! textually identical (generation is bit-identical by construction). Every
+//! circuit is then tree- and DAG-mapped under both the base and extended
+//! libraries, each extended mapping is verified functionally equivalent,
+//! and the run asserts the paper-level guarantee: DAG delay under the
+//! extension is never worse than under the base, with at least one circuit
+//! strictly improved for `44-1`. Results land in `BENCH_supergate.json`.
+//!
+//! Usage: `supergate [--quick] [--threads N] [--out PATH]`
+//!
+//! `--quick` shrinks the run to the `44-1` library and the `c6288` analogue
+//! (the tier-1 smoke configuration).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dagmap_core::{verify, MapOptions, Mapper};
+use dagmap_genlib::Library;
+use dagmap_netlist::{Network, SubjectGraph};
+use dagmap_supergate::{extend_library, SupergateOptions};
+
+struct CircuitResult {
+    name: String,
+    subject_gates: usize,
+    tree_base: f64,
+    dag_base: f64,
+    tree_ext: f64,
+    dag_ext: f64,
+    area_base: f64,
+    area_ext: f64,
+}
+
+struct LibResult {
+    library: String,
+    base_gates: usize,
+    supergates: usize,
+    candidates: usize,
+    gen_s: f64,
+    identical: bool,
+    circuits: Vec<CircuitResult>,
+}
+
+fn delay_of(mapper: &Mapper, subject: &SubjectGraph, opts: MapOptions) -> (f64, f64) {
+    let mapped = mapper.map(subject, opts).expect("mapping succeeds");
+    (mapped.delay(), mapped.area())
+}
+
+fn main() {
+    let mut quick = std::env::var("DAGMAP_BENCH_QUICK").is_ok();
+    let mut threads: Option<usize> = None;
+    let mut out = String::from("BENCH_supergate.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--threads" => {
+                threads = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--threads needs a positive integer"),
+                )
+            }
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = threads.unwrap_or(available).max(2);
+    let opts = SupergateOptions::default();
+
+    let libraries: Vec<(&str, Library)> = if quick {
+        vec![("44-1", Library::lib_44_1_like())]
+    } else {
+        vec![
+            ("44-1", Library::lib_44_1_like()),
+            ("lib2", Library::lib2_like()),
+        ]
+    };
+    let circuits: Vec<(&'static str, Network)> = if quick {
+        vec![("c6288", dagmap_benchgen::c6288_like())]
+    } else {
+        dagmap_benchgen::iscas_suite()
+    };
+
+    println!(
+        "supergate: depth {} / {} inputs / {} cells max; determinism checked at 1 vs {} threads",
+        opts.max_depth, opts.max_inputs, opts.max_count, threads
+    );
+
+    let mut results: Vec<LibResult> = Vec::new();
+    for (lib_name, base) in &libraries {
+        let t0 = Instant::now();
+        let serial = extend_library(
+            base,
+            &SupergateOptions {
+                num_threads: Some(1),
+                ..opts.clone()
+            },
+        )
+        .expect("extension succeeds");
+        let gen_s = t0.elapsed().as_secs_f64();
+        let parallel = extend_library(
+            base,
+            &SupergateOptions {
+                num_threads: Some(threads),
+                ..opts.clone()
+            },
+        )
+        .expect("extension succeeds");
+        let identical =
+            serial.library.to_genlib_string() == parallel.library.to_genlib_string();
+        let ext = serial.library;
+        println!(
+            "\nlibrary `{lib_name}`: {} gates -> {} (+{} supergates, {} candidates, {:.2}s, identical={identical})",
+            base.gates().len(),
+            ext.gates().len(),
+            serial.report.supergates,
+            serial.report.candidates,
+            gen_s,
+        );
+        println!(
+            "{:<8} {:>7} | {:>9} {:>9} | {:>9} {:>9} | {:>6} {:>6}",
+            "circuit", "gates", "base tree", "base dag", "ext tree", "ext dag", "gap b", "gap e"
+        );
+
+        let base_mapper = Mapper::new(base);
+        let ext_mapper = Mapper::new(&ext);
+        let mut rows = Vec::new();
+        for (name, net) in &circuits {
+            let subject = SubjectGraph::from_network(net).expect("benchmarks decompose");
+            let (tree_base, _) = delay_of(&base_mapper, &subject, MapOptions::tree());
+            let (dag_base, area_base) = delay_of(&base_mapper, &subject, MapOptions::dag());
+            let (tree_ext, _) = delay_of(&ext_mapper, &subject, MapOptions::tree());
+            let ext_mapped = ext_mapper
+                .map(&subject, MapOptions::dag())
+                .expect("mapping succeeds");
+            verify::check(&ext_mapped, &subject, 0x5009)
+                .expect("extended mapping is equivalent");
+            let (dag_ext, area_ext) = (ext_mapped.delay(), ext_mapped.area());
+            assert!(
+                dag_ext <= dag_base + 1e-9,
+                "{lib_name}/{name}: extended DAG delay {dag_ext} exceeds base {dag_base}"
+            );
+            assert!(
+                tree_ext <= tree_base + 1e-9,
+                "{lib_name}/{name}: extended tree delay {tree_ext} exceeds base {tree_base}"
+            );
+            println!(
+                "{:<8} {:>7} | {:>9.2} {:>9.2} | {:>9.2} {:>9.2} | {:>6.2} {:>6.2}",
+                name,
+                subject.num_gates(),
+                tree_base,
+                dag_base,
+                tree_ext,
+                dag_ext,
+                tree_base / dag_base.max(1e-9),
+                tree_ext / dag_ext.max(1e-9),
+            );
+            rows.push(CircuitResult {
+                name: (*name).to_owned(),
+                subject_gates: subject.num_gates(),
+                tree_base,
+                dag_base,
+                tree_ext,
+                dag_ext,
+                area_base,
+                area_ext,
+            });
+        }
+        let gm = |f: &dyn Fn(&CircuitResult) -> f64| -> f64 {
+            (rows.iter().map(|r| f(r).ln()).sum::<f64>() / rows.len().max(1) as f64).exp()
+        };
+        println!(
+            "geometric-mean tree/DAG gap: base {:.3}, extended {:.3}; ext/base DAG delay {:.3}",
+            gm(&|r| r.tree_base / r.dag_base.max(1e-9)),
+            gm(&|r| r.tree_ext / r.dag_ext.max(1e-9)),
+            gm(&|r| r.dag_ext / r.dag_base.max(1e-9)),
+        );
+        results.push(LibResult {
+            library: (*lib_name).to_owned(),
+            base_gates: base.gates().len(),
+            supergates: serial.report.supergates,
+            candidates: serial.report.candidates,
+            gen_s,
+            identical,
+            circuits: rows,
+        });
+    }
+
+    let all_identical = results.iter().all(|r| r.identical);
+    let improved_44_1 = results
+        .iter()
+        .find(|r| r.library == "44-1")
+        .map(|r| {
+            r.circuits
+                .iter()
+                .filter(|c| c.dag_ext < c.dag_base - 1e-9)
+                .count()
+        })
+        .unwrap_or(0);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"supergate\",");
+    let _ = writeln!(json, "  \"max_depth\": {},", opts.max_depth);
+    let _ = writeln!(json, "  \"max_inputs\": {},", opts.max_inputs);
+    let _ = writeln!(json, "  \"max_count\": {},", opts.max_count);
+    let _ = writeln!(json, "  \"parallel_threads\": {threads},");
+    let _ = writeln!(json, "  \"all_identical\": {all_identical},");
+    let _ = writeln!(json, "  \"improved_circuits_44_1\": {improved_44_1},");
+    json.push_str("  \"libraries\": [\n");
+    for (li, lr) in results.iter().enumerate() {
+        let lsep = if li + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"library\": \"{}\",", lr.library);
+        let _ = writeln!(json, "      \"base_gates\": {},", lr.base_gates);
+        let _ = writeln!(json, "      \"supergates\": {},", lr.supergates);
+        let _ = writeln!(json, "      \"candidates\": {},", lr.candidates);
+        let _ = writeln!(json, "      \"generation_s\": {:.6},", lr.gen_s);
+        let _ = writeln!(json, "      \"identical\": {},", lr.identical);
+        json.push_str("      \"circuits\": [\n");
+        for (i, c) in lr.circuits.iter().enumerate() {
+            let sep = if i + 1 == lr.circuits.len() { "" } else { "," };
+            let _ = writeln!(
+                json,
+                "        {{\"name\": \"{}\", \"subject_gates\": {}, \
+                 \"tree_base\": {:.3}, \"dag_base\": {:.3}, \
+                 \"tree_ext\": {:.3}, \"dag_ext\": {:.3}, \
+                 \"area_base\": {:.1}, \"area_ext\": {:.1}, \
+                 \"gap_base\": {:.4}, \"gap_ext\": {:.4}, \
+                 \"dag_speedup\": {:.4}}}{sep}",
+                c.name,
+                c.subject_gates,
+                c.tree_base,
+                c.dag_base,
+                c.tree_ext,
+                c.dag_ext,
+                c.area_base,
+                c.area_ext,
+                c.tree_base / c.dag_base.max(1e-9),
+                c.tree_ext / c.dag_ext.max(1e-9),
+                c.dag_base / c.dag_ext.max(1e-9),
+            );
+        }
+        json.push_str("      ]\n");
+        let _ = writeln!(json, "    }}{lsep}");
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, &json).expect("write BENCH_supergate.json");
+    println!("\nwrote {out}");
+
+    assert!(all_identical, "supergate generation diverged across thread counts");
+    assert!(
+        improved_44_1 >= 1,
+        "no circuit strictly improved under the extended 44-1 library"
+    );
+}

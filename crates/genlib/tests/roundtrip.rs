@@ -1,0 +1,109 @@
+//! Write→parse roundtrip over the builtin libraries.
+//!
+//! Every builtin is serialized with [`Library::to_genlib_string`] and parsed
+//! back with [`Library::from_genlib_named`]; the reconstruction must preserve
+//! gate names, areas, per-pin block delays, and — the part the mapper
+//! actually relies on — every gate's truth table. This is what lets
+//! `dagmap supergen --out` emit an extended library that later sessions can
+//! load with `--lib` and map with identical results.
+
+use dagmap_genlib::Library;
+
+fn builtins() -> Vec<Library> {
+    vec![
+        Library::minimal(),
+        Library::lib2_like(),
+        Library::lib_44_1_like(),
+        Library::lib_44_3_like(),
+    ]
+}
+
+fn assert_roundtrips(original: &Library) {
+    let text = original.to_genlib_string();
+    let parsed = Library::from_genlib_named(original.name(), &text)
+        .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", original.name()));
+
+    assert_eq!(
+        original.gates().len(),
+        parsed.gates().len(),
+        "{}: gate count changed across roundtrip",
+        original.name()
+    );
+    for (a, b) in original.gates().iter().zip(parsed.gates()) {
+        assert_eq!(a.name(), b.name());
+        assert!(
+            (a.area() - b.area()).abs() < 1e-9,
+            "{}/{}: area {} became {}",
+            original.name(),
+            a.name(),
+            a.area(),
+            b.area()
+        );
+        assert_eq!(
+            a.num_pins(),
+            b.num_pins(),
+            "{}/{}: pin count changed",
+            original.name(),
+            a.name()
+        );
+        for (i, ((pa, ta), (pb, tb))) in a.pins().iter().zip(b.pins()).enumerate() {
+            assert_eq!(pa, pb, "{}/{}: pin {i} renamed", original.name(), a.name());
+            assert!(
+                (ta.block_delay() - tb.block_delay()).abs() < 1e-9,
+                "{}/{}/{pa}: block delay {} became {}",
+                original.name(),
+                a.name(),
+                ta.block_delay(),
+                tb.block_delay()
+            );
+        }
+        let vars: Vec<String> = a.pins().iter().map(|(p, _)| p.clone()).collect();
+        let tt_a = a.expr().truth_table(&vars).expect("truth table");
+        let tt_b = b.expr().truth_table(&vars).expect("truth table");
+        assert_eq!(
+            tt_a,
+            tt_b,
+            "{}/{}: function changed across roundtrip",
+            original.name(),
+            a.name()
+        );
+    }
+}
+
+#[test]
+fn builtin_libraries_roundtrip_through_genlib_text() {
+    for lib in builtins() {
+        assert_roundtrips(&lib);
+    }
+}
+
+#[test]
+fn roundtrip_is_a_fixpoint() {
+    // Serializing the reparsed library must reproduce the text verbatim —
+    // i.e. one write→parse pass reaches the canonical form immediately.
+    for lib in builtins() {
+        let text = lib.to_genlib_string();
+        let parsed = Library::from_genlib_named(lib.name(), &text).expect("reparse");
+        assert_eq!(
+            text,
+            parsed.to_genlib_string(),
+            "{}: serialization is not a fixpoint",
+            lib.name()
+        );
+    }
+}
+
+#[test]
+fn roundtrip_preserves_mappability() {
+    for lib in builtins() {
+        let text = lib.to_genlib_string();
+        let parsed = Library::from_genlib_named(lib.name(), &text).expect("reparse");
+        assert_eq!(
+            lib.is_delay_mappable(),
+            parsed.is_delay_mappable(),
+            "{}: mappability changed across roundtrip",
+            lib.name()
+        );
+        assert_eq!(lib.patterns().len(), parsed.patterns().len());
+    }
+}

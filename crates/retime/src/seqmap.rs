@@ -225,12 +225,35 @@ pub fn min_cycle_period(
     mode: MatchMode,
     tol: f64,
 ) -> Result<SeqMapResult, RetimeError> {
+    min_cycle_period_with(subject, library, mode, tol, None)
+}
+
+/// [`min_cycle_period`] with an explicit worker-thread count for the
+/// combinational labeling bound (`None` = serial), the knob `dagmap retime
+/// --threads` exposes. The search result is identical for every value —
+/// parallel labeling is bit-identical to serial.
+///
+/// # Errors
+///
+/// Same failure modes as [`min_cycle_period`].
+pub fn min_cycle_period_with(
+    subject: &SubjectGraph,
+    library: &Library,
+    mode: MatchMode,
+    tol: f64,
+    num_threads: Option<usize>,
+) -> Result<SeqMapResult, RetimeError> {
     let cache = build_cache(subject, library, mode)?;
     // Upper bound: the combinational-optimal mapping retimed exactly.
-    let comb = Mapper::new(library)
-        .label(subject, mode_to_options(mode).match_mode)
-        .map_err(|e| RetimeError::Map(e.to_string()))?
-        .critical_delay(subject);
+    let comb = dagmap_core::label_with(
+        subject,
+        library,
+        mode_to_options(mode).match_mode,
+        dagmap_core::Objective::Delay,
+        num_threads,
+    )
+    .map_err(|e| RetimeError::Map(e.to_string()))?
+    .critical_delay(subject);
     let mut hi = comb.max(1e-6);
     let mut best = None;
     for _ in 0..8 {

@@ -15,4 +15,10 @@ cargo test -q --offline --workspace
 DAGMAP_BENCH_QUICK=1 cargo run -q --release --offline -p dagmap-bench --bin labelperf -- \
   --quick --out target/BENCH_label_smoke.json
 
+# Smoke-run the supergate experiment: bounded generation on 44-1, asserting
+# the extension is bit-identical at 1 vs N threads and that the extended
+# library maps the c6288 analogue with delay <= the base library's.
+cargo run -q --release --offline -p dagmap-bench --bin supergate -- \
+  --quick --out target/BENCH_supergate_smoke.json
+
 echo "tier1: OK"

@@ -21,6 +21,8 @@
 //!   structural-bias-free alternative matcher,
 //! * [`flowmap`] — FlowMap k-LUT mapping, the algorithm the paper builds on,
 //! * [`retime`] — retiming and the sequential mapping extension (Section 4),
+//! * [`supergate`] — supergate enumeration: automatic library extension with
+//!   composed cells (the "richness" axis of the paper's Table 3),
 //! * [`benchgen`] — circuit generators standing in for the MCNC benchmarks,
 //! * [`rng`] — the small seeded PRNG the workspace uses instead of external
 //!   randomness crates (the build environment has no registry access).
@@ -53,6 +55,7 @@ pub use dagmap_match as matching;
 pub use dagmap_netlist as netlist;
 pub use dagmap_retime as retime;
 pub use dagmap_rng as rng;
+pub use dagmap_supergate as supergate;
 
 /// Convenient glob import for examples and downstream experiments.
 pub mod prelude {

@@ -20,7 +20,8 @@ use dagmap::core::{load, verify, verilog, MapOptions, Mapper, Objective};
 use dagmap::genlib::Library;
 use dagmap::matching::MatchMode;
 use dagmap::netlist::{blif, Network, SubjectGraph};
-use dagmap::retime::{min_cycle_period, minimize_period, SeqGraph};
+use dagmap::retime::{min_cycle_period_with, minimize_period, SeqGraph};
+use dagmap::supergate::{extend_library, SupergateOptions};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,6 +31,7 @@ fn main() -> ExitCode {
         Some("retime") => cmd_retime(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("lib") => cmd_lib(&args[1..]),
+        Some("supergen") => cmd_supergen(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("--help" | "-h") | None => {
             eprint!("{}", USAGE);
@@ -50,12 +52,13 @@ const USAGE: &str = "\
 dagmap — delay-optimal technology mapping by DAG covering (DAC 1998)
 
 usage:
-  dagmap map    <in.blif> [options]   map against a gate library
-  dagmap luts   <in.blif> [-k <k>]    FlowMap k-LUT mapping
-  dagmap retime <in.blif> [options]   minimum clock period (retime + map)
-  dagmap stats  <in.blif>             network and subject-graph statistics
-  dagmap lib    <f.genlib>|--builtin  library statistics
-  dagmap gen    <name> [--out f]      emit a generated benchmark as BLIF
+  dagmap map      <in.blif> [options]   map against a gate library
+  dagmap luts     <in.blif> [-k <k>]    FlowMap k-LUT mapping
+  dagmap retime   <in.blif> [options]   minimum clock period (retime + map)
+  dagmap stats    <in.blif>             network and subject-graph statistics
+  dagmap lib      <f.genlib>|--builtin  library statistics
+  dagmap supergen [options]             extend a library with supergates
+  dagmap gen      <name> [--out f]      emit a generated benchmark as BLIF
 
 files ending in .aag are read/written as ASCII AIGER; everything else is
 BLIF.
@@ -68,10 +71,32 @@ map options:
   --objective delay|area              optimization goal (default delay)
   --recover                           slack-driven area recovery
   --buffer <max_load>                 bound fanout loads with buffers
+  --supergates <depth>                extend the library with supergates up
+                                      to <depth> composed gate levels first
+  --threads <n>                       labeling worker threads (default: all
+                                      hardware threads; results identical)
   --out <f.blif>                      write the mapped netlist as BLIF
   --verilog <f.v>                     write structural Verilog
   --report-path                       print the critical path
   --no-verify                         skip the equivalence check
+
+retime options:
+  --builtin/--lib                     as for map
+  --tol <t>                           period search tolerance (default 1e-3)
+  --threads <n>                       labeling worker threads
+
+lib options:
+  --gates                             also print per-gate pattern statistics
+
+supergen options:
+  --builtin/--lib                     base library (default lib2)
+  --depth <d>                         max composed gate levels (default 2)
+  --max-inputs <n>                    supergate input budget, 2..=6 (default 4)
+  --max-count <c>                     max supergates emitted (default 64)
+  --max-pool <p>                      candidate pool cap (default 128)
+  --threads <n>                       worker threads (output is bit-identical
+                                      for every thread count)
+  --out <f.genlib>                    write the extended library as genlib
 ";
 
 type CmdResult = Result<(), Box<dyn Error>>;
@@ -143,9 +168,45 @@ fn positional(args: &[String], what: &str) -> Result<String, Box<dyn Error>> {
         .ok_or_else(|| format!("missing {what}").into())
 }
 
+/// Parses `--threads <n>`.
+fn take_threads(args: &mut Vec<String>) -> Result<Option<usize>, Box<dyn Error>> {
+    take_value(args, "--threads")?
+        .map(|s| {
+            s.parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| "--threads needs a positive integer".into())
+        })
+        .transpose()
+}
+
 fn cmd_map(args: &[String]) -> CmdResult {
     let mut args = args.to_vec();
-    let library = load_library(&mut args)?;
+    let mut library = load_library(&mut args)?;
+    let threads = take_threads(&mut args)?;
+    let supergates: Option<u32> = take_value(&mut args, "--supergates")?
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--supergates needs a depth (gate levels)")?;
+    if let Some(depth) = supergates {
+        let ext = extend_library(
+            &library,
+            &SupergateOptions {
+                max_depth: depth,
+                num_threads: threads,
+                ..SupergateOptions::default()
+            },
+        )?;
+        println!(
+            "supergates: {} -> `{}` (+{} cells from {} candidates, depth <= {})",
+            library.name(),
+            ext.library.name(),
+            ext.report.supergates,
+            ext.report.candidates,
+            ext.report.rounds,
+        );
+        library = ext.library;
+    }
     let algo = take_value(&mut args, "--algo")?.unwrap_or_else(|| "dag".into());
     let objective = take_value(&mut args, "--objective")?.unwrap_or_else(|| "delay".into());
     let recover = take_flag(&mut args, "--recover");
@@ -208,6 +269,9 @@ fn cmd_map(args: &[String]) -> CmdResult {
     };
     if recover {
         opts = opts.with_area_recovery();
+    }
+    if let Some(n) = threads {
+        opts = opts.with_num_threads(n);
     }
     let (mut mapped, report) = Mapper::new(&library).map_with_report(&subject, opts)?;
     if let Some(max_load) = buffer {
@@ -284,6 +348,7 @@ fn cmd_luts(args: &[String]) -> CmdResult {
 fn cmd_retime(args: &[String]) -> CmdResult {
     let mut args = args.to_vec();
     let library = load_library(&mut args)?;
+    let threads = take_threads(&mut args)?;
     let tol: f64 = take_value(&mut args, "--tol")?
         .map(|s| s.parse())
         .transpose()
@@ -301,7 +366,7 @@ fn cmd_retime(args: &[String]) -> CmdResult {
         pure.period
     );
 
-    let mapped = min_cycle_period(&subject, &library, MatchMode::Standard, tol)?;
+    let mapped = min_cycle_period_with(&subject, &library, MatchMode::Standard, tol, threads)?;
     println!(
         "with mapping into `{}`: minimum clock period {:.3}",
         library.name(),
@@ -334,6 +399,7 @@ fn cmd_stats(args: &[String]) -> CmdResult {
 
 fn cmd_lib(args: &[String]) -> CmdResult {
     let mut args = args.to_vec();
+    let per_gate = take_flag(&mut args, "--gates");
     let library = if args.iter().any(|a| a == "--builtin") {
         load_library(&mut args)?
     } else {
@@ -350,6 +416,96 @@ fn cmd_lib(args: &[String]) -> CmdResult {
         library.max_gate_inputs(),
         library.is_delay_mappable()
     );
+
+    // Pattern-graph statistics, so base and supergate-extended libraries can
+    // be compared from the CLI.
+    let mut input_histogram: std::collections::BTreeMap<usize, usize> =
+        std::collections::BTreeMap::new();
+    for gate in library.gates() {
+        *input_histogram.entry(gate.num_pins()).or_insert(0) += 1;
+    }
+    let histogram: Vec<String> = input_histogram
+        .iter()
+        .map(|(k, n)| format!("{k}-input: {n}"))
+        .collect();
+    println!("input-count histogram: {}", histogram.join(", "));
+    println!(
+        "max pattern depth: {} NAND/INV levels",
+        library.patterns().iter().map(|p| p.depth).max().unwrap_or(0)
+    );
+    if per_gate {
+        println!(
+            "{:<16} {:>6} {:>8} {:>9} {:>9} {:>9}",
+            "gate", "pins", "patterns", "max depth", "area", "max delay"
+        );
+        for (i, gate) in library.gates().iter().enumerate() {
+            let pats: Vec<_> = library
+                .patterns()
+                .iter()
+                .filter(|p| p.gate.index() == i)
+                .collect();
+            println!(
+                "{:<16} {:>6} {:>8} {:>9} {:>9.1} {:>9.2}",
+                gate.name(),
+                gate.num_pins(),
+                pats.len(),
+                pats.iter().map(|p| p.depth).max().unwrap_or(0),
+                gate.area(),
+                gate.max_delay(),
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_supergen(args: &[String]) -> CmdResult {
+    let mut args = args.to_vec();
+    let library = load_library(&mut args)?;
+    let mut opts = SupergateOptions::default();
+    if let Some(d) = take_value(&mut args, "--depth")? {
+        opts.max_depth = d.parse().map_err(|_| "--depth needs an integer")?;
+    }
+    if let Some(n) = take_value(&mut args, "--max-inputs")? {
+        opts.max_inputs = n.parse().map_err(|_| "--max-inputs needs an integer")?;
+    }
+    if let Some(c) = take_value(&mut args, "--max-count")? {
+        opts.max_count = c.parse().map_err(|_| "--max-count needs an integer")?;
+    }
+    if let Some(p) = take_value(&mut args, "--max-pool")? {
+        opts.max_pool = p.parse().map_err(|_| "--max-pool needs an integer")?;
+    }
+    opts.num_threads = take_threads(&mut args)?;
+    let out = take_value(&mut args, "--out")?;
+
+    let ext = extend_library(&library, &opts)?;
+    let r = &ext.report;
+    println!(
+        "supergen `{}` -> `{}`: {} base gates + {} supergates ({} candidates over {} rounds, pool {}, {} threads)",
+        library.name(),
+        ext.library.name(),
+        r.base_gates,
+        r.supergates,
+        r.candidates,
+        r.rounds,
+        r.pool_size,
+        r.threads,
+    );
+    println!(
+        "extended: {} patterns, p = {} pattern nodes, max {} inputs",
+        ext.library.patterns().len(),
+        ext.library.total_pattern_nodes(),
+        ext.library.max_gate_inputs(),
+    );
+    for sg in &r.gates {
+        println!(
+            "  {:<6} {} inputs, depth {}, area {:.0}, delay {:.2}: {}",
+            sg.name, sg.inputs, sg.depth, sg.area, sg.max_delay, sg.expr
+        );
+    }
+    if let Some(path) = out {
+        fs::write(&path, ext.library.to_genlib_string())?;
+        println!("wrote {path}");
+    }
     Ok(())
 }
 

@@ -127,6 +127,99 @@ fn report_path_prints_the_critical_chain() {
 }
 
 #[test]
+fn supergen_extends_a_library_and_the_output_maps() {
+    // Bounded generation keeps this quick; the written genlib must load back
+    // through `map --lib` and map a circuit successfully.
+    let ext = temp_path("ext44.genlib");
+    let (ok, out, err) = dagmap(&[
+        "supergen",
+        "--builtin",
+        "44-1",
+        "--max-count",
+        "8",
+        "--max-pool",
+        "48",
+        "--threads",
+        "2",
+        "--out",
+        &ext,
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("supergen"), "{out}");
+    assert!(out.contains("supergates"), "{out}");
+
+    let blif = temp_path("sg_add8.blif");
+    let (ok, _, err) = dagmap(&["gen", "add8", "--out", &blif]);
+    assert!(ok, "{err}");
+    let (ok, out, err) = dagmap(&["map", &blif, "--lib", &ext]);
+    assert!(ok, "{err}");
+    assert!(out.contains("delay"), "{out}");
+}
+
+#[test]
+fn map_with_supergates_never_regresses_delay() {
+    let blif = temp_path("sg_mul6.blif");
+    let (ok, _, err) = dagmap(&["gen", "mul6", "--out", &blif]);
+    assert!(ok, "{err}");
+
+    let delay_of = |out: &str| -> f64 {
+        out.lines()
+            .find_map(|l| {
+                let rest = l.split("delay").nth(1)?;
+                let token = rest.trim_start_matches([' ', ':', '=']).split_whitespace().next()?;
+                token.trim_end_matches(',').parse().ok()
+            })
+            .unwrap_or_else(|| panic!("no delay in output: {out}"))
+    };
+
+    let (ok, base_out, err) = dagmap(&["map", &blif, "--builtin", "44-1"]);
+    assert!(ok, "{err}");
+    let (ok, ext_out, err) = dagmap(&[
+        "map", &blif, "--builtin", "44-1", "--supergates", "2", "--threads", "2",
+    ]);
+    assert!(ok, "{err}");
+    assert!(ext_out.contains("supergates:"), "{ext_out}");
+    assert!(
+        delay_of(&ext_out) <= delay_of(&base_out) + 1e-9,
+        "extended mapping regressed: base `{base_out}` vs ext `{ext_out}`"
+    );
+}
+
+#[test]
+fn threads_flag_is_accepted_and_validated() {
+    let blif = temp_path("thr_add6.blif");
+    let (ok, _, err) = dagmap(&["gen", "add6", "--out", &blif]);
+    assert!(ok, "{err}");
+    let (ok, out, err) = dagmap(&["map", &blif, "--builtin", "44-1", "--threads", "2"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("delay"), "{out}");
+
+    let seq = temp_path("thr_acc4.blif");
+    let (ok, _, err) = dagmap(&["gen", "acc4", "--out", &seq]);
+    assert!(ok, "{err}");
+    let (ok, out, err) = dagmap(&["retime", &seq, "--builtin", "minimal", "--threads", "2"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("minimum clock period"), "{out}");
+
+    let (ok, _, err) = dagmap(&["map", &blif, "--builtin", "44-1", "--threads", "0"]);
+    assert!(!ok);
+    assert!(err.contains("--threads"), "{err}");
+}
+
+#[test]
+fn lib_command_prints_pattern_statistics() {
+    let (ok, out, err) = dagmap(&["lib", "--builtin", "44-1", "--gates"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("input-count histogram"), "{out}");
+    assert!(out.contains("max pattern depth"), "{out}");
+    // Per-gate table lists every cell of the builtin.
+    assert!(out.contains("max delay"), "{out}");
+    for gate in ["inv", "nand2"] {
+        assert!(out.contains(gate), "missing {gate} in: {out}");
+    }
+}
+
+#[test]
 fn aiger_files_round_trip_through_the_cli() {
     let aag = temp_path("alu4.aag");
     let (ok, _, err) = dagmap(&["gen", "alu4", "--out", &aag]);
