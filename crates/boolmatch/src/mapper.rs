@@ -274,9 +274,11 @@ pub fn map_hybrid(
     library: &Library,
     k: usize,
 ) -> Result<MappedNetlist, MapError> {
-    use dagmap_match::{MatchMode, Matcher};
+    use dagmap_match::{MatchMode, MatchScratch, MatchStore, Matcher};
     let index = LibraryIndex::build(library, k.min(crate::tt::MAX_INPUTS));
     let matcher = Matcher::new(library);
+    let mut scratch = MatchScratch::new();
+    let mut store = MatchStore::for_library(library);
     let net = subject.network();
     let order = net.topo_order()?;
     let cuts = enumerate_cuts(net, &order, index.max_inputs());
@@ -295,7 +297,16 @@ pub fn map_hybrid(
             continue;
         }
         let mut ms = matches_at(net, &index, &cuts[id.index()], id, &mut stats);
-        ms.extend(matcher.matches_at(subject, id, MatchMode::Standard));
+        // Structural candidates via the accelerated (indexed + memoized)
+        // matcher: same match sequence as a naive scan, no per-node scratch.
+        matcher.for_each_match_via(
+            subject,
+            id,
+            MatchMode::Standard,
+            &mut scratch,
+            &mut store,
+            &mut |mv| ms.push(mv.to_match()),
+        );
         let mut chosen: Option<(f64, f64, Match)> = None;
         for m in ms {
             let gate = library.gate(m.gate);

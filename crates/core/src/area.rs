@@ -10,11 +10,10 @@
 //! label ≤ req) is always feasible, so induction over the reverse
 //! topological order bounds every realized arrival by its requirement.
 
-use dagmap_genlib::Library;
-use dagmap_match::{Match, MatchMode, Matcher};
+use dagmap_match::{Match, MatchMode, MatchScratch, MatchStore, Matcher};
 use dagmap_netlist::{NodeFn, SubjectGraph};
 
-use crate::label::{match_arrival, Labels};
+use crate::label::{arrival_of_leaves, Labels};
 use crate::MapError;
 
 const EPS: f64 = 1e-9;
@@ -23,20 +22,29 @@ const EPS: f64 = 1e-9;
 /// `target` (clamped to at least the optimum, so feasibility is
 /// guaranteed). Returns one selected match per *needed* node.
 ///
+/// The caller provides the matcher and the scratch/store pair, so the
+/// refinement rounds of `Mapper::map_with_report` share one match memo:
+/// after round 1 every cone class in the circuit is warm and later rounds
+/// enumerate nothing. Candidate matches are consumed as borrowed
+/// [`dagmap_match::MatchView`]s and materialized only when they beat the
+/// incumbent, replacing the former per-node `matches_at` allocation.
+///
 /// # Errors
 ///
 /// Propagates substrate errors; infeasibility cannot occur (see module
 /// docs).
 pub(crate) fn recover(
     subject: &SubjectGraph,
-    library: &Library,
+    matcher: &Matcher<'_>,
     labels: &Labels,
     mode: MatchMode,
     target: f64,
+    scratch: &mut MatchScratch,
+    store: &mut MatchStore,
 ) -> Result<Vec<Option<Match>>, MapError> {
     let net = subject.network();
     let order = net.topo_order()?;
-    let matcher = Matcher::new(library);
+    let library = matcher.library();
 
     // Area flow: estimated area cost of producing each signal, discounted by
     // fanout sharing (a standard mapper heuristic).
@@ -74,13 +82,13 @@ pub(crate) fn recover(
         }
         let budget = req[id.index()];
         let mut chosen: Option<(f64, f64, Match)> = None; // (cost, arrival)
-        for m in matcher.matches_at(subject, id, mode) {
-            let t = match_arrival(library, &labels.arrival, &m);
+        matcher.for_each_match_via(subject, id, mode, scratch, store, &mut |mv| {
+            let t = arrival_of_leaves(library, &labels.arrival, mv.gate, mv.leaves);
             if t > budget + EPS {
-                continue;
+                return;
             }
-            let mut cost = library.gate(m.gate).area();
-            for leaf in &m.leaves {
+            let mut cost = library.gate(mv.gate).area();
+            for leaf in mv.leaves {
                 if !needed[leaf.index()] {
                     cost += af[leaf.index()];
                 }
@@ -90,9 +98,9 @@ pub(crate) fn recover(
                 Some((bc, bt, _)) => cost < bc - EPS || (cost < bc + EPS && t < bt - EPS),
             };
             if better {
-                chosen = Some((cost, t, m));
+                chosen = Some((cost, t, mv.to_match()));
             }
-        }
+        });
         let (_, _, m) = chosen.ok_or(MapError::NoMatch { node: id })?;
         let gate = library.gate(m.gate);
         for (pin, leaf) in m.leaves.iter().enumerate() {
@@ -130,12 +138,32 @@ mod tests {
         SubjectGraph::from_network(&net).unwrap()
     }
 
+    fn recover_fresh(
+        subject: &SubjectGraph,
+        lib: &Library,
+        labels: &crate::label::Labels,
+    ) -> Vec<Option<Match>> {
+        let matcher = Matcher::new(lib);
+        let mut scratch = MatchScratch::new();
+        let mut store = MatchStore::for_library(lib);
+        recover(
+            subject,
+            &matcher,
+            labels,
+            MatchMode::Standard,
+            0.0,
+            &mut scratch,
+            &mut store,
+        )
+        .unwrap()
+    }
+
     #[test]
     fn recovery_never_worsens_delay() {
         let subject = skewed();
         let lib = Library::lib2_like();
         let labels = label(&subject, &lib, MatchMode::Standard, crate::Objective::Delay).unwrap();
-        let selected = recover(&subject, &lib, &labels, MatchMode::Standard, 0.0).unwrap();
+        let selected = recover_fresh(&subject, &lib, &labels);
         let plain = crate::cover::construct(&subject, &lib, &labels.best).unwrap();
         let recovered = crate::cover::construct(&subject, &lib, &selected).unwrap();
         assert!(recovered.delay() <= plain.delay() + 1e-9);
@@ -147,7 +175,7 @@ mod tests {
         let subject = skewed();
         let lib = Library::lib2_like();
         let labels = label(&subject, &lib, MatchMode::Standard, crate::Objective::Delay).unwrap();
-        let selected = recover(&subject, &lib, &labels, MatchMode::Standard, 0.0).unwrap();
+        let selected = recover_fresh(&subject, &lib, &labels);
         // Nodes absorbed into larger matches are not selected.
         let picked = selected.iter().filter(|s| s.is_some()).count();
         let with_best = labels.best.iter().filter(|s| s.is_some()).count();

@@ -2,7 +2,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Barrier, Mutex, RwLock};
 
 use dagmap_genlib::{GateId, Library};
-use dagmap_match::{Match, MatchMode, MatchScratch, MatchStats, Matcher};
+use dagmap_match::{Match, MatchConfig, MatchMode, MatchScratch, MatchStats, MatchStore, Matcher};
 use dagmap_netlist::{Levels, NodeFn, NodeId, SubjectGraph};
 
 use crate::{MapError, Objective};
@@ -49,8 +49,16 @@ pub struct Labels {
     pub best: Vec<Option<Match>>,
     /// Total matches enumerated (a proxy for the paper's `O(s·p)` cost).
     pub matches_enumerated: usize,
-    /// Pattern attempts skipped by the matcher's depth pre-filter.
+    /// Pattern attempts skipped without search — by the depth pre-filter
+    /// and, when the fingerprint index is on, by the shape-class buckets.
     pub matches_pruned: usize,
+    /// Cone-class lookups into the match memo (0 when the memo is off).
+    pub memo_lookups: usize,
+    /// Memo lookups that replayed a stored enumeration instead of
+    /// searching. With multiple workers each worker fills its own store,
+    /// so this can be lower than the serial count; the labels themselves
+    /// are bit-identical regardless.
+    pub memo_hits: usize,
     /// Topological levels of the subject graph (wavefront count).
     pub levels: usize,
     /// Worker threads the pass actually used (1 = serial).
@@ -81,13 +89,13 @@ impl Labels {
     }
 }
 
-/// Computes the arrival of `m` at a node given current labels.
-pub(crate) fn match_arrival(library: &Library, arrival: &[f64], m: &Match) -> f64 {
-    arrival_of_leaves(library, arrival, m.gate, &m.leaves)
-}
-
 /// Arrival of a gate instantiated with `leaves` as its pin binding.
-fn arrival_of_leaves(library: &Library, arrival: &[f64], gate: GateId, leaves: &[NodeId]) -> f64 {
+pub(crate) fn arrival_of_leaves(
+    library: &Library,
+    arrival: &[f64],
+    gate: GateId,
+    leaves: &[NodeId],
+) -> f64 {
     let gate = library.gate(gate);
     let mut t: f64 = 0.0;
     for (pin, leaf) in leaves.iter().enumerate() {
@@ -144,12 +152,17 @@ fn evaluate_node(
     area_flow: &[f64],
     id: NodeId,
     scratch: &mut MatchScratch,
+    store: &mut MatchStore,
 ) -> (Option<(f64, f64, Match)>, MatchStats) {
     let net = subject.network();
     let library = matcher.library();
     // (arrival, area estimate, pins) of the incumbent.
     let mut chosen: Option<(f64, f64, usize, Match)> = None;
-    let stats = matcher.for_each_match_at(subject, id, mode, scratch, &mut |mv| {
+    // `for_each_match_via` replays memoized cone classes when the matcher's
+    // config enables the memo and falls back to direct (possibly indexed)
+    // enumeration otherwise; the callback sequence is identical either way,
+    // so the incumbent-keeping tie-breaks below select the same match.
+    let stats = matcher.for_each_match_via(subject, id, mode, scratch, store, &mut |mv| {
         let t = arrival_of_leaves(library, arrival, mv.gate, mv.leaves);
         let af = area_of_leaves(net, library, area_flow, mv.gate, mv.leaves, mode);
         let pins = mv.leaves.len();
@@ -219,6 +232,31 @@ pub fn label_with(
     objective: Objective,
     num_threads: Option<usize>,
 ) -> Result<Labels, MapError> {
+    label_with_config(
+        subject,
+        library,
+        mode,
+        objective,
+        num_threads,
+        MatchConfig::default(),
+    )
+}
+
+/// [`label_with`] with an explicit match-acceleration configuration.
+///
+/// Every configuration produces bit-identical labels; the stages only
+/// change how much search the matcher performs (visible in
+/// [`Labels::matches_pruned`] and the memo counters). The serial pass uses
+/// one [`MatchStore`]; each parallel worker fills its own, so memo hit
+/// counts (but nothing else) depend on the thread count.
+pub fn label_with_config(
+    subject: &SubjectGraph,
+    library: &Library,
+    mode: MatchMode,
+    objective: Objective,
+    num_threads: Option<usize>,
+    config: MatchConfig,
+) -> Result<Labels, MapError> {
     let levels = subject.levels();
     let requested = num_threads.unwrap_or_else(|| {
         std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -235,9 +273,9 @@ pub fn label_with(
         requested
     };
     if nt == 1 {
-        label_serial(subject, library, mode, objective, levels)
+        label_serial(subject, library, mode, objective, levels, config)
     } else {
-        label_parallel(subject, library, mode, objective, levels, nt)
+        label_parallel(subject, library, mode, objective, levels, nt, config)
     }
 }
 
@@ -247,14 +285,16 @@ fn label_serial(
     mode: MatchMode,
     objective: Objective,
     levels: &Levels,
+    config: MatchConfig,
 ) -> Result<Labels, MapError> {
     let net = subject.network();
-    let matcher = Matcher::new(library);
+    let matcher = Matcher::with_config(library, config);
     let mut arrival = vec![0.0f64; net.num_nodes()];
     let mut area_flow = vec![0.0f64; net.num_nodes()];
     let mut best: Vec<Option<Match>> = vec![None; net.num_nodes()];
     let mut stats = MatchStats::default();
     let mut scratch = MatchScratch::new();
+    let mut store = MatchStore::for_library(library);
 
     // Level groups enumerate the nodes in a topological order.
     for group in levels.groups() {
@@ -264,6 +304,7 @@ fn label_serial(
             }
             let (chosen, s) = evaluate_node(
                 subject, &matcher, mode, objective, &arrival, &area_flow, id, &mut scratch,
+                &mut store,
             );
             stats.absorb(s);
             match chosen {
@@ -282,6 +323,8 @@ fn label_serial(
         best,
         matches_enumerated: stats.enumerated,
         matches_pruned: stats.pruned,
+        memo_lookups: stats.memo_lookups,
+        memo_hits: stats.memo_hits,
         levels: levels.num_levels(),
         threads_used: 1,
     })
@@ -306,6 +349,7 @@ type NodeResult = (NodeId, Option<(f64, f64, Match)>, MatchStats);
 /// both barriers for the remaining levels (cheaply, skipping the work), so
 /// barrier accounting stays consistent, and the reported failing node is
 /// the smallest id in the earliest failing level — exactly the serial one.
+#[allow(clippy::too_many_arguments)]
 fn label_parallel(
     subject: &SubjectGraph,
     library: &Library,
@@ -313,9 +357,10 @@ fn label_parallel(
     objective: Objective,
     levels: &Levels,
     nt: usize,
+    config: MatchConfig,
 ) -> Result<Labels, MapError> {
     let net = subject.network();
-    let matcher = Matcher::new(library);
+    let matcher = Matcher::with_config(library, config);
     let n = net.num_nodes();
     let num_levels = levels.num_levels();
 
@@ -339,6 +384,10 @@ fn label_parallel(
             let matcher = &matcher;
             s.spawn(move || {
                 let mut scratch = MatchScratch::new();
+                // Per-worker store: cone classes are rediscovered once per
+                // worker, which costs a few extra cold enumerations but
+                // keeps the hot path lock-free.
+                let mut store = MatchStore::for_library(library);
                 let mut out: Vec<NodeResult> = Vec::new();
                 for l in 0..num_levels {
                     start.wait();
@@ -351,7 +400,7 @@ fn label_parallel(
                             }
                             let (chosen, st) = evaluate_node(
                                 subject, matcher, mode, objective, arrival, area_flow, id,
-                                &mut scratch,
+                                &mut scratch, &mut store,
                             );
                             out.push((id, chosen, st));
                         }
@@ -411,6 +460,8 @@ fn label_parallel(
         best,
         matches_enumerated: stats.enumerated,
         matches_pruned: stats.pruned,
+        memo_lookups: stats.memo_lookups,
+        memo_hits: stats.memo_hits,
         levels: num_levels,
         threads_used: nt,
     })

@@ -56,7 +56,7 @@ pub mod verify;
 pub mod verilog;
 
 pub use error::MapError;
-pub use label::{label_with, Labels};
+pub use label::{label_with, label_with_config, Labels};
 pub use mapped::{Cell, GateKind, MappedNetlist, Signal};
 pub use mapper::{MapReport, Mapper};
 pub use options::{MapOptions, Objective};

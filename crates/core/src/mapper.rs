@@ -1,10 +1,10 @@
 use std::time::Instant;
 
 use dagmap_genlib::Library;
-use dagmap_match::MatchMode;
+use dagmap_match::{MatchMode, MatchScratch, MatchStore, Matcher};
 use dagmap_netlist::SubjectGraph;
 
-use crate::label::{label, label_with, Labels};
+use crate::label::{label, label_with_config, Labels};
 use crate::{area, cover, MapError, MapOptions, MappedNetlist};
 
 /// Statistics of one mapping run, for experiment tables.
@@ -25,8 +25,14 @@ pub struct MapReport {
     pub duplicated_subject_nodes: usize,
     /// Matches enumerated during labeling (cost proxy).
     pub matches_enumerated: usize,
-    /// Pattern attempts skipped by the matcher's depth pre-filter.
+    /// Pattern attempts skipped without search during labeling (depth
+    /// pre-filter, plus the fingerprint index when enabled).
     pub matches_pruned: usize,
+    /// Cone-class memo lookups during labeling (0 when the memo is off).
+    pub memo_lookups: usize,
+    /// Memo lookups that replayed a stored enumeration instead of
+    /// searching.
+    pub memo_hits: usize,
     /// Worker threads the labeling pass used (1 = serial).
     pub label_threads: usize,
     /// Topological levels of the subject graph (parallel wavefront count).
@@ -115,12 +121,13 @@ impl<'a> Mapper<'a> {
             });
         }
         let t0 = Instant::now();
-        let labels = label_with(
+        let labels = label_with_config(
             subject,
             self.library,
             options.match_mode,
             options.objective,
             options.num_threads,
+            options.match_config(),
         )?;
         let label_seconds = t0.elapsed().as_secs_f64();
 
@@ -139,13 +146,21 @@ impl<'a> Mapper<'a> {
             // typically shave a few more percent. Keep the best cover seen.
             let mut best = mapped;
             let mut estimate_base = labels.clone();
+            // One matcher/scratch/store triple across all refinement
+            // rounds: after round 1 every cone class is warm, so later
+            // rounds replay memoized enumerations instead of re-searching.
+            let matcher = Matcher::with_config(self.library, options.match_config());
+            let mut scratch = MatchScratch::new();
+            let mut store = MatchStore::for_library(self.library);
             for _ in 0..3 {
                 let selected = area::recover(
                     subject,
-                    self.library,
+                    &matcher,
                     &estimate_base,
                     options.match_mode,
                     target,
+                    &mut scratch,
+                    &mut store,
                 )?;
                 let recovered = cover::construct(subject, self.library, &selected)?;
                 let improved = recovered.area() < best.area();
@@ -178,6 +193,8 @@ impl<'a> Mapper<'a> {
             duplicated_subject_nodes: mapped.duplicated_subject_nodes(),
             matches_enumerated: labels.matches_enumerated,
             matches_pruned: labels.matches_pruned,
+            memo_lookups: labels.memo_lookups,
+            memo_hits: labels.memo_hits,
             label_threads: labels.threads_used,
             levels: labels.levels,
             label_seconds,

@@ -49,6 +49,16 @@ pub struct MapOptions {
     /// on small circuits; `Some(1)` forces the exact serial pass; `Some(n)`
     /// forces `n` workers. All settings produce bit-identical results.
     pub num_threads: Option<usize>,
+    /// Stage-1 match acceleration: consult the library's per-shape-class
+    /// fingerprint buckets when picking candidate patterns. On by default;
+    /// provably result-identical either way (it only skips patterns the
+    /// matcher would reject).
+    pub use_match_index: bool,
+    /// Stage-2 match acceleration: memoize whole match enumerations by
+    /// canonical cone class and replay them at isomorphic nodes. On by
+    /// default; provably result-identical either way (replay preserves the
+    /// enumeration order).
+    pub use_match_memo: bool,
 }
 
 impl MapOptions {
@@ -61,6 +71,8 @@ impl MapOptions {
             area_recovery: false,
             delay_target: None,
             num_threads: None,
+            use_match_index: true,
+            use_match_memo: true,
         }
     }
 
@@ -73,6 +85,8 @@ impl MapOptions {
             area_recovery: false,
             delay_target: None,
             num_threads: None,
+            use_match_index: true,
+            use_match_memo: true,
         }
     }
 
@@ -85,6 +99,8 @@ impl MapOptions {
             area_recovery: false,
             delay_target: None,
             num_threads: None,
+            use_match_index: true,
+            use_match_memo: true,
         }
     }
 
@@ -96,6 +112,8 @@ impl MapOptions {
             area_recovery: false,
             delay_target: None,
             num_threads: None,
+            use_match_index: true,
+            use_match_memo: true,
         }
     }
 
@@ -108,6 +126,8 @@ impl MapOptions {
             area_recovery: false,
             delay_target: None,
             num_threads: None,
+            use_match_index: true,
+            use_match_memo: true,
         }
     }
 
@@ -131,6 +151,35 @@ impl MapOptions {
     pub fn with_num_threads(mut self, n: usize) -> MapOptions {
         self.num_threads = Some(n.max(1));
         self
+    }
+
+    /// Sets both match-acceleration stages at once (`false` reproduces the
+    /// naive full-scan matcher; useful for benchmarking and for the
+    /// bit-identity test suite).
+    pub fn with_match_acceleration(mut self, on: bool) -> MapOptions {
+        self.use_match_index = on;
+        self.use_match_memo = on;
+        self
+    }
+
+    /// Sets the stage-1 fingerprint index switch.
+    pub fn with_match_index(mut self, on: bool) -> MapOptions {
+        self.use_match_index = on;
+        self
+    }
+
+    /// Sets the stage-2 cone-class memoization switch.
+    pub fn with_match_memo(mut self, on: bool) -> MapOptions {
+        self.use_match_memo = on;
+        self
+    }
+
+    /// The [`MatchConfig`] the options select.
+    pub fn match_config(&self) -> dagmap_match::MatchConfig {
+        dagmap_match::MatchConfig {
+            index: self.use_match_index,
+            memo: self.use_match_memo,
+        }
     }
 
     /// Human-readable algorithm name for reports.
@@ -157,6 +206,17 @@ mod tests {
         assert_eq!(MapOptions::dag_extended().algorithm_name(), "dag-extended");
         assert!(!MapOptions::dag().area_recovery);
         assert!(MapOptions::dag().with_area_recovery().area_recovery);
+    }
+
+    #[test]
+    fn match_acceleration_defaults_on() {
+        let opts = MapOptions::dag();
+        assert!(opts.use_match_index && opts.use_match_memo);
+        assert_eq!(opts.match_config(), dagmap_match::MatchConfig::default());
+        let off = opts.with_match_acceleration(false);
+        assert!(!off.use_match_index && !off.use_match_memo);
+        let mixed = MapOptions::tree().with_match_memo(false);
+        assert!(mixed.use_match_index && !mixed.use_match_memo);
     }
 
     #[test]

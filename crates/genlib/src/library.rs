@@ -1,6 +1,8 @@
 use std::collections::HashSet;
 use std::fmt;
 
+use dagmap_netlist::fingerprint::{decode1, decode2, Shape1, Shape2, NUM_SHAPE_CLASSES};
+
 use crate::{Gate, GateId, GenlibError, PatternGraph, PatternNode, TreeShape};
 
 /// Identifier of an expanded pattern inside a [`Library`].
@@ -62,6 +64,13 @@ pub struct Library {
     patterns: Vec<LibPattern>,
     rooted_nand: Vec<PatternId>,
     rooted_inv: Vec<PatternId>,
+    /// Per subject shape class (see `dagmap_netlist::fingerprint`): the
+    /// patterns whose root two-level neighborhood is compatible, in
+    /// ascending `PatternId` order — the fingerprint index the matcher
+    /// iterates instead of the full root-kind candidate list.
+    shape_buckets: Vec<Vec<PatternId>>,
+    max_pattern_depth: u32,
+    max_pattern_fanout: u32,
 }
 
 impl Library {
@@ -134,12 +143,22 @@ impl Library {
                 });
             }
         }
+        let shape_buckets = build_shape_buckets(&patterns);
+        let max_pattern_depth = patterns.iter().map(|p| p.depth).max().unwrap_or(0);
+        let max_pattern_fanout = patterns
+            .iter()
+            .flat_map(|p| (0..p.graph.len()).map(|i| p.graph.fanout_count(i)))
+            .max()
+            .unwrap_or(0);
         Ok(Library {
             name,
             gates,
             patterns,
             rooted_nand,
             rooted_inv,
+            shape_buckets,
+            max_pattern_depth,
+            max_pattern_fanout,
         })
     }
 
@@ -199,6 +218,34 @@ impl Library {
         &self.rooted_inv
     }
 
+    /// The fingerprint-index bucket for one subject shape class: every
+    /// pattern that could possibly match at a node of that class, in
+    /// ascending [`PatternId`] order.
+    ///
+    /// Bucket membership is a *necessary* condition computed from the
+    /// pattern's root two-level neighborhood (kinds only, both NAND fanin
+    /// orders, leaves as wildcards), so iterating the bucket instead of
+    /// every root-compatible pattern skips work without ever skipping a
+    /// match, and — because the order is the [`Library::patterns`] order —
+    /// without reordering the enumeration.
+    pub fn patterns_for_class(&self, class: u8) -> &[PatternId] {
+        &self.shape_buckets[class as usize]
+    }
+
+    /// Maximum NAND/INV depth over the expanded pattern set. Subject logic
+    /// deeper than this below a node can never influence a match rooted
+    /// there — the truncation horizon of the cone-class memoizer.
+    pub fn max_pattern_depth(&self) -> u32 {
+        self.max_pattern_depth
+    }
+
+    /// Saturation bound for subject fanout counts as observed by
+    /// exact-match semantics: every pattern-internal fanout requirement is
+    /// below this, so larger subject counts are interchangeable.
+    pub fn pattern_fanout_cap(&self) -> u32 {
+        self.max_pattern_fanout + 1
+    }
+
     /// True when every subject node can be covered: the pattern set contains
     /// a bare inverter and a bare two-input NAND.
     pub fn is_delay_mappable(&self) -> bool {
@@ -247,6 +294,58 @@ impl Library {
     /// Serializes the library to genlib text.
     pub fn to_genlib_string(&self) -> String {
         crate::writer::to_string(self)
+    }
+}
+
+/// Builds the per-shape-class pattern buckets of the fingerprint index.
+fn build_shape_buckets(patterns: &[LibPattern]) -> Vec<Vec<PatternId>> {
+    let mut buckets = vec![Vec::new(); NUM_SHAPE_CLASSES];
+    for (i, lp) in patterns.iter().enumerate() {
+        let id = PatternId::from_index(i);
+        for (class, bucket) in buckets.iter_mut().enumerate() {
+            if compatible2(&lp.graph, lp.graph.root(), class as u8) {
+                bucket.push(id);
+            }
+        }
+    }
+    buckets
+}
+
+/// Could pattern node `p` bind to a subject node of depth-2 class `code`?
+///
+/// Mirrors the matcher's structural checks: leaves are wildcards, inverter
+/// and NAND nodes require the same kind, and both NAND fanin orders are
+/// tried. A successful `try_bind` embedding is a witness for this
+/// predicate, so `false` proves no match exists.
+fn compatible2(graph: &PatternGraph, p: usize, code: u8) -> bool {
+    match (graph.node(p), decode2(code)) {
+        (PatternNode::Leaf { .. }, _) => true,
+        (PatternNode::Inv { fanin }, Shape2::Inv(c)) => compatible1(graph, fanin, c),
+        (PatternNode::Nand { fanins: [c0, c1] }, Shape2::Nand(a, b)) => {
+            (compatible1(graph, c0, a) && compatible1(graph, c1, b))
+                || (compatible1(graph, c0, b) && compatible1(graph, c1, a))
+        }
+        _ => false,
+    }
+}
+
+fn compatible1(graph: &PatternGraph, p: usize, code: u8) -> bool {
+    match (graph.node(p), decode1(code)) {
+        (PatternNode::Leaf { .. }, _) => true,
+        (PatternNode::Inv { fanin }, Shape1::Inv(c)) => compatible0(graph, fanin, c),
+        (PatternNode::Nand { fanins: [c0, c1] }, Shape1::Nand(a, b)) => {
+            (compatible0(graph, c0, a) && compatible0(graph, c1, b))
+                || (compatible0(graph, c0, b) && compatible0(graph, c1, a))
+        }
+        _ => false,
+    }
+}
+
+fn compatible0(graph: &PatternGraph, p: usize, s0: u8) -> bool {
+    match graph.node(p) {
+        PatternNode::Leaf { .. } => true,
+        PatternNode::Inv { .. } => s0 == 1,
+        PatternNode::Nand { .. } => s0 == 2,
     }
 }
 
@@ -316,5 +415,43 @@ mod tests {
         let id = lib.find_gate("nand4").unwrap();
         assert_eq!(lib.gate(id).name(), "nand4");
         assert!(lib.find_gate("zzz").is_none());
+    }
+
+    #[test]
+    fn shape_buckets_are_ordered_kind_pure_subsets() {
+        use dagmap_netlist::fingerprint::{class_kind, ShapeKind};
+        for lib in [tiny(), Library::lib2_like(), Library::lib_44_3_like()] {
+            for class in 0..NUM_SHAPE_CLASSES as u8 {
+                let bucket = lib.patterns_for_class(class);
+                assert!(
+                    bucket.windows(2).all(|w| w[0] < w[1]),
+                    "{}: bucket {class} not ascending",
+                    lib.name()
+                );
+                let expect: &[PatternId] = match class_kind(class) {
+                    ShapeKind::Source => &[],
+                    ShapeKind::Inv => lib.patterns_rooted_inv(),
+                    ShapeKind::Nand => lib.patterns_rooted_nand(),
+                };
+                assert!(
+                    bucket.iter().all(|p| expect.contains(p)),
+                    "{}: bucket {class} escapes its root kind",
+                    lib.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn depth_and_fanout_bounds_cover_the_pattern_set() {
+        let lib = Library::lib_44_3_like();
+        assert!(lib.max_pattern_depth() >= 1);
+        assert!(lib.pattern_fanout_cap() >= 1);
+        for p in lib.patterns() {
+            assert!(p.depth <= lib.max_pattern_depth());
+            for i in 0..p.graph.len() {
+                assert!(p.graph.fanout_count(i) < lib.pattern_fanout_cap());
+            }
+        }
     }
 }

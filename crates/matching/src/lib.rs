@@ -19,6 +19,16 @@
 //! which explores input permutations the way SIS's expanded pattern set
 //! does.
 //!
+//! Two acceleration stages (both on by default, switchable via
+//! [`MatchConfig`]) sit in front of the backtracking search: a fingerprint
+//! *index* that restricts the candidate patterns at a node to its
+//! shape-class bucket, and a cone-class *memoization* layer ([`MatchStore`],
+//! used through [`Matcher::for_each_match_via`]) that records one canonical
+//! enumeration per bounded-depth cone class and replays it at isomorphic
+//! nodes. Both preserve the enumeration order of the naive full scan
+//! exactly, so labels, tie-breaks and mapped netlists are bit-identical
+//! with the stages on or off.
+//!
 //! # Example
 //!
 //! ```
@@ -46,5 +56,7 @@
 //! ```
 
 mod matcher;
+pub mod store;
 
-pub use matcher::{Match, MatchMode, MatchScratch, MatchStats, MatchView, Matcher};
+pub use matcher::{Match, MatchConfig, MatchMode, MatchScratch, MatchStats, MatchView, Matcher};
+pub use store::{ClassId, MatchStore, TemplateRef};

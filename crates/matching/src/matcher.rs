@@ -1,5 +1,8 @@
 use dagmap_genlib::{GateId, Library, PatternGraph, PatternId, PatternNode};
+use dagmap_netlist::fingerprint::{extract_cone, ConeScratch, ConeSpec};
 use dagmap_netlist::{Network, NodeFn, NodeId, SubjectGraph};
+
+use crate::store::{ClassId, MatchStore};
 
 /// Which match semantics to enforce (Definitions 1–3 of the paper).
 #[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
@@ -67,8 +70,16 @@ impl MatchView<'_> {
 pub struct MatchStats {
     /// Distinct matches reported (after per-node dedup).
     pub enumerated: usize,
-    /// Patterns skipped by the depth pre-filter without any search.
+    /// Pattern candidates skipped without any search — by the depth
+    /// pre-filter, and (when the fingerprint index is on) by the shape
+    /// bucket. The count therefore depends on the [`MatchConfig`]; it
+    /// measures avoided work, while `enumerated` and the match sequence
+    /// itself are configuration-independent.
     pub pruned: usize,
+    /// Cone-class lookups performed (1 per memoized call, 0 otherwise).
+    pub memo_lookups: usize,
+    /// Cone-class lookups that hit and replayed a stored enumeration.
+    pub memo_hits: usize,
 }
 
 impl MatchStats {
@@ -76,6 +87,42 @@ impl MatchStats {
     pub fn absorb(&mut self, other: MatchStats) {
         self.enumerated += other.enumerated;
         self.pruned += other.pruned;
+        self.memo_lookups += other.memo_lookups;
+        self.memo_hits += other.memo_hits;
+    }
+}
+
+/// Switches for the two match-acceleration stages. Both default on; both
+/// preserve the exact match sequence (and therefore every downstream label,
+/// tie-break and mapped netlist) of the naive full scan.
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub struct MatchConfig {
+    /// Stage 1: consult the library's per-shape-class pattern buckets so
+    /// only root-neighborhood-compatible patterns are attempted.
+    pub index: bool,
+    /// Stage 2: memoize whole enumerations by canonical cone class in a
+    /// [`MatchStore`] and replay them through the cone isomorphism. Only
+    /// takes effect through [`Matcher::for_each_match_via`] /
+    /// [`Matcher::class_at`], which carry the store.
+    pub memo: bool,
+}
+
+impl Default for MatchConfig {
+    fn default() -> MatchConfig {
+        MatchConfig {
+            index: true,
+            memo: true,
+        }
+    }
+}
+
+impl MatchConfig {
+    /// Both stages off: the naive full scan (the reference behavior).
+    pub fn baseline() -> MatchConfig {
+        MatchConfig {
+            index: false,
+            memo: false,
+        }
     }
 }
 
@@ -96,8 +143,20 @@ impl MatchStats {
 ///
 /// One scratch per thread is the intended usage; the parallel labeling
 /// engine of `dagmap-core` keeps one per worker.
+///
+/// The scratch also embeds a [`ConeScratch`] used by the memoized entry
+/// points ([`Matcher::class_at`], [`Matcher::for_each_match_via`]) to
+/// canonicalize the bounded-depth cone of the queried node.
 #[derive(Debug, Default, Clone)]
 pub struct MatchScratch {
+    bufs: EnumBufs,
+    cone: ConeScratch,
+}
+
+/// The enumeration-only buffers, split out so the cone scratch can be
+/// borrowed independently during memo capture.
+#[derive(Debug, Default, Clone)]
+struct EnumBufs {
     binding: Vec<Option<NodeId>>,
     owned: Vec<bool>,
     seen_keys: Vec<(GateId, u32, u32)>,
@@ -110,6 +169,13 @@ impl MatchScratch {
     /// Creates an empty scratch; buffers grow to steady-state on first use.
     pub fn new() -> MatchScratch {
         MatchScratch::default()
+    }
+
+    /// The cone locals of the last [`Matcher::class_at`] query: local index
+    /// `i` of any template of the returned class stands for concrete
+    /// subject node `cone_locals()[i]`.
+    pub fn cone_locals(&self) -> &[NodeId] {
+        self.cone.locals()
     }
 }
 
@@ -125,17 +191,29 @@ struct State<'a> {
 #[derive(Debug, Clone, Copy)]
 pub struct Matcher<'a> {
     library: &'a Library,
+    config: MatchConfig,
 }
 
 impl<'a> Matcher<'a> {
-    /// Creates a matcher over `library`'s expanded pattern set.
+    /// Creates a matcher over `library`'s expanded pattern set with the
+    /// default (fully accelerated) [`MatchConfig`].
     pub fn new(library: &'a Library) -> Self {
-        Matcher { library }
+        Matcher::with_config(library, MatchConfig::default())
+    }
+
+    /// Creates a matcher with an explicit acceleration configuration.
+    pub fn with_config(library: &'a Library, config: MatchConfig) -> Self {
+        Matcher { library, config }
     }
 
     /// The library being matched against.
     pub fn library(&self) -> &'a Library {
         self.library
+    }
+
+    /// The acceleration configuration in effect.
+    pub fn config(&self) -> MatchConfig {
+        self.config
     }
 
     /// Enumerates all distinct matches rooted at `node`, invoking `f` once
@@ -147,8 +225,11 @@ impl<'a> Matcher<'a> {
     ///
     /// Patterns whose NAND/INV depth exceeds the subject node's topological
     /// level cannot embed (every pattern edge descends at least one subject
-    /// level) and are skipped without search; [`MatchStats::pruned`] counts
-    /// them.
+    /// level) and are skipped without search; with the fingerprint index on
+    /// (see [`MatchConfig::index`]) patterns outside the node's shape-class
+    /// bucket are likewise skipped up front. [`MatchStats::pruned`] counts
+    /// both. Either way the surviving candidates are tried in ascending
+    /// pattern order, so the match sequence is identical to the full scan.
     pub fn for_each_match_at(
         &self,
         subject: &SubjectGraph,
@@ -157,8 +238,21 @@ impl<'a> Matcher<'a> {
         scratch: &mut MatchScratch,
         f: &mut dyn FnMut(MatchView<'_>),
     ) -> MatchStats {
+        self.enumerate(subject, node, mode, &mut scratch.bufs, f)
+    }
+
+    /// The enumeration core, operating on the split-out buffers so the
+    /// memoizing wrappers can hold the cone scratch alongside.
+    fn enumerate(
+        &self,
+        subject: &SubjectGraph,
+        node: NodeId,
+        mode: MatchMode,
+        bufs: &mut EnumBufs,
+        f: &mut dyn FnMut(MatchView<'_>),
+    ) -> MatchStats {
         let net = subject.network();
-        let candidates: &[PatternId] = match net.node(node).func() {
+        let all: &[PatternId] = match net.node(node).func() {
             NodeFn::Nand => self.library.patterns_rooted_nand(),
             NodeFn::Not => self.library.patterns_rooted_inv(),
             _ => return MatchStats::default(),
@@ -166,20 +260,32 @@ impl<'a> Matcher<'a> {
         let node_level = subject.level(node);
         let mut stats = MatchStats::default();
 
-        if scratch.owned.len() < net.num_nodes() {
-            scratch.owned.resize(net.num_nodes(), false);
-        }
-        scratch.seen_keys.clear();
-        scratch.seen_leaves.clear();
+        // Stage-1 acceleration: the shape-class bucket is a subset of the
+        // root-kind candidate list in the same (ascending pattern) order,
+        // so iterating it visits the same matchable patterns in the same
+        // sequence while skipping provably incompatible ones.
+        let candidates: &[PatternId] = if self.config.index {
+            let bucket = self.library.patterns_for_class(subject.shape_class(node));
+            stats.pruned += all.len() - bucket.len();
+            bucket
+        } else {
+            all
+        };
 
-        let MatchScratch {
+        if bufs.owned.len() < net.num_nodes() {
+            bufs.owned.resize(net.num_nodes(), false);
+        }
+        bufs.seen_keys.clear();
+        bufs.seen_leaves.clear();
+
+        let EnumBufs {
             binding,
             owned,
             seen_keys,
             seen_leaves,
             leaves_buf,
             covered_buf,
-        } = scratch;
+        } = bufs;
 
         for &pid in candidates {
             let lp = self.library.pattern(pid);
@@ -252,6 +358,116 @@ impl<'a> Matcher<'a> {
         let mut scratch = MatchScratch::new();
         self.for_each_match_at(subject, node, mode, &mut scratch, &mut |_| {})
             .enumerated
+    }
+
+    /// Resolves the cone class of `node` in `store`, enumerating and
+    /// recording its matches as templates on a miss (stage-2 memoization).
+    ///
+    /// Returns `None` for nodes that can never match (inputs, constants,
+    /// latches). On return, `scratch.cone_locals()` maps the class's local
+    /// indices to this node's concrete cone members; the returned stats are
+    /// those of a fresh enumeration (`enumerated` = template count,
+    /// `pruned` = the recorded run's pruned count) plus the memo counters.
+    ///
+    /// Soundness: the class key is the canonical serialization of the
+    /// depth-`D` cone (`D` = the library's maximum pattern depth) together
+    /// with the mode and the node's level capped at `D`. Within depth `D`
+    /// every binding decision of [`try_bind`] — kind checks, fanin-order
+    /// branching, sharing via re-bound pattern nodes, the exact-mode
+    /// fanout test (fanout counts are part of the key precisely when
+    /// `mode == Exact`) — is a function of that serialization, and the
+    /// depth pre-filter is a function of the capped level, so equal keys
+    /// yield isomorphic enumerations in identical order.
+    pub fn class_at(
+        &self,
+        subject: &SubjectGraph,
+        node: NodeId,
+        mode: MatchMode,
+        scratch: &mut MatchScratch,
+        store: &mut MatchStore,
+    ) -> (Option<ClassId>, MatchStats) {
+        store.check_library(self.library);
+        let net = subject.network();
+        if !matches!(net.node(node).func(), NodeFn::Nand | NodeFn::Not) {
+            return (None, MatchStats::default());
+        }
+        let spec = ConeSpec {
+            max_depth: store.max_depth(),
+            record_fanouts: mode == MatchMode::Exact,
+            fanout_cap: store.fanout_cap(),
+        };
+        let MatchScratch { bufs, cone } = scratch;
+        extract_cone(net, node, spec, cone);
+        let level_cap = subject.level(node).min(store.max_depth());
+        let mut stats = MatchStats {
+            memo_lookups: 1,
+            ..MatchStats::default()
+        };
+        if let Some(class) = store.probe(mode, level_cap, cone.key()) {
+            stats.memo_hits = 1;
+            stats.enumerated = store.num_templates(class);
+            stats.pruned = store.pruned_of(class);
+            return (Some(class), stats);
+        }
+        let class = store.begin_class();
+        let run = self.enumerate(subject, node, mode, bufs, &mut |mv| {
+            store.push_template(
+                class,
+                mv.gate,
+                mv.pattern,
+                mv.leaves
+                    .iter()
+                    .map(|&id| cone.local_of(id).expect("match leaf inside cone")),
+                mv.covered
+                    .iter()
+                    .map(|&id| cone.local_of(id).expect("covered node inside cone")),
+            );
+        });
+        store.set_pruned(class, run.pruned);
+        stats.enumerated = run.enumerated;
+        stats.pruned = run.pruned;
+        (Some(class), stats)
+    }
+
+    /// Memoized variant of [`Matcher::for_each_match_at`]: resolves the
+    /// node's cone class in `store` and replays the stored templates, so
+    /// repeated cones cost a hash probe plus a copy per match instead of a
+    /// backtracking search. Falls back to direct enumeration when
+    /// [`MatchConfig::memo`] is off. The callback sequence is identical in
+    /// every case.
+    pub fn for_each_match_via(
+        &self,
+        subject: &SubjectGraph,
+        node: NodeId,
+        mode: MatchMode,
+        scratch: &mut MatchScratch,
+        store: &mut MatchStore,
+        f: &mut dyn FnMut(MatchView<'_>),
+    ) -> MatchStats {
+        if !self.config.memo {
+            return self.for_each_match_at(subject, node, mode, scratch, f);
+        }
+        let (class, stats) = self.class_at(subject, node, mode, scratch, store);
+        let Some(class) = class else {
+            return stats;
+        };
+        let MatchScratch { bufs, cone } = scratch;
+        let locals = cone.locals();
+        for t in store.templates(class) {
+            bufs.leaves_buf.clear();
+            bufs.leaves_buf
+                .extend(t.leaves.iter().map(|&l| locals[l as usize]));
+            bufs.covered_buf.clear();
+            bufs.covered_buf
+                .extend(t.covered.iter().map(|&l| locals[l as usize]));
+            f(MatchView {
+                gate: t.gate,
+                pattern: t.pattern,
+                leaves: &bufs.leaves_buf,
+                covered: &bufs.covered_buf,
+            });
+        }
+        stats
     }
 }
 
@@ -659,6 +875,162 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// A subject with many isomorphic cones: a ladder of and2 cells
+    /// (`h_i = not(nand(h_{i-1}, a_i))`) plus a reconvergent tail.
+    fn ladder(n: usize) -> SubjectGraph {
+        let mut net = Network::new("ladder");
+        let mut prev = net.add_input("x");
+        for i in 0..n {
+            let a = net.add_input(format!("a{i}"));
+            let g = net.add_node(NodeFn::Nand, vec![prev, a]).unwrap();
+            prev = net.add_node(NodeFn::Not, vec![g]).unwrap();
+        }
+        let u = net.add_node(NodeFn::Not, vec![prev]).unwrap();
+        let v = net.add_node(NodeFn::Not, vec![prev]).unwrap();
+        let top = net.add_node(NodeFn::Nand, vec![u, v]).unwrap();
+        net.add_output("f", top);
+        wrap(net)
+    }
+
+    fn rich_lib() -> Library {
+        lib(&[
+            ("inv", "!a"),
+            ("nand2", "!(a*b)"),
+            ("and2", "a*b"),
+            ("nand3", "!(a*b*c)"),
+            ("nand4", "!(a*b*c*d)"),
+            ("aoi21", "!(a*b+c)"),
+            ("xor2", "a*!b + !a*b"),
+        ])
+    }
+
+    const ALL_MODES: [MatchMode; 3] = [MatchMode::Standard, MatchMode::Exact, MatchMode::Extended];
+
+    #[test]
+    fn indexed_enumeration_equals_full_scan() {
+        let l = rich_lib();
+        let base = Matcher::with_config(&l, MatchConfig::baseline());
+        let indexed = Matcher::with_config(
+            &l,
+            MatchConfig {
+                index: true,
+                memo: false,
+            },
+        );
+        let subject = ladder(4);
+        let mut sb = MatchScratch::new();
+        let mut si = MatchScratch::new();
+        let mut any_bucket_pruned = false;
+        for node in subject.network().node_ids() {
+            for mode in ALL_MODES {
+                let mut a = Vec::new();
+                let sa = base.for_each_match_at(&subject, node, mode, &mut sb, &mut |mv| {
+                    a.push(mv.to_match());
+                });
+                let mut b = Vec::new();
+                let sc = indexed.for_each_match_at(&subject, node, mode, &mut si, &mut |mv| {
+                    b.push(mv.to_match());
+                });
+                // The sequences (not just the sets) must be identical.
+                assert_eq!(a, b, "node {node:?} mode {mode:?}");
+                assert_eq!(sa.enumerated, sc.enumerated);
+                assert!(sc.pruned >= sa.pruned, "index never prunes less");
+                any_bucket_pruned |= sc.pruned > sa.pruned;
+            }
+        }
+        assert!(any_bucket_pruned, "the index pruned something somewhere");
+    }
+
+    #[test]
+    fn memo_replay_is_order_identical_and_hits_across_subjects() {
+        let l = rich_lib();
+        let matcher = Matcher::new(&l); // default: index + memo on
+        let mut store = MatchStore::for_library(&l);
+        let mut s_direct = MatchScratch::new();
+        let mut s_memo = MatchScratch::new();
+        // One store across two subjects of different sizes: node ids differ
+        // but cone classes recur, so the second subject must mostly hit.
+        for n in [3usize, 6] {
+            let subject = ladder(n);
+            for node in subject.network().node_ids() {
+                for mode in ALL_MODES {
+                    let mut direct = Vec::new();
+                    let sd = matcher.for_each_match_at(
+                        &subject,
+                        node,
+                        mode,
+                        &mut s_direct,
+                        &mut |mv| direct.push(mv.to_match()),
+                    );
+                    let mut memo = Vec::new();
+                    let sm = matcher.for_each_match_via(
+                        &subject,
+                        node,
+                        mode,
+                        &mut s_memo,
+                        &mut store,
+                        &mut |mv| memo.push(mv.to_match()),
+                    );
+                    assert_eq!(direct, memo, "node {node:?} mode {mode:?}");
+                    assert_eq!(sd.enumerated, sm.enumerated);
+                    assert_eq!(sd.pruned, sm.pruned);
+                }
+            }
+        }
+        assert!(store.hits() > 0, "isomorphic cones were replayed");
+        assert!(
+            store.num_classes() < store.lookups(),
+            "fewer classes than lookups: {} vs {}",
+            store.num_classes(),
+            store.lookups()
+        );
+    }
+
+    #[test]
+    fn class_at_is_none_off_gates_and_consistent_on_gates() {
+        let l = rich_lib();
+        let matcher = Matcher::new(&l);
+        let mut store = MatchStore::for_library(&l);
+        let mut scratch = MatchScratch::new();
+        let subject = ladder(2);
+        let net = subject.network();
+        for node in net.node_ids() {
+            let (class, stats) =
+                matcher.class_at(&subject, node, MatchMode::Standard, &mut scratch, &mut store);
+            match net.node(node).func() {
+                NodeFn::Nand | NodeFn::Not => {
+                    let class = class.expect("gate nodes get a class");
+                    assert_eq!(stats.enumerated, store.num_templates(class));
+                    assert_eq!(stats.memo_lookups, 1);
+                    // Every template local resolves through the cone.
+                    let locals = scratch.cone_locals();
+                    for t in store.templates(class) {
+                        for &x in t.leaves.iter().chain(t.covered) {
+                            assert!((x as usize) < locals.len());
+                        }
+                    }
+                }
+                _ => {
+                    assert!(class.is_none());
+                    assert_eq!(stats, MatchStats::default());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different library")]
+    fn store_rejects_foreign_library() {
+        let l1 = lib(&[("inv", "!a"), ("nand2", "!(a*b)")]);
+        let l2 = rich_lib();
+        let mut store = MatchStore::for_library(&l1);
+        let matcher = Matcher::new(&l2);
+        let subject = ladder(1);
+        let root = subject.network().outputs()[0].driver;
+        let mut scratch = MatchScratch::new();
+        matcher.class_at(&subject, root, MatchMode::Standard, &mut scratch, &mut store);
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! Cone-class match memoization: stage 2 of the match accelerator.
+//!
+//! Regular subject graphs (the c6288-like array multiplier is thousands of
+//! isomorphic full-adder cones) make the matcher redo identical
+//! backtracking searches at node after node. A [`MatchStore`] keys each
+//! enumeration by the *canonical bounded-depth cone* of its root (see
+//! [`dagmap_netlist::fingerprint`]): two nodes whose cones serialize
+//! identically — same kinds, same sharing, same capped fanout counts when
+//! exact semantics ask for them, same depth-capped topological level —
+//! drive the backtracking matcher through the same branch sequence, so the
+//! first node's match list can be replayed verbatim onto the second
+//! through the cone isomorphism (local index → concrete node).
+//!
+//! Matches are stored as flat *(gate, pattern, leaf-locals, covered-locals)*
+//! templates in arena vectors; replay materializes nothing and preserves
+//! the enumeration order exactly, which keeps every label, tie-break and
+//! mapped netlist bit-identical to the unmemoized scan.
+//!
+//! A store is subject-graph independent (keys never contain `NodeId`s), so
+//! one store serves a whole mapping run — labeling, the area-recovery
+//! rounds, even different circuits — as long as the library is the same;
+//! [`MatchStore::for_library`] captures the library's pattern-set signature
+//! and every use asserts it still matches.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use dagmap_genlib::{GateId, Library, PatternId};
+
+use crate::matcher::MatchMode;
+
+/// FNV-1a over the key words. Probing runs once per subject node, so the
+/// hash has to be cheap; FNV mixes 32-bit tokens well enough for a table
+/// whose collisions are resolved by full key compare anyway.
+fn hash_key(words: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &w in words {
+        h ^= u64::from(w);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// The map key is already an FNV digest; feeding it through SipHash again
+/// would only burn cycles. This hasher passes the `u64` straight through.
+#[derive(Default)]
+struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("IdentityHasher only accepts u64 keys");
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+/// Identifier of one cone class inside a [`MatchStore`].
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub struct ClassId(pub(crate) u32);
+
+impl ClassId {
+    /// Dense index of the class (classes are numbered in discovery order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One memoized match template, borrowed from the store's arenas: leaf and
+/// covered entries are *local indices* into the cone of the class, to be
+/// mapped through a member node's concrete locals.
+#[derive(Debug, Copy, Clone)]
+pub struct TemplateRef<'a> {
+    /// The gate the match instantiates.
+    pub gate: GateId,
+    /// The expanded pattern that produced the match.
+    pub pattern: PatternId,
+    /// Cone-local index bound to each gate pin, in canonical pin order.
+    pub leaves: &'a [u32],
+    /// Cone-local indices of the covered internal nodes, root included.
+    pub covered: &'a [u32],
+}
+
+#[derive(Debug, Clone)]
+struct Template {
+    gate: GateId,
+    pattern: PatternId,
+    leaves: (u32, u32),
+    covered: (u32, u32),
+}
+
+/// The memoization table. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct MatchStore {
+    /// Library signature captured at construction; uses assert against it.
+    num_patterns: usize,
+    num_gates: usize,
+    max_depth: u32,
+    fanout_cap: u32,
+    /// Key hash → class candidates (collisions resolved by full compare).
+    index: HashMap<u64, Vec<u32>, BuildHasherDefault<IdentityHasher>>,
+    /// Per class: range of its full key inside `key_data`.
+    class_key: Vec<(u32, u32)>,
+    key_data: Vec<u32>,
+    /// Per class: range of its templates inside `templates`.
+    class_tpl: Vec<(u32, u32)>,
+    /// Per class: the `MatchStats::pruned` count of the recorded run.
+    class_pruned: Vec<u32>,
+    templates: Vec<Template>,
+    locals: Vec<u32>,
+    /// Reused buffer holding `[mode, level] ++ cone tokens` during probes.
+    key_buf: Vec<u32>,
+    /// FNV digest of `key_buf`, computed by the last probe.
+    key_hash: u64,
+    lookups: usize,
+    hits: usize,
+}
+
+fn mode_code(mode: MatchMode) -> u32 {
+    match mode {
+        MatchMode::Standard => 0,
+        MatchMode::Exact => 1,
+        MatchMode::Extended => 2,
+    }
+}
+
+impl MatchStore {
+    /// Creates an empty store bound to `library`'s pattern set.
+    pub fn for_library(library: &Library) -> MatchStore {
+        MatchStore {
+            num_patterns: library.patterns().len(),
+            num_gates: library.gates().len(),
+            max_depth: library.max_pattern_depth(),
+            fanout_cap: library.pattern_fanout_cap(),
+            index: HashMap::default(),
+            class_key: Vec::new(),
+            key_data: Vec::new(),
+            class_tpl: Vec::new(),
+            class_pruned: Vec::new(),
+            templates: Vec::new(),
+            locals: Vec::new(),
+            key_buf: Vec::new(),
+            key_hash: 0,
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    /// Asserts the store was built for `library` (pattern-set signature
+    /// match). Guards against replaying one library's matches under
+    /// another.
+    pub(crate) fn check_library(&self, library: &Library) {
+        assert!(
+            self.num_patterns == library.patterns().len()
+                && self.num_gates == library.gates().len()
+                && self.max_depth == library.max_pattern_depth()
+                && self.fanout_cap == library.pattern_fanout_cap(),
+            "MatchStore used with a different library than it was built for"
+        );
+    }
+
+    /// The cone truncation depth (the library's maximum pattern depth).
+    pub fn max_depth(&self) -> u32 {
+        self.max_depth
+    }
+
+    /// The fanout saturation bound recorded in exact-mode cone keys.
+    pub fn fanout_cap(&self) -> u32 {
+        self.fanout_cap
+    }
+
+    /// Number of distinct cone classes discovered so far.
+    pub fn num_classes(&self) -> usize {
+        self.class_key.len()
+    }
+
+    /// Total class lookups performed through this store.
+    pub fn lookups(&self) -> usize {
+        self.lookups
+    }
+
+    /// Lookups that hit an existing class (no search ran).
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Stored pruned-count of a class (skipped pattern attempts of the
+    /// recorded enumeration — identical for every member by construction).
+    pub fn pruned_of(&self, class: ClassId) -> usize {
+        self.class_pruned[class.index()] as usize
+    }
+
+    /// Number of match templates of a class.
+    pub fn num_templates(&self, class: ClassId) -> usize {
+        let (_, len) = self.class_tpl[class.index()];
+        len as usize
+    }
+
+    /// Iterates the templates of a class in the recorded enumeration order.
+    pub fn templates(&self, class: ClassId) -> impl Iterator<Item = TemplateRef<'_>> {
+        let (off, len) = self.class_tpl[class.index()];
+        self.templates[off as usize..(off + len) as usize]
+            .iter()
+            .map(|t| TemplateRef {
+                gate: t.gate,
+                pattern: t.pattern,
+                leaves: &self.locals[t.leaves.0 as usize..(t.leaves.0 + t.leaves.1) as usize],
+                covered: &self.locals[t.covered.0 as usize..(t.covered.0 + t.covered.1) as usize],
+            })
+    }
+
+    /// Probes for an existing class keyed by `(mode, capped level, cone)`.
+    /// Counts the lookup (and the hit, when found).
+    pub(crate) fn probe(&mut self, mode: MatchMode, level_cap: u32, cone_key: &[u32]) -> Option<ClassId> {
+        self.lookups += 1;
+        self.key_buf.clear();
+        self.key_buf.push(mode_code(mode));
+        self.key_buf.push(level_cap);
+        self.key_buf.extend_from_slice(cone_key);
+        self.key_hash = hash_key(&self.key_buf);
+        let found = self.index.get(&self.key_hash).and_then(|cands| {
+            cands
+                .iter()
+                .copied()
+                .find(|&c| {
+                    let (off, len) = self.class_key[c as usize];
+                    self.key_data[off as usize..(off + len) as usize] == self.key_buf[..]
+                })
+                .map(ClassId)
+        });
+        if found.is_some() {
+            self.hits += 1;
+        }
+        found
+    }
+
+    /// Opens a new class for the key of the last (missed) [`MatchStore::probe`].
+    pub(crate) fn begin_class(&mut self) -> ClassId {
+        let id = u32::try_from(self.class_key.len()).expect("class count fits u32");
+        let hash = self.key_hash;
+        let off = u32::try_from(self.key_data.len()).expect("key arena fits u32");
+        let len = u32::try_from(self.key_buf.len()).expect("key fits u32");
+        self.key_data.extend_from_slice(&self.key_buf);
+        self.class_key.push((off, len));
+        let tpl_off = u32::try_from(self.templates.len()).expect("template arena fits u32");
+        self.class_tpl.push((tpl_off, 0));
+        self.class_pruned.push(0);
+        self.index.entry(hash).or_default().push(id);
+        ClassId(id)
+    }
+
+    /// Appends one match template to the (still open, last-begun) class.
+    pub(crate) fn push_template(
+        &mut self,
+        class: ClassId,
+        gate: GateId,
+        pattern: PatternId,
+        leaf_locals: impl Iterator<Item = u32>,
+        covered_locals: impl Iterator<Item = u32>,
+    ) {
+        debug_assert_eq!(class.index() + 1, self.class_key.len(), "class is open");
+        let l_off = u32::try_from(self.locals.len()).expect("locals arena fits u32");
+        self.locals.extend(leaf_locals);
+        let l_len = u32::try_from(self.locals.len()).expect("locals arena fits u32") - l_off;
+        let c_off = u32::try_from(self.locals.len()).expect("locals arena fits u32");
+        self.locals.extend(covered_locals);
+        let c_len = u32::try_from(self.locals.len()).expect("locals arena fits u32") - c_off;
+        self.templates.push(Template {
+            gate,
+            pattern,
+            leaves: (l_off, l_len),
+            covered: (c_off, c_len),
+        });
+        let (_, len) = &mut self.class_tpl[class.index()];
+        *len += 1;
+    }
+
+    /// Records the pruned count of the recorded run of a class.
+    pub(crate) fn set_pruned(&mut self, class: ClassId, pruned: usize) {
+        self.class_pruned[class.index()] = u32::try_from(pruned).expect("pruned fits u32");
+    }
+}

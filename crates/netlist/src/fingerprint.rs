@@ -1,0 +1,573 @@
+//! Structural fingerprints of subject-graph nodes.
+//!
+//! Two views of a node's local structure, both used by the match
+//! accelerator in `dagmap-match`:
+//!
+//! * **Shape classes** — a closed-form code for the two-level root
+//!   neighborhood of every node (function of the node, functions of its
+//!   fanins, functions of *their* fanins, with NAND fanins order-normalized).
+//!   There are exactly [`NUM_SHAPE_CLASSES`] of them, so a library can
+//!   pre-bucket its patterns per class and the matcher can skip every
+//!   pattern whose root neighborhood is incompatible without any search.
+//! * **Bounded-depth cones** — a canonical serialization of the full cone
+//!   of logic under a node, truncated at the library's maximum pattern
+//!   depth. Two nodes with equal serializations present *identical*
+//!   structure to the backtracking matcher (same kinds, same sharing, same
+//!   fanout counts where requested), so one node's match enumeration can be
+//!   replayed verbatim onto the other — the cone-class memoization of the
+//!   match store.
+//!
+//! Both fingerprints describe NAND2/INV subject graphs: nodes are `Source`
+//! (input / constant / latch), `Inv`, or `Nand`.
+
+use crate::{Network, NodeFn, NodeId};
+
+/// Depth-0 shape kind of a node.
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub enum ShapeKind {
+    /// Input, constant or latch — nothing below it for the matcher.
+    Source,
+    /// Inverter.
+    Inv,
+    /// Two-input NAND.
+    Nand,
+}
+
+/// Decoded depth-1 shape class: the node's kind plus the depth-0 kinds of
+/// its fanins (NAND fanins sorted, so the code is order-insensitive).
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub enum Shape1 {
+    /// Source node.
+    Source,
+    /// Inverter over a fanin of the given depth-0 code (0..=2).
+    Inv(u8),
+    /// NAND over fanins of the given sorted depth-0 codes.
+    Nand(u8, u8),
+}
+
+/// Decoded depth-2 shape class: the node's kind plus the depth-1 classes of
+/// its fanins (NAND fanins sorted).
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub enum Shape2 {
+    /// Source node.
+    Source,
+    /// Inverter over a fanin of the given depth-1 code (0..=9).
+    Inv(u8),
+    /// NAND over fanins of the given sorted depth-1 codes.
+    Nand(u8, u8),
+}
+
+/// Number of depth-0 codes: source, inverter, NAND.
+const NUM_S0: u8 = 3;
+/// Number of depth-1 codes: 1 source + 3 inverter + C(3+1,2)=6 NAND.
+pub(crate) const NUM_S1: u8 = 1 + NUM_S0 + pairs(NUM_S0);
+/// Number of depth-2 shape classes: 1 source + 10 inverter + 55 NAND = 66.
+pub const NUM_SHAPE_CLASSES: usize = (1 + NUM_S1 + pairs(NUM_S1)) as usize;
+
+/// Number of unordered pairs (with repetition) over `n` codes.
+const fn pairs(n: u8) -> u8 {
+    n * (n + 1) / 2
+}
+
+/// Index of the sorted pair `(a, b)`, `a <= b < n`, in lexicographic order.
+const fn pair_index(n: u8, a: u8, b: u8) -> u8 {
+    // Rows a'=0..a contribute (n - a') entries each.
+    a * n - a * (a.wrapping_sub(1)) / 2 + (b - a)
+}
+
+fn s0_of(func: &NodeFn) -> u8 {
+    match func {
+        NodeFn::Not => 1,
+        NodeFn::Nand => 2,
+        _ => 0,
+    }
+}
+
+fn encode1(kind: ShapeKind, fanin_s0: &[u8]) -> u8 {
+    match kind {
+        ShapeKind::Source => 0,
+        ShapeKind::Inv => 1 + fanin_s0[0],
+        ShapeKind::Nand => {
+            let (a, b) = sorted(fanin_s0[0], fanin_s0[1]);
+            1 + NUM_S0 + pair_index(NUM_S0, a, b)
+        }
+    }
+}
+
+fn encode2(kind: ShapeKind, fanin_s1: &[u8]) -> u8 {
+    match kind {
+        ShapeKind::Source => 0,
+        ShapeKind::Inv => 1 + fanin_s1[0],
+        ShapeKind::Nand => {
+            let (a, b) = sorted(fanin_s1[0], fanin_s1[1]);
+            1 + NUM_S1 + pair_index(NUM_S1, a, b)
+        }
+    }
+}
+
+fn sorted(a: u8, b: u8) -> (u8, u8) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Decodes a depth-1 code produced while building shape classes.
+pub fn decode1(code: u8) -> Shape1 {
+    debug_assert!(code < NUM_S1);
+    if code == 0 {
+        Shape1::Source
+    } else if code < 1 + NUM_S0 {
+        Shape1::Inv(code - 1)
+    } else {
+        let (a, b) = unpair(NUM_S0, code - 1 - NUM_S0);
+        Shape1::Nand(a, b)
+    }
+}
+
+/// Decodes a depth-2 shape class (a value of [`shape_classes`]).
+pub fn decode2(code: u8) -> Shape2 {
+    debug_assert!((code as usize) < NUM_SHAPE_CLASSES);
+    if code == 0 {
+        Shape2::Source
+    } else if code < 1 + NUM_S1 {
+        Shape2::Inv(code - 1)
+    } else {
+        let (a, b) = unpair(NUM_S1, code - 1 - NUM_S1);
+        Shape2::Nand(a, b)
+    }
+}
+
+/// Inverse of [`pair_index`].
+fn unpair(n: u8, mut idx: u8) -> (u8, u8) {
+    let mut a = 0u8;
+    loop {
+        let row = n - a;
+        if idx < row {
+            return (a, a + idx);
+        }
+        idx -= row;
+        a += 1;
+    }
+}
+
+/// The depth-0 kind of a shape class.
+pub fn class_kind(code: u8) -> ShapeKind {
+    match decode2(code) {
+        Shape2::Source => ShapeKind::Source,
+        Shape2::Inv(_) => ShapeKind::Inv,
+        Shape2::Nand(..) => ShapeKind::Nand,
+    }
+}
+
+/// Computes the depth-2 shape class of every node of a NAND2/INV network.
+///
+/// The classes are order-insensitive in NAND fanins (the matcher explores
+/// both pin orders anyway), so two nodes whose two-level neighborhoods
+/// differ only by fanin order share a class. One linear pass; networks are
+/// acyclic so fanins are classified before their consumers via index order
+/// is *not* assumed — a small per-node recomputation from the depth-0 view
+/// keeps the pass order-free.
+pub fn shape_classes(net: &Network) -> Vec<u8> {
+    let n = net.num_nodes();
+    let mut s0 = vec![0u8; n];
+    for id in net.node_ids() {
+        s0[id.index()] = s0_of(net.node(id).func());
+    }
+    let mut s1 = vec![0u8; n];
+    let mut buf = [0u8; 2];
+    for id in net.node_ids() {
+        let node = net.node(id);
+        let kind = match node.func() {
+            NodeFn::Not => ShapeKind::Inv,
+            NodeFn::Nand => ShapeKind::Nand,
+            _ => ShapeKind::Source,
+        };
+        for (slot, f) in buf.iter_mut().zip(node.fanins()) {
+            *slot = s0[f.index()];
+        }
+        s1[id.index()] = encode1(kind, &buf);
+    }
+    let mut s2 = vec![0u8; n];
+    for id in net.node_ids() {
+        let node = net.node(id);
+        let kind = match node.func() {
+            NodeFn::Not => ShapeKind::Inv,
+            NodeFn::Nand => ShapeKind::Nand,
+            _ => ShapeKind::Source,
+        };
+        for (slot, f) in buf.iter_mut().zip(node.fanins()) {
+            *slot = s1[f.index()];
+        }
+        s2[id.index()] = encode2(kind, &buf);
+    }
+    s2
+}
+
+/// Parameters of a bounded-depth cone extraction.
+///
+/// `max_depth` is the library's maximum pattern depth: nothing deeper can
+/// influence a match rooted at the cone root. `record_fanouts` must be set
+/// for `Exact`-mode matching, whose fanout-equality checks observe the
+/// fanout counts of internal nodes; `fanout_cap` bounds the recorded counts
+/// (any count at or above the largest fanout a pattern can require behaves
+/// identically, so capping improves sharing without changing semantics).
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub struct ConeSpec {
+    /// Depth at which the cone is truncated.
+    pub max_depth: u32,
+    /// Record per-node fanout counts (needed by exact-match semantics).
+    pub record_fanouts: bool,
+    /// Saturation value for recorded fanout counts.
+    pub fanout_cap: u32,
+}
+
+/// Serialization token values. `REF_BASE + i` references the node first
+/// visited at local index `i`; `FANOUT_BASE + c` records a capped fanout
+/// count. The ranges cannot collide: fanout caps are small and local
+/// indices are dense cone positions, far below `REF_BASE - FANOUT_BASE`.
+const TOK_BOUNDARY: u32 = 0;
+const TOK_INV: u32 = 1;
+const TOK_NAND: u32 = 2;
+const FANOUT_BASE: u32 = 8;
+const REF_BASE: u32 = 1 << 20;
+
+/// Reusable buffers for [`extract_cone`]; keep one per thread.
+///
+/// Node → slot lookups run on every visit of every extraction, so they use
+/// epoch-stamped dense arrays indexed by `NodeId` instead of a hash map:
+/// bumping the epoch invalidates the whole table in O(1) and a lookup is
+/// two array reads.
+#[derive(Debug, Default, Clone)]
+pub struct ConeScratch {
+    /// Per network node: epoch at which the node was last given a slot.
+    stamp: Vec<u32>,
+    /// Per network node: slot handed out in the stamped epoch.
+    node_slot: Vec<u32>,
+    /// Current extraction epoch; entries with `stamp != epoch` are stale.
+    epoch: u32,
+    /// Per slot: minimum depth of the node from the root.
+    min_depth: Vec<u32>,
+    /// Per slot: local index assigned by the serialization pass, if visited.
+    local_slot: Vec<Option<u32>>,
+    /// BFS worklist.
+    queue: Vec<(NodeId, u32)>,
+    /// Local index → concrete node, in canonical (first-visit DFS) order.
+    locals: Vec<NodeId>,
+    /// The canonical token stream.
+    key: Vec<u32>,
+}
+
+impl ConeScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> ConeScratch {
+        ConeScratch::default()
+    }
+
+    /// The canonical token stream of the last extracted cone.
+    pub fn key(&self) -> &[u32] {
+        &self.key
+    }
+
+    /// Local index → concrete node map of the last extracted cone. Two
+    /// cones with equal [`ConeScratch::key`] streams assign corresponding
+    /// nodes the same local indices — the isomorphism match replay uses.
+    pub fn locals(&self) -> &[NodeId] {
+        &self.locals
+    }
+
+    /// Looks up the local index of a node of the last extracted cone.
+    pub fn local_of(&self, id: NodeId) -> Option<u32> {
+        let slot = self.slot_of(id)?;
+        self.local_slot[slot as usize]
+    }
+
+    /// Slot of a node in the current epoch, if it was visited.
+    fn slot_of(&self, id: NodeId) -> Option<u32> {
+        let i = id.index();
+        (i < self.stamp.len() && self.stamp[i] == self.epoch).then(|| self.node_slot[i])
+    }
+
+    /// Stamps a node with a fresh slot in the current epoch.
+    fn assign_slot(&mut self, id: NodeId, slot: u32) {
+        let i = id.index();
+        self.stamp[i] = self.epoch;
+        self.node_slot[i] = slot;
+    }
+}
+
+/// Extracts the canonical bounded-depth cone of `root`, filling
+/// `scratch.key()` and `scratch.locals()`.
+///
+/// Every node the backtracking matcher can *touch* while matching a
+/// pattern of depth at most `spec.max_depth` at `root` receives a local
+/// index: internal pattern nodes only ever bind at depth `< max_depth`
+/// (every internal node has a leaf strictly below it), so gate nodes at
+/// that depth are expanded — kind, fanin structure, sharing and (when
+/// requested) capped fanout counts all enter the token stream — while
+/// frontier nodes (sources anywhere, gates first reachable exactly at
+/// `max_depth`) appear as opaque boundary tokens whose identity is still
+/// tracked through back-references. Equal token streams therefore drive
+/// `try_bind` through the *same* branch sequence on both cones, which is
+/// the soundness argument for replaying memoized matches.
+pub fn extract_cone(net: &Network, root: NodeId, spec: ConeSpec, scratch: &mut ConeScratch) {
+    if scratch.stamp.len() < net.num_nodes() {
+        scratch.stamp.resize(net.num_nodes(), 0);
+        scratch.node_slot.resize(net.num_nodes(), 0);
+    }
+    scratch.epoch = scratch.epoch.wrapping_add(1);
+    if scratch.epoch == 0 {
+        // Wrapped: stale entries could alias the restarted epoch counter.
+        scratch.stamp.fill(u32::MAX);
+        scratch.epoch = 1;
+    }
+    scratch.min_depth.clear();
+    scratch.local_slot.clear();
+    scratch.queue.clear();
+    scratch.locals.clear();
+    scratch.key.clear();
+
+    // Breadth-first pass: first visit = minimum depth, since the frontier
+    // expands in nondecreasing depth order.
+    scratch.assign_slot(root, 0);
+    scratch.min_depth.push(0);
+    scratch.queue.push((root, 0));
+    let mut head = 0;
+    while head < scratch.queue.len() {
+        let (id, d) = scratch.queue[head];
+        head += 1;
+        let node = net.node(id);
+        let expand =
+            d < spec.max_depth && matches!(node.func(), NodeFn::Not | NodeFn::Nand);
+        if !expand {
+            continue;
+        }
+        for &f in node.fanins() {
+            if scratch.slot_of(f).is_some() {
+                continue;
+            }
+            let slot = scratch.min_depth.len() as u32;
+            scratch.assign_slot(f, slot);
+            scratch.min_depth.push(d + 1);
+            scratch.queue.push((f, d + 1));
+        }
+    }
+    scratch.local_slot.resize(scratch.min_depth.len(), None);
+
+    // Depth-first serialization in fanin order: the canonical stream.
+    serialize(net, root, spec, scratch, true);
+}
+
+fn serialize(net: &Network, id: NodeId, spec: ConeSpec, scratch: &mut ConeScratch, is_root: bool) {
+    let slot = scratch.slot_of(id).expect("serialized nodes were visited by BFS") as usize;
+    if let Some(local) = scratch.local_slot[slot] {
+        scratch.key.push(REF_BASE + local);
+        return;
+    }
+    let local = scratch.locals.len() as u32;
+    scratch.local_slot[slot] = Some(local);
+    scratch.locals.push(id);
+
+    let node = net.node(id);
+    let expand = scratch.min_depth[slot] < spec.max_depth
+        && matches!(node.func(), NodeFn::Not | NodeFn::Nand);
+    if !expand {
+        scratch.key.push(TOK_BOUNDARY);
+        return;
+    }
+    scratch.key.push(match node.func() {
+        NodeFn::Not => TOK_INV,
+        NodeFn::Nand => TOK_NAND,
+        _ => unreachable!("only gates are expanded"),
+    });
+    if spec.record_fanouts && !is_root {
+        let fo = (node.fanouts().len() as u32).min(spec.fanout_cap);
+        scratch.key.push(FANOUT_BASE + fo);
+    }
+    let fanins: [Option<NodeId>; 2] = {
+        let f = node.fanins();
+        [f.first().copied(), f.get(1).copied()]
+    };
+    for f in fanins.into_iter().flatten() {
+        serialize(net, f, spec, scratch, false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistError;
+
+    fn xor_cone(net: &mut Network, a: NodeId, b: NodeId) -> NodeId {
+        let na = net.add_node(NodeFn::Not, vec![a]).unwrap();
+        let nb = net.add_node(NodeFn::Not, vec![b]).unwrap();
+        let l = net.add_node(NodeFn::Nand, vec![a, nb]).unwrap();
+        let r = net.add_node(NodeFn::Nand, vec![na, b]).unwrap();
+        net.add_node(NodeFn::Nand, vec![l, r]).unwrap()
+    }
+
+    #[test]
+    fn codes_are_dense_and_roundtrip() {
+        // Every (kind, sorted children) combination maps to a distinct code
+        // and decodes back.
+        let mut seen = [false; NUM_SHAPE_CLASSES];
+        seen[0] = true; // Source
+        for c in 0..NUM_S1 {
+            let code = encode2(ShapeKind::Inv, &[c]);
+            assert_eq!(decode2(code), Shape2::Inv(c));
+            assert!(!seen[code as usize]);
+            seen[code as usize] = true;
+        }
+        for a in 0..NUM_S1 {
+            for b in a..NUM_S1 {
+                let code = encode2(ShapeKind::Nand, &[a, b]);
+                let swapped = encode2(ShapeKind::Nand, &[b, a]);
+                assert_eq!(code, swapped, "order-insensitive");
+                assert_eq!(decode2(code), Shape2::Nand(a, b));
+                assert!(!seen[code as usize]);
+                seen[code as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all 66 classes reachable");
+    }
+
+    #[test]
+    fn isomorphic_neighborhoods_share_a_class() -> Result<(), NetlistError> {
+        let mut net = Network::new("n");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let x = xor_cone(&mut net, a, b);
+        let y = xor_cone(&mut net, b, c);
+        net.add_output("x", x);
+        net.add_output("y", y);
+        let classes = shape_classes(&net);
+        assert_eq!(classes[x.index()], classes[y.index()]);
+        // An input and a NAND differ, as do a NAND-over-inputs and the xor
+        // top (NAND over NANDs).
+        assert_ne!(classes[a.index()], classes[x.index()]);
+        let plain = net.add_node(NodeFn::Nand, vec![a, c])?;
+        let classes = shape_classes(&net);
+        assert_ne!(classes[plain.index()], classes[x.index()]);
+        Ok(())
+    }
+
+    #[test]
+    fn cone_keys_agree_exactly_on_isomorphic_cones() -> Result<(), NetlistError> {
+        let mut net = Network::new("n");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let d = net.add_input("d");
+        let x = xor_cone(&mut net, a, b);
+        let y = xor_cone(&mut net, c, d);
+        net.add_output("x", x);
+        net.add_output("y", y);
+        let spec = ConeSpec {
+            max_depth: 3,
+            record_fanouts: false,
+            fanout_cap: 4,
+        };
+        let mut s1 = ConeScratch::new();
+        let mut s2 = ConeScratch::new();
+        extract_cone(&net, x, spec, &mut s1);
+        extract_cone(&net, y, spec, &mut s2);
+        assert_eq!(s1.key(), s2.key());
+        assert_eq!(s1.locals().len(), s2.locals().len());
+        // Corresponding locals: roots first, then DFS order.
+        assert_eq!(s1.locals()[0], x);
+        assert_eq!(s2.locals()[0], y);
+        Ok(())
+    }
+
+    #[test]
+    fn sharing_is_distinguished_from_tree_structure() -> Result<(), NetlistError> {
+        // nand(inv(g), inv(g)) over a shared g vs nand(inv(g1), inv(g2))
+        // over distinct (but isomorphic) fanins: the REF token separates
+        // them — the matcher behaves differently on the two.
+        let mut net = Network::new("n");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_node(NodeFn::Nand, vec![a, b])?;
+        let u = net.add_node(NodeFn::Not, vec![g])?;
+        let v = net.add_node(NodeFn::Not, vec![g])?;
+        let shared = net.add_node(NodeFn::Nand, vec![u, v])?;
+        let g1 = net.add_node(NodeFn::Nand, vec![a, b])?;
+        let g2 = net.add_node(NodeFn::Nand, vec![b, a])?;
+        let u1 = net.add_node(NodeFn::Not, vec![g1])?;
+        let v1 = net.add_node(NodeFn::Not, vec![g2])?;
+        let split = net.add_node(NodeFn::Nand, vec![u1, v1])?;
+        net.add_output("s", shared);
+        net.add_output("t", split);
+        let spec = ConeSpec {
+            max_depth: 3,
+            record_fanouts: false,
+            fanout_cap: 4,
+        };
+        let mut s1 = ConeScratch::new();
+        let mut s2 = ConeScratch::new();
+        extract_cone(&net, shared, spec, &mut s1);
+        extract_cone(&net, split, spec, &mut s2);
+        assert_ne!(s1.key(), s2.key());
+        Ok(())
+    }
+
+    #[test]
+    fn fanout_recording_separates_exact_classes() -> Result<(), NetlistError> {
+        // Same cone shape, one internal node with an extra consumer: keys
+        // agree without fanouts, differ with them.
+        let mut net = Network::new("n");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_node(NodeFn::Nand, vec![a, b])?;
+        let h = net.add_node(NodeFn::Not, vec![g])?;
+        let g2 = net.add_node(NodeFn::Nand, vec![a, b])?;
+        // Force distinct nodes: from_subject_network isn't strashed here.
+        let h2 = net.add_node(NodeFn::Not, vec![g2])?;
+        let extra = net.add_node(NodeFn::Not, vec![g2])?;
+        net.add_output("h", h);
+        net.add_output("h2", h2);
+        net.add_output("e", extra);
+        for (record, want_equal) in [(false, true), (true, false)] {
+            let spec = ConeSpec {
+                max_depth: 2,
+                record_fanouts: record,
+                fanout_cap: 4,
+            };
+            let mut s1 = ConeScratch::new();
+            let mut s2 = ConeScratch::new();
+            extract_cone(&net, h, spec, &mut s1);
+            extract_cone(&net, h2, spec, &mut s2);
+            assert_eq!(s1.key() == s2.key(), want_equal, "record_fanouts={record}");
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn truncation_hides_deep_structure_only() -> Result<(), NetlistError> {
+        // Below the horizon the cones differ (inv vs input); at max_depth 1
+        // both serialize as nand(boundary, boundary).
+        let mut net = Network::new("n");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let na = net.add_node(NodeFn::Not, vec![a])?;
+        let deep = net.add_node(NodeFn::Nand, vec![na, b])?;
+        let flat = net.add_node(NodeFn::Nand, vec![a, b])?;
+        net.add_output("d", deep);
+        net.add_output("f", flat);
+        let mut s1 = ConeScratch::new();
+        let mut s2 = ConeScratch::new();
+        for (depth, want_equal) in [(1u32, true), (2, false)] {
+            let spec = ConeSpec {
+                max_depth: depth,
+                record_fanouts: false,
+                fanout_cap: 4,
+            };
+            extract_cone(&net, deep, spec, &mut s1);
+            extract_cone(&net, flat, spec, &mut s2);
+            assert_eq!(s1.key() == s2.key(), want_equal, "depth={depth}");
+        }
+        Ok(())
+    }
+}

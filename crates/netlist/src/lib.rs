@@ -12,7 +12,9 @@
 //! * [`blif`] — a reader and writer for the Berkeley BLIF interchange format,
 //! * [`sim`] — 64-bit word-parallel simulation and random equivalence
 //!   checking,
-//! * [`sta`] — simple static timing (arrival-time propagation / depth).
+//! * [`sta`] — simple static timing (arrival-time propagation / depth),
+//! * [`fingerprint`] — structural shape classes and bounded-depth cone
+//!   canonicalization backing the match accelerator of `dagmap-match`.
 //!
 //! # Example
 //!
@@ -40,6 +42,7 @@
 pub mod aiger;
 pub mod blif;
 mod error;
+pub mod fingerprint;
 mod id;
 mod levels;
 mod logic;

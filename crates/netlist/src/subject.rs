@@ -78,6 +78,7 @@ impl Default for DecomposeOptions {
 pub struct SubjectGraph {
     net: Network,
     levels: crate::Levels,
+    shape_class: Vec<u8>,
 }
 
 #[derive(PartialEq, Eq, Hash)]
@@ -426,8 +427,19 @@ impl SubjectGraph {
             }
             net
         };
+        Ok(SubjectGraph::finish(net))
+    }
+
+    /// Final wrapping step shared by every constructor: levels and the
+    /// per-node shape classes the fingerprint-indexed matcher consumes.
+    fn finish(net: Network) -> SubjectGraph {
         let levels = compute_levels(&net);
-        Ok(SubjectGraph { net, levels })
+        let shape_class = crate::fingerprint::shape_classes(&net);
+        SubjectGraph {
+            net,
+            levels,
+            shape_class,
+        }
     }
 
     /// Rebuild step used when the source network contains latches: the
@@ -498,11 +510,7 @@ impl SubjectGraph {
             let driver = remap[driver.index()].expect("driver emitted");
             rebuilt.add_output(&out.name, driver);
         }
-        let levels = compute_levels(&rebuilt);
-        SubjectGraph {
-            net: rebuilt,
-            levels,
-        }
+        SubjectGraph::finish(rebuilt)
     }
 
     /// Wraps a network that is *already* in NAND2/INV form (for example one
@@ -529,8 +537,7 @@ impl SubjectGraph {
             }
         }
         net.topo_order()?;
-        let levels = compute_levels(&net);
-        Ok(SubjectGraph { net, levels })
+        Ok(SubjectGraph::finish(net))
     }
 
     /// The underlying NAND2/INV network.
@@ -558,6 +565,17 @@ impl SubjectGraph {
     /// Unit-delay level of a node (inputs, constants and latches are 0).
     pub fn level(&self, id: NodeId) -> u32 {
         self.levels.level_of(id)
+    }
+
+    /// Depth-2 shape class of a node (see [`crate::fingerprint`]): the key
+    /// the fingerprint-indexed matcher buckets library patterns under.
+    pub fn shape_class(&self, id: NodeId) -> u8 {
+        self.shape_class[id.index()]
+    }
+
+    /// Per-node shape classes, indexed by [`NodeId::index`].
+    pub fn shape_classes(&self) -> &[u8] {
+        &self.shape_class
     }
 
     /// The full level structure: per-node levels plus nodes grouped by

@@ -33,7 +33,7 @@
 
 use dagmap_core::{MapOptions, MappedNetlist, Mapper};
 use dagmap_genlib::Library;
-use dagmap_match::{Match, MatchMode, Matcher};
+use dagmap_match::{ClassId, Match, MatchMode, MatchScratch, MatchStore, Matcher};
 use dagmap_netlist::{NodeFn, NodeId, SubjectGraph};
 
 use crate::retime::{minimize_period, Retiming};
@@ -57,9 +57,52 @@ pub struct SeqMapResult {
 
 /// Per-node match data cached across the binary search (matches do not
 /// depend on φ).
+///
+/// Built on the shared match arena of `dagmap-match`: matches live once per
+/// *cone class* in a [`MatchStore`] as (gate, leaf-local) templates, and
+/// every node carries only its class plus the local → concrete-node table of
+/// its cone. On regular sequential circuits (an accumulator is one repeated
+/// bit slice) this both deduplicates the cache — isomorphic nodes share one
+/// template list — and skips their redundant match searches up front. The
+/// per-φ fixpoint iterates templates in the recorded enumeration order,
+/// which is exactly the order the old owned-`Match` cache iterated in, so
+/// the argmin selection (first-wins on EPS-ties) is unchanged.
 struct MatchCache {
-    /// Per internal node: (pin delays, match).
-    per_node: Vec<Vec<(Vec<f64>, Match)>>,
+    /// Shared template store (one match list per cone class).
+    store: MatchStore,
+    /// Per node: its cone class; `None` for non-gate nodes.
+    node_class: Vec<Option<ClassId>>,
+    /// Per node: range in `locals` translating class-local indices to
+    /// concrete subject nodes.
+    node_locals: Vec<(u32, u32)>,
+    locals: Vec<NodeId>,
+    /// Pin delays per library gate, indexed by `GateId`.
+    gate_delays: Vec<Vec<f64>>,
+}
+
+impl MatchCache {
+    /// Concrete cone members of `id` (local index → subject node).
+    fn locals_of(&self, id: NodeId) -> &[NodeId] {
+        let (off, len) = self.node_locals[id.index()];
+        &self.locals[off as usize..(off + len) as usize]
+    }
+
+    /// Materializes the `idx`-th match of `id`'s class as an owned value.
+    fn materialize(&self, id: NodeId, idx: usize) -> Match {
+        let class = self.node_class[id.index()].expect("gate node has a class");
+        let locals = self.locals_of(id);
+        let t = self
+            .store
+            .templates(class)
+            .nth(idx)
+            .expect("selection index in range");
+        Match {
+            gate: t.gate,
+            pattern: Some(t.pattern),
+            leaves: t.leaves.iter().map(|&l| locals[l as usize]).collect(),
+            covered: t.covered.iter().map(|&l| locals[l as usize]).collect(),
+        }
+    }
 }
 
 fn build_cache(
@@ -69,27 +112,40 @@ fn build_cache(
 ) -> Result<MatchCache, RetimeError> {
     let net = subject.network();
     let matcher = Matcher::new(library);
-    let mut per_node = vec![Vec::new(); net.num_nodes()];
+    let mut store = MatchStore::for_library(library);
+    let mut scratch = MatchScratch::new();
+    let mut node_class = vec![None; net.num_nodes()];
+    let mut node_locals = vec![(0u32, 0u32); net.num_nodes()];
+    let mut locals = Vec::new();
     for id in net.node_ids() {
         if !matches!(net.node(id).func(), NodeFn::Nand | NodeFn::Not) {
             continue;
         }
-        let ms = matcher.matches_at(subject, id, mode);
-        if ms.is_empty() {
+        let (class, _) = matcher.class_at(subject, id, mode, &mut scratch, &mut store);
+        let class = class.expect("gate nodes always have a cone class");
+        if store.num_templates(class) == 0 {
             return Err(RetimeError::Map(format!(
                 "no library pattern matches subject node {id}"
             )));
         }
-        per_node[id.index()] = ms
-            .into_iter()
-            .map(|m| {
-                let gate = library.gate(m.gate);
-                let delays = (0..gate.num_pins()).map(|p| gate.pin_delay(p)).collect();
-                (delays, m)
-            })
-            .collect();
+        node_class[id.index()] = Some(class);
+        let off = u32::try_from(locals.len()).expect("locals arena fits u32");
+        locals.extend_from_slice(scratch.cone_locals());
+        let len = u32::try_from(locals.len()).expect("locals arena fits u32") - off;
+        node_locals[id.index()] = (off, len);
     }
-    Ok(MatchCache { per_node })
+    let gate_delays = library
+        .gates()
+        .iter()
+        .map(|g| (0..g.num_pins()).map(|p| g.pin_delay(p)).collect())
+        .collect();
+    Ok(MatchCache {
+        store,
+        node_class,
+        node_locals,
+        locals,
+        gate_delays,
+    })
 }
 
 /// One l-value fixpoint attempt at period `phi`; returns the labels and the
@@ -119,12 +175,15 @@ fn l_fixpoint(
                 NodeFn::Input | NodeFn::Const(_) => 0.0,
                 NodeFn::Latch => (l[node.fanins()[0].index()] - phi).max(floor),
                 NodeFn::Nand | NodeFn::Not => {
+                    let class = cache.node_class[id.index()].expect("gate node has a class");
+                    let locals = cache.locals_of(id);
                     let mut best = f64::INFINITY;
                     let mut best_idx = 0;
-                    for (idx, (delays, m)) in cache.per_node[id.index()].iter().enumerate() {
+                    for (idx, tpl) in cache.store.templates(class).enumerate() {
+                        let delays = &cache.gate_delays[tpl.gate.index()];
                         let mut t = f64::NEG_INFINITY;
-                        for (d, leaf) in delays.iter().zip(&m.leaves) {
-                            t = t.max(l[leaf.index()] + d);
+                        for (d, &leaf) in delays.iter().zip(tpl.leaves) {
+                            t = t.max(l[locals[leaf as usize].index()] + d);
                         }
                         if t < best - EPS {
                             best = t;
@@ -145,7 +204,7 @@ fn l_fixpoint(
             let selected: Vec<Option<Match>> = pick
                 .iter()
                 .enumerate()
-                .map(|(i, p)| p.map(|idx| cache.per_node[i][idx].1.clone()))
+                .map(|(i, p)| p.map(|idx| cache.materialize(NodeId::from_index(i), idx)))
                 .collect();
             return Ok(Some((l, selected)));
         }

@@ -15,6 +15,12 @@ cargo test -q --offline --workspace
 DAGMAP_BENCH_QUICK=1 cargo run -q --release --offline -p dagmap-bench --bin labelperf -- \
   --quick --out target/BENCH_label_smoke.json
 
+# Smoke-run the match-acceleration micro-bench: asserts labels and mapped
+# BLIF are bit-identical with the fingerprint index and the cone-class memo
+# on or off, and writes BENCH_match.json.
+cargo run -q --release --offline -p dagmap-bench --bin matchperf -- \
+  --quick --out target/BENCH_match_smoke.json
+
 # Smoke-run the supergate experiment: bounded generation on 44-1, asserting
 # the extension is bit-identical at 1 vs N threads and that the extended
 # library maps the c6288 analogue with delay <= the base library's.

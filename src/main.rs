@@ -55,7 +55,10 @@ usage:
   dagmap map      <in.blif> [options]   map against a gate library
   dagmap luts     <in.blif> [-k <k>]    FlowMap k-LUT mapping
   dagmap retime   <in.blif> [options]   minimum clock period (retime + map)
-  dagmap stats    <in.blif>             network and subject-graph statistics
+  dagmap stats    <in.blif> [--builtin <name> | --lib <f.genlib>]
+                                        network and subject-graph statistics
+                                        (with a library: match census + memo
+                                        hit rate)
   dagmap lib      <f.genlib>|--builtin  library statistics
   dagmap supergen [options]             extend a library with supergates
   dagmap gen      <name> [--out f]      emit a generated benchmark as BLIF
@@ -75,6 +78,9 @@ map options:
                                       to <depth> composed gate levels first
   --threads <n>                       labeling worker threads (default: all
                                       hardware threads; results identical)
+  --no-accel                          disable the fingerprint index and the
+                                      cone-class match memo (results are
+                                      bit-identical; only speed changes)
   --out <f.blif>                      write the mapped netlist as BLIF
   --verilog <f.v>                     write structural Verilog
   --report-path                       print the critical path
@@ -218,6 +224,7 @@ fn cmd_map(args: &[String]) -> CmdResult {
     let vout = take_value(&mut args, "--verilog")?;
     let no_verify = take_flag(&mut args, "--no-verify");
     let report_path = take_flag(&mut args, "--report-path");
+    let no_accel = take_flag(&mut args, "--no-accel");
     let k: usize = take_value(&mut args, "-k")?
         .map(|s| s.parse())
         .transpose()
@@ -273,6 +280,9 @@ fn cmd_map(args: &[String]) -> CmdResult {
     if let Some(n) = threads {
         opts = opts.with_num_threads(n);
     }
+    if no_accel {
+        opts = opts.with_match_acceleration(false);
+    }
     let (mut mapped, report) = Mapper::new(&library).map_with_report(&subject, opts)?;
     if let Some(max_load) = buffer {
         mapped = load::insert_buffers(&mapped, &library, max_load)?;
@@ -290,6 +300,20 @@ fn cmd_map(args: &[String]) -> CmdResult {
         report.algorithm,
         report.matches_enumerated,
         mapped.duplicated_subject_nodes(),
+    );
+    let memo = if report.memo_lookups > 0 {
+        format!(
+            ", memo {}/{} hits ({:.1}%)",
+            report.memo_hits,
+            report.memo_lookups,
+            100.0 * report.memo_hits as f64 / report.memo_lookups as f64
+        )
+    } else {
+        String::new()
+    };
+    println!(
+        "matching: {} enumerated, {} candidates pruned{memo}",
+        report.matches_enumerated, report.matches_pruned
     );
     for (gate, count) in mapped.gate_histogram() {
         println!("  {gate:<12} x{count}");
@@ -376,7 +400,14 @@ fn cmd_retime(args: &[String]) -> CmdResult {
 }
 
 fn cmd_stats(args: &[String]) -> CmdResult {
-    let input = positional(args, "input BLIF file")?;
+    let mut args = args.to_vec();
+    let wants_library = args.iter().any(|a| a == "--builtin" || a == "--lib");
+    let library = if wants_library {
+        Some(load_library(&mut args)?)
+    } else {
+        None
+    };
+    let input = positional(&args, "input BLIF file")?;
     let net = read_network(&input)?;
     println!(
         "{}: {} inputs, {} outputs, {} latches, {} internal nodes, {} edges",
@@ -394,6 +425,42 @@ fn cmd_stats(args: &[String]) -> CmdResult {
         subject.depth(),
         subject.num_multi_fanout()
     );
+    if let Some(library) = library {
+        // Full match census under standard semantics: how much pattern
+        // matching this subject costs against the library, and how much of
+        // it the fingerprint index and cone-class memo save.
+        use dagmap::matching::{MatchScratch, MatchStats, MatchStore, Matcher};
+        let matcher = Matcher::new(&library);
+        let mut store = MatchStore::for_library(&library);
+        let mut scratch = MatchScratch::new();
+        let mut stats = MatchStats::default();
+        for id in subject.network().node_ids() {
+            stats.absorb(matcher.for_each_match_via(
+                &subject,
+                id,
+                MatchMode::Standard,
+                &mut scratch,
+                &mut store,
+                &mut |_| {},
+            ));
+        }
+        println!(
+            "matching vs `{}` (standard): {} matches, {} candidates pruned",
+            library.name(),
+            stats.enumerated,
+            stats.pruned
+        );
+        println!(
+            "match memo: {} cone classes over {} lookups ({:.1}% hit rate)",
+            store.num_classes(),
+            store.lookups(),
+            if store.lookups() > 0 {
+                100.0 * store.hits() as f64 / store.lookups() as f64
+            } else {
+                0.0
+            }
+        );
+    }
     Ok(())
 }
 
