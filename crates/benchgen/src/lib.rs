@@ -39,8 +39,11 @@ pub use arith::{
 };
 pub use iscas::{c2670_like, c3540_like, c5315_like, c6288_like, c7552_like, iscas_suite};
 pub use misc::{barrel_shifter, decoder, mux_tree, parity_tree, priority_encoder};
-pub use random::random_network;
-pub use seq::{accumulator, counter, fsm, lfsr, s208_like, s27_like, s344_like, shift_register};
+pub use random::{random_network, random_network_with, RandomNetSpec};
+pub use seq::{
+    accumulator, counter, fsm, lfsr, random_sequential, s208_like, s27_like, s344_like,
+    shift_register, RandomSeqSpec,
+};
 
 use dagmap_netlist::{Network, NodeFn, NodeId};
 

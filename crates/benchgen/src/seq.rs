@@ -127,6 +127,95 @@ pub fn fsm(state_bits: usize, input_bits: usize, gates: usize, seed: u64) -> Net
     net
 }
 
+/// Size/shape knobs for [`random_sequential`], the sequential counterpart
+/// of [`crate::RandomNetSpec`].
+#[derive(Debug, Clone)]
+pub struct RandomSeqSpec {
+    /// Primary input count (at least 1).
+    pub inputs: usize,
+    /// Latch count (at least 1).
+    pub latches: usize,
+    /// Random combinational gates between the state/input pool and the
+    /// next-state functions.
+    pub gates: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Depth bias of the gate-fanin draw, as in [`crate::RandomNetSpec`].
+    pub depth_bias: f64,
+}
+
+impl Default for RandomSeqSpec {
+    fn default() -> Self {
+        RandomSeqSpec {
+            inputs: 3,
+            latches: 4,
+            gates: 30,
+            seed: 0,
+            depth_bias: 0.6,
+        }
+    }
+}
+
+/// Seeded random sequential network: `latches` state bits whose next-state
+/// functions tap a random combinational cloud over {inputs, state}; every
+/// state bit plus the last gate are observable.
+///
+/// Deterministic in `spec.seed`. Unlike [`fsm`] (kept for the experiments'
+/// fixed rng stream), the shape is fully knob-driven for the fuzzer.
+///
+/// # Panics
+///
+/// Panics if `spec.inputs` or `spec.latches` is 0.
+pub fn random_sequential(spec: &RandomSeqSpec) -> Network {
+    use dagmap_rng::StdRng;
+    assert!(spec.inputs > 0, "need at least one input");
+    assert!(spec.latches > 0, "need at least one latch");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut net = Network::new(format!(
+        "randseq_{}x{}x{}_s{}",
+        spec.inputs, spec.latches, spec.gates, spec.seed
+    ));
+    let inputs = input_bus(&mut net, "x", spec.inputs);
+    let state = latch_bank(&mut net, "s", spec.latches);
+    let mut pool: Vec<NodeId> = inputs.iter().chain(&state).copied().collect();
+    let pick = |rng: &mut StdRng, pool: &[NodeId], bias: f64| -> NodeId {
+        let lo = if pool.len() > 4 && rng.random_bool(bias) {
+            pool.len() / 2
+        } else {
+            0
+        };
+        pool[rng.random_range(lo..pool.len())]
+    };
+    for _ in 0..spec.gates {
+        let a = pick(&mut rng, &pool, spec.depth_bias);
+        let b = pick(&mut rng, &pool, spec.depth_bias);
+        let g = match rng.random_range(0..6u32) {
+            0 => net.add_node(NodeFn::And, vec![a, b]),
+            1 => net.add_node(NodeFn::Or, vec![a, b]),
+            2 => net.add_node(NodeFn::Nand, vec![a, b]),
+            3 => net.add_node(NodeFn::Nor, vec![a, b]),
+            4 => net.add_node(NodeFn::Xor, vec![a, b]),
+            _ => net.add_node(NodeFn::Not, vec![a]),
+        }
+        .expect("arities are static");
+        pool.push(g);
+    }
+    // Next-state: a random pool node, stirred with an input so state keeps
+    // moving even when the random cloud collapses to constants.
+    for (i, &l) in state.iter().enumerate() {
+        let base = pick(&mut rng, &pool, spec.depth_bias);
+        let stir = inputs[i % spec.inputs];
+        let next = net.add_node(NodeFn::Xor, vec![base, stir]).expect("xor2");
+        net.replace_single_fanin(l, next);
+    }
+    for (i, &l) in state.iter().enumerate() {
+        net.add_output(format!("z{i}"), l);
+    }
+    let tail = *pool.last().expect("pool is never empty");
+    net.add_output("tail", tail);
+    net
+}
+
 /// ISCAS-89 `s27` analogue: 4 inputs, 3 latches, a handful of gates.
 pub fn s27_like() -> Network {
     let mut net = Network::new("s27_like");

@@ -97,7 +97,10 @@ fn cut_function(
 ) -> Option<(TruthTable, Vec<NodeId>)> {
     let mut values: HashMap<NodeId, u64> = HashMap::new();
     for (i, &x) in leaves.iter().enumerate() {
-        values.insert(x, dagmap_netlist::sim::exhaustive_word(i));
+        values.insert(
+            x,
+            dagmap_netlist::sim::exhaustive_word(i).expect("cut width clamped to MAX_INPUTS"),
+        );
     }
     let mut covered = Vec::new();
     let word = eval_cone(net, root, &mut values, &mut covered)?;

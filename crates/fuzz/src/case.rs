@@ -1,0 +1,141 @@
+//! Case generation: one seed, one deterministic subject network drawn from
+//! a mix of knob-driven random generators and structured benchmark shapes.
+
+use dagmap_benchgen as benchgen;
+use dagmap_netlist::Network;
+use dagmap_rng::StdRng;
+
+/// One generated fuzzing case.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// Index within the run.
+    pub index: usize,
+    /// Derived per-case seed (deterministic in the run seed and index).
+    pub seed: u64,
+    /// Generator family, for reporting.
+    pub generator: String,
+    /// The subject network.
+    pub network: Network,
+}
+
+/// Derives the per-case seed from the run seed: a splitmix-style hash so
+/// neighbouring cases land in unrelated regions of the generators' space.
+fn derive_seed(run_seed: u64, index: usize) -> u64 {
+    let mut z = run_seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Generates case `index` of the run. Deterministic in `(run_seed, index)`.
+///
+/// The family mix deliberately over-weights the random generators — they
+/// reach corners the structured shapes never do — but keeps arithmetic,
+/// parity and small sequential circuits in rotation because those stress
+/// duplication, reconvergence and the latch boundary respectively.
+pub fn generate_case(run_seed: u64, index: usize, max_gates: usize) -> Case {
+    let seed = derive_seed(run_seed, index);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_gates = max_gates.max(12);
+    let roll = rng.random_range(0..10u32);
+    let (generator, network) = match roll {
+        // Knob-driven random combinational DAGs: the workhorse family.
+        0..=3 => {
+            let spec = benchgen::RandomNetSpec {
+                inputs: rng.random_range(3..9usize),
+                gates: rng.random_range(8..max_gates),
+                seed: rng.next_u64(),
+                depth_bias: [0.3, 0.5, 0.7, 0.85][rng.random_range(0..4usize)],
+                max_arity: if rng.random_bool(0.4) { 3 } else { 2 },
+                xor_heavy: rng.random_bool(0.35),
+                single_output: rng.random_bool(0.3),
+            };
+            ("random-comb".to_owned(), benchgen::random_network_with(&spec))
+        }
+        // Knob-driven random sequential networks.
+        4..=6 => {
+            let spec = benchgen::RandomSeqSpec {
+                inputs: rng.random_range(2..5usize),
+                latches: rng.random_range(1..5usize),
+                gates: rng.random_range(6..max_gates.min(40)),
+                seed: rng.next_u64(),
+                depth_bias: [0.3, 0.6, 0.8][rng.random_range(0..3usize)],
+            };
+            ("random-seq".to_owned(), benchgen::random_sequential(&spec))
+        }
+        // Arithmetic: carry chains are where duplication pays.
+        7 => {
+            let w = rng.random_range(2..6usize);
+            if rng.random_bool(0.5) {
+                ("ripple-adder".to_owned(), benchgen::ripple_adder(w))
+            } else {
+                ("comparator".to_owned(), benchgen::comparator(w))
+            }
+        }
+        // Parity / mux trees: reconvergence and wide XOR decomposition.
+        8 => {
+            if rng.random_bool(0.5) {
+                let w = rng.random_range(3..9usize);
+                ("parity-tree".to_owned(), benchgen::parity_tree(w))
+            } else {
+                let s = rng.random_range(2..4usize);
+                ("mux-tree".to_owned(), benchgen::mux_tree(s))
+            }
+        }
+        // Small classic sequential machines.
+        _ => match rng.random_range(0..4u32) {
+            0 => ("s27".to_owned(), benchgen::s27_like()),
+            1 => (
+                "counter".to_owned(),
+                benchgen::counter(rng.random_range(2..6usize)),
+            ),
+            2 => (
+                "lfsr".to_owned(),
+                benchgen::lfsr(rng.random_range(2..6usize)),
+            ),
+            _ => (
+                "shift".to_owned(),
+                benchgen::shift_register(rng.random_range(2..6usize)),
+            ),
+        },
+    };
+    Case {
+        index,
+        seed,
+        generator,
+        network,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic_and_valid() {
+        for index in 0..20 {
+            let a = generate_case(7, index, 40);
+            let b = generate_case(7, index, 40);
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.generator, b.generator);
+            a.network.validate().expect("generated cases are valid");
+            assert_eq!(a.network.num_nodes(), b.network.num_nodes());
+        }
+    }
+
+    #[test]
+    fn family_mix_includes_sequential_and_combinational() {
+        let mut seq = 0;
+        let mut comb = 0;
+        for index in 0..40 {
+            let c = generate_case(3, index, 40);
+            if c.network.num_latches() > 0 {
+                seq += 1;
+            } else {
+                comb += 1;
+            }
+        }
+        assert!(seq > 5, "sequential families are in rotation ({seq})");
+        assert!(comb > 5, "combinational families are in rotation ({comb})");
+    }
+}

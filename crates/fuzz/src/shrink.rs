@@ -1,0 +1,198 @@
+//! Delta-debugging: minimize a failing network while preserving the
+//! violated invariant.
+//!
+//! The loop is classic greedy ddmin over structural edits (drop an output,
+//! constant-pin an input, cut a latch loop, bypass a gate), each followed by
+//! a dead-logic sweep. An edit is kept iff the caller's predicate still
+//! fails on the result and the network got strictly smaller, so the loop
+//! terminates and the final repro violates the *same* invariant as the
+//! original case.
+
+use dagmap_netlist::{shrink as ops, Network, NodeFn};
+
+/// Lexicographic size: nodes, then inputs, then outputs, then edges. Every
+/// accepted edit must strictly decrease this, guaranteeing termination.
+type Size = (usize, usize, usize, usize);
+
+fn size_of(net: &Network) -> Size {
+    (
+        net.num_nodes(),
+        net.inputs().len(),
+        net.outputs().len(),
+        net.num_edges(),
+    )
+}
+
+/// Applies one structural edit and sweeps; `None` when inapplicable.
+fn edited(net: &Network, edit: &Edit) -> Option<Network> {
+    let raw = match *edit {
+        Edit::DropOutput(i) => ops::drop_output(net, i)?,
+        Edit::ConstInput(id) => ops::replace_with_const(net, id, false).ok()?,
+        Edit::CutLatch(id) => ops::latch_to_input(net, id).ok()?,
+        Edit::Bypass(id, pin) => ops::bypass_node(net, id, pin).ok()?,
+        Edit::ConstNode(id) => ops::replace_with_const(net, id, false).ok()?,
+    };
+    ops::prune_dead(&raw).ok()
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Edit {
+    DropOutput(usize),
+    ConstInput(dagmap_netlist::NodeId),
+    CutLatch(dagmap_netlist::NodeId),
+    Bypass(dagmap_netlist::NodeId, usize),
+    ConstNode(dagmap_netlist::NodeId),
+}
+
+/// All edits applicable to `net`, coarsest first: whole output cones go
+/// before single-gate bypasses so the big cuts happen early.
+fn candidate_edits(net: &Network) -> Vec<Edit> {
+    let mut edits = Vec::new();
+    for i in 0..net.outputs().len() {
+        edits.push(Edit::DropOutput(i));
+    }
+    for &pi in net.inputs() {
+        edits.push(Edit::ConstInput(pi));
+    }
+    for id in net.node_ids() {
+        if matches!(net.node(id).func(), NodeFn::Latch) {
+            edits.push(Edit::CutLatch(id));
+        }
+    }
+    // Deep-first bypasses: later nodes sit closer to the outputs, so
+    // aliasing them past removes the largest cones first.
+    let internal: Vec<_> = net
+        .node_ids()
+        .filter(|&id| {
+            !matches!(
+                net.node(id).func(),
+                NodeFn::Input | NodeFn::Const(_) | NodeFn::Latch
+            )
+        })
+        .collect();
+    for &id in internal.iter().rev() {
+        for pin in 0..net.node(id).fanins().len() {
+            edits.push(Edit::Bypass(id, pin));
+        }
+    }
+    for &id in internal.iter().rev() {
+        edits.push(Edit::ConstNode(id));
+    }
+    edits
+}
+
+/// Minimizes `net` while `still_fails` keeps returning `true`, within a
+/// fixed predicate-evaluation budget. Returns the smallest failing network
+/// found (the input itself if nothing smaller fails).
+pub fn minimize(net: &Network, still_fails: &mut dyn FnMut(&Network) -> bool) -> Network {
+    let mut budget: usize = 3000;
+    // An initial sweep alone often helps (random generators leave dead
+    // cones); fall back to the original when the sweep loses the failure.
+    let mut cur = net.clone();
+    if let Ok(p) = ops::prune_dead(net) {
+        if size_of(&p) < size_of(net) {
+            budget -= 1;
+            if still_fails(&p) {
+                cur = p;
+            }
+        }
+    }
+    'outer: loop {
+        for edit in candidate_edits(&cur) {
+            let Some(candidate) = edited(&cur, &edit) else {
+                continue;
+            };
+            if size_of(&candidate) >= size_of(&cur) {
+                continue;
+            }
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if still_fails(&candidate) {
+                cur = candidate;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagmap_benchgen::random_network;
+    use dagmap_netlist::sim;
+
+    /// A predicate that demands a reachable XOR: minimize must keep one.
+    fn has_reachable_xor(net: &Network) -> bool {
+        let reach = net.reachable_from_outputs();
+        net.node_ids()
+            .any(|id| reach[id.index()] && matches!(net.node(id).func(), NodeFn::Xor))
+    }
+
+    #[test]
+    fn minimize_preserves_the_predicate_and_shrinks_hard() {
+        let net = random_network(8, 120, 3);
+        assert!(has_reachable_xor(&net), "seed picks a net with xor");
+        let min = minimize(&net, &mut |n| has_reachable_xor(n));
+        assert!(has_reachable_xor(&min), "the invariant survives shrinking");
+        assert!(
+            min.num_nodes() <= 10,
+            "an xor-existence repro is tiny, got {} nodes",
+            min.num_nodes()
+        );
+        min.validate().unwrap();
+    }
+
+    #[test]
+    fn minimize_preserves_inequivalence_against_a_mutant() {
+        // Planted bug: a copy of the network with one gate function flipped.
+        // The predicate is real inequivalence, exactly what the fuzzer
+        // minimizes when the mapper produces a wrong netlist.
+        fn mutate(net: &Network) -> Option<Network> {
+            let mut out = Network::new(net.name());
+            let mut remap = vec![None; net.num_nodes()];
+            let mut flipped = false;
+            for &pi in net.inputs() {
+                remap[pi.index()] = Some(out.add_input(net.node(pi).name().unwrap()));
+            }
+            for id in net.topo_order().ok()? {
+                if remap[id.index()].is_some() {
+                    continue;
+                }
+                let node = net.node(id);
+                let fanins: Vec<_> = node
+                    .fanins()
+                    .iter()
+                    .map(|f| remap[f.index()].unwrap())
+                    .collect();
+                let func = match node.func() {
+                    NodeFn::And if !flipped => {
+                        flipped = true;
+                        NodeFn::Or
+                    }
+                    f => f.clone(),
+                };
+                remap[id.index()] = Some(out.add_node(func, fanins).ok()?);
+            }
+            for o in net.outputs() {
+                out.add_output(&o.name, remap[o.driver.index()].unwrap());
+            }
+            flipped.then_some(out)
+        }
+        let net = random_network(6, 80, 5);
+        let inequivalent = |n: &Network| {
+            mutate(n).is_some_and(|m| !sim::equivalent_random(n, &m, 8, 1).unwrap_or(true))
+        };
+        assert!(inequivalent(&net), "the planted flip changes the function");
+        let min = minimize(&net, &mut |n| inequivalent(n));
+        assert!(inequivalent(&min), "inequivalence survives shrinking");
+        assert!(
+            min.num_nodes() <= 25,
+            "planted inequivalence shrinks small, got {} nodes",
+            min.num_nodes()
+        );
+    }
+}

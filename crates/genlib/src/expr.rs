@@ -526,7 +526,9 @@ mod tests {
             let out = e.lower_into(&mut net, &pins, shape);
             net.add_output("o", out);
             let sim = Simulator::new(&net).unwrap();
-            let words: Vec<u64> = (0..4).map(dagmap_netlist::sim::exhaustive_word).collect();
+            let words: Vec<u64> = (0..4)
+                .map(|i| dagmap_netlist::sim::exhaustive_word(i).unwrap())
+                .collect();
             let v = sim.eval(&words);
             let got = v.output(&net, "o").unwrap();
             for lane in 0..16usize {

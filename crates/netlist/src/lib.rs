@@ -12,6 +12,8 @@
 //! * [`blif`] — a reader and writer for the Berkeley BLIF interchange format,
 //! * [`sim`] — 64-bit word-parallel simulation and random equivalence
 //!   checking,
+//! * [`shrink`] — structural reduction operators backing the fuzzer's
+//!   delta-debugging loop,
 //! * [`sta`] — simple static timing (arrival-time propagation / depth),
 //! * [`fingerprint`] — structural shape classes and bounded-depth cone
 //!   canonicalization backing the match accelerator of `dagmap-match`.
@@ -47,6 +49,7 @@ mod id;
 mod levels;
 mod logic;
 mod network;
+pub mod shrink;
 pub mod sim;
 mod sop;
 pub mod sta;

@@ -1,0 +1,352 @@
+//! Structural reduction operators for delta-debugging networks.
+//!
+//! The differential fuzzer (`dagmap-fuzz`) minimizes failing subject graphs
+//! by repeatedly applying small, *semantics-changing* edits and keeping any
+//! edit after which the violated invariant still reproduces. The operators
+//! here only promise structural well-formedness of the result (a valid DAG
+//! with a consistent interface) — whether an edit is *useful* is decided by
+//! the caller re-running its failure predicate.
+//!
+//! All operators are non-destructive: they rebuild a fresh [`Network`] and
+//! leave the original untouched.
+
+use crate::{Network, NetlistError, NodeFn, NodeId};
+
+/// How one original node is carried into the rebuilt network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    /// Copy the node as-is.
+    Keep,
+    /// Drop the node and route its fanouts to its `usize`-th fanin.
+    Alias(usize),
+    /// Drop the node and route its fanouts to a constant.
+    Const(bool),
+    /// Replace a latch by a fresh primary input (cuts the sequential loop).
+    Inputize,
+}
+
+/// Rebuilds `net` applying `action` per node, keeping every output whose
+/// index passes `keep_output`.
+fn rebuild(
+    net: &Network,
+    action: impl Fn(NodeId) -> Action,
+    keep_output: impl Fn(usize) -> bool,
+) -> Result<Network, NetlistError> {
+    let mut out = Network::new(net.name());
+    let mut remap: Vec<Option<NodeId>> = vec![None; net.num_nodes()];
+    // Shared constant drivers, created lazily.
+    let mut consts: [Option<NodeId>; 2] = [None, None];
+    let mut const_id = |out: &mut Network, v: bool| -> NodeId {
+        *consts[usize::from(v)].get_or_insert_with(|| {
+            out.add_node(NodeFn::Const(v), Vec::new())
+                .expect("constants are nullary")
+        })
+    };
+    for &pi in net.inputs() {
+        let name = net.node(pi).name().unwrap_or("pi").to_owned();
+        let id = match action(pi) {
+            Action::Const(v) => const_id(&mut out, v),
+            _ => out.add_input(name),
+        };
+        remap[pi.index()] = Some(id);
+    }
+    // Latches act as sources: create the kept ones up front on a placeholder
+    // fanin (the sweep idiom), patch their data cones afterwards.
+    let mut latch_patch: Vec<(NodeId, NodeId)> = Vec::new();
+    for id in net.node_ids() {
+        if !matches!(net.node(id).func(), NodeFn::Latch) {
+            continue;
+        }
+        let new_id = match action(id) {
+            Action::Keep => {
+                let placeholder = const_id(&mut out, false);
+                let l = out
+                    .add_node(NodeFn::Latch, vec![placeholder])
+                    .expect("latch arity is 1");
+                latch_patch.push((l, net.node(id).fanins()[0]));
+                l
+            }
+            Action::Inputize => out.add_input(
+                net.node(id)
+                    .name()
+                    .map_or_else(|| format!("cut{}", id.index()), str::to_owned),
+            ),
+            Action::Const(v) => const_id(&mut out, v),
+            Action::Alias(_) => {
+                // A latch's data fanin need not precede it; aliasing it would
+                // demand a second pass and can create combinational cycles.
+                return Err(NetlistError::Invariant(
+                    "cannot alias a latch to its fanin; inputize it instead".into(),
+                ));
+            }
+        };
+        if let (Some(name), Action::Keep) = (net.node(id).name(), action(id)) {
+            out.set_node_name(new_id, name);
+        }
+        remap[id.index()] = Some(new_id);
+    }
+    for id in net.topo_order()? {
+        if remap[id.index()].is_some() {
+            continue;
+        }
+        let node = net.node(id);
+        let new_id = match action(id) {
+            Action::Alias(pin) => {
+                let target = node.fanins().get(pin).copied().ok_or_else(|| {
+                    NetlistError::Invariant(format!("alias pin {pin} out of range"))
+                })?;
+                remap[target.index()].expect("fanins precede their consumers")
+            }
+            Action::Const(v) => const_id(&mut out, v),
+            Action::Inputize => {
+                return Err(NetlistError::Invariant(
+                    "only latches can be inputized".into(),
+                ))
+            }
+            Action::Keep => {
+                let fanins: Vec<NodeId> = node
+                    .fanins()
+                    .iter()
+                    .map(|f| remap[f.index()].expect("fanins precede their consumers"))
+                    .collect();
+                let n = out.add_node(node.func().clone(), fanins)?;
+                if let Some(name) = node.name() {
+                    out.set_node_name(n, name);
+                }
+                n
+            }
+        };
+        remap[id.index()] = Some(new_id);
+    }
+    for (l, data) in latch_patch {
+        out.replace_single_fanin(l, remap[data.index()].expect("all nodes are remapped"));
+    }
+    for (i, o) in net.outputs().iter().enumerate() {
+        if keep_output(i) {
+            out.add_output(&o.name, remap[o.driver.index()].expect("remapped"));
+        }
+    }
+    Ok(out)
+}
+
+/// Drops the `index`-th primary output (and nothing else; follow with
+/// [`prune_dead`] to sweep the cone it exposed). Returns `None` when the
+/// network has a single output — a repro must stay observable.
+pub fn drop_output(net: &Network, index: usize) -> Option<Network> {
+    if net.outputs().len() <= 1 || index >= net.outputs().len() {
+        return None;
+    }
+    rebuild(net, |_| Action::Keep, |i| i != index).ok()
+}
+
+/// Routes every consumer of `id` (and any output it drives) to its `pin`-th
+/// fanin, dropping the node. Fails on latches, primary inputs, and
+/// out-of-range pins.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Invariant`] when the edit is not applicable.
+pub fn bypass_node(net: &Network, id: NodeId, pin: usize) -> Result<Network, NetlistError> {
+    match net.node(id).func() {
+        NodeFn::Input | NodeFn::Const(_) => {
+            return Err(NetlistError::Invariant("cannot bypass a source node".into()))
+        }
+        NodeFn::Latch => {
+            return Err(NetlistError::Invariant(
+                "cannot bypass a latch; inputize it instead".into(),
+            ))
+        }
+        _ => {}
+    }
+    rebuild(
+        net,
+        |n| if n == id { Action::Alias(pin) } else { Action::Keep },
+        |_| true,
+    )
+}
+
+/// Replaces `id` (any node, including inputs and latches) by the constant
+/// `value`, routing its fanouts accordingly.
+///
+/// # Errors
+///
+/// Propagates rebuild failures (cyclic networks).
+pub fn replace_with_const(net: &Network, id: NodeId, value: bool) -> Result<Network, NetlistError> {
+    rebuild(
+        net,
+        |n| if n == id { Action::Const(value) } else { Action::Keep },
+        |_| true,
+    )
+}
+
+/// Replaces the latch `id` by a fresh primary input, cutting its sequential
+/// feedback loop while preserving the combinational structure downstream.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Invariant`] when `id` is not a latch.
+pub fn latch_to_input(net: &Network, id: NodeId) -> Result<Network, NetlistError> {
+    if !matches!(net.node(id).func(), NodeFn::Latch) {
+        return Err(NetlistError::Invariant("only latches can be inputized".into()));
+    }
+    rebuild(
+        net,
+        |n| if n == id { Action::Inputize } else { Action::Keep },
+        |_| true,
+    )
+}
+
+/// Removes every node that no primary output observes, *including* latches
+/// whose outputs drive nothing (unlike [`Network::sweep`], which pins all
+/// latches as roots) and primary inputs nothing reads. The minimized repros
+/// the fuzzer emits should carry no dead freight.
+pub fn prune_dead(net: &Network) -> Result<Network, NetlistError> {
+    // Reachability from outputs only; reaching a latch pulls in its data cone.
+    let mut live = vec![false; net.num_nodes()];
+    let mut stack: Vec<usize> = net.outputs().iter().map(|o| o.driver.index()).collect();
+    while let Some(u) = stack.pop() {
+        if std::mem::replace(&mut live[u], true) {
+            continue;
+        }
+        for f in net.node(NodeId::from_index(u)).fanins() {
+            stack.push(f.index());
+        }
+    }
+    let mut out = Network::new(net.name());
+    let mut remap: Vec<Option<NodeId>> = vec![None; net.num_nodes()];
+    let mut zero: Option<NodeId> = None;
+    for &pi in net.inputs() {
+        if live[pi.index()] {
+            remap[pi.index()] = Some(out.add_input(net.node(pi).name().unwrap_or("pi")));
+        }
+    }
+    let mut latch_patch: Vec<(NodeId, NodeId)> = Vec::new();
+    for id in net.node_ids() {
+        if matches!(net.node(id).func(), NodeFn::Latch) && live[id.index()] {
+            let placeholder = *zero.get_or_insert_with(|| {
+                out.add_node(NodeFn::Const(false), Vec::new())
+                    .expect("constants are nullary")
+            });
+            let l = out
+                .add_node(NodeFn::Latch, vec![placeholder])
+                .expect("latch arity is 1");
+            if let Some(name) = net.node(id).name() {
+                out.set_node_name(l, name);
+            }
+            remap[id.index()] = Some(l);
+            latch_patch.push((l, net.node(id).fanins()[0]));
+        }
+    }
+    for id in net.topo_order()? {
+        if remap[id.index()].is_some() || !live[id.index()] {
+            continue;
+        }
+        let node = net.node(id);
+        if matches!(node.func(), NodeFn::Input) {
+            continue; // dead input, already skipped above
+        }
+        let fanins: Vec<NodeId> = node
+            .fanins()
+            .iter()
+            .map(|f| remap[f.index()].expect("fanins of live nodes are live"))
+            .collect();
+        let n = out.add_node(node.func().clone(), fanins)?;
+        if let Some(name) = node.name() {
+            out.set_node_name(n, name);
+        }
+        remap[id.index()] = Some(n);
+    }
+    for (l, data) in latch_patch {
+        out.replace_single_fanin(l, remap[data.index()].expect("latch data is live"));
+    }
+    for o in net.outputs() {
+        out.add_output(&o.name, remap[o.driver.index()].expect("outputs are live"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim;
+
+    fn sample() -> Network {
+        let mut net = Network::new("s");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let x = net.add_node(NodeFn::And, vec![a, b]).unwrap();
+        let y = net.add_node(NodeFn::Xor, vec![x, c]).unwrap();
+        let z = net.add_node(NodeFn::Or, vec![x, y]).unwrap();
+        net.add_output("f", y);
+        net.add_output("g", z);
+        net
+    }
+
+    #[test]
+    fn drop_output_removes_one_po() {
+        let net = sample();
+        let smaller = drop_output(&net, 1).unwrap();
+        assert_eq!(smaller.outputs().len(), 1);
+        assert_eq!(smaller.outputs()[0].name, "f");
+        smaller.validate().unwrap();
+        // The last output cannot be dropped.
+        let one = prune_dead(&smaller).unwrap();
+        assert!(drop_output(&one, 0).is_none());
+    }
+
+    #[test]
+    fn bypass_reroutes_fanouts() {
+        let net = sample();
+        // Bypass y (Xor) to its fanin x: f and z now read x.
+        let y = net.outputs()[0].driver;
+        let edited = bypass_node(&net, y, 0).unwrap();
+        edited.validate().unwrap();
+        assert_eq!(edited.num_internal(), net.num_internal() - 1);
+        // f now computes AND(a, b).
+        let s = sim::Simulator::new(&edited).unwrap();
+        let v = s.eval(&[0b1100, 0b1010, 0b1111]);
+        assert_eq!(v.output(&edited, "f"), Some(0b1000));
+    }
+
+    #[test]
+    fn const_replacement_then_prune_drops_dead_cone() {
+        let net = sample();
+        let z = net.outputs()[1].driver;
+        let edited = replace_with_const(&net, z, false).unwrap();
+        let pruned = prune_dead(&edited).unwrap();
+        pruned.validate().unwrap();
+        // g is now a constant; the OR node is gone.
+        assert!(pruned
+            .node_ids()
+            .all(|id| !matches!(pruned.node(id).func(), NodeFn::Or)));
+    }
+
+    #[test]
+    fn latch_inputize_cuts_feedback() {
+        let mut net = Network::new("seq");
+        let i = net.add_input("i");
+        let l = net.add_node(NodeFn::Latch, vec![i]).unwrap();
+        net.set_node_name(l, "q");
+        let x = net.add_node(NodeFn::Xor, vec![l, i]).unwrap();
+        net.add_output("o", x);
+        let cut = latch_to_input(&net, l).unwrap();
+        cut.validate().unwrap();
+        assert_eq!(cut.num_latches(), 0);
+        assert_eq!(cut.inputs().len(), 2);
+    }
+
+    #[test]
+    fn prune_drops_dead_latches_and_inputs() {
+        let mut net = Network::new("seq");
+        let i = net.add_input("i");
+        let unused = net.add_input("unused");
+        let _dead_latch = net.add_node(NodeFn::Latch, vec![unused]).unwrap();
+        let buf = net.add_node(NodeFn::Buf, vec![i]).unwrap();
+        net.add_output("o", buf);
+        let pruned = prune_dead(&net).unwrap();
+        assert_eq!(pruned.num_latches(), 0);
+        assert_eq!(pruned.inputs().len(), 1);
+        pruned.validate().unwrap();
+    }
+}

@@ -138,12 +138,15 @@ impl<'a> Simulator<'a> {
     }
 }
 
-/// Interface pairing: `a`'s inputs resolved in `b`, and output driver pairs.
-type Alignment = (Vec<NodeId>, Vec<(NodeId, NodeId)>);
+/// Interface pairing: for each of `a`'s input positions, the matching input
+/// *position* in `b`, and output driver pairs. Positions (rather than node
+/// ids) let the per-round simulation loops scatter input words with one
+/// indexed store instead of re-searching `b.inputs()` every round.
+type Alignment = (Vec<usize>, Vec<(NodeId, NodeId)>);
 
 /// Pairs the inputs and outputs of two networks by name.
 fn align(a: &Network, b: &Network) -> Result<Alignment, NetlistError> {
-    let mut b_inputs: Vec<NodeId> = Vec::with_capacity(a.inputs().len());
+    let mut b_positions: Vec<usize> = Vec::with_capacity(a.inputs().len());
     if a.inputs().len() != b.inputs().len() {
         return Err(NetlistError::Invariant(format!(
             "input counts differ: {} vs {}",
@@ -153,13 +156,12 @@ fn align(a: &Network, b: &Network) -> Result<Alignment, NetlistError> {
     }
     for &ai in a.inputs() {
         let name = a.node(ai).name().expect("primary inputs are named");
-        let bi = b
+        let pos = b
             .inputs()
             .iter()
-            .copied()
-            .find(|&x| b.node(x).name() == Some(name))
+            .position(|&x| b.node(x).name() == Some(name))
             .ok_or_else(|| NetlistError::UndefinedSignal(name.to_owned()))?;
-        b_inputs.push(bi);
+        b_positions.push(pos);
     }
     if a.outputs().len() != b.outputs().len() {
         return Err(NetlistError::Invariant(format!(
@@ -177,7 +179,17 @@ fn align(a: &Network, b: &Network) -> Result<Alignment, NetlistError> {
             .ok_or_else(|| NetlistError::UndefinedSignal(ao.name.clone()))?;
         outs.push((ao.driver, bo.driver));
     }
-    Ok((b_inputs, outs))
+    Ok((b_positions, outs))
+}
+
+/// Scatters `a`-ordered input words into `b`'s input order via the alignment
+/// permutation computed once by [`align`].
+fn permute_words(words_a: &[u64], b_positions: &[usize]) -> Vec<u64> {
+    let mut words_b = vec![0u64; words_a.len()];
+    for (i, &pos) in b_positions.iter().enumerate() {
+        words_b[pos] = words_a[i];
+    }
+    words_b
 }
 
 /// Checks two *combinational* networks for equality on `rounds * 64` seeded
@@ -196,7 +208,7 @@ pub fn equivalent_random(
     rounds: usize,
     seed: u64,
 ) -> Result<bool, NetlistError> {
-    let (b_inputs, outs) = align(a, b)?;
+    let (b_positions, outs) = align(a, b)?;
     let sim_a = Simulator::new(a)?;
     let sim_b = Simulator::new(b)?;
     let n = a.inputs().len();
@@ -204,19 +216,13 @@ pub fn equivalent_random(
     for round in 0..rounds.max(1) {
         let words_a: Vec<u64> = if round == 0 && n <= 6 {
             // Exhaustive lanes for tiny interfaces.
-            (0..n).map(exhaustive_word).collect()
+            (0..n)
+                .map(|i| exhaustive_word(i).expect("n <= 6 guards the index"))
+                .collect()
         } else {
             (0..n).map(|_| rng.next_u64()).collect()
         };
-        let mut words_b = vec![0u64; n];
-        for (i, &bi) in b_inputs.iter().enumerate() {
-            let pos = b
-                .inputs()
-                .iter()
-                .position(|&x| x == bi)
-                .expect("aligned input exists");
-            words_b[pos] = words_a[i];
-        }
+        let words_b = permute_words(&words_a, &b_positions);
         let va = sim_a.eval(&words_a);
         let vb = sim_b.eval(&words_b);
         for &(da, db) in &outs {
@@ -241,25 +247,26 @@ pub fn equivalent_random_sequential(
     rounds: usize,
     seed: u64,
 ) -> Result<bool, NetlistError> {
-    let (b_inputs, outs) = align(a, b)?;
+    let (b_positions, outs) = align(a, b)?;
     let sim_a = Simulator::new(a)?;
     let sim_b = Simulator::new(b)?;
     let n = a.inputs().len();
     let mut rng = SplitMix64::new(seed);
-    for _ in 0..rounds.max(1) {
+    for round in 0..rounds.max(1) {
         let mut state_a = HashMap::new();
         let mut state_b = HashMap::new();
-        for _ in 0..cycles.max(1) {
-            let words_a: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
-            let mut words_b = vec![0u64; n];
-            for (i, &bi) in b_inputs.iter().enumerate() {
-                let pos = b
-                    .inputs()
-                    .iter()
-                    .position(|&x| x == bi)
-                    .expect("aligned input exists");
-                words_b[pos] = words_a[i];
-            }
+        for cycle in 0..cycles.max(1) {
+            // From the all-zero latch state, an exhaustive first cycle makes
+            // round 0 exact over the whole input space for tiny interfaces,
+            // mirroring the combinational checker.
+            let words_a: Vec<u64> = if round == 0 && cycle == 0 && n <= 6 {
+                (0..n)
+                    .map(|i| exhaustive_word(i).expect("n <= 6 guards the index"))
+                    .collect()
+            } else {
+                (0..n).map(|_| rng.next_u64()).collect()
+            };
+            let words_b = permute_words(&words_a, &b_positions);
             let va = sim_a.eval_with_state(&words_a, &state_a);
             let vb = sim_b.eval_with_state(&words_b, &state_b);
             for &(da, db) in &outs {
@@ -276,15 +283,21 @@ pub fn equivalent_random_sequential(
 
 /// The classic truth-table word for input position `i`: lane `l` holds bit
 /// `i` of `l`, so up to 6 inputs get exhaustively covered by one word.
-pub fn exhaustive_word(i: usize) -> u64 {
+///
+/// Returns `None` for `i >= 6` — a 64-lane word cannot enumerate a seventh
+/// variable, and the old behaviour of silently yielding `0` would have let a
+/// caller believe a wide interface was covered exhaustively when lanes past
+/// the sixth input were pinned to constant zero.
+pub fn exhaustive_word(i: usize) -> Option<u64> {
+    debug_assert!(i < 6, "exhaustive lanes only cover 6 inputs, got index {i}");
     match i {
-        0 => 0xAAAA_AAAA_AAAA_AAAA,
-        1 => 0xCCCC_CCCC_CCCC_CCCC,
-        2 => 0xF0F0_F0F0_F0F0_F0F0,
-        3 => 0xFF00_FF00_FF00_FF00,
-        4 => 0xFFFF_0000_FFFF_0000,
-        5 => 0xFFFF_FFFF_0000_0000,
-        _ => 0,
+        0 => Some(0xAAAA_AAAA_AAAA_AAAA),
+        1 => Some(0xCCCC_CCCC_CCCC_CCCC),
+        2 => Some(0xF0F0_F0F0_F0F0_F0F0),
+        3 => Some(0xFF00_FF00_FF00_FF00),
+        4 => Some(0xFFFF_0000_FFFF_0000),
+        5 => Some(0xFFFF_FFFF_0000_0000),
+        _ => None,
     }
 }
 
@@ -381,10 +394,47 @@ mod tests {
         // Lane l of word i must equal bit i of l.
         for lane in 0..64u64 {
             for i in 0..6 {
-                let bit = (exhaustive_word(i) >> lane) & 1;
+                let bit = (exhaustive_word(i).unwrap() >> lane) & 1;
                 assert_eq!(bit, (lane >> i) & 1);
             }
         }
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "exhaustive lanes"))]
+    fn exhaustive_word_rejects_wide_indices() {
+        // Release builds get `None`; debug builds assert loudly. Either way
+        // no caller can mistake index 6 for a covered variable.
+        assert_eq!(exhaustive_word(6), None);
+    }
+
+    #[test]
+    fn sequential_checker_is_exhaustive_on_tiny_interfaces() {
+        // A single-input pair differing only on a rare input pattern: with
+        // the round-0 exhaustive cycle, one round suffices to distinguish
+        // functions a purely random draw could miss.
+        let build = |twist: bool| {
+            let mut net = Network::new("t");
+            let a = net.add_input("a");
+            let b = net.add_input("b");
+            let c = net.add_input("c");
+            let and1 = net.add_node(NodeFn::And, vec![a, b]).unwrap();
+            let and2 = net.add_node(NodeFn::And, vec![and1, c]).unwrap();
+            let l = net.add_node(NodeFn::Latch, vec![and2]).unwrap();
+            let f = if twist {
+                net.add_node(NodeFn::Or, vec![l, and2]).unwrap()
+            } else {
+                net.add_node(NodeFn::Xor, vec![l, and2]).unwrap()
+            };
+            net.add_output("f", f);
+            net
+        };
+        // OR and XOR of (latch, data) differ whenever both are 1, which the
+        // exhaustive first cycle always sets up in some lane by cycle two.
+        assert!(
+            !equivalent_random_sequential(&build(false), &build(true), 4, 1, 42).unwrap(),
+            "exhaustive round 0 must expose the planted difference"
+        );
     }
 
     #[test]

@@ -27,4 +27,11 @@ cargo run -q --release --offline -p dagmap-bench --bin matchperf -- \
 cargo run -q --release --offline -p dagmap-bench --bin supergate -- \
   --quick --out target/BENCH_supergate_smoke.json
 
+# Deterministic differential-fuzzing smoke: a fixed seed over ~20 cases must
+# sweep the full configuration matrix (thread counts, accel/memo, supergate
+# libraries, retiming) with zero invariant violations. Repros, if any, land
+# in target/ so a failure never dirties the checked-in corpus.
+cargo run -q --release --offline -- fuzz \
+  --seed 1729 --cases 20 --corpus target/fuzz-corpus-smoke
+
 echo "tier1: OK"

@@ -24,6 +24,8 @@
 //! * [`supergate`] — supergate enumeration: automatic library extension with
 //!   composed cells (the "richness" axis of the paper's Table 3),
 //! * [`benchgen`] — circuit generators standing in for the MCNC benchmarks,
+//! * [`fuzz`] — the seeded differential fuzzer sweeping the whole mapper
+//!   configuration matrix, with automatic shrinking of failing cases,
 //! * [`rng`] — the small seeded PRNG the workspace uses instead of external
 //!   randomness crates (the build environment has no registry access).
 //!
@@ -50,6 +52,7 @@ pub use dagmap_benchgen as benchgen;
 pub use dagmap_boolmatch as boolmatch;
 pub use dagmap_core as core;
 pub use dagmap_flowmap as flowmap;
+pub use dagmap_fuzz as fuzz;
 pub use dagmap_genlib as genlib;
 pub use dagmap_match as matching;
 pub use dagmap_netlist as netlist;

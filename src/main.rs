@@ -32,6 +32,7 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("lib") => cmd_lib(&args[1..]),
         Some("supergen") => cmd_supergen(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("--help" | "-h") | None => {
             eprint!("{}", USAGE);
@@ -61,6 +62,7 @@ usage:
                                         hit rate)
   dagmap lib      <f.genlib>|--builtin  library statistics
   dagmap supergen [options]             extend a library with supergates
+  dagmap fuzz     [options]             differential fuzzing of the mapper
   dagmap gen      <name> [--out f]      emit a generated benchmark as BLIF
 
 files ending in .aag are read/written as ASCII AIGER; everything else is
@@ -103,6 +105,18 @@ supergen options:
   --threads <n>                       worker threads (output is bit-identical
                                       for every thread count)
   --out <f.genlib>                    write the extended library as genlib
+
+fuzz options:
+  --seed <n>                          master seed (default 1)
+  --cases <n>                         generated cases (default 100)
+  --max-gates <n>                     gate-count ceiling per case (default 60)
+  --threads <n>                       alternate thread count differenced
+                                      against serial (default 2)
+  --corpus <dir>                      where minimized repros are written
+                                      (default tests/corpus)
+  --no-supergates                     skip supergate-extended library variants
+  --no-retime                         skip the sequential min-period cross-check
+  --no-shrink                         keep failing cases full-size
 ";
 
 type CmdResult = Result<(), Box<dyn Error>>;
@@ -574,6 +588,74 @@ fn cmd_supergen(args: &[String]) -> CmdResult {
         println!("wrote {path}");
     }
     Ok(())
+}
+
+fn cmd_fuzz(args: &[String]) -> CmdResult {
+    let mut args = args.to_vec();
+    let mut opts = dagmap::fuzz::FuzzOptions::default();
+    if let Some(s) = take_value(&mut args, "--seed")? {
+        opts.seed = s.parse().map_err(|_| "--seed needs an integer")?;
+    }
+    if let Some(c) = take_value(&mut args, "--cases")? {
+        opts.cases = c.parse().map_err(|_| "--cases needs an integer")?;
+    }
+    if let Some(g) = take_value(&mut args, "--max-gates")? {
+        opts.max_gates = g.parse().map_err(|_| "--max-gates needs an integer")?;
+    }
+    if let Some(t) = take_threads(&mut args)? {
+        if t < 2 {
+            return Err("--threads needs an alternate count >= 2 to difference against serial".into());
+        }
+        opts.thread_counts = vec![1, t];
+    }
+    opts.supergates = !take_flag(&mut args, "--no-supergates");
+    opts.check_retime = !take_flag(&mut args, "--no-retime");
+    opts.shrink = !take_flag(&mut args, "--no-shrink");
+    let corpus = take_value(&mut args, "--corpus")?.unwrap_or_else(|| "tests/corpus".into());
+    opts.corpus_dir = Some(corpus.into());
+    if let Some(stray) = args.first() {
+        return Err(format!("unexpected argument `{stray}`").into());
+    }
+
+    let report = dagmap::fuzz::run(&opts).map_err(|e| e as Box<dyn Error>)?;
+    let libs =
+        dagmap::fuzz::libraries_under_test(opts.supergates).map_err(|e| e as Box<dyn Error>)?;
+    println!(
+        "fuzz: seed {}, {} cases x {} libraries, {} mapper runs, {} failure(s)",
+        opts.seed,
+        report.cases,
+        report.libraries,
+        report.maps,
+        report.failures.len(),
+    );
+    for f in &report.failures {
+        let lib_name = libs
+            .get(f.violation.library)
+            .map_or("?", |l| l.name.as_str());
+        println!(
+            "  case {} (seed {:#x}, {}): {:?} violated on `{}` under {}",
+            f.case, f.case_seed, f.generator, f.violation.kind, lib_name, f.violation.config,
+        );
+        println!("    {}", f.violation.detail);
+        println!(
+            "    shrunk {} -> {} nodes{}",
+            f.original_nodes,
+            f.minimized_nodes,
+            f.repro_path
+                .as_deref()
+                .map(|p| format!(", repro at {}", p.display()))
+                .unwrap_or_default(),
+        );
+    }
+    if report.failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} invariant violation(s); minimized repros in the corpus",
+            report.failures.len()
+        )
+        .into())
+    }
 }
 
 fn cmd_gen(args: &[String]) -> CmdResult {
