@@ -97,8 +97,14 @@ fn main() {
         let subject = SubjectGraph::from_network(&net).expect("benchgen circuits decompose");
         let levels = subject.levels();
         let (num_levels, max_width) = (levels.num_levels(), levels.max_width());
-        let serial = label_with(&subject, &lib, MatchMode::Standard, Objective::Delay, Some(1))
-            .expect("labels");
+        let serial = label_with(
+            &subject,
+            &lib,
+            MatchMode::Standard,
+            Objective::Delay,
+            Some(1),
+        )
+        .expect("labels");
         let parallel = label_with(
             &subject,
             &lib,

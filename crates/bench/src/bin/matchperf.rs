@@ -151,7 +151,11 @@ fn main() {
                 && base.best == memo.best
                 && base.matches_enumerated == idx.matches_enumerated
                 && base.matches_enumerated == memo.matches_enumerated;
-            assert!(identical, "{name}/{}: accelerated labels diverged", lib.name());
+            assert!(
+                identical,
+                "{name}/{}: accelerated labels diverged",
+                lib.name()
+            );
             let baseline_s = time_config(&subject, lib, BASELINE, reps);
             let indexed_s = time_config(&subject, lib, INDEXED, reps);
             let memoized_s = time_config(&subject, lib, MEMOIZED, reps);
@@ -198,10 +202,10 @@ fn main() {
         let off = mapper
             .map(&small, MapOptions::dag().with_match_acceleration(false))
             .expect("map");
-        let blif_on = dagmap_netlist::blif::to_string(&on.to_network().expect("lower"))
-            .expect("blif");
-        let blif_off = dagmap_netlist::blif::to_string(&off.to_network().expect("lower"))
-            .expect("blif");
+        let blif_on =
+            dagmap_netlist::blif::to_string(&on.to_network().expect("lower")).expect("blif");
+        let blif_off =
+            dagmap_netlist::blif::to_string(&off.to_network().expect("lower")).expect("blif");
         assert_eq!(
             blif_on,
             blif_off,

@@ -111,8 +111,7 @@ fn main() {
             },
         )
         .expect("extension succeeds");
-        let identical =
-            serial.library.to_genlib_string() == parallel.library.to_genlib_string();
+        let identical = serial.library.to_genlib_string() == parallel.library.to_genlib_string();
         let ext = serial.library;
         println!(
             "\nlibrary `{lib_name}`: {} gates -> {} (+{} supergates, {} candidates, {:.2}s, identical={identical})",
@@ -138,8 +137,7 @@ fn main() {
             let ext_mapped = ext_mapper
                 .map(&subject, MapOptions::dag())
                 .expect("mapping succeeds");
-            verify::check(&ext_mapped, &subject, 0x5009)
-                .expect("extended mapping is equivalent");
+            verify::check(&ext_mapped, &subject, 0x5009).expect("extended mapping is equivalent");
             let (dag_ext, area_ext) = (ext_mapped.delay(), ext_mapped.area());
             assert!(
                 dag_ext <= dag_base + 1e-9,
@@ -253,7 +251,10 @@ fn main() {
     std::fs::write(&out, &json).expect("write BENCH_supergate.json");
     println!("\nwrote {out}");
 
-    assert!(all_identical, "supergate generation diverged across thread counts");
+    assert!(
+        all_identical,
+        "supergate generation diverged across thread counts"
+    );
     assert!(
         improved_44_1 >= 1,
         "no circuit strictly improved under the extended 44-1 library"

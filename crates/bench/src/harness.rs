@@ -72,7 +72,10 @@ pub fn fmt_seconds(s: f64) -> String {
 pub fn report(suite: &str, rows: &[Measurement]) {
     let width = rows.iter().map(|r| r.name.len()).max().unwrap_or(4).max(4);
     println!("== {suite} ==");
-    println!("{:width$}  {:>6}  {:>12}  {:>12}", "case", "iters", "mean", "min");
+    println!(
+        "{:width$}  {:>6}  {:>12}  {:>12}",
+        "case", "iters", "mean", "min"
+    );
     for r in rows {
         println!(
             "{:width$}  {:>6}  {:>12}  {:>12}",

@@ -258,9 +258,8 @@ pub fn label_with_config(
     config: MatchConfig,
 ) -> Result<Labels, MapError> {
     let levels = subject.levels();
-    let requested = num_threads.unwrap_or_else(|| {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    });
+    let requested =
+        num_threads.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
     let auto = num_threads.is_none();
     let net = subject.network();
     let mappable = net
@@ -272,11 +271,36 @@ pub fn label_with_config(
     } else {
         requested
     };
-    if nt == 1 {
+    let mut obs_span = dagmap_obs::span("label");
+    if obs_span.is_recording() {
+        obs_span.set_u64("threads", nt as u64);
+        obs_span.set_u64("levels", levels.num_levels() as u64);
+        obs_span.set_u64("mappable", mappable as u64);
+    }
+    let result = if nt == 1 {
         label_serial(subject, library, mode, objective, levels, config)
     } else {
         label_parallel(subject, library, mode, objective, levels, nt, config)
+    };
+    if dagmap_obs::enabled() {
+        if let Ok(labels) = &result {
+            dagmap_obs::count("label.nodes", mappable as u64);
+            dagmap_obs::count("match.enumerated", labels.matches_enumerated as u64);
+            dagmap_obs::count("match.pruned", labels.matches_pruned as u64);
+            dagmap_obs::count("match.memo_lookups", labels.memo_lookups as u64);
+            dagmap_obs::count("match.memo_hits", labels.memo_hits as u64);
+        }
     }
+    result
+}
+
+/// Mappable-node count of one level group (the `nodes` argument of the
+/// `label.wave` / `label.worker.wave` spans). Only computed while tracing.
+fn wave_width(net: &dagmap_netlist::Network, group: &[NodeId]) -> u64 {
+    group
+        .iter()
+        .filter(|&&id| is_mappable(net.node(id).func()))
+        .count() as u64
 }
 
 fn label_serial(
@@ -297,13 +321,25 @@ fn label_serial(
     let mut store = MatchStore::for_library(library);
 
     // Level groups enumerate the nodes in a topological order.
-    for group in levels.groups() {
+    for (l, group) in levels.groups().iter().enumerate() {
+        let mut wave = dagmap_obs::span("label.wave");
+        if wave.is_recording() {
+            wave.set_u64("level", l as u64);
+            wave.set_u64("nodes", wave_width(net, group));
+        }
         for &id in group {
             if !is_mappable(net.node(id).func()) {
                 continue;
             }
             let (chosen, s) = evaluate_node(
-                subject, &matcher, mode, objective, &arrival, &area_flow, id, &mut scratch,
+                subject,
+                &matcher,
+                mode,
+                objective,
+                &arrival,
+                &area_flow,
+                id,
+                &mut scratch,
                 &mut store,
             );
             stats.absorb(s);
@@ -392,6 +428,24 @@ fn label_parallel(
                 for l in 0..num_levels {
                     start.wait();
                     if !abort.load(Ordering::Acquire) {
+                        // Worker-lane wave span, only for levels where this
+                        // worker's stride is non-empty — the occupancy the
+                        // phase report summarizes per level.
+                        let mut wave = None;
+                        if dagmap_obs::enabled() {
+                            let assigned = levels
+                                .group(l)
+                                .iter()
+                                .enumerate()
+                                .filter(|&(i, &id)| i % nt == w && is_mappable(net.node(id).func()))
+                                .count() as u64;
+                            if assigned > 0 {
+                                let mut s = dagmap_obs::span("label.worker.wave");
+                                s.set_u64("level", l as u64);
+                                s.set_u64("nodes", assigned);
+                                wave = Some(s);
+                            }
+                        }
                         let guard = state.read().expect("label state lock");
                         let (arrival, area_flow) = &*guard;
                         for (i, &id) in levels.group(l).iter().enumerate() {
@@ -399,14 +453,25 @@ fn label_parallel(
                                 continue;
                             }
                             let (chosen, st) = evaluate_node(
-                                subject, matcher, mode, objective, arrival, area_flow, id,
-                                &mut scratch, &mut store,
+                                subject,
+                                matcher,
+                                mode,
+                                objective,
+                                arrival,
+                                area_flow,
+                                id,
+                                &mut scratch,
+                                &mut store,
                             );
                             out.push((id, chosen, st));
                         }
                         drop(guard);
+                        drop(wave);
                         if !out.is_empty() {
-                            buffers[w].lock().expect("worker buffer lock").append(&mut out);
+                            buffers[w]
+                                .lock()
+                                .expect("worker buffer lock")
+                                .append(&mut out);
                         }
                     }
                     done.wait();
@@ -414,9 +479,18 @@ fn label_parallel(
             });
         }
 
-        // Coordinator: drive the barriers for every level and merge.
+        // Coordinator: drive the barriers for every level and merge. The
+        // coordinator runs on the calling thread, so its `label.wave` spans
+        // land on the session lane — same name, level and count as the
+        // serial pass emits, which is what keeps the span signature
+        // thread-count-invariant.
         let mut level_results: Vec<NodeResult> = Vec::new();
-        for _ in 0..num_levels {
+        for l in 0..num_levels {
+            let mut wave = dagmap_obs::span("label.wave");
+            if wave.is_recording() {
+                wave.set_u64("level", l as u64);
+                wave.set_u64("nodes", wave_width(net, levels.group(l)));
+            }
             start.wait();
             done.wait();
             if failed.is_some() {
@@ -584,8 +658,14 @@ mod tests {
         )
         .unwrap();
         let serial = label(&subject, &lib, MatchMode::Standard, Objective::Delay).unwrap_err();
-        let par = label_with(&subject, &lib, MatchMode::Standard, Objective::Delay, Some(4))
-            .unwrap_err();
+        let par = label_with(
+            &subject,
+            &lib,
+            MatchMode::Standard,
+            Objective::Delay,
+            Some(4),
+        )
+        .unwrap_err();
         match (serial, par) {
             (MapError::NoMatch { node: a }, MapError::NoMatch { node: b }) => assert_eq!(a, b),
             other => panic!("unexpected errors {other:?}"),

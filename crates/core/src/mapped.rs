@@ -320,7 +320,6 @@ impl fmt::Display for MappedNetlist {
     }
 }
 
-
 /// Copies one library gate into a self-contained [`GateKind`].
 pub(crate) fn gate_kind_of(id: GateId, g: &dagmap_genlib::Gate) -> GateKind {
     GateKind {

@@ -39,8 +39,16 @@ pub struct MapReport {
     pub levels: usize,
     /// Wall-clock seconds spent labeling.
     pub label_seconds: f64,
-    /// Wall-clock seconds spent constructing the cover.
+    /// Wall-clock seconds spent constructing the cover (excluding area
+    /// recovery, which is reported separately).
     pub cover_seconds: f64,
+    /// Wall-clock seconds spent in area recovery (0 when the pass is off).
+    pub area_recovery_seconds: f64,
+    /// Wall-clock seconds spent decomposing the source network into the
+    /// subject graph. The mapper receives an already-built subject graph,
+    /// so this is 0 unless the caller fills it in (the `dagmap` CLI times
+    /// its decomposition step and does).
+    pub decompose_seconds: f64,
 }
 
 /// The technology mapper: labels a subject graph with optimal arrivals and
@@ -120,7 +128,13 @@ impl<'a> Mapper<'a> {
                 library: self.library.name().to_owned(),
             });
         }
+        let mut map_span = dagmap_obs::span("map");
+        if map_span.is_recording() {
+            map_span.set_u64("nodes", subject.network().num_nodes() as u64);
+        }
         let t0 = Instant::now();
+        // `label_with_config` opens its own "label" span (with the wave
+        // spans nested under it), so only the wall-clock is taken here.
         let labels = label_with_config(
             subject,
             self.library,
@@ -131,58 +145,64 @@ impl<'a> Mapper<'a> {
         )?;
         let label_seconds = t0.elapsed().as_secs_f64();
 
-        let t1 = Instant::now();
-        let mapped = cover::construct(subject, self.library, &labels.best)?;
+        let (mapped, cover_seconds) = dagmap_obs::timed("cover", || {
+            cover::construct(subject, self.library, &labels.best)
+        });
+        let mapped = mapped?;
         // Area recovery re-selects under arrival budgets derived from the
         // labels — only meaningful when the labels are arrival-optimal. The
         // pass is a greedy heuristic, so its cover is kept only when it
         // actually wins on area (both covers meet the delay budget).
-        let mapped = if options.area_recovery && options.objective == crate::Objective::Delay {
-            let target = options
-                .delay_target
-                .unwrap_or_else(|| labels.critical_delay(subject));
-            // The pass is greedy over area-flow estimates; a couple of
-            // refinement rounds (re-estimating from the previous selection)
-            // typically shave a few more percent. Keep the best cover seen.
-            let mut best = mapped;
-            let mut estimate_base = labels.clone();
-            // One matcher/scratch/store triple across all refinement
-            // rounds: after round 1 every cone class is warm, so later
-            // rounds replay memoized enumerations instead of re-searching.
-            let matcher = Matcher::with_config(self.library, options.match_config());
-            let mut scratch = MatchScratch::new();
-            let mut store = MatchStore::for_library(self.library);
-            for _ in 0..3 {
-                let selected = area::recover(
-                    subject,
-                    &matcher,
-                    &estimate_base,
-                    options.match_mode,
-                    target,
-                    &mut scratch,
-                    &mut store,
-                )?;
-                let recovered = cover::construct(subject, self.library, &selected)?;
-                let improved = recovered.area() < best.area();
-                if improved {
-                    best = recovered;
-                }
-                // Seed the next round's area-flow from this selection where
-                // it chose something (arrivals stay the optimal labels).
-                for (slot, sel) in estimate_base.best.iter_mut().zip(&selected) {
-                    if sel.is_some() {
-                        *slot = sel.clone();
+        let (mapped, area_recovery_seconds) =
+            if options.area_recovery && options.objective == crate::Objective::Delay {
+                let (best, secs) = dagmap_obs::timed("area_recovery", || {
+                    let target = options
+                        .delay_target
+                        .unwrap_or_else(|| labels.critical_delay(subject));
+                    // The pass is greedy over area-flow estimates; a couple of
+                    // refinement rounds (re-estimating from the previous selection)
+                    // typically shave a few more percent. Keep the best cover seen.
+                    let mut best = mapped;
+                    let mut estimate_base = labels.clone();
+                    // One matcher/scratch/store triple across all refinement
+                    // rounds: after round 1 every cone class is warm, so later
+                    // rounds replay memoized enumerations instead of re-searching.
+                    let matcher = Matcher::with_config(self.library, options.match_config());
+                    let mut scratch = MatchScratch::new();
+                    let mut store = MatchStore::for_library(self.library);
+                    for _ in 0..3 {
+                        let _round = dagmap_obs::span("area_recovery.round");
+                        let selected = area::recover(
+                            subject,
+                            &matcher,
+                            &estimate_base,
+                            options.match_mode,
+                            target,
+                            &mut scratch,
+                            &mut store,
+                        )?;
+                        let recovered = cover::construct(subject, self.library, &selected)?;
+                        let improved = recovered.area() < best.area();
+                        if improved {
+                            best = recovered;
+                        }
+                        // Seed the next round's area-flow from this selection where
+                        // it chose something (arrivals stay the optimal labels).
+                        for (slot, sel) in estimate_base.best.iter_mut().zip(&selected) {
+                            if sel.is_some() {
+                                *slot = sel.clone();
+                            }
+                        }
+                        if !improved {
+                            break;
+                        }
                     }
-                }
-                if !improved {
-                    break;
-                }
-            }
-            best
-        } else {
-            mapped
-        };
-        let cover_seconds = t1.elapsed().as_secs_f64();
+                    Ok::<_, MapError>(best)
+                });
+                (best?, secs)
+            } else {
+                (mapped, 0.0)
+            };
 
         let report = MapReport {
             algorithm: options.algorithm_name(),
@@ -199,6 +219,8 @@ impl<'a> Mapper<'a> {
             levels: labels.levels,
             label_seconds,
             cover_seconds,
+            area_recovery_seconds,
+            decompose_seconds: 0.0,
         };
         Ok((mapped, report))
     }

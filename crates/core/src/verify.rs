@@ -58,7 +58,10 @@ impl fmt::Display for Violation {
                 "cell {cell}: stored arrival {stored} disagrees with recomputation {recomputed}"
             ),
             Violation::NotEquivalent { seed } => {
-                write!(f, "mapped netlist is not equivalent to its subject graph (sim seed {seed})")
+                write!(
+                    f,
+                    "mapped netlist is not equivalent to its subject graph (sim seed {seed})"
+                )
             }
         }
     }
@@ -120,6 +123,7 @@ pub fn report(
     subject: &SubjectGraph,
     seed: u64,
 ) -> Result<Vec<Violation>, MapError> {
+    let _span = dagmap_obs::span("verify");
     let mut violations = timing_violations(mapped);
     if !equivalent(mapped, subject.network(), 32, seed)? {
         violations.push(Violation::NotEquivalent { seed });

@@ -62,15 +62,9 @@ fn labels_are_bit_identical_across_configs_libraries_modes_and_threads() {
                 // Serial is the semantic reference; 3 workers additionally
                 // exercises the per-worker stores of the wavefront engine.
                 for nt in [1usize, 3] {
-                    let l = label_with_config(
-                        &subject,
-                        lib,
-                        mode,
-                        Objective::Delay,
-                        Some(nt),
-                        config,
-                    )
-                    .expect("accelerated labels");
+                    let l =
+                        label_with_config(&subject, lib, mode, Objective::Delay, Some(nt), config)
+                            .expect("accelerated labels");
                     let tag = format!("lib={} mode={mode:?} config={config:?} nt={nt}", lib.name());
                     assert_eq!(l.arrival, reference.arrival, "{tag}");
                     assert_eq!(l.area_flow, reference.area_flow, "{tag}");
@@ -151,7 +145,10 @@ fn seeded_random_dags_label_identically_under_every_acceleration() {
             for config in configs() {
                 let l = label_with_config(&subject, lib, mode, objective, Some(1), config)
                     .expect("accelerated labels");
-                let tag = format!("seed={seed} lib={} mode={mode:?} obj={objective:?} config={config:?}", lib.name());
+                let tag = format!(
+                    "seed={seed} lib={} mode={mode:?} obj={objective:?} config={config:?}",
+                    lib.name()
+                );
                 assert_eq!(l.arrival, reference.arrival, "{tag}");
                 assert_eq!(l.best, reference.best, "{tag}");
                 assert_eq!(l.matches_enumerated, reference.matches_enumerated, "{tag}");

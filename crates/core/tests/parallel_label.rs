@@ -63,4 +63,24 @@ fn threaded_map_report_matches_serial_end_to_end() {
     assert_eq!(par.matches_enumerated, serial.matches_enumerated);
     assert_eq!(par.matches_pruned, serial.matches_pruned);
     assert_eq!(par.levels, serial.levels);
+
+    // Acceleration changes how much is pruned, never what is produced: the
+    // threaded no-accel run still lands on the serial accelerated answer.
+    let (_, plain) = mapper
+        .map_with_report(
+            &subject,
+            MapOptions::dag()
+                .with_num_threads(4)
+                .with_match_acceleration(false),
+        )
+        .expect("no-accel map");
+    assert_eq!(plain.delay.to_bits(), serial.delay.to_bits());
+    assert_eq!(plain.area.to_bits(), serial.area.to_bits());
+    assert_eq!(plain.num_cells, serial.num_cells);
+    assert_eq!(plain.matches_enumerated, serial.matches_enumerated);
+    // Phase durations are measured whether or not a trace session is
+    // active; decompose stays 0 because only the CLI times decomposition.
+    assert!(serial.label_seconds >= 0.0 && serial.cover_seconds >= 0.0);
+    assert_eq!(serial.decompose_seconds, 0.0);
+    assert_eq!(serial.area_recovery_seconds, 0.0);
 }

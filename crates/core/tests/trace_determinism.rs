@@ -1,0 +1,95 @@
+//! Trace-structure determinism: the observability layer must describe the
+//! *algorithm*, not the schedule. The session-lane span structure and the
+//! deterministic counters have to come out identical across every thread
+//! count and acceleration setting — and recording must not perturb the
+//! mapping itself (bit-identical BLIF and delay with tracing on).
+//!
+//! This lives in its own integration-test file on purpose: obs sessions are
+//! process-global, and sibling `#[test]`s running instrumented code on other
+//! threads of the same test binary would stitch their spans and counters
+//! into an active session. A dedicated binary gives the session a quiet
+//! process. Keep this file to a single `#[test]`.
+
+use dagmap_benchgen::random_network;
+use dagmap_core::{MapOptions, Mapper};
+use dagmap_genlib::Library;
+use dagmap_netlist::{blif, SubjectGraph};
+
+/// Counters whose values are part of the mapper's deterministic contract:
+/// invariant across thread counts *and* acceleration settings. The memo
+/// counters (`match.memo_*`) legitimately vary with the thread count
+/// (per-worker memo shards see different slices) and `match.pruned` varies
+/// with acceleration (the fingerprint index prunes candidates earlier), so
+/// they are deliberately absent here.
+const INVARIANT_COUNTERS: &[&str] = &[
+    "decompose.gates",
+    "decompose.multi_fanout",
+    "decompose.levels",
+    "label.nodes",
+    "match.enumerated",
+];
+
+#[test]
+fn trace_structure_is_invariant_across_threads_and_acceleration() {
+    let lib = Library::lib2_like();
+    let net = random_network(8, 140, 11);
+
+    // One full traced pipeline run: decompose, map, lower to BLIF.
+    let run = |threads: usize, accel: bool| {
+        let session = dagmap_obs::start();
+        let subject = SubjectGraph::from_network(&net).expect("random nets are acyclic");
+        let mut opts = MapOptions::dag().with_num_threads(threads);
+        if !accel {
+            opts = opts.with_match_acceleration(false);
+        }
+        let (mapped, _) = Mapper::new(&lib)
+            .map_with_report(&subject, opts)
+            .expect("maps");
+        let text = blif::to_string(&mapped.to_network().expect("lowers")).expect("serializes");
+        let delay = mapped.delay().to_bits();
+        (session.finish(), text, delay)
+    };
+
+    let (base_trace, base_blif, base_delay) = run(1, true);
+    let base_sig = base_trace.span_signature();
+    assert!(
+        base_sig.iter().any(|(p, _)| p.ends_with("label.wave")),
+        "signature must see the per-level wavefront spans: {base_sig:?}"
+    );
+    assert!(
+        base_sig.iter().any(|(p, _)| p == "map/cover"),
+        "{base_sig:?}"
+    );
+    for name in INVARIANT_COUNTERS {
+        assert!(
+            base_trace.counter(name) > 0,
+            "baseline run must emit counter `{name}`"
+        );
+    }
+
+    for (threads, accel) in [(2, true), (4, true), (1, false), (4, false)] {
+        let (trace, text, delay) = run(threads, accel);
+        let cfg = format!("threads={threads} accel={accel}");
+
+        // Observability must be inert: the mapped netlist is bit-identical.
+        assert_eq!(text, base_blif, "mapped BLIF drifted under {cfg}");
+        assert_eq!(delay, base_delay, "critical delay drifted under {cfg}");
+
+        // The session-lane span tree (worker lanes excluded by design) is
+        // the same shape with the same multiplicities: same phases, same
+        // number of wavefronts, regardless of who executed them.
+        assert_eq!(
+            trace.span_signature(),
+            base_sig,
+            "span structure drifted under {cfg}"
+        );
+
+        for name in INVARIANT_COUNTERS {
+            assert_eq!(
+                trace.counter(name),
+                base_trace.counter(name),
+                "counter `{name}` drifted under {cfg}"
+            );
+        }
+    }
+}

@@ -126,7 +126,10 @@ pub fn lut_function(
     }
     let mut values: HashMap<NodeId, u64> = HashMap::new();
     for (i, &x) in inputs.iter().enumerate() {
-        values.insert(x, sim::exhaustive_word(i).expect("input count checked above"));
+        values.insert(
+            x,
+            sim::exhaustive_word(i).expect("input count checked above"),
+        );
     }
     let word = eval_cone(net, root, &mut values)?;
     Ok(SopCover::from_truth_table_minimized(inputs.len(), word))

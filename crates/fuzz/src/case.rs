@@ -50,7 +50,10 @@ pub fn generate_case(run_seed: u64, index: usize, max_gates: usize) -> Case {
                 xor_heavy: rng.random_bool(0.35),
                 single_output: rng.random_bool(0.3),
             };
-            ("random-comb".to_owned(), benchgen::random_network_with(&spec))
+            (
+                "random-comb".to_owned(),
+                benchgen::random_network_with(&spec),
+            )
         }
         // Knob-driven random sequential networks.
         4..=6 => {

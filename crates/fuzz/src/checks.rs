@@ -222,7 +222,10 @@ pub fn check_network(
         ];
         for &nt in &matrix.thread_counts {
             if nt > 1 {
-                variants.push((format!("threads={nt}"), MapOptions::dag().with_num_threads(nt)));
+                variants.push((
+                    format!("threads={nt}"),
+                    MapOptions::dag().with_num_threads(nt),
+                ));
             }
         }
         for (tag, opts) in variants {
@@ -311,7 +314,10 @@ pub fn check_network(
         }
         if let Some(bi) = lut.base {
             let base_lib_delay = dag_delays[bi];
-            debug_assert!(!base_lib_delay.is_nan(), "base libraries precede extensions");
+            debug_assert!(
+                !base_lib_delay.is_nan(),
+                "base libraries precede extensions"
+            );
             if !leq(base_delay, base_lib_delay) {
                 outcome.violations.push(CaseViolation {
                     kind: InvariantKind::Optimality,
@@ -374,9 +380,7 @@ mod tests {
         let lib = Library::minimal();
         let bound = depth_lower_bound(&subject, &lib);
         assert!(bound > 0.0);
-        let mapped = Mapper::new(&lib)
-            .map(&subject, MapOptions::dag())
-            .unwrap();
+        let mapped = Mapper::new(&lib).map(&subject, MapOptions::dag()).unwrap();
         assert!(leq(bound, mapped.delay()), "{bound} vs {}", mapped.delay());
     }
 

@@ -154,9 +154,22 @@ pub fn run(options: &FuzzOptions) -> Result<FuzzReport, FuzzError> {
     if let Some(dir) = &options.corpus_dir {
         std::fs::create_dir_all(dir)?;
     }
+    let mut fuzz_span = dagmap_obs::span("fuzz");
+    if fuzz_span.is_recording() {
+        fuzz_span.set_u64("cases", options.cases as u64);
+        fuzz_span.set_u64("libraries", libs.len() as u64);
+    }
     for index in 0..options.cases {
+        let mut case_span = dagmap_obs::span("fuzz.case");
+        if case_span.is_recording() {
+            case_span.set_u64("case", index as u64);
+        }
         let case = generate_case(options.seed, index, options.max_gates);
         let outcome = check_network(&case.network, &libs, &matrix)?;
+        if case_span.is_recording() {
+            case_span.set_u64("maps", outcome.maps as u64);
+        }
+        dagmap_obs::count("fuzz.maps", outcome.maps as u64);
         report.maps += outcome.maps;
         for violation in outcome.violations {
             let minimized = if options.shrink {

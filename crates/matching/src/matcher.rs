@@ -445,9 +445,12 @@ impl<'a> Matcher<'a> {
         f: &mut dyn FnMut(MatchView<'_>),
     ) -> MatchStats {
         if !self.config.memo {
-            return self.for_each_match_at(subject, node, mode, scratch, f);
+            let stats = self.for_each_match_at(subject, node, mode, scratch, f);
+            dagmap_obs::sample("match.per_node", stats.enumerated as u64);
+            return stats;
         }
         let (class, stats) = self.class_at(subject, node, mode, scratch, store);
+        dagmap_obs::sample("match.per_node", stats.enumerated as u64);
         let Some(class) = class else {
             return stats;
         };
@@ -957,13 +960,10 @@ mod tests {
             for node in subject.network().node_ids() {
                 for mode in ALL_MODES {
                     let mut direct = Vec::new();
-                    let sd = matcher.for_each_match_at(
-                        &subject,
-                        node,
-                        mode,
-                        &mut s_direct,
-                        &mut |mv| direct.push(mv.to_match()),
-                    );
+                    let sd =
+                        matcher.for_each_match_at(&subject, node, mode, &mut s_direct, &mut |mv| {
+                            direct.push(mv.to_match())
+                        });
                     let mut memo = Vec::new();
                     let sm = matcher.for_each_match_via(
                         &subject,
@@ -997,8 +997,13 @@ mod tests {
         let subject = ladder(2);
         let net = subject.network();
         for node in net.node_ids() {
-            let (class, stats) =
-                matcher.class_at(&subject, node, MatchMode::Standard, &mut scratch, &mut store);
+            let (class, stats) = matcher.class_at(
+                &subject,
+                node,
+                MatchMode::Standard,
+                &mut scratch,
+                &mut store,
+            );
             match net.node(node).func() {
                 NodeFn::Nand | NodeFn::Not => {
                     let class = class.expect("gate nodes get a class");
@@ -1030,7 +1035,13 @@ mod tests {
         let subject = ladder(1);
         let root = subject.network().outputs()[0].driver;
         let mut scratch = MatchScratch::new();
-        matcher.class_at(&subject, root, MatchMode::Standard, &mut scratch, &mut store);
+        matcher.class_at(
+            &subject,
+            root,
+            MatchMode::Standard,
+            &mut scratch,
+            &mut store,
+        );
     }
 
     #[test]

@@ -216,7 +216,12 @@ impl MatchStore {
 
     /// Probes for an existing class keyed by `(mode, capped level, cone)`.
     /// Counts the lookup (and the hit, when found).
-    pub(crate) fn probe(&mut self, mode: MatchMode, level_cap: u32, cone_key: &[u32]) -> Option<ClassId> {
+    pub(crate) fn probe(
+        &mut self,
+        mode: MatchMode,
+        level_cap: u32,
+        cone_key: &[u32],
+    ) -> Option<ClassId> {
         self.lookups += 1;
         self.key_buf.clear();
         self.key_buf.push(mode_code(mode));

@@ -107,6 +107,8 @@ struct LatchSpec {
 /// Reports malformed directives and cubes with line numbers, undefined or
 /// redefined signals, and combinational cycles.
 pub fn parse(text: &str) -> Result<Network, NetlistError> {
+    let mut obs_span = dagmap_obs::span("parse.blif");
+    obs_span.set_u64("bytes", text.len() as u64);
     let lines = logical_lines(text);
     let mut model_name = String::from("blif");
     let mut inputs: Vec<String> = Vec::new();

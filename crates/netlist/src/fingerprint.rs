@@ -338,8 +338,7 @@ pub fn extract_cone(net: &Network, root: NodeId, spec: ConeSpec, scratch: &mut C
         let (id, d) = scratch.queue[head];
         head += 1;
         let node = net.node(id);
-        let expand =
-            d < spec.max_depth && matches!(node.func(), NodeFn::Not | NodeFn::Nand);
+        let expand = d < spec.max_depth && matches!(node.func(), NodeFn::Not | NodeFn::Nand);
         if !expand {
             continue;
         }
@@ -360,7 +359,9 @@ pub fn extract_cone(net: &Network, root: NodeId, spec: ConeSpec, scratch: &mut C
 }
 
 fn serialize(net: &Network, id: NodeId, spec: ConeSpec, scratch: &mut ConeScratch, is_root: bool) {
-    let slot = scratch.slot_of(id).expect("serialized nodes were visited by BFS") as usize;
+    let slot = scratch
+        .slot_of(id)
+        .expect("serialized nodes were visited by BFS") as usize;
     if let Some(local) = scratch.local_slot[slot] {
         scratch.key.push(REF_BASE + local);
         return;

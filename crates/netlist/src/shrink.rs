@@ -10,7 +10,7 @@
 //! All operators are non-destructive: they rebuild a fresh [`Network`] and
 //! leave the original untouched.
 
-use crate::{Network, NetlistError, NodeFn, NodeId};
+use crate::{NetlistError, Network, NodeFn, NodeId};
 
 /// How one original node is carried into the rebuilt network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,7 +149,9 @@ pub fn drop_output(net: &Network, index: usize) -> Option<Network> {
 pub fn bypass_node(net: &Network, id: NodeId, pin: usize) -> Result<Network, NetlistError> {
     match net.node(id).func() {
         NodeFn::Input | NodeFn::Const(_) => {
-            return Err(NetlistError::Invariant("cannot bypass a source node".into()))
+            return Err(NetlistError::Invariant(
+                "cannot bypass a source node".into(),
+            ))
         }
         NodeFn::Latch => {
             return Err(NetlistError::Invariant(
@@ -160,7 +162,13 @@ pub fn bypass_node(net: &Network, id: NodeId, pin: usize) -> Result<Network, Net
     }
     rebuild(
         net,
-        |n| if n == id { Action::Alias(pin) } else { Action::Keep },
+        |n| {
+            if n == id {
+                Action::Alias(pin)
+            } else {
+                Action::Keep
+            }
+        },
         |_| true,
     )
 }
@@ -174,7 +182,13 @@ pub fn bypass_node(net: &Network, id: NodeId, pin: usize) -> Result<Network, Net
 pub fn replace_with_const(net: &Network, id: NodeId, value: bool) -> Result<Network, NetlistError> {
     rebuild(
         net,
-        |n| if n == id { Action::Const(value) } else { Action::Keep },
+        |n| {
+            if n == id {
+                Action::Const(value)
+            } else {
+                Action::Keep
+            }
+        },
         |_| true,
     )
 }
@@ -187,11 +201,19 @@ pub fn replace_with_const(net: &Network, id: NodeId, value: bool) -> Result<Netw
 /// Returns [`NetlistError::Invariant`] when `id` is not a latch.
 pub fn latch_to_input(net: &Network, id: NodeId) -> Result<Network, NetlistError> {
     if !matches!(net.node(id).func(), NodeFn::Latch) {
-        return Err(NetlistError::Invariant("only latches can be inputized".into()));
+        return Err(NetlistError::Invariant(
+            "only latches can be inputized".into(),
+        ));
     }
     rebuild(
         net,
-        |n| if n == id { Action::Inputize } else { Action::Keep },
+        |n| {
+            if n == id {
+                Action::Inputize
+            } else {
+                Action::Keep
+            }
+        },
         |_| true,
     )
 }

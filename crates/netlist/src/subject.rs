@@ -287,6 +287,8 @@ impl SubjectGraph {
         source: &Network,
         options: DecomposeOptions,
     ) -> Result<SubjectGraph, NetlistError> {
+        let mut obs_span = dagmap_obs::span("decompose");
+        obs_span.set_u64("source_nodes", source.num_nodes() as u64);
         let order = source.topo_order()?;
         let reach = source.reachable_from_outputs();
         let mut b = Builder::new(source.name(), options);
@@ -433,13 +435,25 @@ impl SubjectGraph {
     /// Final wrapping step shared by every constructor: levels and the
     /// per-node shape classes the fingerprint-indexed matcher consumes.
     fn finish(net: Network) -> SubjectGraph {
-        let levels = compute_levels(&net);
-        let shape_class = crate::fingerprint::shape_classes(&net);
-        SubjectGraph {
+        let levels = {
+            let _s = dagmap_obs::span("decompose.levels");
+            compute_levels(&net)
+        };
+        let shape_class = {
+            let _s = dagmap_obs::span("decompose.shapes");
+            crate::fingerprint::shape_classes(&net)
+        };
+        let subject = SubjectGraph {
             net,
             levels,
             shape_class,
+        };
+        if dagmap_obs::enabled() {
+            dagmap_obs::count("decompose.gates", subject.num_gates() as u64);
+            dagmap_obs::count("decompose.multi_fanout", subject.num_multi_fanout() as u64);
+            dagmap_obs::count("decompose.levels", u64::from(subject.depth()));
         }
+        subject
     }
 
     /// Rebuild step used when the source network contains latches: the

@@ -1,0 +1,207 @@
+//! Log2-bucket histograms for cheap distribution tracking.
+//!
+//! Bucket `0` holds the value `0`; bucket `i >= 1` holds values in
+//! `[2^(i-1), 2^i - 1]`. Recording is an increment into a fixed array —
+//! no allocation, no sorting — which is what lets the match kernel sample
+//! per-node enumeration counts while staying zero-allocation.
+
+/// A fixed 65-bucket power-of-two histogram over `u64` values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+/// The bucket index a value lands in: `0` for `0`, else
+/// `64 - leading_zeros` (so `1 → 1`, `2..=3 → 2`, `4..=7 → 3`, …).
+pub fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive value range covered by bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 0),
+        1 => (1, 1),
+        _ => (1u64 << (i - 1), (1u64 << (i - 1)) + ((1u64 << (i - 1)) - 1)),
+    }
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram::new()
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Log2Histogram {
+        Log2Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Adds every bucket of `other` into `self`.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; 65] {
+        &self.buckets
+    }
+
+    /// Upper bound of the bucket where the cumulative count first reaches
+    /// quantile `q` (clamped to `0..=1`); 0 when empty. A log2 histogram
+    /// can only answer to bucket resolution, so this is an upper estimate.
+    pub fn quantile_upper(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Compact rendering of the non-empty buckets, e.g.
+    /// `0:3 1:10 2..3:4 4..7:1`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let (lo, hi) = bucket_bounds(i);
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            if lo == hi {
+                out.push_str(&format!("{lo}:{n}"));
+            } else {
+                out.push_str(&format!("{lo}..{hi}:{n}"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 0..=64 {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_of(lo), i, "low edge of bucket {i}");
+            assert_eq!(bucket_of(hi), i, "high edge of bucket {i}");
+            if i < 64 {
+                assert_eq!(bucket_of(hi + 1), i + 1, "first value past bucket {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn record_and_merge_accumulate() {
+        let mut a = Log2Histogram::new();
+        for v in [0, 1, 1, 2, 3, 4, 100] {
+            a.record(v);
+        }
+        assert_eq!(a.count(), 7);
+        assert_eq!(a.sum(), 111);
+        assert_eq!(a.max(), 100);
+        assert_eq!(a.buckets()[0], 1);
+        assert_eq!(a.buckets()[1], 2);
+        assert_eq!(a.buckets()[2], 2);
+        assert_eq!(a.buckets()[3], 1);
+        assert_eq!(a.buckets()[bucket_of(100)], 1);
+
+        let mut b = Log2Histogram::new();
+        b.record(5);
+        b.merge(&a);
+        assert_eq!(b.count(), 8);
+        assert_eq!(b.sum(), 116);
+        assert_eq!(b.max(), 100);
+        assert_eq!(b.buckets()[3], 2, "5 joins the 4..7 bucket");
+    }
+
+    #[test]
+    fn quantiles_are_bucket_resolution_upper_bounds() {
+        let mut h = Log2Histogram::new();
+        for _ in 0..90 {
+            h.record(1);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        assert_eq!(h.quantile_upper(0.5), 1);
+        // p99 falls in 1000's bucket; the estimate is clamped to max.
+        assert_eq!(h.quantile_upper(0.99), 1000);
+        assert_eq!(Log2Histogram::new().quantile_upper(0.5), 0);
+    }
+
+    #[test]
+    fn render_lists_nonempty_buckets() {
+        let mut h = Log2Histogram::new();
+        h.record(0);
+        h.record(2);
+        h.record(3);
+        assert_eq!(h.render(), "0:1 2..3:2");
+    }
+}

@@ -302,7 +302,11 @@ pub fn min_cycle_period_with(
     tol: f64,
     num_threads: Option<usize>,
 ) -> Result<SeqMapResult, RetimeError> {
-    let cache = build_cache(subject, library, mode)?;
+    let _search_span = dagmap_obs::span("retime.search");
+    let cache = {
+        let _s = dagmap_obs::span("retime.cache");
+        build_cache(subject, library, mode)?
+    };
     // Upper bound: the combinational-optimal mapping retimed exactly.
     let comb = dagmap_core::label_with(
         subject,
@@ -313,10 +317,20 @@ pub fn min_cycle_period_with(
     )
     .map_err(|e| RetimeError::Map(e.to_string()))?
     .critical_delay(subject);
+    let probe = |phi: f64| -> Result<Option<SeqMapResult>, RetimeError> {
+        let mut span = dagmap_obs::span("retime.probe");
+        let result = try_period(subject, library, &cache, phi)?;
+        if span.is_recording() {
+            span.set_f64("phi", phi);
+            span.set_u64("feasible", u64::from(result.is_some()));
+        }
+        dagmap_obs::count("retime.probes", 1);
+        Ok(result)
+    };
     let mut hi = comb.max(1e-6);
     let mut best = None;
     for _ in 0..8 {
-        if let Some(result) = try_period(subject, library, &cache, hi)? {
+        if let Some(result) = probe(hi)? {
             best = Some(result);
             break;
         }
@@ -332,7 +346,7 @@ pub fn min_cycle_period_with(
     let target = (tol * hi).max(1e-9);
     while hi - lo > target {
         let mid = 0.5 * (lo + hi);
-        match try_period(subject, library, &cache, mid)? {
+        match probe(mid)? {
             Some(result) => {
                 hi = result.period.min(mid);
                 best = result;

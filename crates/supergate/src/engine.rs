@@ -21,7 +21,9 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use dagmap_boolmatch::TruthTable;
-use dagmap_genlib::{Expr, Gate, GenlibError, Library, PatternGraph, PatternNode, PinTiming, TreeShape};
+use dagmap_genlib::{
+    Expr, Gate, GenlibError, Library, PatternGraph, PatternNode, PinTiming, TreeShape,
+};
 
 use crate::{SupergateError, SupergateExtension, SupergateOptions, SupergateReport, SupergateStat};
 
@@ -287,7 +289,13 @@ struct RoundCtx<'a> {
 }
 
 /// Drains candidate tuples for one `(root, first child)` unit into `local`.
-fn run_unit(ctx: &RoundCtx, root_idx: usize, first: usize, local: &mut HashMap<u64, Cand>, evaluated: &mut usize) {
+fn run_unit(
+    ctx: &RoundCtx,
+    root_idx: usize,
+    first: usize,
+    local: &mut HashMap<u64, Cand>,
+    evaluated: &mut usize,
+) {
     let root = &ctx.roots[root_idx];
     let k = root.pins;
     let mut tuple = [0usize; MAX_VARS];
@@ -295,7 +303,9 @@ fn run_unit(ctx: &RoundCtx, root_idx: usize, first: usize, local: &mut HashMap<u
     tuple[0] = first;
     tts[0] = ctx.pool[first].tt;
     let frontier0 = ctx.pool[first].depth as usize == ctx.round as usize - 1;
-    rec_tuples(ctx, root, root_idx, 1, k, frontier0, &mut tuple, &mut tts, local, evaluated);
+    rec_tuples(
+        ctx, root, root_idx, 1, k, frontier0, &mut tuple, &mut tts, local, evaluated,
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -326,7 +336,18 @@ fn rec_tuples(
         tuple[pos] = idx;
         tts[pos] = ctx.pool[idx].tt;
         let f = has_frontier || ctx.pool[idx].depth as usize == ctx.round as usize - 1;
-        rec_tuples(ctx, root, root_idx, pos + 1, k, f, tuple, tts, local, evaluated);
+        rec_tuples(
+            ctx,
+            root,
+            root_idx,
+            pos + 1,
+            k,
+            f,
+            tuple,
+            tts,
+            local,
+            evaluated,
+        );
     }
 }
 
@@ -516,9 +537,7 @@ fn derive_gate(name: &str, expr: &Expr) -> Result<Option<Gate>, GenlibError> {
     // mismatch would be a structural bug, not a data issue).
     for m in 0..(1usize << vars.len()) {
         let pins: Vec<bool> = (0..vars.len()).map(|i| (m >> i) & 1 == 1).collect();
-        let want = expr.eval(&|n| {
-            vars.iter().position(|v| v == n).is_some_and(|i| pins[i])
-        });
+        let want = expr.eval(&|n| vars.iter().position(|v| v == n).is_some_and(|i| pins[i]));
         if pattern.eval(&pins) != want {
             return Err(GenlibError::Validate(format!(
                 "supergate `{name}`: pattern disagrees with expression on minterm {m}"
@@ -567,6 +586,11 @@ pub fn extend_library(
     opts: &SupergateOptions,
 ) -> Result<SupergateExtension, SupergateError> {
     opts.validate()?;
+    let mut obs_span = dagmap_obs::span("supergen");
+    if obs_span.is_recording() {
+        obs_span.set_u64("max_inputs", opts.max_inputs as u64);
+        obs_span.set_u64("max_depth", u64::from(opts.max_depth));
+    }
     let nvars = opts.max_inputs;
     let mask = word_mask(nvars);
     let threads = opts
@@ -588,7 +612,9 @@ pub fn extend_library(
         let pins: Vec<&str> = gate.pins().iter().map(|(n, _)| n.as_str()).collect();
         let tt = TruthTable::from_fn(k, |m| {
             gate.expr().eval(&|name| {
-                pins.iter().position(|p| *p == name).is_some_and(|i| (m >> i) & 1 == 1)
+                pins.iter()
+                    .position(|p| *p == name)
+                    .is_some_and(|i| (m >> i) & 1 == 1)
             })
         });
         if tt.is_constant() {
@@ -631,11 +657,15 @@ pub fn extend_library(
             break;
         }
         rounds = round;
+        let mut round_span = dagmap_obs::span("supergen.round");
+        if round_span.is_recording() {
+            round_span.set_u64("round", u64::from(round));
+            round_span.set_u64("pool", pool.len() as u64);
+        }
         let round8 = u8::try_from(round).expect("depth bounded");
         let mut frontier_from = vec![false; pool.len() + 1];
         for i in (0..pool.len()).rev() {
-            frontier_from[i] =
-                frontier_from[i + 1] || pool[i].depth as usize == round as usize - 1;
+            frontier_from[i] = frontier_from[i + 1] || pool[i].depth as usize == round as usize - 1;
         }
         let mut lo = [0u64; MAX_VARS];
         for (v, slot) in lo.iter_mut().enumerate().take(nvars) {
@@ -726,6 +756,11 @@ pub fn extend_library(
         }
     }
 
+    if dagmap_obs::enabled() {
+        dagmap_obs::count("supergen.candidates", candidates as u64);
+        dagmap_obs::count("supergen.emitted", stats.len() as u64);
+        dagmap_obs::count("supergen.rounds", u64::from(rounds));
+    }
     let mut gates = base.gates().to_vec();
     gates.extend(supergates);
     let name = format!("{}_sg{}", base.name(), opts.max_depth);
@@ -854,9 +889,9 @@ mod tests {
             let pins: Vec<String> = gate.pins().iter().map(|(n, _)| n.clone()).collect();
             for m in 0..(1usize << k) {
                 let vals: Vec<bool> = (0..k).map(|i| (m >> i) & 1 == 1).collect();
-                let want = gate.expr().eval(&|name| {
-                    pins.iter().position(|p| p == name).is_some_and(|i| vals[i])
-                });
+                let want = gate
+                    .expr()
+                    .eval(&|name| pins.iter().position(|p| p == name).is_some_and(|i| vals[i]));
                 assert_eq!(
                     pat.graph.eval(&vals),
                     want,
@@ -882,7 +917,9 @@ mod tests {
             let pins: Vec<String> = gate.pins().iter().map(|(n, _)| n.clone()).collect();
             let tt = TruthTable::from_fn(k, |m| {
                 gate.expr().eval(&|name| {
-                    pins.iter().position(|p| p == name).is_some_and(|i| (m >> i) & 1 == 1)
+                    pins.iter()
+                        .position(|p| p == name)
+                        .is_some_and(|i| (m >> i) & 1 == 1)
                 })
             });
             if tt.is_constant() {
@@ -899,7 +936,9 @@ mod tests {
             let pins: Vec<String> = sg.pins().iter().map(|(n, _)| n.clone()).collect();
             let tt = TruthTable::from_fn(k, |m| {
                 sg.expr().eval(&|name| {
-                    pins.iter().position(|p| p == name).is_some_and(|i| (m >> i) & 1 == 1)
+                    pins.iter()
+                        .position(|p| p == name)
+                        .is_some_and(|i| (m >> i) & 1 == 1)
                 })
             });
             if let Some(points) = base_points.get(&canonical_key(k, tt.bits())) {
@@ -925,7 +964,9 @@ mod tests {
             let pins: Vec<String> = sg.pins().iter().map(|(n, _)| n.clone()).collect();
             let tt = TruthTable::from_fn(k, |m| {
                 sg.expr().eval(&|name| {
-                    pins.iter().position(|p| p == name).is_some_and(|i| (m >> i) & 1 == 1)
+                    pins.iter()
+                        .position(|p| p == name)
+                        .is_some_and(|i| (m >> i) & 1 == 1)
                 })
             });
             let key = canonical_key(k, tt.bits());
@@ -964,7 +1005,9 @@ mod tests {
             let pins: Vec<String> = sg.pins().iter().map(|(n, _)| n.clone()).collect();
             let tt = TruthTable::from_fn(2, |m| {
                 sg.expr().eval(&|name| {
-                    pins.iter().position(|p| p == name).is_some_and(|i| (m >> i) & 1 == 1)
+                    pins.iter()
+                        .position(|p| p == name)
+                        .is_some_and(|i| (m >> i) & 1 == 1)
                 })
             });
             found_and |= tt.p_canonical().0 == and2.p_canonical().0;

@@ -32,9 +32,7 @@ fn extended_mapping_verifies_and_never_regresses() {
     let mut improved = false;
     for (name, net) in circuits() {
         let subject = SubjectGraph::from_network(&net).unwrap();
-        let base_mapped = Mapper::new(&base)
-            .map(&subject, MapOptions::dag())
-            .unwrap();
+        let base_mapped = Mapper::new(&base).map(&subject, MapOptions::dag()).unwrap();
         let ext_mapped = Mapper::new(&ext).map(&subject, MapOptions::dag()).unwrap();
         verify::check(&ext_mapped, &subject, 0xda6_5eed).unwrap();
         assert!(

@@ -30,8 +30,28 @@ cargo run -q --release --offline -p dagmap-bench --bin supergate -- \
 # Deterministic differential-fuzzing smoke: a fixed seed over ~20 cases must
 # sweep the full configuration matrix (thread counts, accel/memo, supergate
 # libraries, retiming) with zero invariant violations. Repros, if any, land
-# in target/ so a failure never dirties the checked-in corpus.
+# in target/ so a failure never dirties the checked-in corpus. The run is
+# traced, and the trace must pass the validator like any other.
 cargo run -q --release --offline -- fuzz \
-  --seed 1729 --cases 20 --corpus target/fuzz-corpus-smoke
+  --seed 1729 --cases 20 --corpus target/fuzz-corpus-smoke \
+  --trace target/obs_fuzz_trace.json
+cargo run -q --release --offline -- trace-check target/obs_fuzz_trace.json
+
+# Observability smoke: tracing must be inert — the mapped BLIF is
+# byte-identical with tracing off (serial) and on (4 threads + --profile) —
+# and the emitted Chrome trace must pass the crate's own offline validator.
+cargo run -q --release --offline -- gen add16 --out target/obs_smoke.blif
+cargo run -q --release --offline -- map target/obs_smoke.blif \
+  --out target/obs_plain.blif > /dev/null
+cargo run -q --release --offline -- map target/obs_smoke.blif \
+  --out target/obs_traced.blif --threads 4 \
+  --trace target/obs_trace.json --profile > /dev/null 2> /dev/null
+cmp target/obs_plain.blif target/obs_traced.blif
+cargo run -q --release --offline -- trace-check target/obs_trace.json
+
+# Observability overhead micro-bench: enabled-vs-disabled mapping times and
+# the cost of a disabled span call, with bit-identity asserted either way.
+DAGMAP_BENCH_QUICK=1 cargo run -q --release --offline -p dagmap-bench --bin obsperf -- \
+  --quick --out target/BENCH_obs_smoke.json
 
 echo "tier1: OK"

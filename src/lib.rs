@@ -26,6 +26,9 @@
 //! * [`benchgen`] — circuit generators standing in for the MCNC benchmarks,
 //! * [`fuzz`] — the seeded differential fuzzer sweeping the whole mapper
 //!   configuration matrix, with automatic shrinking of failing cases,
+//! * [`obs`] — structured tracing and phase metrics: RAII spans, typed
+//!   counters, log2 histograms, a phase report and Chrome trace export
+//!   (runtime-disabled to a single branch when no session is active),
 //! * [`rng`] — the small seeded PRNG the workspace uses instead of external
 //!   randomness crates (the build environment has no registry access).
 //!
@@ -56,6 +59,7 @@ pub use dagmap_fuzz as fuzz;
 pub use dagmap_genlib as genlib;
 pub use dagmap_match as matching;
 pub use dagmap_netlist as netlist;
+pub use dagmap_obs as obs;
 pub use dagmap_retime as retime;
 pub use dagmap_rng as rng;
 pub use dagmap_supergate as supergate;

@@ -4,19 +4,22 @@
 //! dagmap map    <in.blif> [--builtin lib2|44-1|44-3|minimal | --lib <f.genlib>]
 //!               [--algo dag|tree|dag-extended|boolean|hybrid] [--objective delay|area]
 //!               [--recover] [--buffer <max_load>] [--out <f.blif>]
-//!               [--verilog <f.v>] [--no-verify]
+//!               [--verilog <f.v>] [--no-verify] [--trace <t.json>] [--profile]
 //! dagmap luts   <in.blif> [-k <k>] [--out <f.blif>]
 //! dagmap retime <in.blif> [--builtin ... | --lib <f.genlib>] [--tol <t>]
 //! dagmap stats  <in.blif>
 //! dagmap lib    (--builtin <name> | <f.genlib>)
+//! dagmap profile <in.blif> [--runs <n>]
+//! dagmap trace-check <trace.json>
 //! dagmap gen    <c2670|c3540|c5315|c6288|c7552|add<N>|mul<N>|alu<N>> [--out <f.blif>]
 //! ```
 
 use std::error::Error;
 use std::fs;
 use std::process::ExitCode;
+use std::time::Instant;
 
-use dagmap::core::{load, verify, verilog, MapOptions, Mapper, Objective};
+use dagmap::core::{load, verify, verilog, MapOptions, MapReport, Mapper, Objective};
 use dagmap::genlib::Library;
 use dagmap::matching::MatchMode;
 use dagmap::netlist::{blif, Network, SubjectGraph};
@@ -33,6 +36,8 @@ fn main() -> ExitCode {
         Some("lib") => cmd_lib(&args[1..]),
         Some("supergen") => cmd_supergen(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("trace-check") => cmd_trace_check(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("--help" | "-h") | None => {
             eprint!("{}", USAGE);
@@ -58,15 +63,30 @@ usage:
   dagmap retime   <in.blif> [options]   minimum clock period (retime + map)
   dagmap stats    <in.blif> [--builtin <name> | --lib <f.genlib>]
                                         network and subject-graph statistics
-                                        (with a library: match census + memo
-                                        hit rate)
+                                        (with a library: match census, memo
+                                        hit rate and phase timings)
   dagmap lib      <f.genlib>|--builtin  library statistics
   dagmap supergen [options]             extend a library with supergates
   dagmap fuzz     [options]             differential fuzzing of the mapper
+  dagmap profile  <in.blif> [options]   map repeatedly and print aggregated
+                                        per-phase statistics
+  dagmap trace-check <trace.json>       validate a Chrome trace-event file
+                                        produced by --trace
   dagmap gen      <name> [--out f]      emit a generated benchmark as BLIF
 
 files ending in .aag are read/written as ASCII AIGER; everything else is
 BLIF.
+
+observability options (map, luts, retime, stats, supergen, fuzz, profile):
+  --trace <out.json>                  record the run as Chrome trace-event
+                                      JSON (open in Perfetto or
+                                      chrome://tracing; one track per
+                                      labeling worker). Results are
+                                      bit-identical with tracing on or off.
+  --profile                           print the phase report — self/total
+                                      time tree, per-level wavefront
+                                      occupancy, match-kernel hit rates —
+                                      to stderr
 
 map options:
   --builtin lib2|44-1|44-3|minimal    built-in library (default lib2)
@@ -117,6 +137,12 @@ fuzz options:
   --no-supergates                     skip supergate-extended library variants
   --no-retime                         skip the sequential min-period cross-check
   --no-shrink                         keep failing cases full-size
+
+profile options:
+  --builtin/--lib, --threads          as for map
+  --runs <n>                          mapping repetitions to aggregate
+                                      (default 5)
+  --trace <out.json>                  also write the last run's trace
 ";
 
 type CmdResult = Result<(), Box<dyn Error>>;
@@ -181,52 +207,108 @@ fn write_network(path: &str, net: &Network) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-fn positional(args: &[String], what: &str) -> Result<String, Box<dyn Error>> {
-    args.iter()
-        .find(|a| !a.starts_with('-'))
-        .cloned()
-        .ok_or_else(|| format!("missing {what}").into())
+/// Removes and returns the first positional (non-flag) argument.
+fn take_positional(args: &mut Vec<String>, what: &str) -> Result<String, Box<dyn Error>> {
+    match args.iter().position(|a| !a.starts_with('-')) {
+        Some(pos) => Ok(args.remove(pos)),
+        None => Err(format!("missing {what}").into()),
+    }
 }
 
-/// Parses `--threads <n>`.
-fn take_threads(args: &mut Vec<String>) -> Result<Option<usize>, Box<dyn Error>> {
-    take_value(args, "--threads")?
-        .map(|s| {
-            s.parse::<usize>()
-                .ok()
-                .filter(|&n| n >= 1)
-                .ok_or_else(|| "--threads needs a positive integer".into())
+/// Every command calls this after consuming its known flags and
+/// positionals: anything left is either an unknown flag or a stray
+/// argument, and both are hard errors.
+fn reject_leftovers(args: &[String]) -> CmdResult {
+    match args.first() {
+        None => Ok(()),
+        Some(flag) if flag.starts_with('-') => {
+            Err(format!("unknown flag `{flag}`; try --help").into())
+        }
+        Some(stray) => Err(format!("unexpected argument `{stray}`").into()),
+    }
+}
+
+/// The flags shared by every pipeline command, parsed in exactly one
+/// place: worker threads and the two observability switches.
+struct CliCommon {
+    /// `--threads <n>` (semantics are per-command; labeling workers for
+    /// map/retime, enumeration workers for supergen, the alternate
+    /// differential count for fuzz).
+    threads: Option<usize>,
+    /// `--trace <out.json>`: write a Chrome trace-event file of the run.
+    trace: Option<String>,
+    /// `--profile`: print the phase report to stderr after the run.
+    profile: bool,
+}
+
+impl CliCommon {
+    fn parse(args: &mut Vec<String>) -> Result<CliCommon, Box<dyn Error>> {
+        let threads = take_value(args, "--threads")?
+            .map(|s| {
+                s.parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| Box::<dyn Error>::from("--threads needs a positive integer"))
+            })
+            .transpose()?;
+        let trace = take_value(args, "--trace")?;
+        let profile = take_flag(args, "--profile");
+        Ok(CliCommon {
+            threads,
+            trace,
+            profile,
         })
-        .transpose()
+    }
+
+    /// Starts an obs session iff `--trace` or `--profile` was given. With
+    /// neither flag, recording stays globally disabled and every
+    /// instrumentation site in the pipeline costs one predicted branch.
+    fn begin(&self) -> Option<dagmap::obs::Session> {
+        (self.trace.is_some() || self.profile).then(dagmap::obs::start)
+    }
+
+    /// Finishes the session (if any) and runs the exporters. Both go to
+    /// stderr / a side file, never stdout, so command output is identical
+    /// with observability on or off.
+    fn end(&self, session: Option<dagmap::obs::Session>) -> CmdResult {
+        let Some(session) = session else {
+            return Ok(());
+        };
+        let trace = session.finish();
+        if let Some(path) = &self.trace {
+            fs::write(path, trace.to_chrome_json())?;
+            eprintln!("trace: wrote {path}");
+        }
+        if self.profile {
+            eprint!("{}", dagmap::obs::report::render(&trace));
+        }
+        Ok(())
+    }
+}
+
+/// The per-phase duration line `map` and `stats` print from a
+/// [`MapReport`].
+fn print_phases(report: &MapReport) {
+    println!(
+        "phases: decompose {:.1} ms, label {:.1} ms ({} threads, {} levels), cover {:.1} ms, area recovery {:.1} ms",
+        report.decompose_seconds * 1e3,
+        report.label_seconds * 1e3,
+        report.label_threads,
+        report.levels,
+        report.cover_seconds * 1e3,
+        report.area_recovery_seconds * 1e3,
+    );
 }
 
 fn cmd_map(args: &[String]) -> CmdResult {
     let mut args = args.to_vec();
+    let common = CliCommon::parse(&mut args)?;
     let mut library = load_library(&mut args)?;
-    let threads = take_threads(&mut args)?;
+    let threads = common.threads;
     let supergates: Option<u32> = take_value(&mut args, "--supergates")?
         .map(|s| s.parse())
         .transpose()
         .map_err(|_| "--supergates needs a depth (gate levels)")?;
-    if let Some(depth) = supergates {
-        let ext = extend_library(
-            &library,
-            &SupergateOptions {
-                max_depth: depth,
-                num_threads: threads,
-                ..SupergateOptions::default()
-            },
-        )?;
-        println!(
-            "supergates: {} -> `{}` (+{} cells from {} candidates, depth <= {})",
-            library.name(),
-            ext.library.name(),
-            ext.report.supergates,
-            ext.report.candidates,
-            ext.report.rounds,
-        );
-        library = ext.library;
-    }
     let algo = take_value(&mut args, "--algo")?.unwrap_or_else(|| "dag".into());
     let objective = take_value(&mut args, "--objective")?.unwrap_or_else(|| "delay".into());
     let recover = take_flag(&mut args, "--recover");
@@ -244,238 +326,299 @@ fn cmd_map(args: &[String]) -> CmdResult {
         .transpose()
         .map_err(|_| "-k needs an integer")?
         .unwrap_or(4);
-    let input = positional(&args, "input BLIF file")?;
+    let input = take_positional(&mut args, "input BLIF file")?;
+    reject_leftovers(&args)?;
 
-    let net = read_network(&input)?;
-    let subject = SubjectGraph::from_network(&net)?;
-    if algo == "boolean" || algo == "hybrid" {
-        // Boolean/hybrid matching has its own pipeline; it shares the cover
-        // construction and verification with the structural mapper.
-        let mapped = if algo == "boolean" {
-            dagmap::boolmatch::map_boolean(&subject, &library, k)?
-        } else {
-            dagmap::boolmatch::map_hybrid(&subject, &library, k)?
+    let session = common.begin();
+    let result = (|| -> CmdResult {
+        if let Some(depth) = supergates {
+            let ext = extend_library(
+                &library,
+                &SupergateOptions {
+                    max_depth: depth,
+                    num_threads: threads,
+                    ..SupergateOptions::default()
+                },
+            )?;
+            println!(
+                "supergates: {} -> `{}` (+{} cells from {} candidates, depth <= {})",
+                library.name(),
+                ext.library.name(),
+                ext.report.supergates,
+                ext.report.candidates,
+                ext.report.rounds,
+            );
+            library = ext.library;
+        }
+        let net = read_network(&input)?;
+        let t_decompose = Instant::now();
+        let subject = SubjectGraph::from_network(&net)?;
+        let decompose_seconds = t_decompose.elapsed().as_secs_f64();
+        if algo == "boolean" || algo == "hybrid" {
+            // Boolean/hybrid matching has its own pipeline; it shares the cover
+            // construction and verification with the structural mapper.
+            let mapped = if algo == "boolean" {
+                dagmap::boolmatch::map_boolean(&subject, &library, k)?
+            } else {
+                dagmap::boolmatch::map_hybrid(&subject, &library, k)?
+            };
+            if !no_verify {
+                verify::check(&mapped, &subject, 0xB001)?;
+            }
+            println!(
+                "{}: {} subject gates -> {} cells, delay {:.3}, area {:.1} ({algo} matching, k={k})",
+                net.name(),
+                subject.num_gates(),
+                mapped.num_cells(),
+                mapped.delay(),
+                mapped.area(),
+            );
+            if let Some(path) = &out {
+                write_network(path, &mapped.to_network()?)?;
+                println!("wrote {path}");
+            }
+            if let Some(path) = &vout {
+                fs::write(path, verilog::to_verilog(&mapped))?;
+                println!("wrote {path}");
+            }
+            return Ok(());
+        }
+        let mut opts = match algo.as_str() {
+            "dag" => MapOptions::dag(),
+            "tree" => MapOptions::tree(),
+            "dag-extended" => MapOptions::dag_extended(),
+            other => return Err(format!("unknown algorithm `{other}`").into()),
         };
+        opts.objective = match objective.as_str() {
+            "delay" => Objective::Delay,
+            "area" => Objective::Area,
+            other => return Err(format!("unknown objective `{other}`").into()),
+        };
+        if recover {
+            opts = opts.with_area_recovery();
+        }
+        if let Some(n) = threads {
+            opts = opts.with_num_threads(n);
+        }
+        if no_accel {
+            opts = opts.with_match_acceleration(false);
+        }
+        let (mut mapped, mut report) = Mapper::new(&library).map_with_report(&subject, opts)?;
+        report.decompose_seconds = decompose_seconds;
+        if let Some(max_load) = buffer {
+            mapped = load::insert_buffers(&mapped, &library, max_load)?;
+        }
         if !no_verify {
-            verify::check(&mapped, &subject, 0xB001)?;
+            verify::check(&mapped, &subject, 0xC11)?;
         }
         println!(
-            "{}: {} subject gates -> {} cells, delay {:.3}, area {:.1} ({algo} matching, k={k})",
+            "{}: {} subject gates -> {} cells, delay {:.3}, area {:.1} ({} algorithm, {} matches, {} duplicated)",
             net.name(),
             subject.num_gates(),
             mapped.num_cells(),
             mapped.delay(),
             mapped.area(),
+            report.algorithm,
+            report.matches_enumerated,
+            mapped.duplicated_subject_nodes(),
         );
-        if let Some(path) = out {
-            write_network(&path, &mapped.to_network()?)?;
+        let memo = if report.memo_lookups > 0 {
+            format!(
+                ", memo {}/{} hits ({:.1}%)",
+                report.memo_hits,
+                report.memo_lookups,
+                100.0 * report.memo_hits as f64 / report.memo_lookups as f64
+            )
+        } else {
+            String::new()
+        };
+        println!(
+            "matching: {} enumerated, {} candidates pruned{memo}",
+            report.matches_enumerated, report.matches_pruned
+        );
+        print_phases(&report);
+        for (gate, count) in mapped.gate_histogram() {
+            println!("  {gate:<12} x{count}");
+        }
+        if report_path {
+            println!("critical path (input side first):");
+            for &c in &mapped.critical_path() {
+                println!(
+                    "  {:<12} arrival {:>8.3}",
+                    mapped.kind_of(c).name,
+                    mapped.cell_arrival(c)
+                );
+            }
+        }
+        if buffer.is_some() {
+            let timing = load::analyze(&mapped);
+            println!("load-aware delay: {:.3}", timing.delay);
+        }
+        if let Some(path) = &out {
+            write_network(path, &mapped.to_network()?)?;
             println!("wrote {path}");
         }
-        if let Some(path) = vout {
-            fs::write(&path, verilog::to_verilog(&mapped))?;
+        if let Some(path) = &vout {
+            fs::write(path, verilog::to_verilog(&mapped))?;
             println!("wrote {path}");
         }
-        return Ok(());
-    }
-    let mut opts = match algo.as_str() {
-        "dag" => MapOptions::dag(),
-        "tree" => MapOptions::tree(),
-        "dag-extended" => MapOptions::dag_extended(),
-        other => return Err(format!("unknown algorithm `{other}`").into()),
-    };
-    opts.objective = match objective.as_str() {
-        "delay" => Objective::Delay,
-        "area" => Objective::Area,
-        other => return Err(format!("unknown objective `{other}`").into()),
-    };
-    if recover {
-        opts = opts.with_area_recovery();
-    }
-    if let Some(n) = threads {
-        opts = opts.with_num_threads(n);
-    }
-    if no_accel {
-        opts = opts.with_match_acceleration(false);
-    }
-    let (mut mapped, report) = Mapper::new(&library).map_with_report(&subject, opts)?;
-    if let Some(max_load) = buffer {
-        mapped = load::insert_buffers(&mapped, &library, max_load)?;
-    }
-    if !no_verify {
-        verify::check(&mapped, &subject, 0xC11)?;
-    }
-    println!(
-        "{}: {} subject gates -> {} cells, delay {:.3}, area {:.1} ({} algorithm, {} matches, {} duplicated)",
-        net.name(),
-        subject.num_gates(),
-        mapped.num_cells(),
-        mapped.delay(),
-        mapped.area(),
-        report.algorithm,
-        report.matches_enumerated,
-        mapped.duplicated_subject_nodes(),
-    );
-    let memo = if report.memo_lookups > 0 {
-        format!(
-            ", memo {}/{} hits ({:.1}%)",
-            report.memo_hits,
-            report.memo_lookups,
-            100.0 * report.memo_hits as f64 / report.memo_lookups as f64
-        )
-    } else {
-        String::new()
-    };
-    println!(
-        "matching: {} enumerated, {} candidates pruned{memo}",
-        report.matches_enumerated, report.matches_pruned
-    );
-    for (gate, count) in mapped.gate_histogram() {
-        println!("  {gate:<12} x{count}");
-    }
-    if report_path {
-        println!("critical path (input side first):");
-        for &c in &mapped.critical_path() {
-            println!(
-                "  {:<12} arrival {:>8.3}",
-                mapped.kind_of(c).name,
-                mapped.cell_arrival(c)
-            );
-        }
-    }
-    if buffer.is_some() {
-        let timing = load::analyze(&mapped);
-        println!("load-aware delay: {:.3}", timing.delay);
-    }
-    if let Some(path) = out {
-        write_network(&path, &mapped.to_network()?)?;
-        println!("wrote {path}");
-    }
-    if let Some(path) = vout {
-        fs::write(&path, verilog::to_verilog(&mapped))?;
-        println!("wrote {path}");
-    }
-    Ok(())
+        Ok(())
+    })();
+    common.end(session)?;
+    result
 }
 
 fn cmd_luts(args: &[String]) -> CmdResult {
     let mut args = args.to_vec();
+    let common = CliCommon::parse(&mut args)?;
     let k: usize = take_value(&mut args, "-k")?
         .map(|s| s.parse())
         .transpose()
         .map_err(|_| "-k needs an integer")?
         .unwrap_or(6);
     let out = take_value(&mut args, "--out")?;
-    let input = positional(&args, "input BLIF file")?;
-    let net = read_network(&input)?;
-    let subject = SubjectGraph::from_network(&net)?.into_network();
-    let labels = dagmap::flowmap::label_network(&subject, k)?;
-    let mapping = dagmap::flowmap::map_luts(&subject, &labels)?;
-    println!(
-        "{}: optimal {k}-LUT depth {}, {} LUTs",
-        net.name(),
-        mapping.depth(),
-        mapping.num_luts()
-    );
-    if let Some(path) = out {
-        write_network(&path, &mapping.to_network(&subject)?)?;
-        println!("wrote {path}");
-    }
-    Ok(())
+    let input = take_positional(&mut args, "input BLIF file")?;
+    reject_leftovers(&args)?;
+    let session = common.begin();
+    let result = (|| -> CmdResult {
+        let net = read_network(&input)?;
+        let subject = SubjectGraph::from_network(&net)?.into_network();
+        let labels = dagmap::flowmap::label_network(&subject, k)?;
+        let mapping = dagmap::flowmap::map_luts(&subject, &labels)?;
+        println!(
+            "{}: optimal {k}-LUT depth {}, {} LUTs",
+            net.name(),
+            mapping.depth(),
+            mapping.num_luts()
+        );
+        if let Some(path) = &out {
+            write_network(path, &mapping.to_network(&subject)?)?;
+            println!("wrote {path}");
+        }
+        Ok(())
+    })();
+    common.end(session)?;
+    result
 }
 
 fn cmd_retime(args: &[String]) -> CmdResult {
     let mut args = args.to_vec();
+    let common = CliCommon::parse(&mut args)?;
     let library = load_library(&mut args)?;
-    let threads = take_threads(&mut args)?;
     let tol: f64 = take_value(&mut args, "--tol")?
         .map(|s| s.parse())
         .transpose()
         .map_err(|_| "--tol needs a number")?
         .unwrap_or(1e-3);
-    let input = positional(&args, "input BLIF file")?;
-    let net = read_network(&input)?;
-    let subject = SubjectGraph::from_network(&net)?;
+    let input = take_positional(&mut args, "input BLIF file")?;
+    reject_leftovers(&args)?;
+    let session = common.begin();
+    let result = (|| -> CmdResult {
+        let net = read_network(&input)?;
+        let subject = SubjectGraph::from_network(&net)?;
 
-    let graph = SeqGraph::from_network(subject.network(), |_| 1.0)?;
-    let before = graph.clock_period()?;
-    let pure = minimize_period(&graph)?;
-    println!(
-        "unit-delay subject graph: period {before:.2} as built, {:.2} after retiming",
-        pure.period
-    );
+        let graph = SeqGraph::from_network(subject.network(), |_| 1.0)?;
+        let before = graph.clock_period()?;
+        let pure = minimize_period(&graph)?;
+        println!(
+            "unit-delay subject graph: period {before:.2} as built, {:.2} after retiming",
+            pure.period
+        );
 
-    let mapped = min_cycle_period_with(&subject, &library, MatchMode::Standard, tol, threads)?;
-    println!(
-        "with mapping into `{}`: minimum clock period {:.3}",
-        library.name(),
-        mapped.period
-    );
-    Ok(())
+        let mapped =
+            min_cycle_period_with(&subject, &library, MatchMode::Standard, tol, common.threads)?;
+        println!(
+            "with mapping into `{}`: minimum clock period {:.3}",
+            library.name(),
+            mapped.period
+        );
+        Ok(())
+    })();
+    common.end(session)?;
+    result
 }
 
 fn cmd_stats(args: &[String]) -> CmdResult {
     let mut args = args.to_vec();
+    let common = CliCommon::parse(&mut args)?;
     let wants_library = args.iter().any(|a| a == "--builtin" || a == "--lib");
     let library = if wants_library {
         Some(load_library(&mut args)?)
     } else {
         None
     };
-    let input = positional(&args, "input BLIF file")?;
-    let net = read_network(&input)?;
-    println!(
-        "{}: {} inputs, {} outputs, {} latches, {} internal nodes, {} edges",
-        net.name(),
-        net.inputs().len(),
-        net.outputs().len(),
-        net.num_latches(),
-        net.num_internal(),
-        net.num_edges()
-    );
-    let subject = SubjectGraph::from_network(&net)?;
-    println!(
-        "subject graph: {} NAND/INV nodes, depth {}, {} multi-fanout points",
-        subject.num_gates(),
-        subject.depth(),
-        subject.num_multi_fanout()
-    );
-    if let Some(library) = library {
-        // Full match census under standard semantics: how much pattern
-        // matching this subject costs against the library, and how much of
-        // it the fingerprint index and cone-class memo save.
-        use dagmap::matching::{MatchScratch, MatchStats, MatchStore, Matcher};
-        let matcher = Matcher::new(&library);
-        let mut store = MatchStore::for_library(&library);
-        let mut scratch = MatchScratch::new();
-        let mut stats = MatchStats::default();
-        for id in subject.network().node_ids() {
-            stats.absorb(matcher.for_each_match_via(
-                &subject,
-                id,
-                MatchMode::Standard,
-                &mut scratch,
-                &mut store,
-                &mut |_| {},
-            ));
-        }
+    let input = take_positional(&mut args, "input BLIF file")?;
+    reject_leftovers(&args)?;
+    let session = common.begin();
+    let result = (|| -> CmdResult {
+        let net = read_network(&input)?;
         println!(
-            "matching vs `{}` (standard): {} matches, {} candidates pruned",
-            library.name(),
-            stats.enumerated,
-            stats.pruned
+            "{}: {} inputs, {} outputs, {} latches, {} internal nodes, {} edges",
+            net.name(),
+            net.inputs().len(),
+            net.outputs().len(),
+            net.num_latches(),
+            net.num_internal(),
+            net.num_edges()
         );
+        let t_decompose = Instant::now();
+        let subject = SubjectGraph::from_network(&net)?;
+        let decompose_seconds = t_decompose.elapsed().as_secs_f64();
         println!(
-            "match memo: {} cone classes over {} lookups ({:.1}% hit rate)",
-            store.num_classes(),
-            store.lookups(),
-            if store.lookups() > 0 {
-                100.0 * store.hits() as f64 / store.lookups() as f64
-            } else {
-                0.0
+            "subject graph: {} NAND/INV nodes, depth {}, {} multi-fanout points",
+            subject.num_gates(),
+            subject.depth(),
+            subject.num_multi_fanout()
+        );
+        if let Some(library) = library {
+            // Full match census under standard semantics: how much pattern
+            // matching this subject costs against the library, and how much of
+            // it the fingerprint index and cone-class memo save.
+            use dagmap::matching::{MatchScratch, MatchStats, MatchStore, Matcher};
+            let matcher = Matcher::new(&library);
+            let mut store = MatchStore::for_library(&library);
+            let mut scratch = MatchScratch::new();
+            let mut stats = MatchStats::default();
+            for id in subject.network().node_ids() {
+                stats.absorb(matcher.for_each_match_via(
+                    &subject,
+                    id,
+                    MatchMode::Standard,
+                    &mut scratch,
+                    &mut store,
+                    &mut |_| {},
+                ));
             }
-        );
-    }
-    Ok(())
+            println!(
+                "matching vs `{}` (standard): {} matches, {} candidates pruned",
+                library.name(),
+                stats.enumerated,
+                stats.pruned
+            );
+            println!(
+                "match memo: {} cone classes over {} lookups ({:.1}% hit rate)",
+                store.num_classes(),
+                store.lookups(),
+                if store.lookups() > 0 {
+                    100.0 * store.hits() as f64 / store.lookups() as f64
+                } else {
+                    0.0
+                }
+            );
+            // One reference mapping run so the per-phase durations the
+            // MapReport carries are part of the statistics readout.
+            let mut opts = MapOptions::dag();
+            if let Some(n) = common.threads {
+                opts = opts.with_num_threads(n);
+            }
+            let (_, mut report) = Mapper::new(&library).map_with_report(&subject, opts)?;
+            report.decompose_seconds = decompose_seconds;
+            print_phases(&report);
+        }
+        Ok(())
+    })();
+    common.end(session)?;
+    result
 }
 
 fn cmd_lib(args: &[String]) -> CmdResult {
@@ -484,10 +627,11 @@ fn cmd_lib(args: &[String]) -> CmdResult {
     let library = if args.iter().any(|a| a == "--builtin") {
         load_library(&mut args)?
     } else {
-        let path = positional(&args, "genlib file")?;
+        let path = take_positional(&mut args, "genlib file")?;
         let text = fs::read_to_string(&path)?;
         Library::from_genlib_named(&path, &text)?
     };
+    reject_leftovers(&args)?;
     println!(
         "library `{}`: {} gates, {} expanded patterns, p = {} pattern nodes, max {} inputs, delay-mappable: {}",
         library.name(),
@@ -512,7 +656,12 @@ fn cmd_lib(args: &[String]) -> CmdResult {
     println!("input-count histogram: {}", histogram.join(", "));
     println!(
         "max pattern depth: {} NAND/INV levels",
-        library.patterns().iter().map(|p| p.depth).max().unwrap_or(0)
+        library
+            .patterns()
+            .iter()
+            .map(|p| p.depth)
+            .max()
+            .unwrap_or(0)
     );
     if per_gate {
         println!(
@@ -541,6 +690,7 @@ fn cmd_lib(args: &[String]) -> CmdResult {
 
 fn cmd_supergen(args: &[String]) -> CmdResult {
     let mut args = args.to_vec();
+    let common = CliCommon::parse(&mut args)?;
     let library = load_library(&mut args)?;
     let mut opts = SupergateOptions::default();
     if let Some(d) = take_value(&mut args, "--depth")? {
@@ -555,43 +705,50 @@ fn cmd_supergen(args: &[String]) -> CmdResult {
     if let Some(p) = take_value(&mut args, "--max-pool")? {
         opts.max_pool = p.parse().map_err(|_| "--max-pool needs an integer")?;
     }
-    opts.num_threads = take_threads(&mut args)?;
+    opts.num_threads = common.threads;
     let out = take_value(&mut args, "--out")?;
+    reject_leftovers(&args)?;
 
-    let ext = extend_library(&library, &opts)?;
-    let r = &ext.report;
-    println!(
-        "supergen `{}` -> `{}`: {} base gates + {} supergates ({} candidates over {} rounds, pool {}, {} threads)",
-        library.name(),
-        ext.library.name(),
-        r.base_gates,
-        r.supergates,
-        r.candidates,
-        r.rounds,
-        r.pool_size,
-        r.threads,
-    );
-    println!(
-        "extended: {} patterns, p = {} pattern nodes, max {} inputs",
-        ext.library.patterns().len(),
-        ext.library.total_pattern_nodes(),
-        ext.library.max_gate_inputs(),
-    );
-    for sg in &r.gates {
+    let session = common.begin();
+    let result = (|| -> CmdResult {
+        let ext = extend_library(&library, &opts)?;
+        let r = &ext.report;
         println!(
-            "  {:<6} {} inputs, depth {}, area {:.0}, delay {:.2}: {}",
-            sg.name, sg.inputs, sg.depth, sg.area, sg.max_delay, sg.expr
+            "supergen `{}` -> `{}`: {} base gates + {} supergates ({} candidates over {} rounds, pool {}, {} threads)",
+            library.name(),
+            ext.library.name(),
+            r.base_gates,
+            r.supergates,
+            r.candidates,
+            r.rounds,
+            r.pool_size,
+            r.threads,
         );
-    }
-    if let Some(path) = out {
-        fs::write(&path, ext.library.to_genlib_string())?;
-        println!("wrote {path}");
-    }
-    Ok(())
+        println!(
+            "extended: {} patterns, p = {} pattern nodes, max {} inputs",
+            ext.library.patterns().len(),
+            ext.library.total_pattern_nodes(),
+            ext.library.max_gate_inputs(),
+        );
+        for sg in &r.gates {
+            println!(
+                "  {:<6} {} inputs, depth {}, area {:.0}, delay {:.2}: {}",
+                sg.name, sg.inputs, sg.depth, sg.area, sg.max_delay, sg.expr
+            );
+        }
+        if let Some(path) = &out {
+            fs::write(path, ext.library.to_genlib_string())?;
+            println!("wrote {path}");
+        }
+        Ok(())
+    })();
+    common.end(session)?;
+    result
 }
 
 fn cmd_fuzz(args: &[String]) -> CmdResult {
     let mut args = args.to_vec();
+    let common = CliCommon::parse(&mut args)?;
     let mut opts = dagmap::fuzz::FuzzOptions::default();
     if let Some(s) = take_value(&mut args, "--seed")? {
         opts.seed = s.parse().map_err(|_| "--seed needs an integer")?;
@@ -602,9 +759,11 @@ fn cmd_fuzz(args: &[String]) -> CmdResult {
     if let Some(g) = take_value(&mut args, "--max-gates")? {
         opts.max_gates = g.parse().map_err(|_| "--max-gates needs an integer")?;
     }
-    if let Some(t) = take_threads(&mut args)? {
+    if let Some(t) = common.threads {
         if t < 2 {
-            return Err("--threads needs an alternate count >= 2 to difference against serial".into());
+            return Err(
+                "--threads needs an alternate count >= 2 to difference against serial".into(),
+            );
         }
         opts.thread_counts = vec![1, t];
     }
@@ -613,55 +772,122 @@ fn cmd_fuzz(args: &[String]) -> CmdResult {
     opts.shrink = !take_flag(&mut args, "--no-shrink");
     let corpus = take_value(&mut args, "--corpus")?.unwrap_or_else(|| "tests/corpus".into());
     opts.corpus_dir = Some(corpus.into());
-    if let Some(stray) = args.first() {
-        return Err(format!("unexpected argument `{stray}`").into());
-    }
+    reject_leftovers(&args)?;
 
-    let report = dagmap::fuzz::run(&opts).map_err(|e| e as Box<dyn Error>)?;
-    let libs =
-        dagmap::fuzz::libraries_under_test(opts.supergates).map_err(|e| e as Box<dyn Error>)?;
+    let session = common.begin();
+    let result = (|| -> CmdResult {
+        let report = dagmap::fuzz::run(&opts).map_err(|e| e as Box<dyn Error>)?;
+        let libs =
+            dagmap::fuzz::libraries_under_test(opts.supergates).map_err(|e| e as Box<dyn Error>)?;
+        println!(
+            "fuzz: seed {}, {} cases x {} libraries, {} mapper runs, {} failure(s)",
+            opts.seed,
+            report.cases,
+            report.libraries,
+            report.maps,
+            report.failures.len(),
+        );
+        for f in &report.failures {
+            let lib_name = libs
+                .get(f.violation.library)
+                .map_or("?", |l| l.name.as_str());
+            println!(
+                "  case {} (seed {:#x}, {}): {:?} violated on `{}` under {}",
+                f.case, f.case_seed, f.generator, f.violation.kind, lib_name, f.violation.config,
+            );
+            println!("    {}", f.violation.detail);
+            println!(
+                "    shrunk {} -> {} nodes{}",
+                f.original_nodes,
+                f.minimized_nodes,
+                f.repro_path
+                    .as_deref()
+                    .map(|p| format!(", repro at {}", p.display()))
+                    .unwrap_or_default(),
+            );
+        }
+        if report.failures.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} invariant violation(s); minimized repros in the corpus",
+                report.failures.len()
+            )
+            .into())
+        }
+    })();
+    common.end(session)?;
+    result
+}
+
+fn cmd_profile(args: &[String]) -> CmdResult {
+    let mut args = args.to_vec();
+    let common = CliCommon::parse(&mut args)?;
+    let library = load_library(&mut args)?;
+    let runs: usize = take_value(&mut args, "--runs")?
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--runs needs an integer")?
+        .unwrap_or(5)
+        .max(1);
+    let input = take_positional(&mut args, "input BLIF file")?;
+    reject_leftovers(&args)?;
+
+    // Each repetition runs under its own obs session (including BLIF parse
+    // and decomposition), and the traces are folded into one aggregate.
+    let mut accum = dagmap::obs::report::ProfileAccum::new();
+    let mut last_trace = None;
+    let text = fs::read_to_string(&input)?;
+    for _ in 0..runs {
+        let session = dagmap::obs::start();
+        let run = (|| -> CmdResult {
+            let net = if input.ends_with(".aag") {
+                dagmap::netlist::aiger::parse_ascii(&text)?
+            } else {
+                blif::parse(&text)?
+            };
+            let subject = SubjectGraph::from_network(&net)?;
+            let mut opts = MapOptions::dag();
+            if let Some(n) = common.threads {
+                opts = opts.with_num_threads(n);
+            }
+            let _ = Mapper::new(&library).map_with_report(&subject, opts)?;
+            Ok(())
+        })();
+        let trace = session.finish();
+        run?;
+        accum.add(&trace);
+        last_trace = Some(trace);
+    }
+    print!("{}", accum.render());
+    if let Some(path) = &common.trace {
+        if let Some(trace) = &last_trace {
+            fs::write(path, trace.to_chrome_json())?;
+            eprintln!("trace: wrote {path} (last run)");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_trace_check(args: &[String]) -> CmdResult {
+    let mut args = args.to_vec();
+    let input = take_positional(&mut args, "trace JSON file")?;
+    reject_leftovers(&args)?;
+    let text = fs::read_to_string(&input)?;
+    let summary = dagmap::obs::trace::validate_chrome(&text)
+        .map_err(|e| format!("{input}: invalid trace: {e}"))?;
     println!(
-        "fuzz: seed {}, {} cases x {} libraries, {} mapper runs, {} failure(s)",
-        opts.seed,
-        report.cases,
-        report.libraries,
-        report.maps,
-        report.failures.len(),
+        "{input}: valid Chrome trace ({} events: {} spans across {} tracks and {} names, {} counters)",
+        summary.events, summary.spans, summary.tracks, summary.names, summary.counters
     );
-    for f in &report.failures {
-        let lib_name = libs
-            .get(f.violation.library)
-            .map_or("?", |l| l.name.as_str());
-        println!(
-            "  case {} (seed {:#x}, {}): {:?} violated on `{}` under {}",
-            f.case, f.case_seed, f.generator, f.violation.kind, lib_name, f.violation.config,
-        );
-        println!("    {}", f.violation.detail);
-        println!(
-            "    shrunk {} -> {} nodes{}",
-            f.original_nodes,
-            f.minimized_nodes,
-            f.repro_path
-                .as_deref()
-                .map(|p| format!(", repro at {}", p.display()))
-                .unwrap_or_default(),
-        );
-    }
-    if report.failures.is_empty() {
-        Ok(())
-    } else {
-        Err(format!(
-            "{} invariant violation(s); minimized repros in the corpus",
-            report.failures.len()
-        )
-        .into())
-    }
+    Ok(())
 }
 
 fn cmd_gen(args: &[String]) -> CmdResult {
     let mut args = args.to_vec();
     let out = take_value(&mut args, "--out")?;
-    let name = positional(&args, "benchmark name")?;
+    let name = take_positional(&mut args, "benchmark name")?;
+    reject_leftovers(&args)?;
     let net = generate(&name)?;
     match out {
         Some(path) => {

@@ -103,6 +103,151 @@ fn help_prints_usage() {
     assert!(err.contains("usage:"), "{err}");
 }
 
+/// Every subcommand the binary dispatches must appear in `--help`, and the
+/// shared observability flags must be documented exactly once each.
+#[test]
+fn help_documents_every_subcommand() {
+    let (ok, _, err) = dagmap(&["--help"]);
+    assert!(ok);
+    for cmd in [
+        "map",
+        "luts",
+        "retime",
+        "stats",
+        "lib",
+        "supergen",
+        "fuzz",
+        "profile",
+        "trace-check",
+        "gen",
+    ] {
+        assert!(
+            err.contains(&format!("dagmap {cmd}")),
+            "--help does not document `{cmd}`:\n{err}"
+        );
+    }
+    assert_eq!(err.matches("--trace <out.json>").count(), 2, "{err}");
+    assert_eq!(err.matches("--profile").count(), 1, "{err}");
+}
+
+/// Every subcommand rejects flags it does not know, with a non-zero exit —
+/// nothing silently swallows a typo.
+#[test]
+fn every_subcommand_rejects_unknown_flags() {
+    let blif = temp_path("rej_add4.blif");
+    let (ok, _, err) = dagmap(&["gen", "add4", "--out", &blif]);
+    assert!(ok, "{err}");
+    let cases: &[&[&str]] = &[
+        &["map", &blif, "--bogus"],
+        &["luts", &blif, "--bogus"],
+        &["retime", &blif, "--bogus"],
+        &["stats", &blif, "--bogus"],
+        &["lib", "--builtin", "lib2", "--bogus"],
+        &["supergen", "--bogus"],
+        &["fuzz", "--bogus"],
+        &["profile", &blif, "--bogus"],
+        &["trace-check", "--bogus"],
+        &["gen", "add4", "--bogus"],
+    ];
+    for case in cases {
+        let (ok, _, err) = dagmap(case);
+        assert!(!ok, "`{}` accepted --bogus", case.join(" "));
+        assert!(
+            err.contains("unknown flag") || err.contains("missing"),
+            "`{}` gave an unhelpful error: {err}",
+            case.join(" ")
+        );
+    }
+    // Stray positionals are rejected too, not silently ignored.
+    let (ok, _, err) = dagmap(&["stats", &blif, "stray"]);
+    assert!(!ok);
+    assert!(err.contains("unexpected argument"), "{err}");
+}
+
+/// `--trace` writes a file `trace-check` accepts, `--profile` prints the
+/// phase report to stderr, and neither changes the mapped output by a byte.
+#[test]
+fn tracing_is_validated_and_inert() {
+    let blif = temp_path("tr_add8.blif");
+    let (ok, _, err) = dagmap(&["gen", "add8", "--out", &blif]);
+    assert!(ok, "{err}");
+
+    let plain = temp_path("tr_plain.blif");
+    let (ok, plain_out, err) = dagmap(&["map", &blif, "--out", &plain]);
+    assert!(ok, "{err}");
+
+    let traced = temp_path("tr_traced.blif");
+    let trace = temp_path("tr_add8.json");
+    let (ok, traced_out, err) = dagmap(&[
+        "map",
+        &blif,
+        "--out",
+        &traced,
+        "--trace",
+        &trace,
+        "--profile",
+    ]);
+    assert!(ok, "{err}");
+    assert!(err.contains("phase report"), "{err}");
+    assert!(err.contains("wavefront occupancy"), "{err}");
+
+    // Inert: stdout and the mapped BLIF are byte-identical with and
+    // without observability (the report goes to stderr only). The `phases:`
+    // line carries wall-clock timings and the `wrote` lines name the two
+    // different output paths; everything else must match byte for byte.
+    let stable = |s: &str| -> String {
+        s.lines()
+            .filter(|l| !l.starts_with("phases:") && !l.starts_with("wrote "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(stable(&plain_out), stable(&traced_out));
+    assert_eq!(
+        std::fs::read(&plain).expect("plain written"),
+        std::fs::read(&traced).expect("traced written"),
+        "tracing changed the mapped netlist"
+    );
+
+    let (ok, out, err) = dagmap(&["trace-check", &trace]);
+    assert!(ok, "{err}");
+    assert!(out.contains("valid Chrome trace"), "{out}");
+
+    // A corrupted trace is rejected.
+    let bad = temp_path("tr_bad.json");
+    std::fs::write(&bad, "{\"traceEvents\": [{\"ph\": \"Z\"}]}").expect("write");
+    let (ok, _, err) = dagmap(&["trace-check", &bad]);
+    assert!(!ok);
+    assert!(err.contains("invalid trace"), "{err}");
+}
+
+/// `dagmap profile` aggregates per-phase statistics over repeated runs.
+#[test]
+fn profile_command_aggregates_runs() {
+    let blif = temp_path("prof_add6.blif");
+    let (ok, _, err) = dagmap(&["gen", "add6", "--out", &blif]);
+    assert!(ok, "{err}");
+    let (ok, out, err) = dagmap(&["profile", &blif, "--runs", "2"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("2 runs"), "{out}");
+    assert!(out.contains("map/label"), "{out}");
+    assert!(out.contains("match.enumerated"), "{out}");
+}
+
+/// `map` and `stats` print the per-phase duration line from the MapReport.
+#[test]
+fn phase_durations_are_printed() {
+    let blif = temp_path("ph_add6.blif");
+    let (ok, _, err) = dagmap(&["gen", "add6", "--out", &blif]);
+    assert!(ok, "{err}");
+    let (ok, out, err) = dagmap(&["map", &blif, "--recover"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("phases: decompose"), "{out}");
+    assert!(out.contains("area recovery"), "{out}");
+    let (ok, out, err) = dagmap(&["stats", &blif, "--builtin", "lib2"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("phases: decompose"), "{out}");
+}
+
 #[test]
 fn boolean_and_hybrid_algorithms_map() {
     let blif = temp_path("ks8.blif");
@@ -166,7 +311,10 @@ fn map_with_supergates_never_regresses_delay() {
         out.lines()
             .find_map(|l| {
                 let rest = l.split("delay").nth(1)?;
-                let token = rest.trim_start_matches([' ', ':', '=']).split_whitespace().next()?;
+                let token = rest
+                    .trim_start_matches([' ', ':', '='])
+                    .split_whitespace()
+                    .next()?;
                 token.trim_end_matches(',').parse().ok()
             })
             .unwrap_or_else(|| panic!("no delay in output: {out}"))
@@ -175,7 +323,14 @@ fn map_with_supergates_never_regresses_delay() {
     let (ok, base_out, err) = dagmap(&["map", &blif, "--builtin", "44-1"]);
     assert!(ok, "{err}");
     let (ok, ext_out, err) = dagmap(&[
-        "map", &blif, "--builtin", "44-1", "--supergates", "2", "--threads", "2",
+        "map",
+        &blif,
+        "--builtin",
+        "44-1",
+        "--supergates",
+        "2",
+        "--threads",
+        "2",
     ]);
     assert!(ok, "{err}");
     assert!(ext_out.contains("supergates:"), "{ext_out}");

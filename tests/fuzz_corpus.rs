@@ -87,7 +87,10 @@ fn shrinker_preserves_planted_inequivalence() {
     assert!(inequivalent(&net), "the planted flip changes the function");
 
     let min = shrink::minimize(&net, &mut |n| inequivalent(n));
-    assert!(inequivalent(&min), "the violated invariant survives shrinking");
+    assert!(
+        inequivalent(&min),
+        "the violated invariant survives shrinking"
+    );
     assert!(
         min.num_nodes() <= 25,
         "a planted single-gate bug shrinks to a tiny repro, got {} nodes",

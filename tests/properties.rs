@@ -63,7 +63,9 @@ fn extended_no_worse_than_standard() {
     for (seed, net) in sweep(3) {
         let subject = SubjectGraph::from_network(&net).expect("decomposes");
         let std = mapper.map(&subject, MapOptions::dag()).expect("maps");
-        let ext = mapper.map(&subject, MapOptions::dag_extended()).expect("maps");
+        let ext = mapper
+            .map(&subject, MapOptions::dag_extended())
+            .expect("maps");
         assert!(ext.delay() <= std.delay() + 1e-9, "seed={seed}");
     }
 }
