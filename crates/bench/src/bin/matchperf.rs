@@ -18,21 +18,29 @@ use std::time::Instant;
 
 use dagmap_core::{label_with_config, MapOptions, Mapper, MatchMode, Objective};
 use dagmap_genlib::Library;
-use dagmap_match::MatchConfig;
+use dagmap_match::{MatchConfig, MemoPolicy};
 use dagmap_netlist::SubjectGraph;
 use dagmap_supergate::{extend_library, SupergateOptions};
 
 const BASELINE: MatchConfig = MatchConfig {
     index: false,
-    memo: false,
+    memo: MemoPolicy::Off,
 };
 const INDEXED: MatchConfig = MatchConfig {
     index: true,
-    memo: false,
+    memo: MemoPolicy::Off,
 };
+// Forced On (not Auto): the point of the memoized column is to measure the
+// memo itself, even on libraries where the auto policy would decline it.
 const MEMOIZED: MatchConfig = MatchConfig {
     index: true,
-    memo: true,
+    memo: MemoPolicy::On,
+};
+// The shipping default: the memo is cost-gated per library, so cheap
+// pattern sets run index-only and big ones memoize.
+const AUTO: MatchConfig = MatchConfig {
+    index: true,
+    memo: MemoPolicy::Auto,
 };
 
 struct Row {
@@ -46,6 +54,7 @@ struct Row {
     baseline_s: f64,
     indexed_s: f64,
     memoized_s: f64,
+    auto_s: f64,
     identical: bool,
 }
 
@@ -145,12 +154,16 @@ fn main() {
             let base = run(BASELINE);
             let idx = run(INDEXED);
             let memo = run(MEMOIZED);
+            let auto = run(AUTO);
             let identical = base.arrival == idx.arrival
                 && base.arrival == memo.arrival
+                && base.arrival == auto.arrival
                 && base.best == idx.best
                 && base.best == memo.best
+                && base.best == auto.best
                 && base.matches_enumerated == idx.matches_enumerated
-                && base.matches_enumerated == memo.matches_enumerated;
+                && base.matches_enumerated == memo.matches_enumerated
+                && base.matches_enumerated == auto.matches_enumerated;
             assert!(
                 identical,
                 "{name}/{}: accelerated labels diverged",
@@ -159,6 +172,7 @@ fn main() {
             let baseline_s = time_config(&subject, lib, BASELINE, reps);
             let indexed_s = time_config(&subject, lib, INDEXED, reps);
             let memoized_s = time_config(&subject, lib, MEMOIZED, reps);
+            let auto_s = time_config(&subject, lib, AUTO, reps);
             let memo_hit_rate = if memo.memo_lookups > 0 {
                 memo.memo_hits as f64 / memo.memo_lookups as f64
             } else {
@@ -166,7 +180,7 @@ fn main() {
             };
             println!(
                 "  {name:12} {:12} {:>6} nodes: baseline {:>8.2} ms, indexed {:>8.2} ms ({:.2}x), \
-                 memoized {:>8.2} ms ({:.2}x, {:.0}% hits)",
+                 memoized {:>8.2} ms ({:.2}x, {:.0}% hits), auto {:>8.2} ms ({:.2}x, memo {})",
                 lib.name(),
                 subject.network().num_nodes(),
                 baseline_s * 1e3,
@@ -175,6 +189,9 @@ fn main() {
                 memoized_s * 1e3,
                 baseline_s / memoized_s,
                 100.0 * memo_hit_rate,
+                auto_s * 1e3,
+                baseline_s / auto_s,
+                if auto.memo_lookups > 0 { "on" } else { "off" },
             );
             rows.push(Row {
                 circuit: name.clone(),
@@ -187,6 +204,7 @@ fn main() {
                 baseline_s,
                 indexed_s,
                 memoized_s,
+                auto_s,
                 identical,
             });
         }
@@ -227,14 +245,21 @@ fn main() {
             .map(|r| r.baseline_s / r.memoized_s)
             .collect::<Vec<_>>(),
     );
+    let geo_auto = geomean(
+        &rows
+            .iter()
+            .map(|r| r.baseline_s / r.auto_s)
+            .collect::<Vec<_>>(),
+    );
     println!(
-        "geo-mean speedup (baseline -> indexed+memoized): {:.2}x overall{}",
+        "geo-mean speedup (baseline -> indexed+memoized): {:.2}x overall{}; auto policy {:.2}x",
         geo_all,
         if speedups_443.is_empty() {
             String::new()
         } else {
             format!(", {geo_443:.2}x on 44_3_like")
-        }
+        },
+        geo_auto,
     );
 
     let mut json = String::new();
@@ -244,6 +269,7 @@ fn main() {
     let _ = writeln!(json, "  \"all_identical\": true,");
     let _ = writeln!(json, "  \"geomean_speedup_all\": {geo_all:.3},");
     let _ = writeln!(json, "  \"geomean_speedup_44_3_like\": {geo_443:.3},");
+    let _ = writeln!(json, "  \"geomean_speedup_auto\": {geo_auto:.3},");
     json.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let sep = if i + 1 == rows.len() { "" } else { "," };
@@ -252,7 +278,8 @@ fn main() {
             "    {{\"circuit\": \"{}\", \"library\": \"{}\", \"subject_nodes\": {}, \
              \"matches_enumerated\": {}, \"pruned_baseline\": {}, \"pruned_indexed\": {}, \
              \"memo_hit_rate\": {:.4}, \"baseline_s\": {:.6}, \"indexed_s\": {:.6}, \
-             \"memoized_s\": {:.6}, \"speedup_indexed\": {:.3}, \"speedup_memoized\": {:.3}, \
+             \"memoized_s\": {:.6}, \"auto_s\": {:.6}, \"speedup_indexed\": {:.3}, \
+             \"speedup_memoized\": {:.3}, \"speedup_auto\": {:.3}, \
              \"identical\": {}}}{sep}",
             r.circuit,
             r.library,
@@ -264,8 +291,10 @@ fn main() {
             r.baseline_s,
             r.indexed_s,
             r.memoized_s,
+            r.auto_s,
             r.baseline_s / r.indexed_s,
             r.baseline_s / r.memoized_s,
+            r.baseline_s / r.auto_s,
             r.identical,
         );
     }

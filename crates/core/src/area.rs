@@ -43,13 +43,14 @@ pub(crate) fn recover(
     store: &mut MatchStore,
 ) -> Result<Vec<Option<Match>>, MapError> {
     let net = subject.network();
-    let order = net.topo_order()?;
+    let flat = subject.flat();
+    let order = flat.topo_order();
     let library = matcher.library();
 
     // Area flow: estimated area cost of producing each signal, discounted by
     // fanout sharing (a standard mapper heuristic).
     let mut af = vec![0.0f64; net.num_nodes()];
-    for &id in &order {
+    for &id in order {
         let Some(best) = labels.best[id.index()].as_ref() else {
             continue;
         };
@@ -57,7 +58,7 @@ pub(crate) fn recover(
         for leaf in &best.leaves {
             a += af[leaf.index()];
         }
-        af[id.index()] = a / net.node(id).fanouts().len().max(1) as f64;
+        af[id.index()] = a / flat.fanout_count(id).max(1) as f64;
     }
 
     let target = target.max(labels.critical_delay(subject));
@@ -77,7 +78,7 @@ pub(crate) fn recover(
 
     let mut selected: Vec<Option<Match>> = vec![None; net.num_nodes()];
     for &id in order.iter().rev() {
-        if !needed[id.index()] || !matches!(net.node(id).func(), NodeFn::Nand | NodeFn::Not) {
+        if !needed[id.index()] || !flat.is_gate(id) {
             continue;
         }
         let budget = req[id.index()];

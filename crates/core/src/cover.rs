@@ -1,5 +1,3 @@
-use std::collections::{HashMap, HashSet};
-
 use dagmap_genlib::Library;
 use dagmap_match::Match;
 use dagmap_netlist::{NodeFn, NodeId, SubjectGraph};
@@ -22,13 +20,15 @@ pub(crate) fn construct(
     selected: &[Option<Match>],
 ) -> Result<MappedNetlist, MapError> {
     let net = subject.network();
-    let mut memo: HashMap<NodeId, Signal> = HashMap::new();
+    // Dense per-node tables (the subject's node ids are contiguous): the
+    // resolved signal of every node reachable so far, and the DFS pending
+    // marker. These replace hash containers on the hot construction path.
+    let mut memo: Vec<Option<Signal>> = vec![None; net.num_nodes()];
     let mut inputs = Vec::new();
     for (i, &pi) in net.inputs().iter().enumerate() {
-        memo.insert(
-            pi,
-            Signal::Input(u32::try_from(i).expect("input count fits u32")),
-        );
+        memo[pi.index()] = Some(Signal::Input(
+            u32::try_from(i).expect("input count fits u32"),
+        ));
         inputs.push(
             net.node(pi)
                 .name()
@@ -42,11 +42,11 @@ pub(crate) fn construct(
         match net.node(id).func() {
             NodeFn::Latch => {
                 let idx = u32::try_from(latch_nodes.len()).expect("latch count fits u32");
-                memo.insert(id, Signal::Latch(idx));
+                memo[id.index()] = Some(Signal::Latch(idx));
                 latch_nodes.push(id);
             }
             NodeFn::Const(v) => {
-                memo.insert(id, Signal::Const(*v));
+                memo[id.index()] = Some(Signal::Const(*v));
             }
             _ => {}
         }
@@ -58,7 +58,7 @@ pub(crate) fn construct(
     }
     let mut cells: Vec<Cell> = Vec::new();
     let mut kinds = KindTable::new(library);
-    let mut pending: HashSet<NodeId> = HashSet::new();
+    let mut pending: Vec<bool> = vec![false; net.num_nodes()];
     let mut stack: Vec<Task> = Vec::new();
 
     let mut roots: Vec<NodeId> = net.outputs().iter().map(|o| o.driver).collect();
@@ -69,7 +69,7 @@ pub(crate) fn construct(
     while let Some(task) = stack.pop() {
         match task {
             Task::Visit(n) => {
-                if memo.contains_key(&n) || !pending.insert(n) {
+                if memo[n.index()].is_some() || std::mem::replace(&mut pending[n.index()], true) {
                     continue;
                 }
                 let m = selected[n.index()]
@@ -88,9 +88,7 @@ pub(crate) fn construct(
                     .leaves
                     .iter()
                     .map(|l| {
-                        *memo
-                            .get(l)
-                            .expect("leaves resolve before their consumer emits")
+                        memo[l.index()].expect("leaves resolve before their consumer emits")
                     })
                     .collect();
                 let idx = u32::try_from(cells.len()).expect("cell count fits u32");
@@ -100,7 +98,7 @@ pub(crate) fn construct(
                     subject_root: n,
                     covered: m.covered.clone(),
                 });
-                memo.insert(n, Signal::Cell(idx));
+                memo[n.index()] = Some(Signal::Cell(idx));
             }
         }
     }
@@ -128,7 +126,7 @@ pub(crate) fn construct(
         .map(|o| {
             (
                 o.name.clone(),
-                *memo.get(&o.driver).expect("output drivers were roots"),
+                memo[o.driver.index()].expect("output drivers were roots"),
             )
         })
         .collect();
@@ -144,7 +142,7 @@ pub(crate) fn construct(
             let data = net.node(l).fanins()[0];
             (
                 name,
-                *memo.get(&data).expect("latch data inputs were roots"),
+                memo[data.index()].expect("latch data inputs were roots"),
             )
         })
         .collect();

@@ -1,11 +1,13 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Barrier, Mutex, RwLock};
 
-use dagmap_genlib::{GateId, Library};
-use dagmap_match::{Match, MatchConfig, MatchMode, MatchScratch, MatchStats, MatchStore, Matcher};
-use dagmap_netlist::{Levels, NodeFn, NodeId, SubjectGraph};
+use dagmap_genlib::{GateId, Library, PatternId};
+use dagmap_match::{
+    Match, MatchConfig, MatchMode, MatchScratch, MatchStats, MatchStore, MatchView, Matcher,
+};
+use dagmap_netlist::{FlatNet, NodeFn, NodeId, SubjectGraph, KIND_SOURCE};
 
-use crate::{MapError, Objective};
+use crate::{allocmeter, MapError, Objective};
 
 /// Tie-breaking tolerance of the label comparisons.
 const EPS: f64 = 1e-9;
@@ -14,6 +16,18 @@ const EPS: f64 = 1e-9;
 /// this many mappable nodes — thread startup and barrier traffic dominate on
 /// small circuits.
 const PARALLEL_THRESHOLD: usize = 256;
+
+/// Waves with fewer mappable nodes than this are labeled by the coordinator
+/// itself even when the parallel engine is running: handing a handful of
+/// nodes to workers costs more in barrier and lock traffic than the work is
+/// worth, and narrow waves dominate the tail of most level profiles.
+const NARROW_WAVE_WIDTH: usize = 32;
+
+/// Environment switch that makes explicit `--threads N` requests spin up
+/// the parallel engine even on single-CPU hosts (where they would otherwise
+/// fall back to serial). Used by the determinism test suite, which needs
+/// the worker path exercised regardless of the machine it runs on.
+const FORCE_PARALLEL_ENV: &str = "DAGMAP_LABEL_FORCE_PARALLEL";
 
 /// Result of the labeling pass: per subject node, the arrival time and
 /// estimated area of the selected match.
@@ -33,12 +47,12 @@ const PARALLEL_THRESHOLD: usize = 256;
 /// [`Objective::Area`] the same machinery minimizes an area estimate that
 /// is exact for tree covering and an area-flow heuristic for DAG covering.
 ///
-/// The pass runs level-synchronized: every fanin of a level-`l` node sits at
-/// a level strictly below `l`, so once levels `0..l` are labeled, all
-/// level-`l` nodes are independent subproblems. [`label_with`] exploits this
-/// as a parallel wavefront; the result is bit-identical to the serial pass
-/// because each node's candidate enumeration and tie-breaking never observe
-/// same-level work.
+/// The pass runs level-synchronized over the [`FlatNet`] CSR view: every
+/// fanin of a level-`l` node sits at a level strictly below `l`, so once
+/// levels `0..l` are labeled, all level-`l` nodes are independent
+/// subproblems. [`label_with`] exploits this as a parallel wavefront; the
+/// result is bit-identical to the serial pass because each node's candidate
+/// enumeration and tie-breaking never observe same-level work.
 #[derive(Debug, Clone)]
 pub struct Labels {
     /// Arrival of the selected match per subject node (sources are 0).
@@ -59,10 +73,21 @@ pub struct Labels {
     /// so this can be lower than the serial count; the labels themselves
     /// are bit-identical regardless.
     pub memo_hits: usize,
+    /// 64-wide candidate words the batched match kernel evaluated (memo
+    /// replays evaluate none, so this counts performed kernel work).
+    pub match_words: usize,
+    /// Set bits across the evaluated candidate words; together with
+    /// [`Labels::match_words`] this gives the kernel's batch occupancy.
+    pub match_candidate_bits: usize,
     /// Topological levels of the subject graph (wavefront count).
     pub levels: usize,
     /// Worker threads the pass actually used (1 = serial).
     pub threads_used: usize,
+    /// Heap allocations observed per wave, recorded only when a counting
+    /// allocator is registered through [`crate::allocmeter`] (empty
+    /// otherwise). The steady-state contract: with the memo off, every
+    /// entry is 0 — all per-wave scratch lives in arenas sized up front.
+    pub wave_allocs: Vec<usize>,
 }
 
 impl Labels {
@@ -110,7 +135,7 @@ pub(crate) fn arrival_of_leaves(
 /// standard/extended matches sharing is approximated by dividing each
 /// leaf's cost by its fanout count (area flow).
 fn area_of_leaves(
-    net: &dagmap_netlist::Network,
+    flat: &FlatNet,
     library: &Library,
     area_flow: &[f64],
     gate: GateId,
@@ -119,7 +144,7 @@ fn area_of_leaves(
 ) -> f64 {
     let mut a = library.gate(gate).area();
     for leaf in leaves {
-        let fanouts = net.node(*leaf).fanouts().len();
+        let fanouts = flat.fanout_count(*leaf);
         let contribution = match mode {
             MatchMode::Exact => {
                 if fanouts > 1 {
@@ -137,8 +162,132 @@ fn area_of_leaves(
     a
 }
 
+/// Largest internal-node count over the library's expanded patterns — the
+/// per-match bound on `covered.len()`.
+fn max_pattern_internal(library: &Library) -> usize {
+    library
+        .patterns()
+        .iter()
+        .map(|p| p.graph.num_internal())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Reusable incumbent of one node's match selection. The leaf/covered
+/// buffers are sized once from the library's pattern bounds, so keeping a
+/// better match is a couple of `memcpy`s — never an allocation. This
+/// replaces the former per-improvement [`MatchView::to_match`] call, which
+/// allocated two `Vec`s every time the incumbent changed.
+struct ChosenBuf {
+    t: f64,
+    af: f64,
+    pins: usize,
+    sel: Option<(GateId, PatternId)>,
+    leaves: Vec<NodeId>,
+    covered: Vec<NodeId>,
+}
+
+impl ChosenBuf {
+    fn new(library: &Library) -> ChosenBuf {
+        ChosenBuf {
+            t: 0.0,
+            af: 0.0,
+            pins: 0,
+            sel: None,
+            leaves: Vec::with_capacity(library.max_gate_inputs()),
+            covered: Vec::with_capacity(max_pattern_internal(library)),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.sel = None;
+    }
+
+    fn keep(&mut self, t: f64, af: f64, mv: &MatchView<'_>) {
+        self.t = t;
+        self.af = af;
+        self.pins = mv.leaves.len();
+        self.sel = Some((mv.gate, mv.pattern));
+        self.leaves.clear();
+        self.leaves.extend_from_slice(mv.leaves);
+        self.covered.clear();
+        self.covered.extend_from_slice(mv.covered);
+    }
+}
+
+/// Per-run selection storage: one `(gate, pattern)` plus leaf/covered
+/// ranges per node, backed by two pools with exact upfront capacity (every
+/// gate commits at most once, bounded by the library's pattern sizes).
+/// Committing a selection is therefore allocation-free; the public
+/// `Vec<Option<Match>>` shape of [`Labels::best`] is materialized once at
+/// the end of the pass.
+struct SelectionArena {
+    sel: Vec<Option<(GateId, PatternId)>>,
+    leaf_range: Vec<(u32, u32)>,
+    cov_range: Vec<(u32, u32)>,
+    leaves: Vec<NodeId>,
+    covered: Vec<NodeId>,
+}
+
+impl SelectionArena {
+    fn new(library: &Library, flat: &FlatNet) -> SelectionArena {
+        let n = flat.num_nodes();
+        let gates = flat.kinds().iter().filter(|&&k| k != KIND_SOURCE).count();
+        SelectionArena {
+            sel: vec![None; n],
+            leaf_range: vec![(0, 0); n],
+            cov_range: vec![(0, 0); n],
+            leaves: Vec::with_capacity(gates * library.max_gate_inputs()),
+            covered: Vec::with_capacity(gates * max_pattern_internal(library)),
+        }
+    }
+
+    fn commit(
+        &mut self,
+        id: NodeId,
+        sel: (GateId, PatternId),
+        leaves: &[NodeId],
+        covered: &[NodeId],
+    ) {
+        let i = id.index();
+        self.sel[i] = Some(sel);
+        let ls = self.leaves.len() as u32;
+        self.leaves.extend_from_slice(leaves);
+        self.leaf_range[i] = (ls, self.leaves.len() as u32);
+        let cs = self.covered.len() as u32;
+        self.covered.extend_from_slice(covered);
+        self.cov_range[i] = (cs, self.covered.len() as u32);
+    }
+
+    fn into_best(self) -> Vec<Option<Match>> {
+        let SelectionArena {
+            sel,
+            leaf_range,
+            cov_range,
+            leaves,
+            covered,
+        } = self;
+        sel.into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                s.map(|(gate, pattern)| {
+                    let (ls, le) = leaf_range[i];
+                    let (cs, ce) = cov_range[i];
+                    Match {
+                        gate,
+                        pattern: Some(pattern),
+                        leaves: leaves[ls as usize..le as usize].to_vec(),
+                        covered: covered[cs as usize..ce as usize].to_vec(),
+                    }
+                })
+            })
+            .collect()
+    }
+}
+
 /// The per-node step of the dynamic program: enumerate matches rooted at
-/// `id` through `scratch` and keep the winner under `objective`.
+/// `id` through `scratch` and keep the winner in `chosen` (left unset when
+/// no pattern matches).
 ///
 /// Reads only `arrival`/`area_flow` of strict fanins (all at lower levels),
 /// which is what makes whole levels independently computable.
@@ -153,47 +302,42 @@ fn evaluate_node(
     id: NodeId,
     scratch: &mut MatchScratch,
     store: &mut MatchStore,
-) -> (Option<(f64, f64, Match)>, MatchStats) {
-    let net = subject.network();
+    chosen: &mut ChosenBuf,
+) -> MatchStats {
+    let flat = subject.flat();
     let library = matcher.library();
-    // (arrival, area estimate, pins) of the incumbent.
-    let mut chosen: Option<(f64, f64, usize, Match)> = None;
+    chosen.clear();
     // `for_each_match_via` replays memoized cone classes when the matcher's
-    // config enables the memo and falls back to direct (possibly indexed)
-    // enumeration otherwise; the callback sequence is identical either way,
-    // so the incumbent-keeping tie-breaks below select the same match.
-    let stats = matcher.for_each_match_via(subject, id, mode, scratch, store, &mut |mv| {
+    // resolved memo policy enables the store and falls back to direct
+    // (possibly indexed) enumeration otherwise; the callback sequence is
+    // identical either way, so the incumbent-keeping tie-breaks below
+    // select the same match.
+    matcher.for_each_match_via(subject, id, mode, scratch, store, &mut |mv| {
         let t = arrival_of_leaves(library, arrival, mv.gate, mv.leaves);
-        let af = area_of_leaves(net, library, area_flow, mv.gate, mv.leaves, mode);
+        let af = area_of_leaves(flat, library, area_flow, mv.gate, mv.leaves, mode);
         let pins = mv.leaves.len();
-        let better = match &chosen {
+        let better = match chosen.sel {
             None => true,
-            Some((bt, ba, bp, _)) => match objective {
-                Objective::Delay => {
-                    t < *bt - EPS
-                        || (t < *bt + EPS && af < *ba - EPS)
-                        || (t < *bt + EPS && (af - *ba).abs() <= EPS && pins < *bp)
+            Some(_) => {
+                let (bt, ba, bp) = (chosen.t, chosen.af, chosen.pins);
+                match objective {
+                    Objective::Delay => {
+                        t < bt - EPS
+                            || (t < bt + EPS && af < ba - EPS)
+                            || (t < bt + EPS && (af - ba).abs() <= EPS && pins < bp)
+                    }
+                    Objective::Area => {
+                        af < ba - EPS
+                            || (af < ba + EPS && t < bt - EPS)
+                            || (af < ba + EPS && (t - bt).abs() <= EPS && pins < bp)
+                    }
                 }
-                Objective::Area => {
-                    af < *ba - EPS
-                        || (af < *ba + EPS && t < *bt - EPS)
-                        || (af < *ba + EPS && (t - *bt).abs() <= EPS && pins < *bp)
-                }
-            },
+            }
         };
         if better {
-            chosen = Some((t, af, pins, mv.to_match()));
+            chosen.keep(t, af, &mv);
         }
-    });
-    (chosen.map(|(t, af, _, m)| (t, af, m)), stats)
-}
-
-fn is_mappable(func: &NodeFn) -> bool {
-    match func {
-        NodeFn::Nand | NodeFn::Not => true,
-        NodeFn::Input | NodeFn::Const(_) | NodeFn::Latch => false,
-        other => unreachable!("subject graphs never hold {}", other.name()),
-    }
+    })
 }
 
 /// Runs the labeling pass serially (one thread, no wavefront machinery).
@@ -216,15 +360,18 @@ pub fn label(
 ///
 /// `num_threads = None` picks [`std::thread::available_parallelism`] (falling
 /// back to serial on small circuits); `Some(1)` forces the serial pass;
-/// `Some(n)` forces `n` workers. Every choice produces bit-identical
-/// [`Labels`] — see the module docs of `dagmap_netlist::Levels` and
-/// DESIGN.md for the determinism argument.
+/// `Some(n)` asks for `n` workers — granted only when the host actually has
+/// more than one CPU (spawning barrier-synchronized workers on a single-CPU
+/// machine only adds overhead; set `DAGMAP_LABEL_FORCE_PARALLEL=1` to
+/// override, as the determinism tests do). Every choice produces
+/// bit-identical [`Labels`] — see the module docs of
+/// `dagmap_netlist::Levels` and DESIGN.md for the determinism argument.
 ///
 /// # Errors
 ///
 /// Returns [`MapError::NoMatch`] if some internal node has no match; the
-/// reported node is the same (smallest-id, earliest-level failure) however
-/// many threads run.
+/// reported node is the same (earliest commit-order failure) however many
+/// threads run.
 pub fn label_with(
     subject: &SubjectGraph,
     library: &Library,
@@ -242,6 +389,34 @@ pub fn label_with(
     )
 }
 
+/// Worker-thread count the pass actually runs with. Pure so the policy is
+/// unit-testable: explicit single-thread requests and auto-mode small
+/// circuits stay serial, and requests for parallelism on a single-CPU host
+/// are declined unless `force` (the `DAGMAP_LABEL_FORCE_PARALLEL=1` escape
+/// hatch) is set.
+fn resolve_threads(
+    requested: usize,
+    auto: bool,
+    available: usize,
+    mappable: usize,
+    force: bool,
+) -> usize {
+    if requested <= 1 {
+        return 1;
+    }
+    if auto && mappable < PARALLEL_THRESHOLD {
+        return 1;
+    }
+    if available <= 1 && !force {
+        return 1;
+    }
+    requested
+}
+
+fn force_parallel() -> bool {
+    std::env::var_os(FORCE_PARALLEL_ENV).is_some_and(|v| v == "1")
+}
+
 /// [`label_with`] with an explicit match-acceleration configuration.
 ///
 /// Every configuration produces bit-identical labels; the stages only
@@ -257,30 +432,28 @@ pub fn label_with_config(
     num_threads: Option<usize>,
     config: MatchConfig,
 ) -> Result<Labels, MapError> {
-    let levels = subject.levels();
+    let flat = subject.flat();
     let requested =
         num_threads.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
-    let auto = num_threads.is_none();
-    let net = subject.network();
-    let mappable = net
-        .node_ids()
-        .filter(|&id| is_mappable(net.node(id).func()))
-        .count();
-    let nt = if requested <= 1 || (auto && mappable < PARALLEL_THRESHOLD) {
-        1
-    } else {
-        requested
-    };
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mappable = flat.kinds().iter().filter(|&&k| k != KIND_SOURCE).count();
+    let nt = resolve_threads(
+        requested,
+        num_threads.is_none(),
+        available,
+        mappable,
+        force_parallel(),
+    );
     let mut obs_span = dagmap_obs::span("label");
     if obs_span.is_recording() {
         obs_span.set_u64("threads", nt as u64);
-        obs_span.set_u64("levels", levels.num_levels() as u64);
+        obs_span.set_u64("levels", flat.num_levels() as u64);
         obs_span.set_u64("mappable", mappable as u64);
     }
     let result = if nt == 1 {
-        label_serial(subject, library, mode, objective, levels, config)
+        label_serial(subject, library, mode, objective, config)
     } else {
-        label_parallel(subject, library, mode, objective, levels, nt, config)
+        label_parallel(subject, library, mode, objective, nt, config)
     };
     if dagmap_obs::enabled() {
         if let Ok(labels) = &result {
@@ -289,18 +462,17 @@ pub fn label_with_config(
             dagmap_obs::count("match.pruned", labels.matches_pruned as u64);
             dagmap_obs::count("match.memo_lookups", labels.memo_lookups as u64);
             dagmap_obs::count("match.memo_hits", labels.memo_hits as u64);
+            dagmap_obs::count("match.words", labels.match_words as u64);
+            dagmap_obs::count("match.candidate_bits", labels.match_candidate_bits as u64);
         }
     }
     result
 }
 
 /// Mappable-node count of one level group (the `nodes` argument of the
-/// `label.wave` / `label.worker.wave` spans). Only computed while tracing.
-fn wave_width(net: &dagmap_netlist::Network, group: &[NodeId]) -> u64 {
-    group
-        .iter()
-        .filter(|&&id| is_mappable(net.node(id).func()))
-        .count() as u64
+/// `label.wave` / `label.worker.wave` spans, and the narrow-wave gate).
+fn wave_width(flat: &FlatNet, group: &[NodeId]) -> usize {
+    group.iter().filter(|&&id| flat.is_gate(id)).count()
 }
 
 fn label_serial(
@@ -308,30 +480,37 @@ fn label_serial(
     library: &Library,
     mode: MatchMode,
     objective: Objective,
-    levels: &Levels,
     config: MatchConfig,
 ) -> Result<Labels, MapError> {
-    let net = subject.network();
+    let flat = subject.flat();
+    let n = flat.num_nodes();
     let matcher = Matcher::with_config(library, config);
-    let mut arrival = vec![0.0f64; net.num_nodes()];
-    let mut area_flow = vec![0.0f64; net.num_nodes()];
-    let mut best: Vec<Option<Match>> = vec![None; net.num_nodes()];
+    let mut arrival = vec![0.0f64; n];
+    let mut area_flow = vec![0.0f64; n];
+    let mut arena = SelectionArena::new(library, flat);
     let mut stats = MatchStats::default();
     let mut scratch = MatchScratch::new();
+    scratch.prepare(library, n);
     let mut store = MatchStore::for_library(library);
+    let mut chosen = ChosenBuf::new(library);
+    let metering = allocmeter::installed();
+    let mut wave_allocs: Vec<usize> =
+        Vec::with_capacity(if metering { flat.num_levels() } else { 0 });
 
     // Level groups enumerate the nodes in a topological order.
-    for (l, group) in levels.groups().iter().enumerate() {
+    for l in 0..flat.num_levels() {
+        let group = flat.level_group(l);
         let mut wave = dagmap_obs::span("label.wave");
         if wave.is_recording() {
             wave.set_u64("level", l as u64);
-            wave.set_u64("nodes", wave_width(net, group));
+            wave.set_u64("nodes", wave_width(flat, group) as u64);
         }
+        let before = allocmeter::reading();
         for &id in group {
-            if !is_mappable(net.node(id).func()) {
+            if !flat.is_gate(id) {
                 continue;
             }
-            let (chosen, s) = evaluate_node(
+            stats.absorb(evaluate_node(
                 subject,
                 &matcher,
                 mode,
@@ -341,118 +520,206 @@ fn label_serial(
                 id,
                 &mut scratch,
                 &mut store,
-            );
-            stats.absorb(s);
-            match chosen {
-                Some((t, af, m)) => {
-                    arrival[id.index()] = t;
-                    area_flow[id.index()] = af;
-                    best[id.index()] = Some(m);
+                &mut chosen,
+            ));
+            match chosen.sel {
+                Some(sel) => {
+                    arrival[id.index()] = chosen.t;
+                    area_flow[id.index()] = chosen.af;
+                    arena.commit(id, sel, &chosen.leaves, &chosen.covered);
                 }
                 None => return Err(MapError::NoMatch { node: id }),
             }
+        }
+        if let (Some(b), Some(a)) = (before, allocmeter::reading()) {
+            wave_allocs.push(a - b);
         }
     }
     Ok(Labels {
         arrival,
         area_flow,
-        best,
+        best: arena.into_best(),
         matches_enumerated: stats.enumerated,
         matches_pruned: stats.pruned,
         memo_lookups: stats.memo_lookups,
         memo_hits: stats.memo_hits,
-        levels: levels.num_levels(),
+        match_words: stats.words,
+        match_candidate_bits: stats.candidate_bits,
+        levels: flat.num_levels(),
         threads_used: 1,
+        wave_allocs,
     })
 }
 
-/// Per-node outcome a worker hands back to the coordinator.
-type NodeResult = (NodeId, Option<(f64, f64, Match)>, MatchStats);
+/// One worker's outcome for one node, pointing into the lane's pools.
+struct LaneResult {
+    /// Index within the level group — the serial commit order, used to pick
+    /// the deterministic failure node.
+    pos: u32,
+    id: NodeId,
+    /// `(arrival, area, gate, pattern, leaf range, covered range)`.
+    sel: Option<(f64, f64, GateId, PatternId, (u32, u32), (u32, u32))>,
+    stats: MatchStats,
+}
+
+/// A worker's per-wave output buffer: results plus leaf/covered pools, all
+/// sized once from the widest level so steady-state waves never allocate.
+struct WorkerLane {
+    results: Vec<LaneResult>,
+    leaves: Vec<NodeId>,
+    covered: Vec<NodeId>,
+}
+
+impl WorkerLane {
+    fn new(library: &Library, max_assigned: usize) -> WorkerLane {
+        WorkerLane {
+            results: Vec::with_capacity(max_assigned),
+            leaves: Vec::with_capacity(max_assigned * library.max_gate_inputs()),
+            covered: Vec::with_capacity(max_assigned * max_pattern_internal(library)),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.results.clear();
+        self.leaves.clear();
+        self.covered.clear();
+    }
+
+    fn push(&mut self, pos: u32, id: NodeId, chosen: &ChosenBuf, stats: MatchStats) {
+        let sel = chosen.sel.map(|(gate, pattern)| {
+            let ls = self.leaves.len() as u32;
+            self.leaves.extend_from_slice(&chosen.leaves);
+            let cs = self.covered.len() as u32;
+            self.covered.extend_from_slice(&chosen.covered);
+            (
+                chosen.t,
+                chosen.af,
+                gate,
+                pattern,
+                (ls, self.leaves.len() as u32),
+                (cs, self.covered.len() as u32),
+            )
+        });
+        self.results.push(LaneResult {
+            pos,
+            id,
+            sel,
+            stats,
+        });
+    }
+}
 
 /// The parallel wavefront engine.
 ///
 /// Levels are processed one at a time behind two [`Barrier`]s: the
 /// coordinator releases all workers into level `l` (`start`), each worker
 /// labels its stride of the level against a read-locked snapshot of the
-/// arrival/area tables, and after `done` the coordinator alone holds the
-/// write lock, folding the per-worker buffers back into the tables in
-/// ascending node-id order. Workers never observe same-level writes, so
-/// every per-node computation sees exactly the state the serial pass sees —
-/// the merge order only affects the order of floating-point *accumulation
-/// of counters*, never the labels themselves, which are per-node values.
+/// arrival/area tables into its own pre-sized [`WorkerLane`], and after
+/// `done` the coordinator alone holds the write lock, folding the lanes
+/// back into the tables and the selection arena. Workers never observe
+/// same-level writes, so every per-node computation sees exactly the state
+/// the serial pass sees — the merge order only affects the order of
+/// *counter accumulation* (integer adds, commutative), never the labels
+/// themselves, which are per-node values.
+///
+/// Levels narrower than [`NARROW_WAVE_WIDTH`] skip the workers entirely:
+/// the coordinator labels them itself between the barriers, because
+/// dispatching a handful of nodes costs more in synchronization than the
+/// evaluation is worth.
 ///
 /// A `NoMatch` failure sets the abort flag; everyone still rendezvous at
 /// both barriers for the remaining levels (cheaply, skipping the work), so
 /// barrier accounting stays consistent, and the reported failing node is
-/// the smallest id in the earliest failing level — exactly the serial one.
-#[allow(clippy::too_many_arguments)]
+/// the earliest failure in the serial commit order — exactly the serial
+/// one.
 fn label_parallel(
     subject: &SubjectGraph,
     library: &Library,
     mode: MatchMode,
     objective: Objective,
-    levels: &Levels,
     nt: usize,
     config: MatchConfig,
 ) -> Result<Labels, MapError> {
-    let net = subject.network();
+    let flat = subject.flat();
+    let n = flat.num_nodes();
+    let num_levels = flat.num_levels();
+    let widths: Vec<usize> = (0..num_levels)
+        .map(|l| wave_width(flat, flat.level_group(l)))
+        .collect();
+    let max_group = (0..num_levels)
+        .map(|l| flat.level_group(l).len())
+        .max()
+        .unwrap_or(0);
+    let max_assigned = max_group.div_ceil(nt.max(1));
     let matcher = Matcher::with_config(library, config);
-    let n = net.num_nodes();
-    let num_levels = levels.num_levels();
 
     let state = RwLock::new((vec![0.0f64; n], vec![0.0f64; n]));
-    let buffers: Vec<Mutex<Vec<NodeResult>>> = (0..nt).map(|_| Mutex::new(Vec::new())).collect();
+    let lanes: Vec<Mutex<WorkerLane>> = (0..nt)
+        .map(|_| Mutex::new(WorkerLane::new(library, max_assigned)))
+        .collect();
     let start = Barrier::new(nt + 1);
     let done = Barrier::new(nt + 1);
     let abort = AtomicBool::new(false);
 
-    let mut best: Vec<Option<Match>> = vec![None; n];
+    let mut arena = SelectionArena::new(library, flat);
     let mut stats = MatchStats::default();
     let mut failed: Option<NodeId> = None;
+    // The coordinator's own matcher kit, for the narrow waves it labels
+    // itself.
+    let mut co_scratch = MatchScratch::new();
+    co_scratch.prepare(library, n);
+    let mut co_store = MatchStore::for_library(library);
+    let mut co_chosen = ChosenBuf::new(library);
+    let metering = allocmeter::installed();
+    let mut wave_allocs: Vec<usize> = Vec::with_capacity(if metering { num_levels } else { 0 });
 
     std::thread::scope(|s| {
         for w in 0..nt {
             let state = &state;
-            let buffers = &buffers;
+            let lanes = &lanes;
             let start = &start;
             let done = &done;
             let abort = &abort;
             let matcher = &matcher;
+            let widths = &widths;
             s.spawn(move || {
                 let mut scratch = MatchScratch::new();
+                scratch.prepare(library, n);
                 // Per-worker store: cone classes are rediscovered once per
                 // worker, which costs a few extra cold enumerations but
                 // keeps the hot path lock-free.
                 let mut store = MatchStore::for_library(library);
-                let mut out: Vec<NodeResult> = Vec::new();
+                let mut chosen = ChosenBuf::new(library);
                 for l in 0..num_levels {
                     start.wait();
-                    if !abort.load(Ordering::Acquire) {
+                    if widths[l] >= NARROW_WAVE_WIDTH && !abort.load(Ordering::Acquire) {
                         // Worker-lane wave span, only for levels where this
                         // worker's stride is non-empty — the occupancy the
                         // phase report summarizes per level.
                         let mut wave = None;
                         if dagmap_obs::enabled() {
-                            let assigned = levels
-                                .group(l)
+                            let assigned = flat
+                                .level_group(l)
                                 .iter()
                                 .enumerate()
-                                .filter(|&(i, &id)| i % nt == w && is_mappable(net.node(id).func()))
+                                .filter(|&(i, &id)| i % nt == w && flat.is_gate(id))
                                 .count() as u64;
                             if assigned > 0 {
-                                let mut s = dagmap_obs::span("label.worker.wave");
-                                s.set_u64("level", l as u64);
-                                s.set_u64("nodes", assigned);
-                                wave = Some(s);
+                                let mut sp = dagmap_obs::span("label.worker.wave");
+                                sp.set_u64("level", l as u64);
+                                sp.set_u64("nodes", assigned);
+                                wave = Some(sp);
                             }
                         }
+                        let mut lane = lanes[w].lock().expect("worker lane lock");
+                        lane.clear();
                         let guard = state.read().expect("label state lock");
                         let (arrival, area_flow) = &*guard;
-                        for (i, &id) in levels.group(l).iter().enumerate() {
-                            if i % nt != w || !is_mappable(net.node(id).func()) {
+                        for (i, &id) in flat.level_group(l).iter().enumerate() {
+                            if i % nt != w || !flat.is_gate(id) {
                                 continue;
                             }
-                            let (chosen, st) = evaluate_node(
+                            let st = evaluate_node(
                                 subject,
                                 matcher,
                                 mode,
@@ -462,64 +729,112 @@ fn label_parallel(
                                 id,
                                 &mut scratch,
                                 &mut store,
+                                &mut chosen,
                             );
-                            out.push((id, chosen, st));
+                            lane.push(i as u32, id, &chosen, st);
                         }
                         drop(guard);
+                        drop(lane);
                         drop(wave);
-                        if !out.is_empty() {
-                            buffers[w]
-                                .lock()
-                                .expect("worker buffer lock")
-                                .append(&mut out);
-                        }
                     }
                     done.wait();
                 }
+                // Scope join does not wait for thread-local destructors, so
+                // hand the worker's trace buffer to the session explicitly
+                // rather than relying on best-effort TLS teardown.
+                dagmap_obs::flush_thread();
             });
         }
 
-        // Coordinator: drive the barriers for every level and merge. The
-        // coordinator runs on the calling thread, so its `label.wave` spans
-        // land on the session lane — same name, level and count as the
-        // serial pass emits, which is what keeps the span signature
-        // thread-count-invariant.
-        let mut level_results: Vec<NodeResult> = Vec::new();
+        // Coordinator: drive the barriers for every level, label the narrow
+        // waves, merge the wide ones. The coordinator runs on the calling
+        // thread, so its `label.wave` spans land on the session lane — same
+        // name, level and count as the serial pass emits, which is what
+        // keeps the span signature thread-count-invariant.
         for l in 0..num_levels {
             let mut wave = dagmap_obs::span("label.wave");
             if wave.is_recording() {
                 wave.set_u64("level", l as u64);
-                wave.set_u64("nodes", wave_width(net, levels.group(l)));
+                wave.set_u64("nodes", widths[l] as u64);
             }
+            let before = allocmeter::reading();
             start.wait();
-            done.wait();
-            if failed.is_some() {
-                continue;
-            }
-            level_results.clear();
-            for b in &buffers {
-                level_results.append(&mut b.lock().expect("worker buffer lock"));
-            }
-            // Ascending node id: the exact order the serial pass commits in.
-            level_results.sort_unstable_by_key(|r| r.0);
-            let mut guard = state.write().expect("label state lock");
-            let (arrival, area_flow) = &mut *guard;
-            for (id, chosen, st) in level_results.drain(..) {
-                if failed.is_some() {
-                    continue;
-                }
-                stats.absorb(st);
-                match chosen {
-                    Some((t, af, m)) => {
-                        arrival[id.index()] = t;
-                        area_flow[id.index()] = af;
-                        best[id.index()] = Some(m);
+            if widths[l] < NARROW_WAVE_WIDTH {
+                // Narrow wave: the workers skip it (they test the same
+                // width), so the coordinator owns the state and labels the
+                // level serially before releasing anyone into `l + 1`.
+                if failed.is_none() {
+                    let mut guard = state.write().expect("label state lock");
+                    let (arrival, area_flow) = &mut *guard;
+                    for &id in flat.level_group(l) {
+                        if !flat.is_gate(id) {
+                            continue;
+                        }
+                        stats.absorb(evaluate_node(
+                            subject,
+                            &matcher,
+                            mode,
+                            objective,
+                            arrival,
+                            area_flow,
+                            id,
+                            &mut co_scratch,
+                            &mut co_store,
+                            &mut co_chosen,
+                        ));
+                        match co_chosen.sel {
+                            Some(sel) => {
+                                arrival[id.index()] = co_chosen.t;
+                                area_flow[id.index()] = co_chosen.af;
+                                arena.commit(id, sel, &co_chosen.leaves, &co_chosen.covered);
+                            }
+                            None => {
+                                failed = Some(id);
+                                abort.store(true, Ordering::Release);
+                                break;
+                            }
+                        }
                     }
-                    None => {
+                }
+                done.wait();
+            } else {
+                done.wait();
+                if failed.is_none() {
+                    let mut guard = state.write().expect("label state lock");
+                    let (arrival, area_flow) = &mut *guard;
+                    // Earliest failure in the group (serial commit) order.
+                    let mut first_fail: Option<(u32, NodeId)> = None;
+                    for lane in lanes.iter() {
+                        let lane = lane.lock().expect("worker lane lock");
+                        for r in &lane.results {
+                            stats.absorb(r.stats);
+                            match r.sel {
+                                Some((t, af, gate, pattern, (ls, le), (cs, ce))) => {
+                                    arrival[r.id.index()] = t;
+                                    area_flow[r.id.index()] = af;
+                                    arena.commit(
+                                        r.id,
+                                        (gate, pattern),
+                                        &lane.leaves[ls as usize..le as usize],
+                                        &lane.covered[cs as usize..ce as usize],
+                                    );
+                                }
+                                None => {
+                                    if first_fail.is_none_or(|(p, _)| r.pos < p) {
+                                        first_fail = Some((r.pos, r.id));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if let Some((_, id)) = first_fail {
                         failed = Some(id);
                         abort.store(true, Ordering::Release);
                     }
                 }
+            }
+            if let (Some(b), Some(a)) = (before, allocmeter::reading()) {
+                wave_allocs.push(a - b);
             }
         }
     });
@@ -531,13 +846,16 @@ fn label_parallel(
     Ok(Labels {
         arrival,
         area_flow,
-        best,
+        best: arena.into_best(),
         matches_enumerated: stats.enumerated,
         matches_pruned: stats.pruned,
         memo_lookups: stats.memo_lookups,
         memo_hits: stats.memo_hits,
+        match_words: stats.words,
+        match_candidate_bits: stats.candidate_bits,
         levels: num_levels,
         threads_used: nt,
+        wave_allocs,
     })
 }
 
@@ -545,6 +863,12 @@ fn label_parallel(
 mod tests {
     use super::*;
     use dagmap_netlist::Network;
+
+    fn force_parallel_for_tests() {
+        // The CI container exposes one CPU; without this the explicit
+        // `Some(nt)` requests below would (correctly) fall back to serial.
+        std::env::set_var(FORCE_PARALLEL_ENV, "1");
+    }
 
     fn chain_subject(n: usize) -> SubjectGraph {
         let mut net = Network::new("chain");
@@ -559,6 +883,34 @@ mod tests {
         }
         net.add_output("f", cur);
         SubjectGraph::from_subject_network(net).unwrap()
+    }
+
+    /// A subject with wide levels (width ≥ `NARROW_WAVE_WIDTH`), so the
+    /// parallel tests exercise the worker path, not just the coordinator's
+    /// narrow-wave fallback.
+    fn wide_subject() -> SubjectGraph {
+        let mut net = Network::new("wide");
+        let mut layer: Vec<_> = (0..80)
+            .map(|i| {
+                let x = net.add_input(format!("x{i}"));
+                let y = net.add_input(format!("y{i}"));
+                net.add_node(NodeFn::And, vec![x, y]).unwrap()
+            })
+            .collect();
+        while layer.len() > 1 {
+            layer = layer
+                .chunks(2)
+                .map(|c| {
+                    if c.len() == 2 {
+                        net.add_node(NodeFn::Or, vec![c[0], c[1]]).unwrap()
+                    } else {
+                        c[0]
+                    }
+                })
+                .collect();
+        }
+        net.add_output("f", layer[0]);
+        SubjectGraph::from_network(&net).unwrap()
     }
 
     #[test]
@@ -603,6 +955,13 @@ mod tests {
         let lib = Library::lib2_like();
         let labels = label(&subject, &lib, MatchMode::Standard, Objective::Delay).unwrap();
         assert!(labels.matches_enumerated >= 4);
+        // The batched kernel evaluated at least one candidate word per
+        // mappable node. Candidate bits are surviving *patterns*, each of
+        // which may bind several ways, so they bound the words, not the
+        // match count.
+        assert!(labels.match_words >= 4);
+        assert!(labels.match_candidate_bits > 0);
+        assert!(labels.match_candidate_bits <= labels.match_words * 64);
     }
 
     #[test]
@@ -627,6 +986,7 @@ mod tests {
 
     #[test]
     fn parallel_labels_match_serial_on_a_chain() {
+        force_parallel_for_tests();
         let subject = chain_subject(9);
         let lib = Library::lib2_like();
         let serial = label(&subject, &lib, MatchMode::Standard, Objective::Delay).unwrap();
@@ -649,8 +1009,34 @@ mod tests {
     }
 
     #[test]
+    fn parallel_labels_match_serial_on_wide_waves() {
+        force_parallel_for_tests();
+        let subject = wide_subject();
+        let lib = Library::lib2_like();
+        let serial = label(&subject, &lib, MatchMode::Standard, Objective::Delay).unwrap();
+        for nt in [2, 4] {
+            let par = label_with(
+                &subject,
+                &lib,
+                MatchMode::Standard,
+                Objective::Delay,
+                Some(nt),
+            )
+            .unwrap();
+            assert_eq!(par.threads_used, nt);
+            assert_eq!(par.arrival, serial.arrival, "nt={nt}");
+            assert_eq!(par.area_flow, serial.area_flow, "nt={nt}");
+            assert_eq!(par.best, serial.best, "nt={nt}");
+            assert_eq!(par.matches_enumerated, serial.matches_enumerated);
+            assert_eq!(par.match_words, serial.match_words);
+            assert_eq!(par.match_candidate_bits, serial.match_candidate_bits);
+        }
+    }
+
+    #[test]
     fn parallel_failure_reports_the_serial_node() {
         use dagmap_genlib::Gate;
+        force_parallel_for_tests();
         let subject = chain_subject(4);
         let lib = Library::new(
             "no_inv",
@@ -673,11 +1059,56 @@ mod tests {
     }
 
     #[test]
+    fn wide_parallel_failure_reports_the_serial_node() {
+        use dagmap_genlib::Gate;
+        force_parallel_for_tests();
+        // Wide waves so the failure surfaces through the lane merge: an
+        // AND/OR reduction needs inverters everywhere under NAND
+        // decomposition, so an inverter-less library fails early.
+        let subject = wide_subject();
+        let lib = Library::new(
+            "no_inv",
+            vec![Gate::uniform("nand2", 2.0, "O", "!(a*b)", 1.0).unwrap()],
+        )
+        .unwrap();
+        let serial = label(&subject, &lib, MatchMode::Standard, Objective::Delay).unwrap_err();
+        let par = label_with(
+            &subject,
+            &lib,
+            MatchMode::Standard,
+            Objective::Delay,
+            Some(3),
+        )
+        .unwrap_err();
+        match (serial, par) {
+            (MapError::NoMatch { node: a }, MapError::NoMatch { node: b }) => assert_eq!(a, b),
+            other => panic!("unexpected errors {other:?}"),
+        }
+    }
+
+    #[test]
     fn auto_mode_stays_serial_on_small_circuits() {
         let subject = chain_subject(5);
         let lib = Library::minimal();
         let labels =
             label_with(&subject, &lib, MatchMode::Standard, Objective::Delay, None).unwrap();
         assert_eq!(labels.threads_used, 1, "below the parallel threshold");
+    }
+
+    #[test]
+    fn thread_resolution_declines_oversubscription() {
+        // Explicit serial and auto-mode small circuits stay serial.
+        assert_eq!(resolve_threads(1, false, 8, 10_000, false), 1);
+        assert_eq!(resolve_threads(8, true, 8, 100, false), 1);
+        // Auto mode on a big circuit with real CPUs parallelizes.
+        assert_eq!(resolve_threads(8, true, 8, 10_000, false), 8);
+        // Explicit requests on a single-CPU host fall back to serial...
+        assert_eq!(resolve_threads(2, false, 1, 10_000, false), 1);
+        assert_eq!(resolve_threads(4, true, 1, 10_000, false), 1);
+        // ...unless forced (the test-suite escape hatch).
+        assert_eq!(resolve_threads(2, false, 1, 10_000, true), 2);
+        // Explicit requests on multi-CPU hosts are honored even for small
+        // circuits (the caller asked).
+        assert_eq!(resolve_threads(2, false, 8, 10, false), 2);
     }
 }

@@ -44,6 +44,7 @@
 //! # }
 //! ```
 
+pub mod allocmeter;
 mod area;
 mod cover;
 mod error;

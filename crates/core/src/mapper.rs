@@ -33,6 +33,12 @@ pub struct MapReport {
     /// Memo lookups that replayed a stored enumeration instead of
     /// searching.
     pub memo_hits: usize,
+    /// 64-wide candidate words the batched match kernel evaluated during
+    /// labeling (memo replays evaluate none).
+    pub match_words: usize,
+    /// Set bits across the evaluated candidate words — with `match_words`
+    /// this gives the kernel's batch occupancy.
+    pub match_candidate_bits: usize,
     /// Worker threads the labeling pass used (1 = serial).
     pub label_threads: usize,
     /// Topological levels of the subject graph (parallel wavefront count).
@@ -215,6 +221,8 @@ impl<'a> Mapper<'a> {
             matches_pruned: labels.matches_pruned,
             memo_lookups: labels.memo_lookups,
             memo_hits: labels.memo_hits,
+            match_words: labels.match_words,
+            match_candidate_bits: labels.match_candidate_bits,
             label_threads: labels.threads_used,
             levels: labels.levels,
             label_seconds,

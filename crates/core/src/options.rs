@@ -1,4 +1,4 @@
-use dagmap_match::MatchMode;
+use dagmap_match::{MatchMode, MemoPolicy};
 
 /// What the labeling phase optimizes.
 ///
@@ -55,10 +55,12 @@ pub struct MapOptions {
     /// matcher would reject).
     pub use_match_index: bool,
     /// Stage-2 match acceleration: memoize whole match enumerations by
-    /// canonical cone class and replay them at isomorphic nodes. On by
-    /// default; provably result-identical either way (replay preserves the
-    /// enumeration order).
-    pub use_match_memo: bool,
+    /// canonical cone class and replay them at isomorphic nodes. Provably
+    /// result-identical in every position (replay preserves the enumeration
+    /// order). Defaults to [`MemoPolicy::Auto`], which enables the memo only
+    /// for libraries whose pattern sets are expensive enough that replay
+    /// beats fresh (indexed) enumeration; `On`/`Off` force it.
+    pub match_memo: MemoPolicy,
 }
 
 impl MapOptions {
@@ -72,7 +74,7 @@ impl MapOptions {
             delay_target: None,
             num_threads: None,
             use_match_index: true,
-            use_match_memo: true,
+            match_memo: MemoPolicy::Auto,
         }
     }
 
@@ -86,7 +88,7 @@ impl MapOptions {
             delay_target: None,
             num_threads: None,
             use_match_index: true,
-            use_match_memo: true,
+            match_memo: MemoPolicy::Auto,
         }
     }
 
@@ -100,7 +102,7 @@ impl MapOptions {
             delay_target: None,
             num_threads: None,
             use_match_index: true,
-            use_match_memo: true,
+            match_memo: MemoPolicy::Auto,
         }
     }
 
@@ -113,7 +115,7 @@ impl MapOptions {
             delay_target: None,
             num_threads: None,
             use_match_index: true,
-            use_match_memo: true,
+            match_memo: MemoPolicy::Auto,
         }
     }
 
@@ -127,7 +129,7 @@ impl MapOptions {
             delay_target: None,
             num_threads: None,
             use_match_index: true,
-            use_match_memo: true,
+            match_memo: MemoPolicy::Auto,
         }
     }
 
@@ -155,10 +157,11 @@ impl MapOptions {
 
     /// Sets both match-acceleration stages at once (`false` reproduces the
     /// naive full-scan matcher; useful for benchmarking and for the
-    /// bit-identity test suite).
+    /// bit-identity test suite). `true` forces the memo on even where
+    /// [`MemoPolicy::Auto`] would skip it.
     pub fn with_match_acceleration(mut self, on: bool) -> MapOptions {
         self.use_match_index = on;
-        self.use_match_memo = on;
+        self.match_memo = if on { MemoPolicy::On } else { MemoPolicy::Off };
         self
     }
 
@@ -168,9 +171,10 @@ impl MapOptions {
         self
     }
 
-    /// Sets the stage-2 cone-class memoization switch.
+    /// Forces the stage-2 cone-class memoization on or off, overriding the
+    /// default per-library [`MemoPolicy::Auto`] decision.
     pub fn with_match_memo(mut self, on: bool) -> MapOptions {
-        self.use_match_memo = on;
+        self.match_memo = if on { MemoPolicy::On } else { MemoPolicy::Off };
         self
     }
 
@@ -178,7 +182,7 @@ impl MapOptions {
     pub fn match_config(&self) -> dagmap_match::MatchConfig {
         dagmap_match::MatchConfig {
             index: self.use_match_index,
-            memo: self.use_match_memo,
+            memo: self.match_memo,
         }
     }
 
@@ -211,12 +215,15 @@ mod tests {
     #[test]
     fn match_acceleration_defaults_on() {
         let opts = MapOptions::dag();
-        assert!(opts.use_match_index && opts.use_match_memo);
+        assert!(opts.use_match_index);
+        assert_eq!(opts.match_memo, MemoPolicy::Auto);
         assert_eq!(opts.match_config(), dagmap_match::MatchConfig::default());
         let off = opts.with_match_acceleration(false);
-        assert!(!off.use_match_index && !off.use_match_memo);
+        assert!(!off.use_match_index && off.match_memo == MemoPolicy::Off);
+        let forced = opts.with_match_acceleration(true);
+        assert!(forced.use_match_index && forced.match_memo == MemoPolicy::On);
         let mixed = MapOptions::tree().with_match_memo(false);
-        assert!(mixed.use_match_index && !mixed.use_match_memo);
+        assert!(mixed.use_match_index && mixed.match_memo == MemoPolicy::Off);
     }
 
     #[test]

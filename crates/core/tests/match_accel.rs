@@ -7,29 +7,34 @@
 use dagmap_benchgen::random_network;
 use dagmap_core::{label_with_config, MapOptions, Mapper, MatchMode, Objective};
 use dagmap_genlib::Library;
-use dagmap_match::MatchConfig;
+use dagmap_match::{MatchConfig, MemoPolicy};
 use dagmap_netlist::SubjectGraph;
 
 const MODES: [MatchMode; 3] = [MatchMode::Standard, MatchMode::Exact, MatchMode::Extended];
 
-/// All four index × memo combinations, baseline first.
-fn configs() -> [MatchConfig; 4] {
+/// Index × memo-policy combinations, baseline first. `Auto` rides along so
+/// the cost-gated default provably picks one of the two fixed behaviours.
+fn configs() -> [MatchConfig; 5] {
     [
         MatchConfig {
             index: false,
-            memo: false,
+            memo: MemoPolicy::Off,
         },
         MatchConfig {
             index: true,
-            memo: false,
+            memo: MemoPolicy::Off,
         },
         MatchConfig {
             index: false,
-            memo: true,
+            memo: MemoPolicy::On,
         },
         MatchConfig {
             index: true,
-            memo: true,
+            memo: MemoPolicy::On,
+        },
+        MatchConfig {
+            index: true,
+            memo: MemoPolicy::Auto,
         },
     ]
 }
@@ -45,6 +50,9 @@ fn builtin_libraries() -> [Library; 4] {
 
 #[test]
 fn labels_are_bit_identical_across_configs_libraries_modes_and_threads() {
+    // Single-CPU boxes would otherwise fall back to serial labeling; the
+    // point here is to exercise the parallel merge path regardless.
+    std::env::set_var("DAGMAP_LABEL_FORCE_PARALLEL", "1");
     let net = dagmap_benchgen::ripple_adder(6);
     let subject = SubjectGraph::from_network(&net).expect("adder subject");
     for lib in &builtin_libraries() {
@@ -59,9 +67,10 @@ fn labels_are_bit_identical_across_configs_libraries_modes_and_threads() {
             )
             .expect("baseline labels");
             for config in configs() {
-                // Serial is the semantic reference; 3 workers additionally
-                // exercises the per-worker stores of the wavefront engine.
-                for nt in [1usize, 3] {
+                // Serial is the semantic reference; the multi-worker runs
+                // additionally exercise the per-worker lanes and the
+                // deterministic merge of the wavefront engine.
+                for nt in [1usize, 2, 4] {
                     let l =
                         label_with_config(&subject, lib, mode, Objective::Delay, Some(nt), config)
                             .expect("accelerated labels");
@@ -82,7 +91,7 @@ fn labels_are_bit_identical_across_configs_libraries_modes_and_threads() {
                     } else {
                         assert_eq!(l.matches_pruned, reference.matches_pruned, "{tag}");
                     }
-                    if config.memo && nt == 1 {
+                    if config.memo == MemoPolicy::On && nt == 1 {
                         assert!(l.memo_lookups > 0 && l.memo_hits > 0, "{tag}");
                     }
                 }

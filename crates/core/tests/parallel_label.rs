@@ -10,6 +10,9 @@ use dagmap_netlist::SubjectGraph;
 
 #[test]
 fn parallel_labeling_is_bit_identical_to_serial() {
+    // On single-CPU hosts the engine would decline the worker pool; the
+    // point here is to exercise it, so override the hardware heuristic.
+    std::env::set_var("DAGMAP_LABEL_FORCE_PARALLEL", "1");
     let lib = Library::lib2_like();
     for seed in 0..6u64 {
         let net = random_network(6 + seed as usize % 4, 60 + 25 * seed as usize, seed);
@@ -45,6 +48,7 @@ fn parallel_labeling_is_bit_identical_to_serial() {
 
 #[test]
 fn threaded_map_report_matches_serial_end_to_end() {
+    std::env::set_var("DAGMAP_LABEL_FORCE_PARALLEL", "1");
     let lib = Library::lib_44_1_like();
     let net = random_network(8, 120, 7);
     let subject = SubjectGraph::from_network(&net).expect("acyclic");

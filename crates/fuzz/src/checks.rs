@@ -90,7 +90,7 @@ pub struct Matrix {
 impl Default for Matrix {
     fn default() -> Self {
         Matrix {
-            thread_counts: vec![1, 2],
+            thread_counts: vec![1, 2, 4],
             check_retime: true,
         }
     }
@@ -218,7 +218,13 @@ pub fn check_network(
         let mut variants: Vec<(String, MapOptions)> = vec![
             ("no-accel".into(), serial.with_match_acceleration(false)),
             ("index-only".into(), serial.with_match_memo(false)),
-            ("memo-only".into(), serial.with_match_index(false)),
+            // Memo forced on: the default policy is cost-gated per library,
+            // so without the override this variant would silently collapse
+            // into no-accel on cheap libraries.
+            (
+                "memo-only".into(),
+                serial.with_match_index(false).with_match_memo(true),
+            ),
         ];
         for &nt in &matrix.thread_counts {
             if nt > 1 {

@@ -140,6 +140,11 @@ pub struct FuzzReport {
 /// the corpus, or libraries that cannot map at all. Invariant violations
 /// are returned in [`FuzzReport::failures`].
 pub fn run(options: &FuzzOptions) -> Result<FuzzReport, FuzzError> {
+    // The differential matrix exists to catch divergence in the parallel
+    // wavefront engine; on single-CPU hosts the labeler would otherwise
+    // decline the worker pool and the threaded variants would trivially
+    // equal serial. Force the real code path under test.
+    std::env::set_var("DAGMAP_LABEL_FORCE_PARALLEL", "1");
     let libs = libraries_under_test(options.supergates)?;
     let matrix = Matrix {
         thread_counts: options.thread_counts.clone(),

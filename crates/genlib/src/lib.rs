@@ -44,5 +44,5 @@ mod writer;
 pub use error::GenlibError;
 pub use expr::{Expr, TreeShape, TruthTable};
 pub use gate::{Gate, GateId, PinPhase, PinTiming};
-pub use library::{LibPattern, Library, PatternId};
+pub use library::{LibPattern, Library, PatternId, RootMasks};
 pub use pattern::{PatternGraph, PatternNode};

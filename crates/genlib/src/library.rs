@@ -42,6 +42,95 @@ pub struct LibPattern {
     pub depth: u32,
 }
 
+/// 64-wide candidate bitmasks over one root kind's rooted pattern list.
+///
+/// Bit `i` of a row refers to position `i` of the corresponding rooted
+/// pattern list ([`Library::patterns_rooted_nand`] /
+/// [`Library::patterns_rooted_inv`]), so iterating set bits in ascending
+/// order visits candidates in ascending [`PatternId`] order — the same
+/// enumeration order as walking the list itself. Rows come in two families:
+///
+/// * **class rows** — one per subject shape class; bit `i` is set when the
+///   pattern is in that class's fingerprint bucket,
+/// * **depth rows** — one per topological level up to the library's maximum
+///   pattern depth; bit `i` is set when the pattern's depth fits a node at
+///   that level.
+///
+/// The matcher's candidate set at a node is the AND of one class row and
+/// one depth row — whole 64-pattern batches evaluated per word instead of
+/// per-candidate branching.
+#[derive(Debug, Clone)]
+pub struct RootMasks {
+    /// Rooted-list length the rows cover.
+    len: usize,
+    /// Words per row (`len.div_ceil(64)`).
+    words: usize,
+    /// Depth-row clamp: levels at or above this see every pattern.
+    max_depth: u32,
+    /// `NUM_SHAPE_CLASSES` rows of `words` words each.
+    class_rows: Vec<u64>,
+    /// `max_depth + 1` rows of `words` words each; row `d` has bit `i` set
+    /// when pattern `i`'s depth is at most `d`.
+    depth_rows: Vec<u64>,
+}
+
+impl RootMasks {
+    fn build(patterns: &[LibPattern], rooted: &[PatternId], max_depth: u32) -> RootMasks {
+        let len = rooted.len();
+        let words = len.div_ceil(64);
+        let mut class_rows = vec![0u64; NUM_SHAPE_CLASSES * words];
+        for (pos, &pid) in rooted.iter().enumerate() {
+            let graph = &patterns[pid.index()].graph;
+            for class in 0..NUM_SHAPE_CLASSES {
+                if compatible2(graph, graph.root(), class as u8) {
+                    class_rows[class * words + pos / 64] |= 1u64 << (pos % 64);
+                }
+            }
+        }
+        let mut depth_rows = vec![0u64; (max_depth as usize + 1) * words];
+        for (pos, &pid) in rooted.iter().enumerate() {
+            for d in patterns[pid.index()].depth..=max_depth {
+                depth_rows[d as usize * words + pos / 64] |= 1u64 << (pos % 64);
+            }
+        }
+        RootMasks {
+            len,
+            words,
+            max_depth,
+            class_rows,
+            depth_rows,
+        }
+    }
+
+    /// Number of rooted patterns the rows cover.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the root kind has no patterns at all.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Words per row.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// The candidate row of one subject shape class.
+    pub fn class_row(&self, class: u8) -> &[u64] {
+        let start = class as usize * self.words;
+        &self.class_rows[start..start + self.words]
+    }
+
+    /// The candidate row of one topological level (clamped to the maximum
+    /// pattern depth — deeper levels admit every pattern).
+    pub fn depth_row(&self, level: u32) -> &[u64] {
+        let start = level.min(self.max_depth) as usize * self.words;
+        &self.depth_rows[start..start + self.words]
+    }
+}
+
 /// A gate library with its expanded pattern set.
 ///
 /// Construction eagerly decomposes every gate into NAND2/INV pattern graphs
@@ -69,6 +158,10 @@ pub struct Library {
     /// ascending `PatternId` order — the fingerprint index the matcher
     /// iterates instead of the full root-kind candidate list.
     shape_buckets: Vec<Vec<PatternId>>,
+    /// Bitmask rows over `rooted_nand` (see [`RootMasks`]).
+    masks_nand: RootMasks,
+    /// Bitmask rows over `rooted_inv` (see [`RootMasks`]).
+    masks_inv: RootMasks,
     max_pattern_depth: u32,
     max_pattern_fanout: u32,
 }
@@ -150,6 +243,8 @@ impl Library {
             .flat_map(|p| (0..p.graph.len()).map(|i| p.graph.fanout_count(i)))
             .max()
             .unwrap_or(0);
+        let masks_nand = RootMasks::build(&patterns, &rooted_nand, max_pattern_depth);
+        let masks_inv = RootMasks::build(&patterns, &rooted_inv, max_pattern_depth);
         Ok(Library {
             name,
             gates,
@@ -157,6 +252,8 @@ impl Library {
             rooted_nand,
             rooted_inv,
             shape_buckets,
+            masks_nand,
+            masks_inv,
             max_pattern_depth,
             max_pattern_fanout,
         })
@@ -230,6 +327,16 @@ impl Library {
     /// without reordering the enumeration.
     pub fn patterns_for_class(&self, class: u8) -> &[PatternId] {
         &self.shape_buckets[class as usize]
+    }
+
+    /// Candidate bitmask rows over the NAND-rooted pattern list.
+    pub fn nand_masks(&self) -> &RootMasks {
+        &self.masks_nand
+    }
+
+    /// Candidate bitmask rows over the inverter-rooted pattern list.
+    pub fn inv_masks(&self) -> &RootMasks {
+        &self.masks_inv
     }
 
     /// Maximum NAND/INV depth over the expanded pattern set. Subject logic
@@ -438,6 +545,50 @@ mod tests {
                     "{}: bucket {class} escapes its root kind",
                     lib.name()
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn mask_rows_agree_with_buckets_and_depth_filter() {
+        use dagmap_netlist::fingerprint::{class_kind, ShapeKind};
+        for lib in [tiny(), Library::lib2_like(), Library::lib_44_3_like()] {
+            for (masks, rooted) in [
+                (lib.nand_masks(), lib.patterns_rooted_nand()),
+                (lib.inv_masks(), lib.patterns_rooted_inv()),
+            ] {
+                assert_eq!(masks.len(), rooted.len());
+                assert_eq!(masks.words(), rooted.len().div_ceil(64));
+                for class in 0..NUM_SHAPE_CLASSES as u8 {
+                    let row = masks.class_row(class);
+                    let bucket = lib.patterns_for_class(class);
+                    for (pos, &pid) in rooted.iter().enumerate() {
+                        let bit = row[pos / 64] >> (pos % 64) & 1 == 1;
+                        let same_kind = match class_kind(class) {
+                            ShapeKind::Nand => std::ptr::eq(rooted, lib.patterns_rooted_nand()),
+                            ShapeKind::Inv => std::ptr::eq(rooted, lib.patterns_rooted_inv()),
+                            ShapeKind::Source => false,
+                        };
+                        assert_eq!(
+                            bit,
+                            same_kind && bucket.contains(&pid),
+                            "{}: class {class} bit {pos}",
+                            lib.name()
+                        );
+                    }
+                }
+                for level in 0..=lib.max_pattern_depth() + 2 {
+                    let row = masks.depth_row(level);
+                    for (pos, &pid) in rooted.iter().enumerate() {
+                        let bit = row[pos / 64] >> (pos % 64) & 1 == 1;
+                        assert_eq!(
+                            bit,
+                            lib.pattern(pid).depth <= level,
+                            "{}: depth row {level} bit {pos}",
+                            lib.name()
+                        );
+                    }
+                }
             }
         }
     }

@@ -58,5 +58,5 @@
 mod matcher;
 pub mod store;
 
-pub use matcher::{Match, MatchConfig, MatchMode, MatchScratch, MatchStats, MatchView, Matcher};
+pub use matcher::{Match, MatchConfig, MatchMode, MatchScratch, MatchStats, MatchView, Matcher, MemoPolicy};
 pub use store::{ClassId, MatchStore, TemplateRef};

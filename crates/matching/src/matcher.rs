@@ -1,6 +1,6 @@
-use dagmap_genlib::{GateId, Library, PatternGraph, PatternId, PatternNode};
+use dagmap_genlib::{GateId, Library, PatternGraph, PatternId, PatternNode, RootMasks};
 use dagmap_netlist::fingerprint::{extract_cone, ConeScratch, ConeSpec};
-use dagmap_netlist::{Network, NodeFn, NodeId, SubjectGraph};
+use dagmap_netlist::{FlatNet, NodeId, SubjectGraph, KIND_INV, KIND_NAND};
 
 use crate::store::{ClassId, MatchStore};
 
@@ -80,6 +80,12 @@ pub struct MatchStats {
     pub memo_lookups: usize,
     /// Cone-class lookups that hit and replayed a stored enumeration.
     pub memo_hits: usize,
+    /// 64-wide candidate words evaluated by the batched kernel. Memo
+    /// replays touch no words, so this counts *performed* kernel work.
+    pub words: usize,
+    /// Set bits across the evaluated candidate words — together with
+    /// `words` this yields the kernel's batch occupancy.
+    pub candidate_bits: usize,
 }
 
 impl MatchStats {
@@ -89,7 +95,29 @@ impl MatchStats {
         self.pruned += other.pruned;
         self.memo_lookups += other.memo_lookups;
         self.memo_hits += other.memo_hits;
+        self.words += other.words;
+        self.candidate_bits += other.candidate_bits;
     }
+}
+
+/// When to memoize whole enumerations by cone class (stage 2 of the match
+/// acceleration).
+///
+/// Memoization pays a canonical cone extraction and a hash probe on *every*
+/// node; it wins only when the enumeration it replaces is expensive — big
+/// expanded pattern sets with deep patterns. On cheap libraries the probe
+/// overhead exceeds the saved search even at high hit rates, so the
+/// default `Auto` policy sizes the decision per library.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum MemoPolicy {
+    /// Memoize when the library's expanded pattern set is large enough
+    /// that replay beats fresh enumeration (see
+    /// [`Matcher::AUTO_MEMO_MIN_PATTERN_NODES`]).
+    Auto,
+    /// Always memoize.
+    On,
+    /// Never memoize.
+    Off,
 }
 
 /// Switches for the two match-acceleration stages. Both default on; both
@@ -97,21 +125,22 @@ impl MatchStats {
 /// tie-break and mapped netlist) of the naive full scan.
 #[derive(Debug, Copy, Clone, PartialEq, Eq)]
 pub struct MatchConfig {
-    /// Stage 1: consult the library's per-shape-class pattern buckets so
-    /// only root-neighborhood-compatible patterns are attempted.
+    /// Stage 1: AND the library's per-shape-class candidate bitmask rows
+    /// into the depth rows so only root-neighborhood-compatible patterns
+    /// are attempted.
     pub index: bool,
     /// Stage 2: memoize whole enumerations by canonical cone class in a
     /// [`MatchStore`] and replay them through the cone isomorphism. Only
     /// takes effect through [`Matcher::for_each_match_via`] /
     /// [`Matcher::class_at`], which carry the store.
-    pub memo: bool,
+    pub memo: MemoPolicy,
 }
 
 impl Default for MatchConfig {
     fn default() -> MatchConfig {
         MatchConfig {
             index: true,
-            memo: true,
+            memo: MemoPolicy::Auto,
         }
     }
 }
@@ -121,7 +150,7 @@ impl MatchConfig {
     pub fn baseline() -> MatchConfig {
         MatchConfig {
             index: false,
-            memo: false,
+            memo: MemoPolicy::Off,
         }
     }
 }
@@ -172,10 +201,40 @@ impl MatchScratch {
     }
 
     /// The cone locals of the last [`Matcher::class_at`] query: local index
-    /// `i` of any template of the returned class stands for concrete
+    /// `i` of any match template of the returned class stands for concrete
     /// subject node `cone_locals()[i]`.
     pub fn cone_locals(&self) -> &[NodeId] {
         self.cone.locals()
+    }
+
+    /// Pre-sizes every buffer for enumerating `library`'s patterns over a
+    /// subject graph of `num_nodes` nodes, so steady-state enumeration
+    /// performs no heap allocation. The pattern-shaped buffers have exact
+    /// bounds; the per-node dedup arena is sized from a per-pattern
+    /// embedding estimate with generous headroom.
+    pub fn prepare(&mut self, library: &Library, num_nodes: usize) {
+        let bufs = &mut self.bufs;
+        if bufs.owned.len() < num_nodes {
+            bufs.owned.resize(num_nodes, false);
+        }
+        let mut max_len = 0usize;
+        let mut max_internal = 0usize;
+        let mut embeddings = 0usize;
+        for p in library.patterns() {
+            let g = &p.graph;
+            max_len = max_len.max(g.len());
+            let internal = g.num_internal();
+            max_internal = max_internal.max(internal);
+            // Each internal NAND at most doubles the pin-order branching.
+            embeddings += 1usize << internal.min(8);
+        }
+        bufs.binding.reserve(max_len);
+        bufs.leaves_buf.reserve(library.max_gate_inputs());
+        bufs.covered_buf.reserve(max_internal);
+        bufs.seen_keys.reserve(embeddings);
+        bufs.seen_leaves
+            .reserve(embeddings * library.max_gate_inputs());
+        self.cone.prepare(num_nodes, library.max_pattern_depth());
     }
 }
 
@@ -192,9 +251,22 @@ struct State<'a> {
 pub struct Matcher<'a> {
     library: &'a Library,
     config: MatchConfig,
+    /// [`MatchConfig::memo`] resolved against the library's cost estimate.
+    memo_on: bool,
 }
 
 impl<'a> Matcher<'a> {
+    /// [`MemoPolicy::Auto`] threshold: memoize when the library's total
+    /// expanded-pattern node count (the paper's `p`, the per-node
+    /// enumeration cost driver) reaches this. Calibrated on the builtin
+    /// libraries: the big 44-3-style library (~12k pattern nodes, where
+    /// replay is a 1.5–3× speedup) sits far above, while minimal (5),
+    /// 44-1-style (73), the depth-2 supergate extension of 44-1 (153) and
+    /// lib2-style (243) — where the cone-extraction probe makes
+    /// memoization a measured pessimization down to 0.43× — sit well
+    /// below.
+    pub const AUTO_MEMO_MIN_PATTERN_NODES: usize = 1024;
+
     /// Creates a matcher over `library`'s expanded pattern set with the
     /// default (fully accelerated) [`MatchConfig`].
     pub fn new(library: &'a Library) -> Self {
@@ -203,7 +275,18 @@ impl<'a> Matcher<'a> {
 
     /// Creates a matcher with an explicit acceleration configuration.
     pub fn with_config(library: &'a Library, config: MatchConfig) -> Self {
-        Matcher { library, config }
+        let memo_on = match config.memo {
+            MemoPolicy::On => true,
+            MemoPolicy::Off => false,
+            MemoPolicy::Auto => {
+                library.total_pattern_nodes() >= Matcher::AUTO_MEMO_MIN_PATTERN_NODES
+            }
+        };
+        Matcher {
+            library,
+            config,
+            memo_on,
+        }
     }
 
     /// The library being matched against.
@@ -214,6 +297,12 @@ impl<'a> Matcher<'a> {
     /// The acceleration configuration in effect.
     pub fn config(&self) -> MatchConfig {
         self.config
+    }
+
+    /// Whether [`Matcher::for_each_match_via`] will actually consult the
+    /// match store — the [`MemoPolicy`] resolved against this library.
+    pub fn memo_enabled(&self) -> bool {
+        self.memo_on
     }
 
     /// Enumerates all distinct matches rooted at `node`, invoking `f` once
@@ -243,6 +332,14 @@ impl<'a> Matcher<'a> {
 
     /// The enumeration core, operating on the split-out buffers so the
     /// memoizing wrappers can hold the cone scratch alongside.
+    ///
+    /// Candidates are evaluated in 64-wide batches: the library's per-root
+    /// bitmask rows give a depth-eligibility word and (with the index on) a
+    /// shape-class word per 64 patterns, and their AND is the candidate
+    /// word whose set bits — walked in ascending order, so the enumeration
+    /// sequence is that of the plain candidate-list scan — drive the
+    /// backtracking search. Pruning therefore costs one AND + popcount per
+    /// word instead of a branch per pattern.
     fn enumerate(
         &self,
         subject: &SubjectGraph,
@@ -251,29 +348,23 @@ impl<'a> Matcher<'a> {
         bufs: &mut EnumBufs,
         f: &mut dyn FnMut(MatchView<'_>),
     ) -> MatchStats {
-        let net = subject.network();
-        let all: &[PatternId] = match net.node(node).func() {
-            NodeFn::Nand => self.library.patterns_rooted_nand(),
-            NodeFn::Not => self.library.patterns_rooted_inv(),
+        let flat = subject.flat();
+        let (all, masks): (&[PatternId], &RootMasks) = match flat.kind(node) {
+            KIND_NAND => (self.library.patterns_rooted_nand(), self.library.nand_masks()),
+            KIND_INV => (self.library.patterns_rooted_inv(), self.library.inv_masks()),
             _ => return MatchStats::default(),
         };
-        let node_level = subject.level(node);
         let mut stats = MatchStats::default();
+        let depth_row = masks.depth_row(flat.level(node));
+        // Stage-1 acceleration: AND in the shape-class row, which keeps
+        // exactly the root-neighborhood-compatible patterns.
+        let class_row = self
+            .config
+            .index
+            .then(|| masks.class_row(subject.shape_class(node)));
 
-        // Stage-1 acceleration: the shape-class bucket is a subset of the
-        // root-kind candidate list in the same (ascending pattern) order,
-        // so iterating it visits the same matchable patterns in the same
-        // sequence while skipping provably incompatible ones.
-        let candidates: &[PatternId] = if self.config.index {
-            let bucket = self.library.patterns_for_class(subject.shape_class(node));
-            stats.pruned += all.len() - bucket.len();
-            bucket
-        } else {
-            all
-        };
-
-        if bufs.owned.len() < net.num_nodes() {
-            bufs.owned.resize(net.num_nodes(), false);
+        if bufs.owned.len() < flat.num_nodes() {
+            bufs.owned.resize(flat.num_nodes(), false);
         }
         bufs.seen_keys.clear();
         bufs.seen_leaves.clear();
@@ -287,17 +378,24 @@ impl<'a> Matcher<'a> {
             covered_buf,
         } = bufs;
 
-        for &pid in candidates {
-            let lp = self.library.pattern(pid);
-            if lp.depth > node_level {
-                stats.pruned += 1;
-                continue;
-            }
-            let graph = &lp.graph;
-            binding.clear();
-            binding.resize(graph.len(), None);
-            let mut st = State { binding, owned };
-            try_bind(net, graph, mode, graph.root(), node, &mut st, &mut |st| {
+        let mut live = 0usize;
+        for wi in 0..masks.words() {
+            let mut word = match class_row {
+                Some(row) => row[wi] & depth_row[wi],
+                None => depth_row[wi],
+            };
+            stats.words += 1;
+            live += word.count_ones() as usize;
+            while word != 0 {
+                let pos = wi * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let pid = all[pos];
+                let lp = self.library.pattern(pid);
+                let graph = &lp.graph;
+                binding.clear();
+                binding.resize(graph.len(), None);
+                let mut st = State { binding, owned };
+                try_bind(flat, graph, mode, graph.root(), node, &mut st, &mut |st| {
                 // Complete binding: extract the pin assignment and the
                 // covered internal nodes into the reused buffers.
                 leaves_buf.clear();
@@ -320,21 +418,27 @@ impl<'a> Matcher<'a> {
                     g == lp.gate
                         && &seen_leaves[off as usize..(off + len) as usize] == leaves_buf.as_slice()
                 });
-                if !duplicate {
-                    let off = u32::try_from(seen_leaves.len()).expect("arena fits u32");
-                    let len = u32::try_from(leaves_buf.len()).expect("pin count fits u32");
-                    seen_leaves.extend_from_slice(leaves_buf);
-                    seen_keys.push((lp.gate, off, len));
-                    stats.enumerated += 1;
-                    f(MatchView {
-                        gate: lp.gate,
-                        pattern: pid,
-                        leaves: leaves_buf,
-                        covered: covered_buf,
-                    });
-                }
-            });
+                    if !duplicate {
+                        let off = u32::try_from(seen_leaves.len()).expect("arena fits u32");
+                        let len = u32::try_from(leaves_buf.len()).expect("pin count fits u32");
+                        seen_leaves.extend_from_slice(leaves_buf);
+                        seen_keys.push((lp.gate, off, len));
+                        stats.enumerated += 1;
+                        f(MatchView {
+                            gate: lp.gate,
+                            pattern: pid,
+                            leaves: leaves_buf,
+                            covered: covered_buf,
+                        });
+                    }
+                });
+            }
         }
+        // Everything the candidate words masked off — depth-ineligible
+        // patterns, plus (with the index on) shape-incompatible ones —
+        // was skipped without any search.
+        stats.candidate_bits = live;
+        stats.pruned = all.len() - live;
         stats
     }
 
@@ -387,8 +491,8 @@ impl<'a> Matcher<'a> {
         store: &mut MatchStore,
     ) -> (Option<ClassId>, MatchStats) {
         store.check_library(self.library);
-        let net = subject.network();
-        if !matches!(net.node(node).func(), NodeFn::Nand | NodeFn::Not) {
+        let flat = subject.flat();
+        if !flat.is_gate(node) {
             return (None, MatchStats::default());
         }
         let spec = ConeSpec {
@@ -397,8 +501,8 @@ impl<'a> Matcher<'a> {
             fanout_cap: store.fanout_cap(),
         };
         let MatchScratch { bufs, cone } = scratch;
-        extract_cone(net, node, spec, cone);
-        let level_cap = subject.level(node).min(store.max_depth());
+        extract_cone(flat, node, spec, cone);
+        let level_cap = flat.level(node).min(store.max_depth());
         let mut stats = MatchStats {
             memo_lookups: 1,
             ..MatchStats::default()
@@ -444,7 +548,7 @@ impl<'a> Matcher<'a> {
         store: &mut MatchStore,
         f: &mut dyn FnMut(MatchView<'_>),
     ) -> MatchStats {
-        if !self.config.memo {
+        if !self.memo_on {
             let stats = self.for_each_match_at(subject, node, mode, scratch, f);
             dagmap_obs::sample("match.per_node", stats.enumerated as u64);
             return stats;
@@ -478,7 +582,7 @@ impl<'a> Matcher<'a> {
 /// for every consistent completion of the remaining obligations and undoing
 /// the binding afterwards.
 fn try_bind(
-    net: &Network,
+    flat: &FlatNet,
     pattern: &PatternGraph,
     mode: MatchMode,
     p: usize,
@@ -494,19 +598,20 @@ fn try_bind(
         }
         return;
     }
-    let node = net.node(s);
+    let kind = flat.kind(s);
     let pn = pattern.node(p);
     let is_leaf = matches!(pn, PatternNode::Leaf { .. });
-    // Condition 2 (function / in-degree compatibility).
+    // Condition 2 (function / in-degree compatibility; subject NANDs have
+    // exactly two fanins by the subject-graph invariant).
     match pn {
         PatternNode::Leaf { .. } => {}
         PatternNode::Inv { .. } => {
-            if !matches!(node.func(), NodeFn::Not) {
+            if kind != KIND_INV {
                 return;
             }
         }
         PatternNode::Nand { .. } => {
-            if !matches!(node.func(), NodeFn::Nand) || node.fanins().len() != 2 {
+            if kind != KIND_NAND {
                 return;
             }
         }
@@ -520,7 +625,7 @@ fn try_bind(
     if mode == MatchMode::Exact
         && !is_leaf
         && p != pattern.root()
-        && node.fanouts().len() as u32 != pattern.fanout_count(p)
+        && flat.fanout_count(s) as u32 != pattern.fanout_count(p)
     {
         return;
     }
@@ -533,17 +638,17 @@ fn try_bind(
     match pn {
         PatternNode::Leaf { .. } => cont(st),
         PatternNode::Inv { fanin } => {
-            let target = node.fanins()[0];
-            try_bind(net, pattern, mode, fanin, target, st, cont);
+            let target = flat.fanins(s)[0];
+            try_bind(flat, pattern, mode, fanin, target, st, cont);
         }
         PatternNode::Nand { fanins: [c0, c1] } => {
-            let f0 = node.fanins()[0];
-            let f1 = node.fanins()[1];
+            let f = flat.fanins(s);
+            let (f0, f1) = (f[0], f[1]);
             // Both fanin orders: this is where input permutations of the
             // original gate are explored.
             for (x, y) in [(f0, f1), (f1, f0)] {
-                try_bind(net, pattern, mode, c0, x, st, &mut |st| {
-                    try_bind(net, pattern, mode, c1, y, st, &mut |st| cont(st));
+                try_bind(flat, pattern, mode, c0, x, st, &mut |st| {
+                    try_bind(flat, pattern, mode, c1, y, st, &mut |st| cont(st));
                 });
                 if c0 == c1 || f0 == f1 {
                     break; // symmetric situations explore identical branches
@@ -562,7 +667,7 @@ fn try_bind(
 mod tests {
     use super::*;
     use dagmap_genlib::Gate;
-    use dagmap_netlist::NetlistError;
+    use dagmap_netlist::{NetlistError, Network, NodeFn};
     use std::collections::HashSet;
 
     fn lib(gates: &[(&str, &str)]) -> Library {
@@ -919,7 +1024,7 @@ mod tests {
             &l,
             MatchConfig {
                 index: true,
-                memo: false,
+                memo: MemoPolicy::Off,
             },
         );
         let subject = ladder(4);
@@ -949,7 +1054,16 @@ mod tests {
     #[test]
     fn memo_replay_is_order_identical_and_hits_across_subjects() {
         let l = rich_lib();
-        let matcher = Matcher::new(&l); // default: index + memo on
+        // Force the memo on: the tiny test library sits below the Auto
+        // threshold, and this test exercises the replay machinery itself.
+        let matcher = Matcher::with_config(
+            &l,
+            MatchConfig {
+                index: true,
+                memo: MemoPolicy::On,
+            },
+        );
+        assert!(matcher.memo_enabled());
         let mut store = MatchStore::for_library(&l);
         let mut s_direct = MatchScratch::new();
         let mut s_memo = MatchScratch::new();

@@ -22,6 +22,48 @@
 
 use crate::{Network, NodeFn, NodeId};
 
+/// A graph the cone extractor can walk: per-node kind codes (the depth-0
+/// shape codes — 0 source, 1 inverter, 2 NAND), fanin lists and fanout edge
+/// counts, addressed by [`NodeId`].
+///
+/// Implemented by [`Network`] (pointer-rich, used by tests and one-off
+/// callers) and by [`crate::FlatNet`] (CSR arrays, used by the match
+/// kernel's hot path). Both implementations must observe the *same* graph
+/// for the canonical token streams to agree — which they do by
+/// construction, since a `FlatNet` is derived from its network.
+pub trait ConeView {
+    /// Number of nodes in the graph.
+    fn cone_num_nodes(&self) -> usize;
+    /// Depth-0 kind code of a node (0 source, 1 inverter, 2 NAND).
+    fn cone_kind(&self, id: NodeId) -> u8;
+    /// Fanins of a node, in fanin order.
+    fn cone_fanins(&self, id: NodeId) -> &[NodeId];
+    /// Number of fanout edges of a node (one per consuming edge).
+    fn cone_fanout_count(&self, id: NodeId) -> usize;
+}
+
+impl ConeView for Network {
+    #[inline]
+    fn cone_num_nodes(&self) -> usize {
+        self.num_nodes()
+    }
+
+    #[inline]
+    fn cone_kind(&self, id: NodeId) -> u8 {
+        s0_of(self.node(id).func())
+    }
+
+    #[inline]
+    fn cone_fanins(&self, id: NodeId) -> &[NodeId] {
+        self.node(id).fanins()
+    }
+
+    #[inline]
+    fn cone_fanout_count(&self, id: NodeId) -> usize {
+        self.node(id).fanouts().len()
+    }
+}
+
 /// Depth-0 shape kind of a node.
 #[derive(Debug, Copy, Clone, PartialEq, Eq)]
 pub enum ShapeKind {
@@ -265,6 +307,24 @@ impl ConeScratch {
         ConeScratch::default()
     }
 
+    /// Pre-sizes every buffer for a graph of `num_nodes` nodes and cones
+    /// truncated at `max_depth`, so subsequent extractions allocate
+    /// nothing. The per-slot buffers are bounded by the widest possible
+    /// binary cone, `2^(max_depth+1)` nodes.
+    pub fn prepare(&mut self, num_nodes: usize, max_depth: u32) {
+        if self.stamp.len() < num_nodes {
+            self.stamp.resize(num_nodes, 0);
+            self.node_slot.resize(num_nodes, 0);
+        }
+        let cone_bound = 2usize << max_depth.min(20);
+        self.min_depth.reserve(cone_bound);
+        self.local_slot.reserve(cone_bound);
+        self.queue.reserve(cone_bound);
+        self.locals.reserve(cone_bound);
+        // Kind token + optional fanout token per node.
+        self.key.reserve(2 * cone_bound);
+    }
+
     /// The canonical token stream of the last extracted cone.
     pub fn key(&self) -> &[u32] {
         &self.key
@@ -311,10 +371,15 @@ impl ConeScratch {
 /// tracked through back-references. Equal token streams therefore drive
 /// `try_bind` through the *same* branch sequence on both cones, which is
 /// the soundness argument for replaying memoized matches.
-pub fn extract_cone(net: &Network, root: NodeId, spec: ConeSpec, scratch: &mut ConeScratch) {
-    if scratch.stamp.len() < net.num_nodes() {
-        scratch.stamp.resize(net.num_nodes(), 0);
-        scratch.node_slot.resize(net.num_nodes(), 0);
+pub fn extract_cone<V: ConeView + ?Sized>(
+    net: &V,
+    root: NodeId,
+    spec: ConeSpec,
+    scratch: &mut ConeScratch,
+) {
+    if scratch.stamp.len() < net.cone_num_nodes() {
+        scratch.stamp.resize(net.cone_num_nodes(), 0);
+        scratch.node_slot.resize(net.cone_num_nodes(), 0);
     }
     scratch.epoch = scratch.epoch.wrapping_add(1);
     if scratch.epoch == 0 {
@@ -337,12 +402,11 @@ pub fn extract_cone(net: &Network, root: NodeId, spec: ConeSpec, scratch: &mut C
     while head < scratch.queue.len() {
         let (id, d) = scratch.queue[head];
         head += 1;
-        let node = net.node(id);
-        let expand = d < spec.max_depth && matches!(node.func(), NodeFn::Not | NodeFn::Nand);
+        let expand = d < spec.max_depth && net.cone_kind(id) != 0;
         if !expand {
             continue;
         }
-        for &f in node.fanins() {
+        for &f in net.cone_fanins(id) {
             if scratch.slot_of(f).is_some() {
                 continue;
             }
@@ -358,7 +422,13 @@ pub fn extract_cone(net: &Network, root: NodeId, spec: ConeSpec, scratch: &mut C
     serialize(net, root, spec, scratch, true);
 }
 
-fn serialize(net: &Network, id: NodeId, spec: ConeSpec, scratch: &mut ConeScratch, is_root: bool) {
+fn serialize<V: ConeView + ?Sized>(
+    net: &V,
+    id: NodeId,
+    spec: ConeSpec,
+    scratch: &mut ConeScratch,
+    is_root: bool,
+) {
     let slot = scratch
         .slot_of(id)
         .expect("serialized nodes were visited by BFS") as usize;
@@ -370,24 +440,23 @@ fn serialize(net: &Network, id: NodeId, spec: ConeSpec, scratch: &mut ConeScratc
     scratch.local_slot[slot] = Some(local);
     scratch.locals.push(id);
 
-    let node = net.node(id);
-    let expand = scratch.min_depth[slot] < spec.max_depth
-        && matches!(node.func(), NodeFn::Not | NodeFn::Nand);
+    let kind = net.cone_kind(id);
+    let expand = scratch.min_depth[slot] < spec.max_depth && kind != 0;
     if !expand {
         scratch.key.push(TOK_BOUNDARY);
         return;
     }
-    scratch.key.push(match node.func() {
-        NodeFn::Not => TOK_INV,
-        NodeFn::Nand => TOK_NAND,
+    scratch.key.push(match kind {
+        1 => TOK_INV,
+        2 => TOK_NAND,
         _ => unreachable!("only gates are expanded"),
     });
     if spec.record_fanouts && !is_root {
-        let fo = (node.fanouts().len() as u32).min(spec.fanout_cap);
+        let fo = (net.cone_fanout_count(id) as u32).min(spec.fanout_cap);
         scratch.key.push(FANOUT_BASE + fo);
     }
     let fanins: [Option<NodeId>; 2] = {
-        let f = node.fanins();
+        let f = net.cone_fanins(id);
         [f.first().copied(), f.get(1).copied()]
     };
     for f in fanins.into_iter().flatten() {

@@ -1,0 +1,276 @@
+//! A flat, cache-friendly CSR view of a subject graph.
+//!
+//! [`crate::Network`] stores each node as a separate struct holding a name,
+//! a function enum and two heap-allocated adjacency vectors — convenient to
+//! build and mutate, but every hop of a traversal chases a pointer into a
+//! different allocation. The labeling dynamic program and the match kernel
+//! walk the same few arrays millions of times per mapping, so they want the
+//! opposite layout: structure-of-arrays, contiguous, u32-indexed.
+//!
+//! [`FlatNet`] is that layout. It is derived once from a finished subject
+//! graph (the network is NAND2/INV and never mutated afterwards) and holds:
+//!
+//! * a per-node **kind code** (`0` source, `1` inverter, `2` NAND — the
+//!   same depth-0 codes the fingerprint module uses),
+//! * per-node **topological level**,
+//! * **fanin adjacency** in compressed-sparse-row form,
+//! * **fanout adjacency** in CSR form, mirroring [`crate::Node::fanouts`]
+//!   exactly — one entry per consuming *edge*, so a consumer using a node
+//!   twice appears twice (exact-match semantics count edges, not nodes),
+//! * the **level wavefronts** as one more CSR: the concatenation of the
+//!   level groups, which is also a topological order of the whole graph.
+//!
+//! Everything is index arithmetic over eight flat vectors; no traversal of
+//! a `FlatNet` ever touches a `Node`.
+
+use crate::{Network, NodeFn, NodeId};
+
+/// Kind code of a source node (input, constant or latch output).
+pub const KIND_SOURCE: u8 = 0;
+/// Kind code of an inverter.
+pub const KIND_INV: u8 = 1;
+/// Kind code of a two-input NAND.
+pub const KIND_NAND: u8 = 2;
+
+/// Structure-of-arrays view of a NAND2/INV network (see module docs).
+///
+/// Node identity is shared with the originating [`Network`]: the same
+/// [`NodeId`] indexes both representations, so results computed over the
+/// flat view (labels, covers) can be reported against the network without
+/// any translation.
+#[derive(Debug, Clone)]
+pub struct FlatNet {
+    /// Per-node kind code (`KIND_SOURCE` / `KIND_INV` / `KIND_NAND`).
+    kind: Vec<u8>,
+    /// Per-node topological level (sources at 0).
+    level: Vec<u32>,
+    /// Fanin CSR offsets; `fanin_off[i]..fanin_off[i+1]` indexes `fanin`.
+    fanin_off: Vec<u32>,
+    /// Concatenated fanin lists, in the network's fanin order.
+    fanin: Vec<NodeId>,
+    /// Fanout CSR offsets; `fanout_off[i]..fanout_off[i+1]` indexes `fanout`.
+    fanout_off: Vec<u32>,
+    /// Concatenated fanout edge lists (one entry per consuming edge).
+    fanout: Vec<NodeId>,
+    /// Level CSR offsets; `level_off[l]..level_off[l+1]` indexes
+    /// `level_nodes`.
+    level_off: Vec<u32>,
+    /// Nodes grouped by level, ascending id within a level — the
+    /// concatenation is a topological order.
+    level_nodes: Vec<NodeId>,
+}
+
+fn kind_of(func: &NodeFn) -> u8 {
+    match func {
+        NodeFn::Not => KIND_INV,
+        NodeFn::Nand => KIND_NAND,
+        _ => KIND_SOURCE,
+    }
+}
+
+impl FlatNet {
+    /// Flattens a network with precomputed levels into CSR form.
+    ///
+    /// The network must be in subject-graph form (NAND2/INV plus sources);
+    /// `levels` must be the network's own [`crate::Levels`].
+    pub fn build(net: &Network, levels: &crate::Levels) -> FlatNet {
+        let n = net.num_nodes();
+        let mut kind = Vec::with_capacity(n);
+        let mut fanin_off = Vec::with_capacity(n + 1);
+        let mut fanout_off = Vec::with_capacity(n + 1);
+        let mut num_fanin = 0u32;
+        let mut num_fanout = 0u32;
+        fanin_off.push(0);
+        fanout_off.push(0);
+        for id in net.node_ids() {
+            let node = net.node(id);
+            kind.push(kind_of(node.func()));
+            num_fanin += node.fanins().len() as u32;
+            num_fanout += node.fanouts().len() as u32;
+            fanin_off.push(num_fanin);
+            fanout_off.push(num_fanout);
+        }
+        let mut fanin = Vec::with_capacity(num_fanin as usize);
+        let mut fanout = Vec::with_capacity(num_fanout as usize);
+        for id in net.node_ids() {
+            let node = net.node(id);
+            fanin.extend_from_slice(node.fanins());
+            fanout.extend_from_slice(node.fanouts());
+        }
+        let mut level_off = Vec::with_capacity(levels.num_levels() + 1);
+        let mut level_nodes = Vec::with_capacity(n);
+        level_off.push(0);
+        for group in levels.groups() {
+            level_nodes.extend_from_slice(group);
+            level_off.push(level_nodes.len() as u32);
+        }
+        FlatNet {
+            kind,
+            level: levels.as_slice().to_vec(),
+            fanin_off,
+            fanin,
+            fanout_off,
+            fanout,
+            level_off,
+            level_nodes,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.kind.len()
+    }
+
+    /// Kind code of a node (`KIND_SOURCE` / `KIND_INV` / `KIND_NAND`).
+    #[inline]
+    pub fn kind(&self, id: NodeId) -> u8 {
+        self.kind[id.index()]
+    }
+
+    /// Per-node kind codes, indexed by [`NodeId::index`].
+    #[inline]
+    pub fn kinds(&self) -> &[u8] {
+        &self.kind
+    }
+
+    /// True for NAND and inverter nodes.
+    #[inline]
+    pub fn is_gate(&self, id: NodeId) -> bool {
+        self.kind[id.index()] != KIND_SOURCE
+    }
+
+    /// Topological level of a node (sources at 0).
+    #[inline]
+    pub fn level(&self, id: NodeId) -> u32 {
+        self.level[id.index()]
+    }
+
+    /// Fanins of a node, in the network's fanin order.
+    #[inline]
+    pub fn fanins(&self, id: NodeId) -> &[NodeId] {
+        let i = id.index();
+        &self.fanin[self.fanin_off[i] as usize..self.fanin_off[i + 1] as usize]
+    }
+
+    /// Fanout edges of a node — one entry per consuming edge, exactly
+    /// mirroring [`crate::Node::fanouts`].
+    #[inline]
+    pub fn fanouts(&self, id: NodeId) -> &[NodeId] {
+        let i = id.index();
+        &self.fanout[self.fanout_off[i] as usize..self.fanout_off[i + 1] as usize]
+    }
+
+    /// Number of fanout edges of a node.
+    #[inline]
+    pub fn fanout_count(&self, id: NodeId) -> usize {
+        let i = id.index();
+        (self.fanout_off[i + 1] - self.fanout_off[i]) as usize
+    }
+
+    /// Number of distinct levels.
+    #[inline]
+    pub fn num_levels(&self) -> usize {
+        self.level_off.len() - 1
+    }
+
+    /// The nodes of level `l`, ascending by id.
+    #[inline]
+    pub fn level_group(&self, l: usize) -> &[NodeId] {
+        &self.level_nodes[self.level_off[l] as usize..self.level_off[l + 1] as usize]
+    }
+
+    /// All nodes in level order — a topological order of the graph.
+    #[inline]
+    pub fn topo_order(&self) -> &[NodeId] {
+        &self.level_nodes
+    }
+}
+
+impl crate::fingerprint::ConeView for FlatNet {
+    #[inline]
+    fn cone_num_nodes(&self) -> usize {
+        self.num_nodes()
+    }
+
+    #[inline]
+    fn cone_kind(&self, id: NodeId) -> u8 {
+        self.kind(id)
+    }
+
+    #[inline]
+    fn cone_fanins(&self, id: NodeId) -> &[NodeId] {
+        self.fanins(id)
+    }
+
+    #[inline]
+    fn cone_fanout_count(&self, id: NodeId) -> usize {
+        self.fanout_count(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::{extract_cone, ConeScratch, ConeSpec};
+    use crate::{Network, NodeFn, SubjectGraph};
+
+    fn sample_subject() -> SubjectGraph {
+        let mut net = Network::new("flat");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let g = net.add_node(NodeFn::Xor, vec![a, b]).unwrap();
+        let h = net.add_node(NodeFn::And, vec![g, c]).unwrap();
+        let q = net.add_node(NodeFn::Latch, vec![h]).unwrap();
+        let k = net.add_node(NodeFn::Or, vec![q, a]).unwrap();
+        net.add_output("f", h);
+        net.add_output("s", k);
+        SubjectGraph::from_network(&net).unwrap()
+    }
+
+    #[test]
+    fn flat_view_round_trips_the_network() {
+        let subject = sample_subject();
+        let net = subject.network();
+        let flat = subject.flat();
+        assert_eq!(flat.num_nodes(), net.num_nodes());
+        let mut topo_seen = 0usize;
+        for id in net.node_ids() {
+            let node = net.node(id);
+            assert_eq!(flat.kind(id), kind_of(node.func()), "kind of {id}");
+            assert_eq!(flat.level(id), subject.level(id), "level of {id}");
+            assert_eq!(flat.fanins(id), node.fanins(), "fanins of {id}");
+            assert_eq!(flat.fanouts(id), node.fanouts(), "fanout edges of {id}");
+            assert_eq!(flat.fanout_count(id), node.fanouts().len());
+            topo_seen += 1;
+        }
+        assert_eq!(flat.topo_order().len(), topo_seen);
+        assert_eq!(flat.num_levels(), subject.levels().num_levels());
+        for l in 0..flat.num_levels() {
+            assert_eq!(flat.level_group(l), subject.levels().group(l), "level {l}");
+        }
+    }
+
+    #[test]
+    fn cone_extraction_agrees_between_views() {
+        let subject = sample_subject();
+        let net = subject.network();
+        let flat = subject.flat();
+        let mut s1 = ConeScratch::new();
+        let mut s2 = ConeScratch::new();
+        for record_fanouts in [false, true] {
+            let spec = ConeSpec {
+                max_depth: 3,
+                record_fanouts,
+                fanout_cap: 4,
+            };
+            for id in net.node_ids() {
+                extract_cone(net, id, spec, &mut s1);
+                extract_cone(flat, id, spec, &mut s2);
+                assert_eq!(s1.key(), s2.key(), "cone key of {id}");
+                assert_eq!(s1.locals(), s2.locals(), "cone locals of {id}");
+            }
+        }
+    }
+}

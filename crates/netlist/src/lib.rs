@@ -45,6 +45,7 @@ pub mod aiger;
 pub mod blif;
 mod error;
 pub mod fingerprint;
+mod flat;
 mod id;
 mod levels;
 mod logic;
@@ -56,6 +57,7 @@ pub mod sta;
 mod subject;
 
 pub use error::NetlistError;
+pub use flat::{FlatNet, KIND_INV, KIND_NAND, KIND_SOURCE};
 pub use id::NodeId;
 pub use levels::Levels;
 pub use logic::NodeFn;

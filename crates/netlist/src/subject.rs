@@ -79,6 +79,7 @@ pub struct SubjectGraph {
     net: Network,
     levels: crate::Levels,
     shape_class: Vec<u8>,
+    flat: crate::FlatNet,
 }
 
 #[derive(PartialEq, Eq, Hash)]
@@ -443,10 +444,15 @@ impl SubjectGraph {
             let _s = dagmap_obs::span("decompose.shapes");
             crate::fingerprint::shape_classes(&net)
         };
+        let flat = {
+            let _s = dagmap_obs::span("decompose.flatten");
+            crate::FlatNet::build(&net, &levels)
+        };
         let subject = SubjectGraph {
             net,
             levels,
             shape_class,
+            flat,
         };
         if dagmap_obs::enabled() {
             dagmap_obs::count("decompose.gates", subject.num_gates() as u64);
@@ -596,6 +602,12 @@ impl SubjectGraph {
     /// level — the wavefronts a level-synchronized labeling pass iterates.
     pub fn levels(&self) -> &crate::Levels {
         &self.levels
+    }
+
+    /// The flat CSR view of the subject graph — the representation the
+    /// labeling and matching hot paths traverse (see [`crate::FlatNet`]).
+    pub fn flat(&self) -> &crate::FlatNet {
+        &self.flat
     }
 
     /// Unit-delay depth: the maximum level over primary-output drivers and

@@ -183,8 +183,11 @@ impl LocalBuf {
     }
 }
 
-/// Wrapper whose `Drop` stitches the buffer into the collector — this is
-/// what makes scoped worker threads flush automatically at join.
+/// Wrapper whose `Drop` stitches the buffer into the collector — the
+/// backstop that flushes exiting threads. Note that `std::thread::scope`
+/// joins when the closure returns, which can be *before* this destructor
+/// runs; workers that must not lose events call [`flush_thread`] at the
+/// end of their closure.
 struct StitchOnDrop(RefCell<LocalBuf>);
 
 impl Drop for StitchOnDrop {
@@ -513,9 +516,14 @@ mod tests {
         std::thread::scope(|scope| {
             for w in 0..3 {
                 scope.spawn(move || {
-                    let mut s = span("worker");
-                    s.set_u64("w", w);
-                    count("worker.events", 1);
+                    {
+                        let mut s = span("worker");
+                        s.set_u64("w", w);
+                        count("worker.events", 1);
+                    }
+                    // `scope` only waits for the closure, not for TLS
+                    // destructors, so flush deterministically before join.
+                    flush_thread();
                 });
             }
         });

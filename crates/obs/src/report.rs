@@ -274,6 +274,8 @@ fn render_match_kernel(trace: &Trace, out: &mut String) {
     let pruned = trace.counter("match.pruned");
     let lookups = trace.counter("match.memo_lookups");
     let hits = trace.counter("match.memo_hits");
+    let words = trace.counter("match.words");
+    let bits = trace.counter("match.candidate_bits");
     if enumerated == 0 && pruned == 0 && lookups == 0 {
         return;
     }
@@ -292,6 +294,13 @@ fn render_match_kernel(trace: &Trace, out: &mut String) {
         "  candidates pruned       {pruned:>12}  ({:.1}% of considered)",
         pct(pruned, pruned + enumerated)
     );
+    if words > 0 {
+        let _ = writeln!(
+            out,
+            "  candidate words         {words:>12}  (batch occupancy {:.1}%, {bits} live bits)",
+            pct(bits, words * 64)
+        );
+    }
     if lookups > 0 {
         let _ = writeln!(
             out,
@@ -451,6 +460,8 @@ mod tests {
             crate::count("match.pruned", 50);
             crate::count("match.memo_lookups", 100);
             crate::count("match.memo_hits", 80);
+            crate::count("match.words", 32);
+            crate::count("match.candidate_bits", 512);
             crate::sample("match.per_node", 4);
         }
         session.finish()
@@ -486,6 +497,8 @@ mod tests {
         assert!(text.contains("total 60 nodes"));
         assert!(text.contains("match kernel"));
         assert!(text.contains("(20.0% of considered)"), "{text}");
+        // 512 live bits over 32 words = 25% batch occupancy.
+        assert!(text.contains("batch occupancy 25.0%"), "{text}");
         assert!(text.contains("80.0%"), "memo hit rate: {text}");
         assert!(text.contains("match.per_node"));
     }

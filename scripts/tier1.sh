@@ -10,10 +10,17 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test -q --offline --workspace
 
-# Smoke-run the labeling micro-bench: asserts parallel == serial labels and
-# writes BENCH_label.json (quick mode keeps this to a couple of seconds).
+# Smoke-run the labeling micro-bench: asserts parallel == serial labels
+# (the flat CSR kernel against itself across thread resolutions), asserts
+# the steady-state zero-allocation contract via the binary's counting
+# allocator, and writes BENCH_label.json (quick mode keeps this to a
+# couple of seconds).
 DAGMAP_BENCH_QUICK=1 cargo run -q --release --offline -p dagmap-bench --bin labelperf -- \
   --quick --out target/BENCH_label_smoke.json
+# Belt-and-braces on the two contracts the binary asserts internally:
+# every row metered zero mid-wave allocations and stayed bit-identical.
+grep -q '"all_identical": true' target/BENCH_label_smoke.json
+! grep -q '"wave_allocs": [^0]' target/BENCH_label_smoke.json
 
 # Smoke-run the match-acceleration micro-bench: asserts labels and mapped
 # BLIF are bit-identical with the fingerprint index and the cone-class memo

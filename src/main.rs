@@ -432,8 +432,17 @@ fn cmd_map(args: &[String]) -> CmdResult {
         } else {
             String::new()
         };
+        let kernel = if report.match_words > 0 {
+            format!(
+                ", {} words ({:.1}% occupancy)",
+                report.match_words,
+                100.0 * report.match_candidate_bits as f64 / (report.match_words * 64) as f64
+            )
+        } else {
+            String::new()
+        };
         println!(
-            "matching: {} enumerated, {} candidates pruned{memo}",
+            "matching: {} enumerated, {} candidates pruned{kernel}{memo}",
             report.matches_enumerated, report.matches_pruned
         );
         print_phases(&report);
