@@ -200,6 +200,9 @@ fn main() {
     let _ = writeln!(json, "  \"hardware_threads\": {available},");
     let _ = writeln!(json, "  \"parallel_threads\": {threads},");
     let _ = writeln!(json, "  \"threads_used\": {threads_used},");
+    // False on 1-CPU hosts where the engine declines the worker pool; lets
+    // consumers (tier1.sh) skip the speedup assertion instead of failing it.
+    let _ = writeln!(json, "  \"parallel_engaged\": {},", threads_used > 1);
     let _ = writeln!(json, "  \"reps\": {reps},");
     let _ = writeln!(json, "  \"all_identical\": {all_identical},");
     json.push_str("  \"circuits\": [\n");

@@ -1,0 +1,308 @@
+//! Traffic-driven latency benchmark for the `dagmap serve` daemon.
+//!
+//! Starts an in-process server on a temp unix socket serving two libraries,
+//! replays a seeded hot-set-skewed request stream (see
+//! `dagmap_benchgen::request_stream`) from several pipelined client
+//! connections, and reports throughput, server-side latency percentiles and
+//! shared-cache effectiveness to `BENCH_serve.json`.
+//!
+//! Usage: `serveperf [--quick] [--requests N] [--clients N] [--workers N]
+//! [--out PATH]`
+//!
+//! Invariants asserted every run:
+//! * zero error frames and zero busy rejects (admission is unlimited here),
+//! * the cross-request memo serves hits (> 0) on the repeated circuits,
+//! * a spot check of one reply per distinct (circuit, library) pair is
+//!   byte-identical to a one-shot `Mapper::map` of the same BLIF text.
+
+#[cfg(unix)]
+mod imp {
+    use std::collections::BTreeMap;
+    use std::fmt::Write as _;
+    use std::path::PathBuf;
+    use std::time::Instant;
+
+    use dagmap_benchgen::{request_stream, RequestStreamSpec};
+    use dagmap_core::{MapOptions, Mapper};
+    use dagmap_genlib::Library;
+    use dagmap_netlist::{blif, SubjectGraph};
+    use dagmap_serve::{map_request, Client, Endpoint, Endpoints, MapCall, ServeConfig, Server};
+
+    /// Max in-flight frames per client connection before reading replies.
+    const PIPELINE_WINDOW: usize = 16;
+
+    struct Args {
+        quick: bool,
+        requests: Option<usize>,
+        clients: usize,
+        workers: Option<usize>,
+        out: String,
+    }
+
+    fn parse_args() -> Args {
+        let mut parsed = Args {
+            quick: false,
+            requests: None,
+            clients: 4,
+            workers: None,
+            out: String::from("BENCH_serve.json"),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            let mut num = |flag: &str| {
+                args.next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| panic!("{flag} needs a positive integer"))
+            };
+            match a.as_str() {
+                "--quick" => parsed.quick = true,
+                "--requests" => parsed.requests = Some(num("--requests")),
+                "--clients" => parsed.clients = num("--clients").max(1),
+                "--workers" => parsed.workers = Some(num("--workers").max(1)),
+                "--out" => parsed.out = args.next().expect("--out needs a path"),
+                other => panic!("unknown argument `{other}`"),
+            }
+        }
+        parsed
+    }
+
+    pub fn main() {
+        let args = parse_args();
+        let libraries = vec![Library::lib2_like(), Library::lib_44_3_like()];
+        let lib_names: Vec<String> = libraries.iter().map(|l| l.name().to_owned()).collect();
+        let num_requests = args
+            .requests
+            .unwrap_or(if args.quick { 120 } else { 1000 });
+        let spec = RequestStreamSpec {
+            num_requests,
+            num_libs: libraries.len(),
+            ..RequestStreamSpec::default()
+        };
+        let stream = request_stream(&spec);
+        let repeats = stream.iter().filter(|r| r.repeat).count();
+
+        let workers = args.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        });
+        let config = ServeConfig {
+            workers,
+            // Unlimited admission: this bench measures the mapping pipeline,
+            // not the backpressure path, and asserts zero busy rejects.
+            max_inflight: 0,
+            ..ServeConfig::default()
+        };
+        let socket = PathBuf::from(std::env::temp_dir()).join(format!(
+            "dagmap-serveperf-{}.sock",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&socket);
+        let endpoints = Endpoints {
+            unix: Some(socket.clone()),
+            ..Endpoints::default()
+        };
+
+        println!(
+            "serveperf: {} requests ({} repeats) over {} libraries, {} workers, {} clients",
+            stream.len(),
+            repeats,
+            libraries.len(),
+            workers,
+            args.clients
+        );
+
+        // Global obs session: workers flush per-request latency samples into
+        // it; finished only after the server fully drains.
+        let session = dagmap_obs::start();
+        let server = Server::start(&config, libraries.clone(), &endpoints).expect("server starts");
+        let endpoint = Endpoint::Unix(socket.clone());
+
+        // Partition the stream round-robin across client threads. Each
+        // client pipelines up to PIPELINE_WINDOW frames and keeps the first
+        // reply BLIF per distinct (circuit, lib) pair for the bit-identity
+        // spot check.
+        let t0 = Instant::now();
+        let replies: Vec<(BTreeMap<(String, usize), String>, usize)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..args.clients)
+                .map(|c| {
+                    let my: Vec<_> = stream
+                        .iter()
+                        .skip(c)
+                        .step_by(args.clients)
+                        .cloned()
+                        .collect();
+                    let endpoint = endpoint.clone();
+                    let lib_names = &lib_names;
+                    s.spawn(move || {
+                        let mut client = Client::connect(&endpoint).expect("client connects");
+                        let mut kept: BTreeMap<(String, usize), String> = BTreeMap::new();
+                        let mut errors = 0usize;
+                        let mut outstanding: Vec<(String, usize)> = Vec::new();
+                        let drain =
+                            |client: &mut Client,
+                             outstanding: &mut Vec<(String, usize)>,
+                             kept: &mut BTreeMap<(String, usize), String>,
+                             errors: &mut usize| {
+                                let (circuit, lib_index) = outstanding.remove(0);
+                                let reply = client.recv().expect("reply");
+                                if reply.get("error").is_some() {
+                                    *errors += 1;
+                                    return;
+                                }
+                                kept.entry((circuit, lib_index)).or_insert_with(|| {
+                                    reply
+                                        .get("blif")
+                                        .and_then(|b| b.as_str())
+                                        .expect("ok reply carries blif")
+                                        .to_owned()
+                                });
+                            };
+                        for req in &my {
+                            if outstanding.len() >= PIPELINE_WINDOW {
+                                drain(&mut client, &mut outstanding, &mut kept, &mut errors);
+                            }
+                            let payload = map_request(
+                                &req.blif,
+                                &MapCall {
+                                    lib: Some(&lib_names[req.lib_index]),
+                                    ..MapCall::default()
+                                },
+                            );
+                            client.send(&payload).expect("send");
+                            outstanding.push((req.circuit.clone(), req.lib_index));
+                        }
+                        while !outstanding.is_empty() {
+                            drain(&mut client, &mut outstanding, &mut kept, &mut errors);
+                        }
+                        (kept, errors)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let wall_s = t0.elapsed().as_secs_f64();
+        let client_errors: usize = replies.iter().map(|(_, e)| *e).sum();
+
+        // Server-side counters before shutdown.
+        let mut control = Client::connect(&endpoint).expect("control client");
+        let stats = control.stats().expect("stats");
+        let stat = |path: &[&str]| -> f64 {
+            let mut v = &stats;
+            for key in path {
+                v = v.get(key).unwrap_or(&dagmap_obs::json::Value::Null);
+            }
+            v.as_num().unwrap_or(0.0)
+        };
+        let served = stat(&["requests"]);
+        let busy = stat(&["busy_rejects"]);
+        let server_errors = stat(&["errors"]);
+        let memo_hits = stat(&["memo", "hits"]);
+        let memo_misses = stat(&["memo", "misses"]);
+        let hit_rate = if memo_hits + memo_misses > 0.0 {
+            memo_hits / (memo_hits + memo_misses)
+        } else {
+            0.0
+        };
+        control.shutdown().expect("shutdown ack");
+        server.wait().expect("clean drain");
+        let trace = session.finish();
+
+        // Bit-identity spot check: one served reply per distinct
+        // (circuit, lib) pair vs a one-shot mapping of the same BLIF text.
+        let mut checked = 0usize;
+        let mut identical = true;
+        let mut seen_pairs: BTreeMap<(String, usize), String> = BTreeMap::new();
+        for (kept, _) in &replies {
+            for (key, blif_text) in kept {
+                seen_pairs.entry(key.clone()).or_insert_with(|| blif_text.clone());
+            }
+        }
+        for ((circuit, lib_index), served_blif) in &seen_pairs {
+            let req = stream
+                .iter()
+                .find(|r| &r.circuit == circuit && r.lib_index == *lib_index)
+                .expect("pair came from the stream");
+            let net = blif::parse(&req.blif).expect("stream blif parses");
+            let subject = SubjectGraph::from_network(&net).expect("decomposes");
+            let mapped = Mapper::new(&libraries[*lib_index])
+                .map(&subject, MapOptions::dag())
+                .expect("one-shot maps");
+            let reference =
+                blif::to_string(&mapped.to_network().expect("netlist exports")).expect("blif");
+            checked += 1;
+            if *served_blif != reference {
+                identical = false;
+                eprintln!("MISMATCH: {circuit} under {}", lib_names[*lib_index]);
+            }
+        }
+
+        let hist = trace.histograms.get("serve.latency_us");
+        let (p50, p95, p99) = hist.map_or((0, 0, 0), |h| {
+            (
+                h.quantile_upper(0.5),
+                h.quantile_upper(0.95),
+                h.quantile_upper(0.99),
+            )
+        });
+        let throughput = stream.len() as f64 / wall_s;
+        println!(
+            "  {:.1} req/s over {:.2} s; latency p50 <= {} us, p95 <= {} us, p99 <= {} us",
+            throughput, wall_s, p50, p95, p99
+        );
+        println!(
+            "  memo: {memo_hits:.0} hits / {memo_misses:.0} misses (hit rate {:.1}%); \
+             errors {server_errors:.0}, busy {busy:.0}; bit-identity {checked} pairs identical={identical}",
+            hit_rate * 100.0
+        );
+
+        let mut json = String::new();
+        json.push_str("{\n");
+        let _ = writeln!(json, "  \"bench\": \"serveperf\",");
+        let _ = writeln!(json, "  \"quick\": {},", args.quick);
+        let _ = writeln!(json, "  \"requests\": {},", stream.len());
+        let _ = writeln!(json, "  \"repeats\": {repeats},");
+        let _ = writeln!(
+            json,
+            "  \"libraries\": [{}],",
+            lib_names
+                .iter()
+                .map(|n| format!("\"{n}\""))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let _ = writeln!(json, "  \"workers\": {workers},");
+        let _ = writeln!(json, "  \"clients\": {},", args.clients);
+        let _ = writeln!(json, "  \"pipeline_window\": {PIPELINE_WINDOW},");
+        let _ = writeln!(json, "  \"wall_s\": {wall_s:.6},");
+        let _ = writeln!(json, "  \"throughput_rps\": {throughput:.2},");
+        let _ = writeln!(json, "  \"latency_us\": {{\"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}}},");
+        let _ = writeln!(
+            json,
+            "  \"memo\": {{\"hits\": {memo_hits:.0}, \"misses\": {memo_misses:.0}, \"hit_rate\": {hit_rate:.4}}},"
+        );
+        let _ = writeln!(json, "  \"served\": {served:.0},");
+        let _ = writeln!(json, "  \"errors\": {:.0},", server_errors);
+        let _ = writeln!(json, "  \"busy_rejects\": {busy:.0},");
+        let _ = writeln!(json, "  \"bit_identity_pairs\": {checked},");
+        let _ = writeln!(json, "  \"bit_identical\": {identical}");
+        json.push_str("}\n");
+        std::fs::write(&args.out, &json).expect("write BENCH_serve.json");
+        println!("wrote {}", args.out);
+
+        assert_eq!(client_errors, 0, "client observed error frames");
+        assert_eq!(server_errors as u64, 0, "server counted error frames");
+        assert_eq!(busy as u64, 0, "unexpected busy rejects with unlimited admission");
+        assert_eq!(served as usize, stream.len(), "server served every request");
+        assert!(memo_hits > 0.0, "repeated circuits produced no memo hits");
+        assert!(checked > 0 && identical, "served BLIF diverged from one-shot mapping");
+    }
+}
+
+#[cfg(unix)]
+fn main() {
+    imp::main();
+}
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("serveperf requires unix sockets; skipping");
+}

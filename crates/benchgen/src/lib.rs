@@ -30,6 +30,7 @@ mod arith;
 mod iscas;
 mod misc;
 mod random;
+mod requests;
 mod seq;
 
 pub use alu::{alu, alu_into};
@@ -40,6 +41,7 @@ pub use arith::{
 pub use iscas::{c2670_like, c3540_like, c5315_like, c6288_like, c7552_like, iscas_suite};
 pub use misc::{barrel_shifter, decoder, mux_tree, parity_tree, priority_encoder};
 pub use random::{random_network, random_network_with, RandomNetSpec};
+pub use requests::{request_stream, RequestStreamSpec, ServeRequest};
 pub use seq::{
     accumulator, counter, fsm, lfsr, random_sequential, s208_like, s27_like, s344_like,
     shift_register, RandomSeqSpec,

@@ -4,6 +4,7 @@ use std::sync::{Barrier, Mutex, RwLock};
 use dagmap_genlib::{GateId, Library, PatternId};
 use dagmap_match::{
     Match, MatchConfig, MatchMode, MatchScratch, MatchStats, MatchStore, MatchView, Matcher,
+    SharedMatchStore,
 };
 use dagmap_netlist::{FlatNet, NodeFn, NodeId, SubjectGraph, KIND_SOURCE};
 
@@ -285,6 +286,15 @@ impl SelectionArena {
     }
 }
 
+/// Where one node's enumeration is memoized: a run-private [`MatchStore`]
+/// (the one-shot CLI path) or a cross-request [`SharedMatchStore`] (the
+/// serve daemon's warm per-library cache). The match callback sequence is
+/// identical either way, so the choice never changes a label.
+enum Memo<'a> {
+    Local(&'a mut MatchStore),
+    Shared(&'a SharedMatchStore),
+}
+
 /// The per-node step of the dynamic program: enumerate matches rooted at
 /// `id` through `scratch` and keep the winner in `chosen` (left unset when
 /// no pattern matches).
@@ -301,18 +311,18 @@ fn evaluate_node(
     area_flow: &[f64],
     id: NodeId,
     scratch: &mut MatchScratch,
-    store: &mut MatchStore,
+    memo: &mut Memo<'_>,
     chosen: &mut ChosenBuf,
 ) -> MatchStats {
     let flat = subject.flat();
     let library = matcher.library();
     chosen.clear();
-    // `for_each_match_via` replays memoized cone classes when the matcher's
-    // resolved memo policy enables the store and falls back to direct
+    // Both memo flavors replay memoized cone classes when the matcher's
+    // resolved memo policy enables the store and fall back to direct
     // (possibly indexed) enumeration otherwise; the callback sequence is
     // identical either way, so the incumbent-keeping tie-breaks below
     // select the same match.
-    matcher.for_each_match_via(subject, id, mode, scratch, store, &mut |mv| {
+    let mut on_match = |mv: MatchView<'_>| {
         let t = arrival_of_leaves(library, arrival, mv.gate, mv.leaves);
         let af = area_of_leaves(flat, library, area_flow, mv.gate, mv.leaves, mode);
         let pins = mv.leaves.len();
@@ -337,7 +347,15 @@ fn evaluate_node(
         if better {
             chosen.keep(t, af, &mv);
         }
-    })
+    };
+    match memo {
+        Memo::Local(store) => {
+            matcher.for_each_match_via(subject, id, mode, scratch, store, &mut on_match)
+        }
+        Memo::Shared(shared) => {
+            matcher.for_each_match_shared(subject, id, mode, scratch, shared, &mut on_match)
+        }
+    }
 }
 
 /// Runs the labeling pass serially (one thread, no wavefront machinery).
@@ -451,12 +469,44 @@ pub fn label_with_config(
         obs_span.set_u64("mappable", mappable as u64);
     }
     let result = if nt == 1 {
-        label_serial(subject, library, mode, objective, config)
+        label_serial(subject, library, mode, objective, config, None)
     } else {
         label_parallel(subject, library, mode, objective, nt, config)
     };
+    record_label_counts(mappable, &result);
+    result
+}
+
+/// [`label_with_config`] variant memoizing through a cross-request
+/// [`SharedMatchStore`] instead of a run-private store — the serve
+/// daemon's path. Always serial: the daemon's parallelism is *across*
+/// requests (one worker per request), so per-request wavefront workers
+/// would only fight those workers for cores. Labels are bit-identical to
+/// every other configuration; only the memo counters differ.
+pub fn label_with_shared_store(
+    subject: &SubjectGraph,
+    library: &Library,
+    mode: MatchMode,
+    objective: Objective,
+    config: MatchConfig,
+    shared: &SharedMatchStore,
+) -> Result<Labels, MapError> {
+    let flat = subject.flat();
+    let mappable = flat.kinds().iter().filter(|&&k| k != KIND_SOURCE).count();
+    let mut obs_span = dagmap_obs::span("label");
+    if obs_span.is_recording() {
+        obs_span.set_u64("threads", 1);
+        obs_span.set_u64("levels", flat.num_levels() as u64);
+        obs_span.set_u64("mappable", mappable as u64);
+    }
+    let result = label_serial(subject, library, mode, objective, config, Some(shared));
+    record_label_counts(mappable, &result);
+    result
+}
+
+fn record_label_counts(mappable: usize, result: &Result<Labels, MapError>) {
     if dagmap_obs::enabled() {
-        if let Ok(labels) = &result {
+        if let Ok(labels) = result {
             dagmap_obs::count("label.nodes", mappable as u64);
             dagmap_obs::count("match.enumerated", labels.matches_enumerated as u64);
             dagmap_obs::count("match.pruned", labels.matches_pruned as u64);
@@ -466,7 +516,6 @@ pub fn label_with_config(
             dagmap_obs::count("match.candidate_bits", labels.match_candidate_bits as u64);
         }
     }
-    result
 }
 
 /// Mappable-node count of one level group (the `nodes` argument of the
@@ -481,6 +530,7 @@ fn label_serial(
     mode: MatchMode,
     objective: Objective,
     config: MatchConfig,
+    shared: Option<&SharedMatchStore>,
 ) -> Result<Labels, MapError> {
     let flat = subject.flat();
     let n = flat.num_nodes();
@@ -492,6 +542,10 @@ fn label_serial(
     let mut scratch = MatchScratch::new();
     scratch.prepare(library, n);
     let mut store = MatchStore::for_library(library);
+    let mut memo = match shared {
+        Some(s) => Memo::Shared(s),
+        None => Memo::Local(&mut store),
+    };
     let mut chosen = ChosenBuf::new(library);
     let metering = allocmeter::installed();
     let mut wave_allocs: Vec<usize> =
@@ -519,7 +573,7 @@ fn label_serial(
                 &area_flow,
                 id,
                 &mut scratch,
-                &mut store,
+                &mut memo,
                 &mut chosen,
             ));
             match chosen.sel {
@@ -669,6 +723,7 @@ fn label_parallel(
     let mut co_scratch = MatchScratch::new();
     co_scratch.prepare(library, n);
     let mut co_store = MatchStore::for_library(library);
+    let mut co_memo = Memo::Local(&mut co_store);
     let mut co_chosen = ChosenBuf::new(library);
     let metering = allocmeter::installed();
     let mut wave_allocs: Vec<usize> = Vec::with_capacity(if metering { num_levels } else { 0 });
@@ -689,6 +744,7 @@ fn label_parallel(
                 // worker, which costs a few extra cold enumerations but
                 // keeps the hot path lock-free.
                 let mut store = MatchStore::for_library(library);
+                let mut memo = Memo::Local(&mut store);
                 let mut chosen = ChosenBuf::new(library);
                 for l in 0..num_levels {
                     start.wait();
@@ -728,7 +784,7 @@ fn label_parallel(
                                 area_flow,
                                 id,
                                 &mut scratch,
-                                &mut store,
+                                &mut memo,
                                 &mut chosen,
                             );
                             lane.push(i as u32, id, &chosen, st);
@@ -779,7 +835,7 @@ fn label_parallel(
                             area_flow,
                             id,
                             &mut co_scratch,
-                            &mut co_store,
+                            &mut co_memo,
                             &mut co_chosen,
                         ));
                         match co_chosen.sel {

@@ -57,9 +57,9 @@ pub mod verify;
 pub mod verilog;
 
 pub use error::MapError;
-pub use label::{label_with, label_with_config, Labels};
+pub use label::{label_with, label_with_config, label_with_shared_store, Labels};
 pub use mapped::{Cell, GateKind, MappedNetlist, Signal};
 pub use mapper::{MapReport, Mapper};
 pub use options::{MapOptions, Objective};
 
-pub use dagmap_match::MatchMode;
+pub use dagmap_match::{MatchMode, SharedMatchStore};

@@ -1,10 +1,10 @@
 use std::time::Instant;
 
 use dagmap_genlib::Library;
-use dagmap_match::{MatchMode, MatchScratch, MatchStore, Matcher};
+use dagmap_match::{MatchMode, MatchScratch, MatchStore, Matcher, SharedMatchStore};
 use dagmap_netlist::SubjectGraph;
 
-use crate::label::{label, label_with_config, Labels};
+use crate::label::{label, label_with_config, label_with_shared_store, Labels};
 use crate::{area, cover, MapError, MapOptions, MappedNetlist};
 
 /// Statistics of one mapping run, for experiment tables.
@@ -129,6 +129,37 @@ impl<'a> Mapper<'a> {
         subject: &SubjectGraph,
         options: MapOptions,
     ) -> Result<(MappedNetlist, MapReport), MapError> {
+        self.map_with_report_inner(subject, options, None)
+    }
+
+    /// Like [`Mapper::map_with_report`], labeling through a cross-run
+    /// [`SharedMatchStore`] so repeated cone shapes are enumerated once per
+    /// library rather than once per mapping run.
+    ///
+    /// The labeling pass is always serial on this path — the intended caller
+    /// (the `dagmap serve` daemon) gets its parallelism across requests, not
+    /// within one. Area recovery keeps a run-local store. Results are
+    /// bit-identical to [`Mapper::map_with_report`] because shared-memo
+    /// replay preserves enumeration order exactly.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Mapper::map`].
+    pub fn map_with_report_shared(
+        &self,
+        subject: &SubjectGraph,
+        options: MapOptions,
+        shared: &SharedMatchStore,
+    ) -> Result<(MappedNetlist, MapReport), MapError> {
+        self.map_with_report_inner(subject, options, Some(shared))
+    }
+
+    fn map_with_report_inner(
+        &self,
+        subject: &SubjectGraph,
+        options: MapOptions,
+        shared: Option<&SharedMatchStore>,
+    ) -> Result<(MappedNetlist, MapReport), MapError> {
         if !self.library.is_delay_mappable() {
             return Err(MapError::UnmappableLibrary {
                 library: self.library.name().to_owned(),
@@ -139,16 +170,26 @@ impl<'a> Mapper<'a> {
             map_span.set_u64("nodes", subject.network().num_nodes() as u64);
         }
         let t0 = Instant::now();
-        // `label_with_config` opens its own "label" span (with the wave
-        // spans nested under it), so only the wall-clock is taken here.
-        let labels = label_with_config(
-            subject,
-            self.library,
-            options.match_mode,
-            options.objective,
-            options.num_threads,
-            options.match_config(),
-        )?;
+        // The labeling entry points open their own "label" span (with the
+        // wave spans nested under it), so only the wall-clock is taken here.
+        let labels = match shared {
+            Some(store) => label_with_shared_store(
+                subject,
+                self.library,
+                options.match_mode,
+                options.objective,
+                options.match_config(),
+                store,
+            )?,
+            None => label_with_config(
+                subject,
+                self.library,
+                options.match_mode,
+                options.objective,
+                options.num_threads,
+                options.match_config(),
+            )?,
+        };
         let label_seconds = t0.elapsed().as_secs_f64();
 
         let (mapped, cover_seconds) = dagmap_obs::timed("cover", || {
@@ -330,6 +371,36 @@ mod tests {
                     .unwrap()
             );
         }
+    }
+
+    #[test]
+    fn shared_store_mapping_is_bit_identical_to_local() {
+        let subject = figure2_subject();
+        let lib = Library::lib2_like();
+        let mapper = Mapper::new(&lib);
+        // Force the memo on: the serve daemon does the same, and lib2's small
+        // pattern set would otherwise resolve `MemoPolicy::Auto` to off.
+        let opts = MapOptions::dag().with_match_memo(true);
+        let (local, local_rep) = mapper.map_with_report(&subject, opts).unwrap();
+        let reference = local.to_network().unwrap();
+
+        let shared = SharedMatchStore::for_library(&lib, 4, 1024);
+        // Cold run populates the store; warm run replays it. Both must equal
+        // the local-store result exactly.
+        for _ in 0..2 {
+            let (mapped, rep) = mapper
+                .map_with_report_shared(&subject, opts, &shared)
+                .unwrap();
+            assert_eq!(rep.delay, local_rep.delay);
+            assert_eq!(rep.area, local_rep.area);
+            assert_eq!(rep.num_cells, local_rep.num_cells);
+            assert_eq!(rep.matches_enumerated, local_rep.matches_enumerated);
+            let lowered = mapped.to_network().unwrap();
+            assert!(
+                dagmap_netlist::sim::equivalent_random(&reference, &lowered, 16, 7).unwrap()
+            );
+        }
+        assert!(shared.hits() > 0, "warm run should replay shared classes");
     }
 
     #[test]

@@ -2,6 +2,7 @@ use dagmap_genlib::{GateId, Library, PatternGraph, PatternId, PatternNode, RootM
 use dagmap_netlist::fingerprint::{extract_cone, ConeScratch, ConeSpec};
 use dagmap_netlist::{FlatNet, NodeId, SubjectGraph, KIND_INV, KIND_NAND};
 
+use crate::shared::SharedMatchStore;
 use crate::store::{ClassId, MatchStore};
 
 /// Which match semantics to enforce (Definitions 1–3 of the paper).
@@ -573,6 +574,107 @@ impl<'a> Matcher<'a> {
                 leaves: &bufs.leaves_buf,
                 covered: &bufs.covered_buf,
             });
+        }
+        stats
+    }
+
+    /// Cross-request variant of [`Matcher::for_each_match_via`]: resolves
+    /// the node's cone class in a [`SharedMatchStore`] — probing the hot
+    /// generation, then the previous one (promoting on a hit), enumerating
+    /// fresh on a double miss — and replays the templates under the shard
+    /// lock. Falls back to direct enumeration when [`MatchConfig::memo`]
+    /// resolves off for this library. The callback sequence is identical
+    /// to the full scan in every case, so a daemon's mapped netlists are
+    /// byte-identical to the one-shot CLI's.
+    pub fn for_each_match_shared(
+        &self,
+        subject: &SubjectGraph,
+        node: NodeId,
+        mode: MatchMode,
+        scratch: &mut MatchScratch,
+        shared: &SharedMatchStore,
+        f: &mut dyn FnMut(MatchView<'_>),
+    ) -> MatchStats {
+        if !self.memo_on {
+            let stats = self.for_each_match_at(subject, node, mode, scratch, f);
+            dagmap_obs::sample("match.per_node", stats.enumerated as u64);
+            return stats;
+        }
+        shared.check_library(self.library);
+        let flat = subject.flat();
+        if !flat.is_gate(node) {
+            return MatchStats::default();
+        }
+        let spec = ConeSpec {
+            max_depth: shared.max_depth(),
+            record_fanouts: mode == MatchMode::Exact,
+            fanout_cap: shared.fanout_cap(),
+        };
+        let MatchScratch { bufs, cone } = scratch;
+        extract_cone(flat, node, spec, cone);
+        let level_cap = flat.level(node).min(shared.max_depth());
+        let mut stats = MatchStats {
+            memo_lookups: 1,
+            ..MatchStats::default()
+        };
+        let mut shard = shared.shard_for(mode, level_cap, cone.key());
+        let class = if let Some(class) = shard.current.probe(mode, level_cap, cone.key()) {
+            stats.memo_hits = 1;
+            shared.note_hit();
+            class
+        } else if let Some(old) = shard.prev.probe(mode, level_cap, cone.key()) {
+            // The missed probe staged the key in `current`; copy the aged
+            // class forward so it survives the next rotation.
+            let crate::shared::Shard { current, prev } = &mut *shard;
+            let class = current.copy_class_from(prev, old);
+            stats.memo_hits = 1;
+            shared.note_promotion();
+            class
+        } else {
+            let crate::shared::Shard { current, .. } = &mut *shard;
+            let class = current.begin_class();
+            let run = self.enumerate(subject, node, mode, bufs, &mut |mv| {
+                current.push_template(
+                    class,
+                    mv.gate,
+                    mv.pattern,
+                    mv.leaves
+                        .iter()
+                        .map(|&id| cone.local_of(id).expect("match leaf inside cone")),
+                    mv.covered
+                        .iter()
+                        .map(|&id| cone.local_of(id).expect("covered node inside cone")),
+                );
+            });
+            current.set_pruned(class, run.pruned);
+            shared.note_miss();
+            class
+        };
+        stats.enumerated = shard.current.num_templates(class);
+        stats.pruned = shard.current.pruned_of(class);
+        dagmap_obs::sample("match.per_node", stats.enumerated as u64);
+        let locals = cone.locals();
+        for t in shard.current.templates(class) {
+            bufs.leaves_buf.clear();
+            bufs.leaves_buf
+                .extend(t.leaves.iter().map(|&l| locals[l as usize]));
+            bufs.covered_buf.clear();
+            bufs.covered_buf
+                .extend(t.covered.iter().map(|&l| locals[l as usize]));
+            f(MatchView {
+                gate: t.gate,
+                pattern: t.pattern,
+                leaves: &bufs.leaves_buf,
+                covered: &bufs.covered_buf,
+            });
+        }
+        // Rotate after replay so the class just used is never dropped
+        // mid-call; the aged generation's classes are the eviction.
+        if shard.current.num_classes() >= shared.cap_per_shard() {
+            let fresh = shard.current.fresh_like();
+            let evicted = shard.prev.num_classes();
+            shard.prev = std::mem::replace(&mut shard.current, fresh);
+            shared.note_rotation(evicted);
         }
         stats
     }

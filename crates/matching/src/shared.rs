@@ -1,0 +1,407 @@
+//! A bounded, thread-safe cone-class store shared *across* mapping runs.
+//!
+//! A one-shot mapping owns its [`MatchStore`]; a long-lived daemon wants
+//! the opposite — one warm store per library that every request on every
+//! worker thread probes, so the thousandth request over a familiar circuit
+//! replays memoized enumerations instead of redoing the backtracking
+//! search. [`SharedMatchStore`] provides that with two properties a
+//! resident process needs:
+//!
+//! * **Sharded locking.** The store is `N` independently locked
+//!   [`MatchStore`] shards; a probe hashes its `(mode, capped level,
+//!   cone)` key first and locks only the owning shard, so concurrent
+//!   requests over disjoint cone classes never contend.
+//! * **Bounded memory (segmented LRU).** Each shard keeps two
+//!   *generations* — `current` and `prev`. Lookups probe `current`, then
+//!   `prev`; a `prev` hit *promotes* the class into `current` (copying
+//!   key + templates), and when `current` outgrows the shard's class cap
+//!   the generations rotate: `prev` is dropped (those classes were not
+//!   touched for a whole generation — the eviction), `current` becomes
+//!   `prev`, and a fresh `current` starts filling. Hot classes keep
+//!   getting promoted and never age out; cold ones fall off after two
+//!   rotations. Total resident classes are bounded by `2 × cap` per
+//!   shard.
+//!
+//! Bit-identity is inherited from [`MatchStore`]: replay preserves the
+//! recorded enumeration order exactly and keys are subject-graph
+//! independent, so a request's mapped netlist is byte-identical whether
+//! its cone classes were enumerated fresh, replayed from a warm shard, or
+//! promoted out of the previous generation. The differential tests in
+//! this module and the serve integration suite assert this.
+//!
+//! Counters: hits/misses/promotions/evictions are process atomics
+//! (surfaced by the daemon's `stats` op) and are also recorded through
+//! `dagmap_obs` as `serve.memo_hit` / `serve.memo_miss` /
+//! `serve.memo_evict` so per-request traces and the serveperf session see
+//! them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use dagmap_genlib::Library;
+
+use crate::matcher::MatchMode;
+use crate::store::{probe_hash, MatchStore};
+
+/// One generation pair; see the [module docs](self).
+pub(crate) struct Shard {
+    pub(crate) current: MatchStore,
+    pub(crate) prev: MatchStore,
+}
+
+/// A sharded, capacity-bounded [`MatchStore`] safe to share behind an
+/// `Arc` across worker threads. See the [module docs](self).
+pub struct SharedMatchStore {
+    shards: Vec<Mutex<Shard>>,
+    /// `shards.len() - 1`; the shard count is a power of two.
+    shard_mask: u64,
+    /// Class cap of one shard's `current` generation.
+    cap_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    promotions: AtomicU64,
+    evictions: AtomicU64,
+    rotations: AtomicU64,
+}
+
+impl std::fmt::Debug for SharedMatchStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedMatchStore")
+            .field("shards", &self.shards.len())
+            .field("cap_per_shard", &self.cap_per_shard)
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .field("evictions", &self.evictions())
+            .finish()
+    }
+}
+
+impl SharedMatchStore {
+    /// Default shard count: enough to keep a worker pool of a few dozen
+    /// threads off each other's locks without fragmenting the class space.
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// Creates a store for `library` with `shards` independently locked
+    /// shards (rounded up to a power of two, minimum 1) and a total class
+    /// budget of `max_classes` across all `current` generations. Resident
+    /// memory is bounded by twice that (both generations).
+    pub fn for_library(library: &Library, shards: usize, max_classes: usize) -> SharedMatchStore {
+        let shards = shards.max(1).next_power_of_two();
+        let cap_per_shard = (max_classes / shards).max(1);
+        let shard_vec = (0..shards)
+            .map(|_| {
+                Mutex::new(Shard {
+                    current: MatchStore::for_library(library),
+                    prev: MatchStore::for_library(library),
+                })
+            })
+            .collect();
+        SharedMatchStore {
+            shards: shard_vec,
+            shard_mask: (shards - 1) as u64,
+            cap_per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            rotations: AtomicU64::new(0),
+        }
+    }
+
+    /// Locks and returns the shard owning `(mode, level_cap, cone_key)`.
+    /// The key hash doubles as the shard selector (high bits — the low
+    /// bits index the per-shard hash map).
+    pub(crate) fn shard_for(
+        &self,
+        mode: MatchMode,
+        level_cap: u32,
+        cone_key: &[u32],
+    ) -> MutexGuard<'_, Shard> {
+        let h = probe_hash(mode, level_cap, cone_key);
+        let idx = ((h >> 48) ^ h) & self.shard_mask;
+        self.shards[idx as usize]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Class cap of one shard's `current` generation.
+    pub(crate) fn cap_per_shard(&self) -> usize {
+        self.cap_per_shard
+    }
+
+    /// Asserts the store was built for `library`.
+    pub fn check_library(&self, library: &Library) {
+        self.shards[0]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .current
+            .check_library(library);
+    }
+
+    /// The cone truncation depth (identical across shards).
+    pub(crate) fn max_depth(&self) -> u32 {
+        self.shards[0]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .current
+            .max_depth()
+    }
+
+    /// The fanout saturation bound recorded in exact-mode cone keys.
+    pub(crate) fn fanout_cap(&self) -> u32 {
+        self.shards[0]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .current
+            .fanout_cap()
+    }
+
+    pub(crate) fn note_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        dagmap_obs::count("serve.memo_hit", 1);
+    }
+
+    pub(crate) fn note_promotion(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.promotions.fetch_add(1, Ordering::Relaxed);
+        dagmap_obs::count("serve.memo_hit", 1);
+    }
+
+    pub(crate) fn note_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        dagmap_obs::count("serve.memo_miss", 1);
+    }
+
+    pub(crate) fn note_rotation(&self, evicted_classes: usize) {
+        self.rotations.fetch_add(1, Ordering::Relaxed);
+        self.evictions
+            .fetch_add(evicted_classes as u64, Ordering::Relaxed);
+        dagmap_obs::count("serve.memo_evict", evicted_classes as u64);
+    }
+
+    /// Cross-request lookups that replayed a stored class (including
+    /// promotions out of the previous generation).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that enumerated fresh.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Previous-generation hits copied forward into `current`.
+    pub fn promotions(&self) -> u64 {
+        self.promotions.load(Ordering::Relaxed)
+    }
+
+    /// Classes dropped by generation rotations so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Generation rotations performed across all shards.
+    pub fn rotations(&self) -> u64 {
+        self.rotations.load(Ordering::Relaxed)
+    }
+
+    /// Classes currently resident across both generations of every shard.
+    pub fn resident_classes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let g = s.lock().unwrap_or_else(|e| e.into_inner());
+                g.current.num_classes() + g.prev.num_classes()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::{MatchConfig, MatchScratch, Matcher, MemoPolicy};
+    use dagmap_genlib::Gate;
+    use dagmap_netlist::{Network, NodeFn, SubjectGraph};
+
+    fn rich_lib() -> Library {
+        let gates = [
+            ("inv", "!a"),
+            ("nand2", "!(a*b)"),
+            ("and2", "a*b"),
+            ("nand3", "!(a*b*c)"),
+            ("nand4", "!(a*b*c*d)"),
+            ("aoi21", "!(a*b+c)"),
+            ("xor2", "a*!b + !a*b"),
+        ];
+        Library::new(
+            "test",
+            gates
+                .iter()
+                .map(|(n, e)| Gate::uniform(*n, 1.0, "O", e, 1.0).expect("test gate"))
+                .collect(),
+        )
+        .expect("test library")
+    }
+
+    fn ladder(n: usize) -> SubjectGraph {
+        let mut net = Network::new("ladder");
+        let mut prev = net.add_input("x");
+        for i in 0..n {
+            let a = net.add_input(format!("a{i}"));
+            let g = net.add_node(NodeFn::Nand, vec![prev, a]).unwrap();
+            prev = net.add_node(NodeFn::Not, vec![g]).unwrap();
+        }
+        net.add_output("f", prev);
+        SubjectGraph::from_subject_network(net).expect("valid subject")
+    }
+
+    fn memo_on(lib: &Library) -> Matcher<'_> {
+        Matcher::with_config(
+            lib,
+            MatchConfig {
+                index: true,
+                memo: MemoPolicy::On,
+            },
+        )
+    }
+
+    #[test]
+    fn shared_replay_is_order_identical_to_direct_enumeration() {
+        let lib = rich_lib();
+        let matcher = memo_on(&lib);
+        let shared = SharedMatchStore::for_library(&lib, 4, 256);
+        let mut s_direct = MatchScratch::new();
+        let mut s_shared = MatchScratch::new();
+        for n in [3usize, 6] {
+            let subject = ladder(n);
+            for node in subject.network().node_ids() {
+                for mode in [MatchMode::Standard, MatchMode::Exact, MatchMode::Extended] {
+                    let mut direct = Vec::new();
+                    matcher.for_each_match_at(&subject, node, mode, &mut s_direct, &mut |mv| {
+                        direct.push(mv.to_match())
+                    });
+                    let mut via = Vec::new();
+                    matcher.for_each_match_shared(
+                        &subject,
+                        node,
+                        mode,
+                        &mut s_shared,
+                        &shared,
+                        &mut |mv| via.push(mv.to_match()),
+                    );
+                    assert_eq!(direct, via, "node {node:?} mode {mode:?}");
+                }
+            }
+        }
+        assert!(shared.hits() > 0, "isomorphic cones replayed across runs");
+    }
+
+    #[test]
+    fn concurrent_probes_stay_identical_to_serial_reference() {
+        let lib = rich_lib();
+        let matcher = memo_on(&lib);
+        let shared = SharedMatchStore::for_library(&lib, 2, 64);
+        let subject = ladder(8);
+        // Serial reference with a private store.
+        let reference: Vec<Vec<crate::Match>> = subject
+            .network()
+            .node_ids()
+            .map(|node| {
+                let mut scratch = MatchScratch::new();
+                let mut out = Vec::new();
+                matcher.for_each_match_at(
+                    &subject,
+                    node,
+                    MatchMode::Standard,
+                    &mut scratch,
+                    &mut |mv| out.push(mv.to_match()),
+                );
+                out
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let mut scratch = MatchScratch::new();
+                    for (i, node) in subject.network().node_ids().enumerate() {
+                        let mut got = Vec::new();
+                        matcher.for_each_match_shared(
+                            &subject,
+                            node,
+                            MatchMode::Standard,
+                            &mut scratch,
+                            &shared,
+                            &mut |mv| got.push(mv.to_match()),
+                        );
+                        assert_eq!(got, reference[i]);
+                    }
+                });
+            }
+        });
+        assert!(shared.hits() > 0);
+    }
+
+    #[test]
+    fn capacity_rotation_evicts_but_never_changes_results() {
+        let lib = rich_lib();
+        let matcher = memo_on(&lib);
+        // A tiny cap: every few classes force a rotation, so lookups keep
+        // cycling through miss → hit → promote → evict.
+        let shared = SharedMatchStore::for_library(&lib, 1, 2);
+        let subject = ladder(10);
+        let mut scratch = MatchScratch::new();
+        let mut reference = MatchScratch::new();
+        for _round in 0..3 {
+            for node in subject.network().node_ids() {
+                let mut via = Vec::new();
+                matcher.for_each_match_shared(
+                    &subject,
+                    node,
+                    MatchMode::Standard,
+                    &mut scratch,
+                    &shared,
+                    &mut |mv| via.push(mv.to_match()),
+                );
+                let mut direct = Vec::new();
+                matcher.for_each_match_at(
+                    &subject,
+                    node,
+                    MatchMode::Standard,
+                    &mut reference,
+                    &mut |mv| direct.push(mv.to_match()),
+                );
+                assert_eq!(via, direct);
+            }
+        }
+        assert!(shared.rotations() > 0, "cap 2 must force rotations");
+        assert!(shared.evictions() > 0, "rotations dropped aged classes");
+        // The bound holds: at most 2 generations × cap classes per shard.
+        assert!(shared.resident_classes() <= 2 * shared.cap_per_shard());
+    }
+
+    #[test]
+    fn promotion_keeps_hot_classes_across_rotations() {
+        let lib = rich_lib();
+        let matcher = memo_on(&lib);
+        let shared = SharedMatchStore::for_library(&lib, 1, 4);
+        let subject = ladder(12);
+        let mut scratch = MatchScratch::new();
+        for _ in 0..4 {
+            for node in subject.network().node_ids() {
+                matcher.for_each_match_shared(
+                    &subject,
+                    node,
+                    MatchMode::Standard,
+                    &mut scratch,
+                    &shared,
+                    &mut |_| {},
+                );
+            }
+        }
+        assert!(
+            shared.promotions() > 0,
+            "previous-generation hits were promoted"
+        );
+    }
+}

@@ -41,6 +41,21 @@ fn hash_key(words: &[u32]) -> u64 {
     h
 }
 
+/// The digest [`MatchStore::probe`] computes for a `(mode, capped level,
+/// cone)` key, streamed without materializing the key buffer. The sharded
+/// cross-request store uses it to pick a shard before locking one.
+pub(crate) fn probe_hash(mode: MatchMode, level_cap: u32, cone_key: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in [mode_code(mode), level_cap]
+        .into_iter()
+        .chain(cone_key.iter().copied())
+    {
+        h ^= u64::from(w);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
 /// The map key is already an FNV digest; feeding it through SipHash again
 /// would only burn cycles. This hasher passes the `u64` straight through.
 #[derive(Default)]
@@ -288,5 +303,57 @@ impl MatchStore {
     /// Records the pruned count of the recorded run of a class.
     pub(crate) fn set_pruned(&mut self, class: ClassId, pruned: usize) {
         self.class_pruned[class.index()] = u32::try_from(pruned).expect("pruned fits u32");
+    }
+
+    /// An empty store with the same library signature — what a shard of the
+    /// bounded cross-request store rotates in when a generation fills up.
+    pub(crate) fn fresh_like(&self) -> MatchStore {
+        MatchStore {
+            num_patterns: self.num_patterns,
+            num_gates: self.num_gates,
+            max_depth: self.max_depth,
+            fanout_cap: self.fanout_cap,
+            index: HashMap::default(),
+            class_key: Vec::new(),
+            key_data: Vec::new(),
+            class_tpl: Vec::new(),
+            class_pruned: Vec::new(),
+            templates: Vec::new(),
+            locals: Vec::new(),
+            key_buf: Vec::new(),
+            key_hash: 0,
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    /// Copies one whole class (key, templates, pruned count) out of
+    /// `other` into this store, opening it under the key of this store's
+    /// last *missed* [`MatchStore::probe`] — the promotion step of the
+    /// two-generation bounded store. The keys are equal by construction
+    /// (the caller probed both stores with the same key), so the copied
+    /// class replays exactly like the original recording.
+    pub(crate) fn copy_class_from(&mut self, other: &MatchStore, class: ClassId) -> ClassId {
+        debug_assert_eq!(
+            {
+                let (off, len) = other.class_key[class.index()];
+                &other.key_data[off as usize..(off + len) as usize]
+            },
+            &self.key_buf[..],
+            "promotion key must match the staged probe key"
+        );
+        let new = self.begin_class();
+        for t in other.templates(class) {
+            // Iterating `other` while pushing into `self`: disjoint stores.
+            self.push_template(
+                new,
+                t.gate,
+                t.pattern,
+                t.leaves.iter().copied(),
+                t.covered.iter().copied(),
+            );
+        }
+        self.set_pruned(new, other.pruned_of(class));
+        new
     }
 }

@@ -21,9 +21,18 @@
 //!   self/total time tree, per-level wavefront occupancy and match-kernel
 //!   hit rates.
 //!
+//! # Sessions
+//!
+//! Two session kinds share one recording fast path: the process-global
+//! [`Session`] ([`start`]) used by the CLI — strictly sequential, stitching
+//! every thread's buffer into one trace — and the thread-scoped
+//! [`ScopedSession`] ([`start_scoped`]) used by the serve daemon, which
+//! captures only what its owning thread records so concurrent requests
+//! produce disjoint traces.
+//!
 //! # Disabled cost
 //!
-//! Recording is off unless a [`Session`] is active. Every recording entry
+//! Recording is off unless a [`Session`] (global or scoped) is active. Every recording entry
 //! point starts with
 //!
 //! ```ignore
@@ -68,7 +77,7 @@ pub mod trace;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
@@ -84,6 +93,13 @@ static NEXT_LANE: AtomicU32 = AtomicU32::new(0);
 
 /// The collector owning stitched buffers while a session is active.
 static COLLECTOR: Mutex<Option<Collector>> = Mutex::new(None);
+
+/// Number of live thread-scoped sessions ([`start_scoped`]) across the
+/// process. `ENABLED` is the OR of "global session active" and "any scoped
+/// session active"; transitions recompute it under the `COLLECTOR` lock so
+/// concurrent starts/finishes cannot leave the switch stale-off while a
+/// session is live.
+static SCOPED_ACTIVE: AtomicUsize = AtomicUsize::new(0);
 
 /// Monotonic time anchor shared by every thread; timestamps are nanoseconds
 /// since the first observation ever made in the process.
@@ -198,11 +214,38 @@ impl Drop for StitchOnDrop {
 
 thread_local! {
     static BUF: StitchOnDrop = StitchOnDrop(RefCell::new(LocalBuf::new()));
+    /// Buffer of the thread-scoped session bound to this thread, if any.
+    /// Scoped buffers never stitch into the global collector — they are
+    /// drained directly by [`ScopedSession::finish`] on the owning thread.
+    static SCOPED: RefCell<Option<ScopedState>> = const { RefCell::new(None) };
 }
 
-/// Runs `f` against this thread's buffer, re-arming it if the session
-/// epoch advanced since the buffer was last used.
+/// In-flight state of a [`ScopedSession`], held in thread-local storage so
+/// recording stays lock-free on the owning thread.
+struct ScopedState {
+    buf: LocalBuf,
+    start_ns: u64,
+}
+
+/// Runs `f` against the recording buffer this thread routes to: the
+/// thread-scoped session's buffer when one is bound here, otherwise the
+/// process-global session's thread-local buffer (re-armed if the session
+/// epoch advanced since it was last used).
 fn with_buf(f: impl FnOnce(&mut LocalBuf)) {
+    let mut f = Some(f);
+    let scoped = SCOPED
+        .try_with(|s| match s.borrow_mut().as_mut() {
+            Some(state) => {
+                (f.take().expect("with_buf closure available"))(&mut state.buf);
+                true
+            }
+            None => false,
+        })
+        .unwrap_or(false);
+    if scoped {
+        return;
+    }
+    let f = f.expect("with_buf closure not consumed");
     // Accessing a TLS key during thread teardown can fail; recording is
     // best-effort observation, so silently drop the event in that case.
     let _ = BUF.try_with(|b| {
@@ -318,10 +361,17 @@ impl Session {
     /// Stops recording, stitches the session thread's buffer, and returns
     /// the finished [`Trace`].
     pub fn finish(self) -> Trace {
-        ENABLED.store(false, Ordering::Release);
         flush_thread();
         let mut guard = COLLECTOR.lock().expect("obs collector lock");
         let collector = guard.take().expect("session collector present");
+        // Recording stays on while thread-scoped sessions are live; events
+        // other threads still record toward the *global* lane after this
+        // point are discarded at stitch time by the epoch check.
+        ENABLED.store(
+            SCOPED_ACTIVE.load(Ordering::Relaxed) > 0,
+            Ordering::Release,
+        );
+        drop(guard);
         debug_assert_eq!(collector.epoch, self.epoch);
         let mut spans = collector.spans;
         // Deterministic presentation order: by lane, then start time, then
@@ -334,6 +384,113 @@ impl Session {
             counters: collector.counters,
             histograms: collector.hists,
             lanes: collector.lanes.into_iter().collect(),
+        }
+    }
+}
+
+/// Handle to a *thread-scoped* recording session started with
+/// [`start_scoped`]; dropping it without calling
+/// [`ScopedSession::finish`] discards the recording and unbinds the
+/// thread.
+#[must_use = "finish() the scoped session to obtain the trace"]
+pub struct ScopedSession {
+    // Thread-bound by construction: the buffer lives in this thread's TLS.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Starts a recording session scoped to the *current thread*.
+///
+/// Unlike the process-global [`start`], any number of scoped sessions may
+/// be live at once — one per thread — and they may coexist with a global
+/// session on other threads. Everything the owning thread records while
+/// the scoped session is live goes to the scoped trace (and only there);
+/// other threads are unaffected. This is what a server uses to collect a
+/// per-request trace from the worker executing that request without
+/// interleaving frames from concurrent requests.
+///
+/// The returned handle is `!Send`: it must be finished on the thread that
+/// started it.
+///
+/// # Panics
+///
+/// Panics if a scoped session is already bound to this thread.
+pub fn start_scoped() -> ScopedSession {
+    let start_ns = now_ns();
+    SCOPED.with(|s| {
+        let mut slot = s.borrow_mut();
+        assert!(
+            slot.is_none(),
+            "a scoped obs session is already active on this thread"
+        );
+        let mut buf = LocalBuf::new();
+        buf.thread_name = std::thread::current().name().map(str::to_owned);
+        *slot = Some(ScopedState { buf, start_ns });
+    });
+    let _guard = COLLECTOR.lock().expect("obs collector lock");
+    SCOPED_ACTIVE.fetch_add(1, Ordering::Relaxed);
+    ENABLED.store(true, Ordering::Release);
+    ScopedSession {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+impl ScopedSession {
+    /// Stops this thread's scoped recording and returns its [`Trace`].
+    /// Spans land on lane 0 of the scoped trace (one request, one track).
+    pub fn finish(self) -> Trace {
+        std::mem::forget(self);
+        let end_ns = now_ns();
+        let state = SCOPED
+            .with(|s| s.borrow_mut().take())
+            .expect("scoped session state bound to this thread");
+        {
+            let guard = COLLECTOR.lock().expect("obs collector lock");
+            SCOPED_ACTIVE.fetch_sub(1, Ordering::Relaxed);
+            ENABLED.store(
+                guard.is_some() || SCOPED_ACTIVE.load(Ordering::Relaxed) > 0,
+                Ordering::Release,
+            );
+        }
+        let mut buf = state.buf;
+        let mut spans = std::mem::take(&mut buf.spans);
+        spans.sort_by_key(|s| (s.lane, s.start_ns, s.depth));
+        let mut counters = BTreeMap::new();
+        for (n, v) in buf.counters.drain(..) {
+            *counters.entry(n.to_owned()).or_insert(0) += v;
+        }
+        let mut histograms: BTreeMap<String, Log2Histogram> = BTreeMap::new();
+        for (n, h) in buf.hists.drain(..) {
+            histograms.entry(n.to_owned()).or_default().merge(&h);
+        }
+        let lane_name = buf
+            .thread_name
+            .clone()
+            .unwrap_or_else(|| "request".to_owned());
+        Trace {
+            start_ns: state.start_ns,
+            end_ns,
+            spans,
+            counters,
+            histograms,
+            lanes: vec![(0, lane_name)],
+        }
+    }
+}
+
+impl Drop for ScopedSession {
+    fn drop(&mut self) {
+        // Only reached when the handle is dropped without `finish` (which
+        // forgets `self`): discard the recording and unbind the thread.
+        let still_bound = SCOPED
+            .try_with(|s| s.borrow_mut().take().is_some())
+            .unwrap_or(false);
+        if still_bound {
+            let guard = COLLECTOR.lock().expect("obs collector lock");
+            SCOPED_ACTIVE.fetch_sub(1, Ordering::Relaxed);
+            ENABLED.store(
+                guard.is_some() || SCOPED_ACTIVE.load(Ordering::Relaxed) > 0,
+                Ordering::Release,
+            );
         }
     }
 }
@@ -583,6 +740,92 @@ mod tests {
         });
         let trace = session.finish();
         assert_eq!(trace.counter("flushed"), 7);
+    }
+
+    #[test]
+    fn concurrent_scoped_sessions_do_not_mix_frames() {
+        // Scoped sessions flip the process-global ENABLED switch, so they
+        // serialize against global-session tests like any other.
+        let _guard = session_lock();
+        let barrier = std::sync::Barrier::new(2);
+        let (a, b) = std::thread::scope(|scope| {
+            let run = |tag: &'static str, counter: &'static str, n: u64| {
+                let barrier = &barrier;
+                move || {
+                    let scoped = start_scoped();
+                    // Both requests record while the other is provably live.
+                    barrier.wait();
+                    for _ in 0..n {
+                        let _s = span(tag);
+                        count(counter, 1);
+                        sample("req.size", n);
+                    }
+                    barrier.wait();
+                    scoped.finish()
+                }
+            };
+            let ha = scope.spawn(run("req-a", "a.events", 2));
+            let hb = scope.spawn(run("req-b", "b.events", 5));
+            (ha.join().unwrap(), hb.join().unwrap())
+        });
+        assert_eq!(a.spans.len(), 2);
+        assert!(a.spans.iter().all(|s| s.name == "req-a"));
+        assert_eq!(a.counter("a.events"), 2);
+        assert_eq!(a.counter("b.events"), 0);
+        assert_eq!(a.histograms["req.size"].count(), 2);
+        assert_eq!(b.spans.len(), 5);
+        assert!(b.spans.iter().all(|s| s.name == "req-b"));
+        assert_eq!(b.counter("b.events"), 5);
+        assert_eq!(b.counter("a.events"), 0);
+        assert_eq!(b.histograms["req.size"].count(), 5);
+        assert!(!enabled(), "all sessions finished");
+    }
+
+    #[test]
+    fn scoped_sessions_coexist_with_a_global_session() {
+        let _guard = session_lock();
+        let session = start();
+        count("global.events", 1);
+        let scoped_trace = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let scoped = start_scoped();
+                    count("request.events", 3);
+                    let trace = scoped.finish();
+                    // After the scoped session ends, this thread records
+                    // toward the global session again.
+                    count("global.events", 1);
+                    flush_thread();
+                    trace
+                })
+                .join()
+                .unwrap()
+        });
+        count("global.events", 1);
+        let global_trace = session.finish();
+        assert_eq!(scoped_trace.counter("request.events"), 3);
+        assert_eq!(scoped_trace.counter("global.events"), 0);
+        assert_eq!(global_trace.counter("global.events"), 3);
+        assert_eq!(
+            global_trace.counter("request.events"),
+            0,
+            "per-request frames must not leak into the process-global trace"
+        );
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn dropping_a_scoped_session_discards_and_disables() {
+        let _guard = session_lock();
+        let scoped = start_scoped();
+        count("dropped.events", 1);
+        assert!(enabled());
+        drop(scoped);
+        assert!(!enabled());
+        // Nothing leaks into a later scoped session on the same thread.
+        let scoped = start_scoped();
+        let trace = scoped.finish();
+        assert_eq!(trace.counter("dropped.events"), 0);
     }
 
     #[test]

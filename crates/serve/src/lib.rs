@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! `dagmap serve` — a long-lived batch-mapping daemon.
+//!
+//! One-shot `dagmap map` pays the full setup bill on every invocation:
+//! parse the genlib, build the pattern index, extend supergates, and then
+//! enumerate matches for cone shapes it has seen a thousand times before.
+//! For workloads that map many circuits against a few libraries — regression
+//! farms, synthesis sweeps, the paper's own Table 2/3 style experiments —
+//! that bill dominates. This crate keeps all of it warm in one process:
+//!
+//! * per-library immutable state behind `Arc` — the parsed [`Library`]
+//!   (including any supergate extension applied at startup) and a bounded
+//!   cross-request [`SharedMatchStore`], the sharded LRU cone-class memo
+//!   whose replays are order-identical to fresh enumeration, so served
+//!   results are **bit-identical** to one-shot `dagmap map`;
+//! * a threaded accept loop (TCP and unix-socket) feeding a fixed worker
+//!   pool through an MPMC [`queue::JobQueue`] — parallelism is across
+//!   requests, each map itself runs serial;
+//! * a length-prefixed line-JSON protocol ([`protocol`]) with per-request
+//!   error isolation (a malformed request answers with an error frame and
+//!   never kills a worker or connection), `busy` backpressure past
+//!   `--max-inflight`, and graceful drain on `shutdown`;
+//! * observability: memo traffic surfaces through `dagmap-obs` counters
+//!   (`serve.memo_hit` / `serve.memo_miss` / `serve.memo_evict`), latency
+//!   through the `serve.latency_us` histogram, and any request may ask for
+//!   its own Chrome trace via `options.trace` (recorded in a thread-scoped
+//!   obs session, isolated from concurrent requests).
+//!
+//! The `serveperf` harness in `dagmap-bench` drives a daemon with skewed
+//! multi-library traffic and writes `BENCH_serve.json` (throughput,
+//! p50/p95/p99 latency, memo hit rate).
+//!
+//! [`Library`]: dagmap_genlib::Library
+//! [`SharedMatchStore`]: dagmap_match::SharedMatchStore
+
+pub mod client;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use client::{map_request, Client, Endpoint, MapCall};
+pub use protocol::{ErrorKind, MapRequest, Request};
+pub use server::{Endpoints, LibState, ServeConfig, Server};

@@ -1,0 +1,687 @@
+//! The daemon: listeners, connection readers, the worker pool, and the
+//! per-library shared state they all map through.
+//!
+//! # Threading model
+//!
+//! One thread per listener (TCP and/or unix socket) runs a non-blocking
+//! accept loop polling the shutdown flag. Each accepted connection gets a
+//! *reader* thread that parses frames and answers cheap ops (`ping`,
+//! `stats`, `shutdown`) inline; `map` requests go through admission control
+//! and onto the shared [`JobQueue`], where a fixed pool of *worker* threads
+//! drains them. Responses are written under a per-connection mutex, so
+//! pipelined requests from one client may complete out of order — the `id`
+//! echo is the correlation mechanism.
+//!
+//! # Shared per-library state
+//!
+//! Each library the daemon serves is parsed and indexed once at startup and
+//! shared read-only behind an [`Arc`]: the [`Library`] itself (patterns,
+//! fingerprint index inputs, any supergate extension the caller applied
+//! before startup) plus one [`SharedMatchStore`] — the bounded cross-request
+//! cone-class memo. Repeated circuit shapes across requests therefore hit
+//! warm match caches instead of re-enumerating, which is the entire point
+//! of running a daemon instead of one process per map.
+//!
+//! # Shutdown
+//!
+//! A `shutdown` frame (or [`Server::request_shutdown`]) flips one flag and
+//! closes the queue. Listeners stop accepting, readers refuse new maps with
+//! `shutting_down`, workers drain everything already admitted, and only
+//! then are connections torn down — so every accepted request gets its
+//! reply. [`Server::wait`] blocks through that whole sequence.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufReader, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+#[cfg(unix)]
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use dagmap_core::{verify, MapOptions, Mapper, SharedMatchStore};
+use dagmap_genlib::Library;
+use dagmap_netlist::{blif, SubjectGraph};
+
+use crate::protocol::{self, ErrorKind, MapRequest, Request};
+use crate::queue::JobQueue;
+
+/// How long accept loops sleep between polls of the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// Seed for the per-request equivalence check (same as `dagmap map`).
+const VERIFY_SEED: u64 = 0xC11;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Mapping worker threads.
+    pub workers: usize,
+    /// Admission limit on map requests queued or executing; `0` means
+    /// unlimited. Requests beyond the limit are refused with a `busy`
+    /// frame instead of queuing without bound.
+    pub max_inflight: usize,
+    /// Cone-class budget of each library's [`SharedMatchStore`]. The
+    /// resident bound is `2x` this (two LRU generations).
+    pub memo_cap: usize,
+    /// Verify every mapped netlist against its subject graph by random
+    /// simulation before replying.
+    pub verify: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            max_inflight: 256,
+            memo_cap: 1 << 16,
+            verify: true,
+        }
+    }
+}
+
+/// Where the daemon listens. Either or both; at least one is required.
+#[derive(Debug, Clone, Default)]
+pub struct Endpoints {
+    /// TCP bind address, e.g. `127.0.0.1:0`.
+    pub tcp: Option<String>,
+    /// Unix-domain socket path (created at bind, removed after
+    /// [`Server::wait`]).
+    #[cfg(unix)]
+    pub unix: Option<PathBuf>,
+}
+
+/// One library's immutable shared state.
+#[derive(Debug)]
+pub struct LibState {
+    /// The library (with any supergate extension already applied).
+    pub library: Library,
+    /// The bounded cross-request cone-class memo.
+    pub shared: SharedMatchStore,
+}
+
+impl LibState {
+    fn new(library: Library, memo_cap: usize) -> LibState {
+        let shared =
+            SharedMatchStore::for_library(&library, SharedMatchStore::DEFAULT_SHARDS, memo_cap);
+        LibState { library, shared }
+    }
+}
+
+/// A serialized writer over one connection, cloned into every job from
+/// that connection.
+#[derive(Clone)]
+struct ConnWriter {
+    sink: Arc<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl ConnWriter {
+    fn new(w: Box<dyn Write + Send>) -> ConnWriter {
+        ConnWriter {
+            sink: Arc::new(Mutex::new(w)),
+        }
+    }
+
+    fn send(&self, payload: &str) -> io::Result<()> {
+        let mut w = self.sink.lock().unwrap_or_else(|e| e.into_inner());
+        protocol::write_frame(&mut *w, payload)
+    }
+}
+
+/// A queued map request.
+struct Job {
+    req: Box<MapRequest>,
+    writer: ConnWriter,
+}
+
+/// Raw handles kept so shutdown can unblock reader threads parked in
+/// `read`.
+enum ConnHandle {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl ConnHandle {
+    fn force_close(&self) {
+        match self {
+            ConnHandle::Tcp(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+            #[cfg(unix)]
+            ConnHandle::Unix(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+struct Inner {
+    libs: BTreeMap<String, Arc<LibState>>,
+    default_lib: String,
+    queue: JobQueue<Job>,
+    shutdown: AtomicBool,
+    inflight: AtomicUsize,
+    max_inflight: usize,
+    workers: usize,
+    verify: bool,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    busy_rejects: AtomicU64,
+    conns: Mutex<Vec<ConnHandle>>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Inner {
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Queued jobs keep draining; new pushes fail from here on.
+        self.queue.close();
+    }
+
+    fn send_error(&self, writer: &ConnWriter, id: Option<&str>, kind: ErrorKind, msg: &str) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        if kind == ErrorKind::Busy {
+            self.busy_rejects.fetch_add(1, Ordering::Relaxed);
+            dagmap_obs::count("serve.busy", 1);
+        }
+        let _ = writer.send(&protocol::error_frame(id, kind, msg));
+    }
+
+    fn stats_frame(&self) -> String {
+        use std::fmt::Write as _;
+        let mut libs = String::new();
+        let (mut hits, mut misses, mut evictions, mut resident) = (0u64, 0u64, 0u64, 0usize);
+        for (i, (name, state)) in self.libs.iter().enumerate() {
+            if i > 0 {
+                libs.push(',');
+            }
+            let s = &state.shared;
+            let _ = write!(
+                libs,
+                "\"{}\":{{\"memo_hits\":{},\"memo_misses\":{},\"memo_evictions\":{},\
+                 \"resident_classes\":{}}}",
+                dagmap_obs::json::escape(name),
+                s.hits(),
+                s.misses(),
+                s.evictions(),
+                s.resident_classes(),
+            );
+            hits += s.hits();
+            misses += s.misses();
+            evictions += s.evictions();
+            resident += s.resident_classes();
+        }
+        format!(
+            "{{\"ok\":true,\"op\":\"stats\",\"workers\":{},\"inflight\":{},\"queued\":{},\
+             \"requests\":{},\"errors\":{},\"busy_rejects\":{},\
+             \"memo\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"resident_classes\":{}}},\
+             \"libs\":{{{}}}}}",
+            self.workers,
+            self.inflight.load(Ordering::Relaxed),
+            self.queue.len(),
+            self.requests.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+            self.busy_rejects.load(Ordering::Relaxed),
+            hits,
+            misses,
+            evictions,
+            resident,
+            libs,
+        )
+    }
+
+    /// Handles one parsed-or-not frame; `false` ends the connection.
+    fn handle_frame(self: &Arc<Inner>, writer: &ConnWriter, payload: &str) -> bool {
+        let req = match protocol::parse_request(payload) {
+            Ok(req) => req,
+            Err(msg) => {
+                // Malformed frames answer on the same connection and keep
+                // it alive; only transport-level errors end it.
+                self.send_error(writer, None, ErrorKind::BadRequest, &msg);
+                return true;
+            }
+        };
+        match req {
+            Request::Ping => writer.send(&protocol::pong_frame()).is_ok(),
+            Request::Stats => writer.send(&self.stats_frame()).is_ok(),
+            Request::Shutdown => {
+                let ok = writer.send(&protocol::shutdown_ack_frame()).is_ok();
+                self.begin_shutdown();
+                ok
+            }
+            Request::Map(req) => {
+                let id = req.id.clone();
+                if self.shutdown.load(Ordering::SeqCst) {
+                    self.send_error(
+                        writer,
+                        id.as_deref(),
+                        ErrorKind::ShuttingDown,
+                        "daemon is draining toward exit",
+                    );
+                    return true;
+                }
+                // Admission: count this request in, then check the limit.
+                // The increment-first order makes the limit exact even with
+                // several reader threads racing here.
+                let inflight = self.inflight.fetch_add(1, Ordering::AcqRel) + 1;
+                if self.max_inflight > 0 && inflight > self.max_inflight {
+                    self.inflight.fetch_sub(1, Ordering::AcqRel);
+                    self.send_error(
+                        writer,
+                        id.as_deref(),
+                        ErrorKind::Busy,
+                        &format!("{} requests inflight >= limit {}", inflight, self.max_inflight),
+                    );
+                    return true;
+                }
+                let job = Job {
+                    req,
+                    writer: writer.clone(),
+                };
+                match self.queue.push(job) {
+                    Ok(()) => {
+                        self.requests.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_job) => {
+                        self.inflight.fetch_sub(1, Ordering::AcqRel);
+                        self.send_error(
+                            writer,
+                            id.as_deref(),
+                            ErrorKind::ShuttingDown,
+                            "daemon is draining toward exit",
+                        );
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    fn worker_loop(self: Arc<Inner>) {
+        while let Some(job) = self.queue.pop() {
+            let id = job.req.id.clone();
+            let outcome = catch_unwind(AssertUnwindSafe(|| process_map(&self, &job.req)));
+            let frame = match outcome {
+                Ok(Ok(frame)) => frame,
+                Ok(Err((kind, msg))) => {
+                    self.errors.fetch_add(1, Ordering::Relaxed);
+                    protocol::error_frame(id.as_deref(), kind, &msg)
+                }
+                // The request died; the worker and its queue slot did not.
+                Err(_) => {
+                    self.errors.fetch_add(1, Ordering::Relaxed);
+                    protocol::error_frame(
+                        id.as_deref(),
+                        ErrorKind::Internal,
+                        "worker panicked while serving this request",
+                    )
+                }
+            };
+            let _ = job.writer.send(&frame);
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+            // Hand this worker's buffered obs frames to any global session
+            // (e.g. the serveperf harness) at a request boundary.
+            dagmap_obs::flush_thread();
+        }
+    }
+}
+
+/// Canonicalizes a library name for alias lookup: `-` folds to `_` and a
+/// trailing `_like` (the built-in libraries' naming convention) is dropped.
+fn lib_alias(name: &str) -> String {
+    let folded = name.replace('-', "_");
+    folded
+        .strip_suffix("_like")
+        .map_or(folded.clone(), str::to_owned)
+}
+
+/// Maps one request. Returns the reply frame, or an error kind + message
+/// for the caller to wrap.
+fn process_map(inner: &Inner, req: &MapRequest) -> Result<String, (ErrorKind, String)> {
+    let t0 = Instant::now();
+    let lib_name = req.lib.as_deref().unwrap_or(&inner.default_lib);
+    // Exact name first; then an alias form so clients may say `44-3` for a
+    // library registered as `44_3_like` (`-`/`_` fold, `_like` optional).
+    let state = inner.libs.get(lib_name).or_else(|| {
+        let wanted = lib_alias(lib_name);
+        inner
+            .libs
+            .iter()
+            .find(|(name, _)| lib_alias(name) == wanted)
+            .map(|(_, state)| state)
+    });
+    let state = state.ok_or_else(|| {
+        let known: Vec<&str> = inner.libs.keys().map(String::as_str).collect();
+        (
+            ErrorKind::BadRequest,
+            format!(
+                "unknown library `{lib_name}` (serving: {})",
+                known.join(", ")
+            ),
+        )
+    })?;
+    // `trace: true` records this request in a thread-scoped session:
+    // concurrent requests on other workers never mix frames into it, and
+    // it coexists with a process-global session owned by a harness.
+    let scoped = req.trace.then(dagmap_obs::start_scoped);
+    let result = (|| {
+        let net =
+            blif::parse(&req.blif).map_err(|e| (ErrorKind::BadRequest, format!("blif: {e}")))?;
+        let subject = SubjectGraph::from_network(&net)
+            .map_err(|e| (ErrorKind::BadRequest, format!("subject graph: {e}")))?;
+        let mut opts = match req.algo.as_str() {
+            "dag" => MapOptions::dag(),
+            "tree" => MapOptions::tree(),
+            "dag-extended" => MapOptions::dag_extended(),
+            other => {
+                return Err((ErrorKind::BadRequest, format!("unknown algorithm `{other}`")));
+            }
+        };
+        if req.recover {
+            opts = opts.with_area_recovery();
+        }
+        // Force the memo on regardless of library size: the daemon's warm
+        // shared store is profitable even where a single run's `Auto`
+        // heuristic would decline (results are bit-identical either way).
+        opts = opts.with_match_memo(true);
+        let (mapped, report) = Mapper::new(&state.library)
+            .map_with_report_shared(&subject, opts, &state.shared)
+            .map_err(|e| (ErrorKind::BadRequest, e.to_string()))?;
+        if inner.verify {
+            verify::check(&mapped, &subject, VERIFY_SEED)
+                .map_err(|e| (ErrorKind::Internal, format!("verification failed: {e}")))?;
+        }
+        let out = mapped
+            .to_network()
+            .and_then(|n| blif::to_string(&n))
+            .map_err(|e| (ErrorKind::Internal, format!("netlist writeback: {e}")))?;
+        Ok((report, out))
+    })();
+    // Close the scoped session on both paths so the worker thread is clean
+    // for its next request.
+    let trace_chrome = scoped.map(|s| s.finish().to_chrome_json());
+    let (report, out_blif) = result?;
+    dagmap_obs::count("serve.requests", 1);
+    dagmap_obs::sample("serve.latency_us", t0.elapsed().as_micros() as u64);
+    Ok(protocol::map_ok_frame(
+        req.id.as_deref(),
+        lib_name,
+        &report,
+        &out_blif,
+        trace_chrome.as_deref(),
+    ))
+}
+
+fn spawn_reader(inner: &Arc<Inner>, conn: ConnHandle) {
+    let (writer, make_reader): (ConnWriter, Box<dyn FnOnce() -> Box<dyn io::Read + Send> + Send>) =
+        match &conn {
+            ConnHandle::Tcp(s) => {
+                let Ok(w) = s.try_clone() else { return };
+                let Ok(r) = s.try_clone() else { return };
+                (ConnWriter::new(Box::new(w)), Box::new(move || Box::new(r)))
+            }
+            #[cfg(unix)]
+            ConnHandle::Unix(s) => {
+                let Ok(w) = s.try_clone() else { return };
+                let Ok(r) = s.try_clone() else { return };
+                (ConnWriter::new(Box::new(w)), Box::new(move || Box::new(r)))
+            }
+        };
+    {
+        let mut conns = inner.conns.lock().unwrap_or_else(|e| e.into_inner());
+        conns.push(conn);
+    }
+    let reader_inner = Arc::clone(inner);
+    let handle = thread::Builder::new()
+        .name("serve-conn".into())
+        .spawn(move || {
+            let inner = reader_inner;
+            let mut reader = BufReader::new(make_reader());
+            loop {
+                match protocol::read_frame(&mut reader) {
+                    Ok(Some(payload)) => {
+                        if !inner.handle_frame(&writer, &payload) {
+                            break;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                        // Framing itself broke (bad header / truncation):
+                        // reply once, then drop the connection — byte
+                        // positions are no longer trustworthy.
+                        inner.send_error(
+                            &writer,
+                            None,
+                            ErrorKind::BadRequest,
+                            &format!("framing: {e}"),
+                        );
+                        break;
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+    if let Ok(handle) = handle {
+        let mut readers = inner.readers.lock().unwrap_or_else(|e| e.into_inner());
+        readers.push(handle);
+    }
+}
+
+fn accept_loop_tcp(inner: Arc<Inner>, listener: TcpListener) {
+    let _ = listener.set_nonblocking(true);
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_nodelay(true);
+                spawn_reader(&inner, ConnHandle::Tcp(stream));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(_) => break,
+        }
+    }
+}
+
+#[cfg(unix)]
+fn accept_loop_unix(inner: Arc<Inner>, listener: UnixListener) {
+    let _ = listener.set_nonblocking(true);
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nonblocking(false);
+                spawn_reader(&inner, ConnHandle::Unix(stream));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(_) => break,
+        }
+    }
+}
+
+/// A running daemon. Dropping it without [`Server::wait`] leaks threads;
+/// call `request_shutdown` + `wait` (or send a `shutdown` frame) to stop
+/// it cleanly.
+pub struct Server {
+    inner: Arc<Inner>,
+    listeners: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    tcp_addr: Option<std::net::SocketAddr>,
+    #[cfg(unix)]
+    unix_path: Option<PathBuf>,
+}
+
+impl Server {
+    /// Binds the endpoints, indexes the libraries, and starts the worker
+    /// pool. Returns once the daemon is accepting connections.
+    ///
+    /// Library names must be unique; the first library is the default for
+    /// requests that name none.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures, no endpoint given, no library given, or duplicate
+    /// library names.
+    pub fn start(
+        config: &ServeConfig,
+        libraries: Vec<Library>,
+        endpoints: &Endpoints,
+    ) -> io::Result<Server> {
+        if libraries.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "at least one library is required",
+            ));
+        }
+        let default_lib = libraries[0].name().to_owned();
+        let mut libs = BTreeMap::new();
+        for library in libraries {
+            let name = library.name().to_owned();
+            if libs
+                .insert(name.clone(), Arc::new(LibState::new(library, config.memo_cap)))
+                .is_some()
+            {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("duplicate library name `{name}`"),
+                ));
+            }
+        }
+        let inner = Arc::new(Inner {
+            libs,
+            default_lib,
+            queue: JobQueue::new(),
+            shutdown: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            max_inflight: config.max_inflight,
+            workers: config.workers.max(1),
+            verify: config.verify,
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            busy_rejects: AtomicU64::new(0),
+            conns: Mutex::new(Vec::new()),
+            readers: Mutex::new(Vec::new()),
+        });
+
+        let mut listeners = Vec::new();
+        let mut tcp_addr = None;
+        if let Some(addr) = &endpoints.tcp {
+            let listener = TcpListener::bind(addr)?;
+            tcp_addr = Some(listener.local_addr()?);
+            let inner = Arc::clone(&inner);
+            listeners.push(
+                thread::Builder::new()
+                    .name("serve-accept-tcp".into())
+                    .spawn(move || accept_loop_tcp(inner, listener))?,
+            );
+        }
+        #[cfg(unix)]
+        let mut unix_path = None;
+        #[cfg(unix)]
+        if let Some(path) = &endpoints.unix {
+            // A stale socket file from a crashed daemon would fail the
+            // bind; remove it first (errors surface from bind itself).
+            let _ = std::fs::remove_file(path);
+            let listener = UnixListener::bind(path)?;
+            unix_path = Some(path.clone());
+            let inner = Arc::clone(&inner);
+            listeners.push(
+                thread::Builder::new()
+                    .name("serve-accept-unix".into())
+                    .spawn(move || accept_loop_unix(inner, listener))?,
+            );
+        }
+        if listeners.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "no endpoint to listen on (need --tcp and/or --unix)",
+            ));
+        }
+
+        let workers = (0..inner.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || inner.worker_loop())
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+
+        Ok(Server {
+            inner,
+            listeners,
+            workers,
+            tcp_addr,
+            #[cfg(unix)]
+            unix_path,
+        })
+    }
+
+    /// The bound TCP address, when a TCP endpoint was configured (useful
+    /// with port 0).
+    pub fn tcp_addr(&self) -> Option<std::net::SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The per-library shared state (tests and harnesses read the memo
+    /// counters through this).
+    pub fn lib_state(&self, name: &str) -> Option<Arc<LibState>> {
+        self.inner.libs.get(name).cloned()
+    }
+
+    /// Initiates the same graceful shutdown a `shutdown` frame does.
+    pub fn request_shutdown(&self) {
+        self.inner.begin_shutdown();
+    }
+
+    /// Blocks until the daemon has shut down: listeners stopped, every
+    /// admitted request answered, workers exited, connections closed.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible at the I/O level (teardown errors are
+    /// swallowed); the signature leaves room for stricter reporting.
+    pub fn wait(self) -> io::Result<()> {
+        // Listeners exit once the shutdown flag is set (their poll loop
+        // checks it every ACCEPT_POLL).
+        for l in self.listeners {
+            let _ = l.join();
+        }
+        // Workers exit when the closed queue runs dry — this is the drain.
+        for w in self.workers {
+            let _ = w.join();
+        }
+        // Every admitted request has been answered; now unblock readers
+        // still parked in read() on idle connections.
+        let conns = {
+            let mut conns = self.inner.conns.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *conns)
+        };
+        for conn in &conns {
+            conn.force_close();
+        }
+        let readers = {
+            let mut readers = self.inner.readers.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *readers)
+        };
+        for r in readers {
+            let _ = r.join();
+        }
+        #[cfg(unix)]
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,439 @@
+//! Integration tests of the serve daemon over real sockets: roundtrips,
+//! bit-identity against one-shot mapping, error isolation, backpressure,
+//! per-request trace isolation, and drain-on-shutdown.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use dagmap_core::{MapOptions, Mapper};
+use dagmap_genlib::Library;
+use dagmap_netlist::{blif, Network, SubjectGraph};
+use dagmap_serve::{map_request, Client, Endpoint, Endpoints, MapCall, ServeConfig, Server};
+
+#[cfg(unix)]
+fn unique_socket_path(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "dagmap-serve-test-{}-{tag}-{seq}.sock",
+        std::process::id()
+    ))
+}
+
+#[cfg(unix)]
+fn start_unix(tag: &str, config: &ServeConfig) -> (Server, Endpoint) {
+    let path = unique_socket_path(tag);
+    let endpoints = Endpoints {
+        tcp: None,
+        unix: Some(path.clone()),
+    };
+    let server = Server::start(
+        config,
+        vec![Library::lib2_like(), Library::lib_44_3_like()],
+        &endpoints,
+    )
+    .expect("server starts");
+    (server, Endpoint::Unix(path))
+}
+
+/// What one-shot `dagmap map` would produce for this BLIF text and library
+/// (default options: delay-objective DAG cover, no forced memo — the
+/// daemon's forced shared memo must not change a byte of this). Starts
+/// from the same BLIF text the daemon receives, because parsing BLIF is
+/// part of the pipeline whose output must be byte-identical.
+fn one_shot_blif(input: &str, library: &Library) -> String {
+    let net = blif::parse(input).unwrap();
+    let subject = SubjectGraph::from_network(&net).unwrap();
+    let mapped = Mapper::new(library)
+        .map(&subject, MapOptions::dag())
+        .unwrap();
+    blif::to_string(&mapped.to_network().unwrap()).unwrap()
+}
+
+#[cfg(unix)]
+#[test]
+fn roundtrip_is_bit_identical_to_one_shot_mapping() {
+    let (server, endpoint) = start_unix("roundtrip", &ServeConfig::default());
+    let mut client = Client::connect(&endpoint).unwrap();
+    client.ping().unwrap();
+
+    for (lib, libname) in [
+        (Library::lib2_like(), "lib2"),
+        (Library::lib_44_3_like(), "44-3"),
+    ] {
+        let net = dagmap_benchgen::ripple_adder(4);
+        let input = blif::to_string(&net).unwrap();
+        let reply = client
+            .call(&map_request(
+                &input,
+                &MapCall {
+                    id: Some("r"),
+                    lib: Some(lib.name()),
+                    ..MapCall::default()
+                },
+            ))
+            .unwrap();
+        assert_eq!(
+            reply.get("error"),
+            None,
+            "map failed for {libname}: {reply:?}"
+        );
+        let served = reply.get("blif").unwrap().as_str().unwrap();
+        assert_eq!(served, one_shot_blif(&input, &lib), "library {libname}");
+        assert!(reply.get("delay").unwrap().as_num().unwrap() > 0.0);
+        assert!(reply.get("phases").unwrap().get("label_seconds").is_some());
+        assert!(reply
+            .get("counters")
+            .unwrap()
+            .get("matches_enumerated")
+            .is_some());
+    }
+
+    client.shutdown().unwrap();
+    server.wait().unwrap();
+}
+
+#[cfg(unix)]
+#[test]
+fn malformed_requests_answer_with_errors_and_spare_the_connection() {
+    let (server, endpoint) = start_unix("malformed", &ServeConfig::default());
+    let mut client = Client::connect(&endpoint).unwrap();
+
+    // Payload-level garbage: the frame parses, the JSON does not. The
+    // connection must answer and stay alive.
+    for bad in [
+        "this is not json",
+        "{\"op\":\"transmogrify\"}",
+        "{\"op\":\"map\"}",
+        "{\"op\":\"map\",\"blif\":\"x\",\"options\":{\"algo\":\"magic\"}}",
+    ] {
+        let reply = client.call(bad).unwrap();
+        let kind = reply
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(|k| k.as_str())
+            .unwrap_or_else(|| panic!("expected an error reply for `{bad}`, got {reply:?}"));
+        assert_eq!(kind, "bad_request");
+    }
+    client.ping().expect("connection survives bad payloads");
+
+    // A BLIF body the mapper rejects is also a per-request error: `z` is
+    // driven by an undefined signal.
+    let broken = ".model broken\n.inputs a\n.outputs z\n.names a ghost z\n11 1\n.end\n";
+    let reply = client
+        .call(&map_request(broken, &MapCall::default()))
+        .unwrap();
+    assert_eq!(
+        reply
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(|k| k.as_str()),
+        Some("bad_request")
+    );
+    client.ping().expect("connection survives a failed map");
+
+    // Workers must also survive: a good request after the failures works.
+    let net = dagmap_benchgen::parity_tree(5);
+    let input = blif::to_string(&net).unwrap();
+    let reply = client.call(&map_request(&input, &MapCall::default())).unwrap();
+    assert_eq!(
+        reply.get("blif").unwrap().as_str().unwrap(),
+        one_shot_blif(&input, &Library::lib2_like())
+    );
+
+    client.shutdown().unwrap();
+    server.wait().unwrap();
+}
+
+#[cfg(unix)]
+#[test]
+fn concurrent_clients_all_get_bit_identical_results() {
+    let (server, endpoint) = start_unix(
+        "concurrent",
+        &ServeConfig {
+            workers: 4,
+            ..ServeConfig::default()
+        },
+    );
+
+    // Expected outputs computed one-shot, up front.
+    let circuits: Vec<Network> = vec![
+        dagmap_benchgen::ripple_adder(3),
+        dagmap_benchgen::comparator(4),
+        dagmap_benchgen::parity_tree(6),
+        dagmap_benchgen::mux_tree(2),
+    ];
+    let libs = [Library::lib2_like(), Library::lib_44_3_like()];
+    let inputs: Vec<String> = circuits
+        .iter()
+        .map(|net| blif::to_string(net).unwrap())
+        .collect();
+    let expected: Vec<Vec<String>> = inputs
+        .iter()
+        .map(|input| libs.iter().map(|l| one_shot_blif(input, l)).collect())
+        .collect();
+
+    thread::scope(|scope| {
+        for worker in 0..4 {
+            let endpoint = endpoint.clone();
+            let inputs = &inputs;
+            let expected = &expected;
+            let libs = &libs;
+            scope.spawn(move || {
+                let mut client = Client::connect(&endpoint).unwrap();
+                // Each client walks the circuit x library matrix several
+                // times from a different offset, so the shared memo serves
+                // all of them warm and cold interleaved.
+                for round in 0..3 {
+                    for i in 0..inputs.len() {
+                        let c = (i + worker) % inputs.len();
+                        let l = (i + round) % libs.len();
+                        let id = format!("w{worker}-r{round}-{c}-{l}");
+                        let reply = client
+                            .call(&map_request(
+                                &inputs[c],
+                                &MapCall {
+                                    id: Some(&id),
+                                    lib: Some(libs[l].name()),
+                                    ..MapCall::default()
+                                },
+                            ))
+                            .unwrap();
+                        assert_eq!(
+                            reply.get("id").unwrap().as_str(),
+                            Some(id.as_str()),
+                            "reply correlates to its request"
+                        );
+                        assert_eq!(
+                            reply.get("blif").unwrap().as_str().unwrap(),
+                            expected[c][l],
+                            "request {id} must be bit-identical to one-shot"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    // The repeated circuits above must have hit the shared memo.
+    let mut client = Client::connect(&endpoint).unwrap();
+    let stats = client.stats().unwrap();
+    let hits = stats
+        .get("memo")
+        .unwrap()
+        .get("hits")
+        .unwrap()
+        .as_num()
+        .unwrap();
+    assert!(hits > 0.0, "repeated circuits should hit the shared memo");
+    client.shutdown().unwrap();
+    server.wait().unwrap();
+}
+
+#[cfg(unix)]
+#[test]
+fn shutdown_drains_admitted_requests_before_exit() {
+    let (server, endpoint) = start_unix(
+        "drain",
+        &ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let net = dagmap_benchgen::array_multiplier(6);
+    let input = blif::to_string(&net).unwrap();
+
+    // Pipeline several requests without reading any reply...
+    let mut pipelined = Client::connect(&endpoint).unwrap();
+    const N: usize = 5;
+    for i in 0..N {
+        let id = format!("drain-{i}");
+        pipelined
+            .send(&map_request(
+                &input,
+                &MapCall {
+                    id: Some(&id),
+                    ..MapCall::default()
+                },
+            ))
+            .unwrap();
+    }
+
+    // ...wait until the daemon has admitted all of them...
+    let mut control = Client::connect(&endpoint).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = control.stats().unwrap();
+        let admitted = stats.get("requests").unwrap().as_num().unwrap() as usize;
+        if admitted >= N {
+            break;
+        }
+        assert!(Instant::now() < deadline, "requests were never admitted");
+        thread::sleep(Duration::from_millis(5));
+    }
+
+    // ...then shut down. Every admitted request must still be answered
+    // with a real result, not an error.
+    control.shutdown().unwrap();
+    for _ in 0..N {
+        let reply = pipelined.recv().expect("drained reply");
+        assert_eq!(reply.get("error"), None, "drained requests map normally");
+        assert!(reply.get("blif").is_some());
+    }
+    server.wait().unwrap();
+
+    // New connections are refused once the daemon is gone.
+    assert!(Client::connect(&endpoint).is_err());
+}
+
+#[cfg(unix)]
+#[test]
+fn backpressure_rejects_with_busy_frames_past_max_inflight() {
+    let (server, endpoint) = start_unix(
+        "busy",
+        &ServeConfig {
+            workers: 1,
+            max_inflight: 1,
+            ..ServeConfig::default()
+        },
+    );
+    // One request big enough to hold the single worker for a while...
+    let big = blif::to_string(&dagmap_benchgen::array_multiplier(10)).unwrap();
+    let small = blif::to_string(&dagmap_benchgen::ripple_adder(2)).unwrap();
+
+    let mut client = Client::connect(&endpoint).unwrap();
+    client
+        .send(&map_request(
+            &big,
+            &MapCall {
+                id: Some("big"),
+                ..MapCall::default()
+            },
+        ))
+        .unwrap();
+    // ...then a burst past the inflight limit while it runs. The reader
+    // thread rejects these inline, long before the worker finishes.
+    const BURST: usize = 10;
+    for i in 0..BURST {
+        let id = format!("burst-{i}");
+        client
+            .send(&map_request(
+                &small,
+                &MapCall {
+                    id: Some(&id),
+                    ..MapCall::default()
+                },
+            ))
+            .unwrap();
+    }
+
+    let (mut ok, mut busy) = (0, 0);
+    for _ in 0..(1 + BURST) {
+        let reply = client.recv().unwrap();
+        match reply
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(|k| k.as_str())
+        {
+            None => ok += 1,
+            Some("busy") => busy += 1,
+            Some(other) => panic!("unexpected error kind {other}"),
+        }
+    }
+    assert!(ok >= 1, "the admitted request completes");
+    assert!(busy >= 1, "the burst past the limit is refused as busy");
+    assert_eq!(ok + busy, 1 + BURST);
+
+    client.shutdown().unwrap();
+    server.wait().unwrap();
+}
+
+#[cfg(unix)]
+#[test]
+fn per_request_traces_are_isolated_between_concurrent_requests() {
+    let (server, endpoint) = start_unix(
+        "trace",
+        &ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let input = blif::to_string(&dagmap_benchgen::array_multiplier(6)).unwrap();
+
+    // Two concurrent traced requests: each reply must carry a valid Chrome
+    // trace containing exactly its own mapping run (one "map" span), even
+    // though both workers record simultaneously.
+    thread::scope(|scope| {
+        for worker in 0..2 {
+            let endpoint = endpoint.clone();
+            let input = &input;
+            scope.spawn(move || {
+                let mut client = Client::connect(&endpoint).unwrap();
+                let id = format!("traced-{worker}");
+                let reply = client
+                    .call(&map_request(
+                        input,
+                        &MapCall {
+                            id: Some(&id),
+                            trace: true,
+                            ..MapCall::default()
+                        },
+                    ))
+                    .unwrap();
+                assert_eq!(reply.get("error"), None, "{reply:?}");
+                let trace = reply.get("trace").unwrap().as_str().unwrap();
+                let summary = dagmap_obs::trace::validate_chrome(trace)
+                    .expect("per-request trace is a valid Chrome trace");
+                assert!(summary.spans > 0);
+                let doc = dagmap_obs::json::parse(trace).unwrap();
+                let map_spans = doc
+                    .get("traceEvents")
+                    .unwrap()
+                    .as_arr()
+                    .unwrap()
+                    .iter()
+                    .filter(|e| {
+                        e.get("name").and_then(|n| n.as_str()) == Some("map")
+                            && e.get("ph").and_then(|p| p.as_str()) == Some("X")
+                    })
+                    .count();
+                assert_eq!(
+                    map_spans, 1,
+                    "each trace holds exactly its own request's map span"
+                );
+            });
+        }
+    });
+
+    let mut client = Client::connect(&endpoint).unwrap();
+    client.shutdown().unwrap();
+    server.wait().unwrap();
+}
+
+#[test]
+fn tcp_endpoint_serves_the_same_protocol() {
+    let endpoints = Endpoints {
+        tcp: Some("127.0.0.1:0".to_owned()),
+        ..Endpoints::default()
+    };
+    let server = Server::start(
+        &ServeConfig::default(),
+        vec![Library::lib2_like()],
+        &endpoints,
+    )
+    .unwrap();
+    let addr = server.tcp_addr().unwrap();
+    let mut client = Client::connect(&Endpoint::Tcp(addr.to_string())).unwrap();
+    client.ping().unwrap();
+    let net = dagmap_benchgen::ripple_adder(3);
+    let input = blif::to_string(&net).unwrap();
+    let reply = client.call(&map_request(&input, &MapCall::default())).unwrap();
+    assert_eq!(
+        reply.get("blif").unwrap().as_str().unwrap(),
+        one_shot_blif(&input, &Library::lib2_like())
+    );
+    client.shutdown().unwrap();
+    server.wait().unwrap();
+}

@@ -21,6 +21,13 @@ DAGMAP_BENCH_QUICK=1 cargo run -q --release --offline -p dagmap-bench --bin labe
 # every row metered zero mid-wave allocations and stayed bit-identical.
 grep -q '"all_identical": true' target/BENCH_label_smoke.json
 ! grep -q '"wave_allocs": [^0]' target/BENCH_label_smoke.json
+# The worker pool must actually engage wherever the host has real cores;
+# on 1-CPU machines the engine (correctly) declines it, so skip there.
+if [ "$(nproc)" -gt 1 ]; then
+  grep -q '"parallel_engaged": true' target/BENCH_label_smoke.json
+else
+  echo "tier1: 1-CPU host, skipping the parallel-engagement assertion"
+fi
 
 # Smoke-run the match-acceleration micro-bench: asserts labels and mapped
 # BLIF are bit-identical with the fingerprint index and the cone-class memo
@@ -60,5 +67,33 @@ cargo run -q --release --offline -- trace-check target/obs_trace.json
 # the cost of a disabled span call, with bit-identity asserted either way.
 DAGMAP_BENCH_QUICK=1 cargo run -q --release --offline -p dagmap-bench --bin obsperf -- \
   --quick --out target/BENCH_obs_smoke.json
+
+# Serve smoke: daemon on a temp unix socket, map one circuit through it,
+# and the served BLIF must be byte-identical to the one-shot mapping of
+# the same file. Shutdown must drain cleanly (the daemon exits 0).
+SERVE_SOCK="target/tier1-serve.sock"
+rm -f "$SERVE_SOCK"
+cargo run -q --release --offline -- gen cmp16 --out target/serve_smoke.blif
+cargo run -q --release --offline -- map target/serve_smoke.blif \
+  --out target/serve_oneshot.blif > /dev/null
+cargo run -q --release --offline -- serve --unix "$SERVE_SOCK" \
+  --libs lib2 --workers 2 2> target/serve_smoke.log &
+SERVE_PID=$!
+for _ in $(seq 100); do [ -S "$SERVE_SOCK" ] && break; sleep 0.1; done
+[ -S "$SERVE_SOCK" ] || { cat target/serve_smoke.log; exit 1; }
+cargo run -q --release --offline -- client --unix "$SERVE_SOCK" --ping
+cargo run -q --release --offline -- client --unix "$SERVE_SOCK" \
+  target/serve_smoke.blif --out target/serve_served.blif > /dev/null
+cargo run -q --release --offline -- client --unix "$SERVE_SOCK" --shutdown > /dev/null
+wait "$SERVE_PID"
+cmp target/serve_oneshot.blif target/serve_served.blif
+
+# Traffic-driven serve bench in quick mode: ~120 pipelined requests over two
+# libraries; asserts zero errors, memo hits on repeats, and a per-pair
+# bit-identity spot check against one-shot mapping.
+cargo run -q --release --offline -p dagmap-bench --bin serveperf -- \
+  --quick --out target/BENCH_serve_smoke.json
+grep -q '"bit_identical": true' target/BENCH_serve_smoke.json
+grep -q '"errors": 0' target/BENCH_serve_smoke.json
 
 echo "tier1: OK"

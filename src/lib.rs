@@ -23,6 +23,9 @@
 //! * [`retime`] — retiming and the sequential mapping extension (Section 4),
 //! * [`supergate`] — supergate enumeration: automatic library extension with
 //!   composed cells (the "richness" axis of the paper's Table 3),
+//! * [`serve`] — the long-lived batch-mapping daemon (`dagmap serve`):
+//!   TCP/unix-socket protocol, worker pool, warm per-library shared match
+//!   caches, bit-identical to one-shot mapping,
 //! * [`benchgen`] — circuit generators standing in for the MCNC benchmarks,
 //! * [`fuzz`] — the seeded differential fuzzer sweeping the whole mapper
 //!   configuration matrix, with automatic shrinking of failing cases,
@@ -62,6 +65,7 @@ pub use dagmap_netlist as netlist;
 pub use dagmap_obs as obs;
 pub use dagmap_retime as retime;
 pub use dagmap_rng as rng;
+pub use dagmap_serve as serve;
 pub use dagmap_supergate as supergate;
 
 /// Convenient glob import for examples and downstream experiments.

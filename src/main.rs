@@ -24,12 +24,15 @@ use dagmap::genlib::Library;
 use dagmap::matching::MatchMode;
 use dagmap::netlist::{blif, Network, SubjectGraph};
 use dagmap::retime::{min_cycle_period_with, minimize_period, SeqGraph};
+use dagmap::serve::{Endpoints, ServeConfig, Server};
 use dagmap::supergate::{extend_library, SupergateOptions};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("map") => cmd_map(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         Some("luts") => cmd_luts(&args[1..]),
         Some("retime") => cmd_retime(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
@@ -59,6 +62,9 @@ dagmap — delay-optimal technology mapping by DAG covering (DAC 1998)
 
 usage:
   dagmap map      <in.blif> [options]   map against a gate library
+  dagmap serve    [options]             long-lived mapping daemon with warm
+                                        shared match caches (TCP/unix socket)
+  dagmap client   [options] [in.blif]   talk to a running daemon
   dagmap luts     <in.blif> [-k <k>]    FlowMap k-LUT mapping
   dagmap retime   <in.blif> [options]   minimum clock period (retime + map)
   dagmap stats    <in.blif> [--builtin <name> | --lib <f.genlib>]
@@ -107,6 +113,37 @@ map options:
   --verilog <f.v>                     write structural Verilog
   --report-path                       print the critical path
   --no-verify                         skip the equivalence check
+  --json                              print the map report as one JSON
+                                      object (the serve protocol's report
+                                      shape) instead of the human summary
+
+serve options:
+  --tcp <addr>                        listen on a TCP address (e.g.
+                                      127.0.0.1:7433)
+  --unix <path>                       listen on a unix-domain socket
+  --libs <a,b,...>                    libraries to serve: builtin names
+                                      and/or .genlib paths (default lib2);
+                                      the first is the default for requests
+                                      that name none
+  --supergates <depth>                extend every served library with
+                                      supergates first
+  --workers <n>                       mapping worker threads (default: all
+                                      hardware threads)
+  --max-inflight <n>                  admission limit before `busy` replies
+                                      (default 256, 0 = unlimited)
+  --memo-cap <n>                      cone-class budget per library's shared
+                                      match cache (default 65536; resident
+                                      bound is 2x)
+  --no-verify                         skip per-request equivalence checks
+
+client options:
+  --tcp <addr> | --unix <path>        where the daemon listens (required)
+  --ping | --stats | --shutdown       control ops (otherwise maps in.blif)
+  --lib <name>                        served library to map against
+  --algo dag|tree|dag-extended        covering algorithm (default dag)
+  --recover                           slack-driven area recovery
+  --json                              print the raw reply JSON
+  --out <f.blif>                      write the mapped netlist as BLIF
 
 retime options:
   --builtin/--lib                     as for map
@@ -321,6 +358,7 @@ fn cmd_map(args: &[String]) -> CmdResult {
     let no_verify = take_flag(&mut args, "--no-verify");
     let report_path = take_flag(&mut args, "--report-path");
     let no_accel = take_flag(&mut args, "--no-accel");
+    let json = take_flag(&mut args, "--json");
     let k: usize = take_value(&mut args, "-k")?
         .map(|s| s.parse())
         .transpose()
@@ -354,6 +392,9 @@ fn cmd_map(args: &[String]) -> CmdResult {
         let t_decompose = Instant::now();
         let subject = SubjectGraph::from_network(&net)?;
         let decompose_seconds = t_decompose.elapsed().as_secs_f64();
+        if json && (algo == "boolean" || algo == "hybrid") {
+            return Err("--json is not supported with boolean/hybrid matching".into());
+        }
         if algo == "boolean" || algo == "hybrid" {
             // Boolean/hybrid matching has its own pipeline; it shares the cover
             // construction and verification with the structural mapper.
@@ -410,6 +451,21 @@ fn cmd_map(args: &[String]) -> CmdResult {
         }
         if !no_verify {
             verify::check(&mapped, &subject, 0xC11)?;
+        }
+        if json {
+            // The one JSON object on stdout IS the output; everything else
+            // (file-write notices) goes to stderr. The report shape is the
+            // serve protocol's, rendered by the same serializer.
+            println!("{}", dagmap::serve::protocol::map_report_json(&report));
+            if let Some(path) = &out {
+                write_network(path, &mapped.to_network()?)?;
+                eprintln!("wrote {path}");
+            }
+            if let Some(path) = &vout {
+                fs::write(path, verilog::to_verilog(&mapped))?;
+                eprintln!("wrote {path}");
+            }
+            return Ok(());
         }
         println!(
             "{}: {} subject gates -> {} cells, delay {:.3}, area {:.1} ({} algorithm, {} matches, {} duplicated)",
@@ -475,6 +531,197 @@ fn cmd_map(args: &[String]) -> CmdResult {
     })();
     common.end(session)?;
     result
+}
+
+/// Parses `--libs a,b,c` (builtin names and/or .genlib paths) into
+/// libraries, defaulting to lib2.
+fn load_served_libraries(spec: Option<&str>) -> Result<Vec<Library>, Box<dyn Error>> {
+    let spec = spec.unwrap_or("lib2");
+    let mut libraries = Vec::new();
+    for item in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let library = match item {
+            "lib2" => Library::lib2_like(),
+            "44-1" => Library::lib_44_1_like(),
+            "44-3" => Library::lib_44_3_like(),
+            "minimal" => Library::minimal(),
+            path if path.ends_with(".genlib") => {
+                let text = fs::read_to_string(path)?;
+                Library::from_genlib_named(path, &text)?
+            }
+            other => return Err(format!("unknown library `{other}` in --libs").into()),
+        };
+        libraries.push(library);
+    }
+    if libraries.is_empty() {
+        return Err("--libs names no libraries".into());
+    }
+    Ok(libraries)
+}
+
+fn cmd_serve(args: &[String]) -> CmdResult {
+    let mut args = args.to_vec();
+    let common = CliCommon::parse(&mut args)?;
+    let tcp = take_value(&mut args, "--tcp")?;
+    let unix = take_value(&mut args, "--unix")?;
+    let libs_spec = take_value(&mut args, "--libs")?;
+    let supergates: Option<u32> = take_value(&mut args, "--supergates")?
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--supergates needs a depth (gate levels)")?;
+    let mut config = ServeConfig::default();
+    if let Some(n) = common.threads.or(take_value(&mut args, "--workers")?
+        .map(|s| s.parse::<usize>())
+        .transpose()
+        .map_err(|_| "--workers needs an integer")?)
+    {
+        config.workers = n.max(1);
+    }
+    if let Some(n) = take_value(&mut args, "--max-inflight")? {
+        config.max_inflight = n.parse().map_err(|_| "--max-inflight needs an integer")?;
+    }
+    if let Some(n) = take_value(&mut args, "--memo-cap")? {
+        config.memo_cap = n.parse().map_err(|_| "--memo-cap needs an integer")?;
+    }
+    config.verify = !take_flag(&mut args, "--no-verify");
+    reject_leftovers(&args)?;
+
+    let mut libraries = load_served_libraries(libs_spec.as_deref())?;
+    if let Some(depth) = supergates {
+        // Supergate extension is part of the warm startup state: pay for it
+        // once here, never per request.
+        for library in &mut libraries {
+            let ext = extend_library(
+                library,
+                &SupergateOptions {
+                    max_depth: depth,
+                    ..SupergateOptions::default()
+                },
+            )?;
+            eprintln!(
+                "supergates: {} -> `{}` (+{} cells)",
+                library.name(),
+                ext.library.name(),
+                ext.report.supergates,
+            );
+            *library = ext.library;
+        }
+    }
+    let names: Vec<String> = libraries.iter().map(|l| l.name().to_owned()).collect();
+    let endpoints = Endpoints {
+        tcp: tcp.clone(),
+        #[cfg(unix)]
+        unix: unix.clone().map(Into::into),
+    };
+    #[cfg(not(unix))]
+    if unix.is_some() {
+        return Err("--unix is not supported on this platform".into());
+    }
+    // With --trace/--profile the daemon records globally for its whole
+    // lifetime; workers flush per-request frames into this session.
+    let session = common.begin();
+    let server = Server::start(&config, libraries, &endpoints)?;
+    if let Some(addr) = server.tcp_addr() {
+        eprintln!("serving on tcp {addr}");
+    }
+    if let Some(path) = &unix {
+        eprintln!("serving on unix {path}");
+    }
+    eprintln!(
+        "libraries: {} ({} workers, max {} inflight, memo cap {}); send {{\"op\":\"shutdown\"}} to stop",
+        names.join(", "),
+        config.workers,
+        config.max_inflight,
+        config.memo_cap,
+    );
+    server.wait()?;
+    eprintln!("serve: drained and stopped");
+    common.end(session)
+}
+
+fn client_endpoint(args: &mut Vec<String>) -> Result<dagmap::serve::Endpoint, Box<dyn Error>> {
+    let tcp = take_value(args, "--tcp")?;
+    let unix = take_value(args, "--unix")?;
+    match (tcp, unix) {
+        (Some(addr), None) => Ok(dagmap::serve::Endpoint::Tcp(addr)),
+        #[cfg(unix)]
+        (None, Some(path)) => Ok(dagmap::serve::Endpoint::Unix(path.into())),
+        (Some(_), Some(_)) => Err("--tcp and --unix are mutually exclusive".into()),
+        _ => Err("client needs --tcp <addr> or --unix <path>".into()),
+    }
+}
+
+fn cmd_client(args: &[String]) -> CmdResult {
+    let mut args = args.to_vec();
+    let endpoint = client_endpoint(&mut args)?;
+    let ping = take_flag(&mut args, "--ping");
+    let stats = take_flag(&mut args, "--stats");
+    let shutdown = take_flag(&mut args, "--shutdown");
+    let lib = take_value(&mut args, "--lib")?;
+    let algo = take_value(&mut args, "--algo")?.unwrap_or_else(|| "dag".into());
+    let recover = take_flag(&mut args, "--recover");
+    let json = take_flag(&mut args, "--json");
+    let out = take_value(&mut args, "--out")?;
+
+    let mut client = dagmap::serve::Client::connect(&endpoint)?;
+    if ping {
+        reject_leftovers(&args)?;
+        client.ping()?;
+        println!("pong");
+        return Ok(());
+    }
+    if stats || shutdown {
+        reject_leftovers(&args)?;
+        let op = if stats { "stats" } else { "shutdown" };
+        // Control-op replies are small; print the frame verbatim.
+        println!("{}", client.call_raw(&format!("{{\"op\":\"{op}\"}}"))?);
+        return Ok(());
+    }
+    let input = take_positional(&mut args, "input BLIF file")?;
+    reject_leftovers(&args)?;
+    // .aag inputs are converted to the BLIF the wire protocol speaks.
+    let net = read_network(&input)?;
+    let text = blif::to_string(&net)?;
+    let payload = dagmap::serve::map_request(
+        &text,
+        &dagmap::serve::MapCall {
+            id: Some("cli"),
+            lib: lib.as_deref(),
+            algo: &algo,
+            recover,
+            trace: false,
+        },
+    );
+    let raw_text = client.call_raw(&payload)?;
+    let raw = dagmap::obs::json::parse(&raw_text)
+        .map_err(|e| format!("reply is not valid JSON: {e}"))?;
+    if let Some(err) = raw.get("error") {
+        let kind = err.get("kind").and_then(|k| k.as_str()).unwrap_or("?");
+        let msg = err.get("message").and_then(|m| m.as_str()).unwrap_or("?");
+        return Err(format!("server replied {kind}: {msg}").into());
+    }
+    if json {
+        println!("{raw_text}");
+    } else {
+        let delay = raw.get("delay").and_then(|v| v.as_num()).unwrap_or(f64::NAN);
+        let area = raw.get("area").and_then(|v| v.as_num()).unwrap_or(f64::NAN);
+        let cells = raw
+            .get("num_cells")
+            .and_then(|v| v.as_num())
+            .unwrap_or(f64::NAN);
+        let served_lib = raw.get("lib").and_then(|v| v.as_str()).unwrap_or("?");
+        println!(
+            "{input}: mapped against `{served_lib}`: delay {delay:.3}, area {area:.1}, {cells} cells"
+        );
+    }
+    if let Some(path) = &out {
+        let served = raw
+            .get("blif")
+            .and_then(|v| v.as_str())
+            .ok_or("reply carries no blif")?;
+        fs::write(path, served)?;
+        println!("wrote {path}");
+    }
+    Ok(())
 }
 
 fn cmd_luts(args: &[String]) -> CmdResult {
