@@ -25,22 +25,26 @@ use dagmap_supergate::{extend_library, SupergateOptions};
 const BASELINE: MatchConfig = MatchConfig {
     index: false,
     memo: MemoPolicy::Off,
+    strash_ids: false,
 };
 const INDEXED: MatchConfig = MatchConfig {
     index: true,
     memo: MemoPolicy::Off,
+    strash_ids: false,
 };
 // Forced On (not Auto): the point of the memoized column is to measure the
 // memo itself, even on libraries where the auto policy would decline it.
 const MEMOIZED: MatchConfig = MatchConfig {
     index: true,
     memo: MemoPolicy::On,
+    strash_ids: true,
 };
 // The shipping default: the memo is cost-gated per library, so cheap
 // pattern sets run index-only and big ones memoize.
 const AUTO: MatchConfig = MatchConfig {
     index: true,
     memo: MemoPolicy::Auto,
+    strash_ids: true,
 };
 
 struct Row {

@@ -7,7 +7,7 @@
 //! shared-cache effectiveness to `BENCH_serve.json`.
 //!
 //! Usage: `serveperf [--quick] [--requests N] [--clients N] [--workers N]
-//! [--out PATH]`
+//! [--out PATH] [--profile]`
 //!
 //! Invariants asserted every run:
 //! * zero error frames and zero busy rejects (admission is unlimited here),
@@ -37,6 +37,7 @@ mod imp {
         clients: usize,
         workers: Option<usize>,
         out: String,
+        profile: bool,
     }
 
     fn parse_args() -> Args {
@@ -46,6 +47,7 @@ mod imp {
             clients: 4,
             workers: None,
             out: String::from("BENCH_serve.json"),
+            profile: false,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -60,6 +62,7 @@ mod imp {
                 "--clients" => parsed.clients = num("--clients").max(1),
                 "--workers" => parsed.workers = Some(num("--workers").max(1)),
                 "--out" => parsed.out = args.next().expect("--out needs a path"),
+                "--profile" => parsed.profile = true,
                 other => panic!("unknown argument `{other}`"),
             }
         }
@@ -121,66 +124,119 @@ mod imp {
         // reply BLIF per distinct (circuit, lib) pair for the bit-identity
         // spot check.
         let t0 = Instant::now();
-        let replies: Vec<(BTreeMap<(String, usize), String>, usize)> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..args.clients)
-                .map(|c| {
-                    let my: Vec<_> = stream
-                        .iter()
-                        .skip(c)
-                        .step_by(args.clients)
-                        .cloned()
-                        .collect();
-                    let endpoint = endpoint.clone();
-                    let lib_names = &lib_names;
-                    s.spawn(move || {
-                        let mut client = Client::connect(&endpoint).expect("client connects");
-                        let mut kept: BTreeMap<(String, usize), String> = BTreeMap::new();
-                        let mut errors = 0usize;
-                        let mut outstanding: Vec<(String, usize)> = Vec::new();
-                        let drain =
-                            |client: &mut Client,
-                             outstanding: &mut Vec<(String, usize)>,
-                             kept: &mut BTreeMap<(String, usize), String>,
-                             errors: &mut usize| {
-                                let (circuit, lib_index) = outstanding.remove(0);
-                                let reply = client.recv().expect("reply");
-                                if reply.get("error").is_some() {
-                                    *errors += 1;
-                                    return;
+        #[allow(clippy::type_complexity)]
+        let replies: Vec<(BTreeMap<(String, usize), String>, usize, Vec<u64>, Vec<u64>)> =
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..args.clients)
+                    .map(|c| {
+                        let my: Vec<_> = stream
+                            .iter()
+                            .skip(c)
+                            .step_by(args.clients)
+                            .cloned()
+                            .collect();
+                        let endpoint = endpoint.clone();
+                        let lib_names = &lib_names;
+                        s.spawn(move || {
+                            let mut client = Client::connect(&endpoint).expect("client connects");
+                            let mut kept: BTreeMap<(String, usize), String> = BTreeMap::new();
+                            let mut errors = 0usize;
+                            // Per-request server-side map time (the sum of
+                            // the reply's phase seconds — free of client
+                            // pipelining and queueing), split into
+                            // first-seen circuits (cold caches) and
+                            // repeats of the hot set (warm caches).
+                            let mut lat_first: Vec<u64> = Vec::new();
+                            let mut lat_repeat: Vec<u64> = Vec::new();
+                            let mut outstanding: Vec<(String, usize, bool)> = Vec::new();
+                            let drain =
+                                |client: &mut Client,
+                                 outstanding: &mut Vec<(String, usize, bool)>,
+                                 kept: &mut BTreeMap<(String, usize), String>,
+                                 errors: &mut usize,
+                                 lat_first: &mut Vec<u64>,
+                                 lat_repeat: &mut Vec<u64>| {
+                                    let (circuit, lib_index, repeat) = outstanding.remove(0);
+                                    let reply = client.recv().expect("reply");
+                                    if let Some(phases) = reply.get("phases") {
+                                        let sec = |k: &str| {
+                                            phases.get(k).and_then(|v| v.as_num()).unwrap_or(0.0)
+                                        };
+                                        let us = ((sec("decompose_seconds")
+                                            + sec("label_seconds")
+                                            + sec("cover_seconds")
+                                            + sec("area_recovery_seconds"))
+                                            * 1e6) as u64;
+                                        if repeat {
+                                            lat_repeat.push(us);
+                                        } else {
+                                            lat_first.push(us);
+                                        }
+                                    }
+                                    if reply.get("error").is_some() {
+                                        *errors += 1;
+                                        return;
+                                    }
+                                    kept.entry((circuit, lib_index)).or_insert_with(|| {
+                                        reply
+                                            .get("blif")
+                                            .and_then(|b| b.as_str())
+                                            .expect("ok reply carries blif")
+                                            .to_owned()
+                                    });
+                                };
+                            for req in &my {
+                                if outstanding.len() >= PIPELINE_WINDOW {
+                                    drain(
+                                        &mut client,
+                                        &mut outstanding,
+                                        &mut kept,
+                                        &mut errors,
+                                        &mut lat_first,
+                                        &mut lat_repeat,
+                                    );
                                 }
-                                kept.entry((circuit, lib_index)).or_insert_with(|| {
-                                    reply
-                                        .get("blif")
-                                        .and_then(|b| b.as_str())
-                                        .expect("ok reply carries blif")
-                                        .to_owned()
-                                });
-                            };
-                        for req in &my {
-                            if outstanding.len() >= PIPELINE_WINDOW {
-                                drain(&mut client, &mut outstanding, &mut kept, &mut errors);
+                                let payload = map_request(
+                                    &req.blif,
+                                    &MapCall {
+                                        lib: Some(&lib_names[req.lib_index]),
+                                        ..MapCall::default()
+                                    },
+                                );
+                                client.send(&payload).expect("send");
+                                outstanding.push((req.circuit.clone(), req.lib_index, req.repeat));
                             }
-                            let payload = map_request(
-                                &req.blif,
-                                &MapCall {
-                                    lib: Some(&lib_names[req.lib_index]),
-                                    ..MapCall::default()
-                                },
-                            );
-                            client.send(&payload).expect("send");
-                            outstanding.push((req.circuit.clone(), req.lib_index));
-                        }
-                        while !outstanding.is_empty() {
-                            drain(&mut client, &mut outstanding, &mut kept, &mut errors);
-                        }
-                        (kept, errors)
+                            while !outstanding.is_empty() {
+                                drain(
+                                    &mut client,
+                                    &mut outstanding,
+                                    &mut kept,
+                                    &mut errors,
+                                    &mut lat_first,
+                                    &mut lat_repeat,
+                                );
+                            }
+                            (kept, errors, lat_first, lat_repeat)
+                        })
                     })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
         let wall_s = t0.elapsed().as_secs_f64();
-        let client_errors: usize = replies.iter().map(|(_, e)| *e).sum();
+        let client_errors: usize = replies.iter().map(|(_, e, ..)| *e).sum();
+        let mut lat_first: Vec<u64> = replies.iter().flat_map(|(_, _, f, _)| f.iter().copied()).collect();
+        let mut lat_repeat: Vec<u64> = replies.iter().flat_map(|(.., r)| r.iter().copied()).collect();
+        lat_first.sort_unstable();
+        lat_repeat.sort_unstable();
+        let pct = |sorted: &[u64], q: f64| -> u64 {
+            if sorted.is_empty() {
+                return 0;
+            }
+            let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+            sorted[idx]
+        };
+        let (first_p50, first_p99) = (pct(&lat_first, 0.5), pct(&lat_first, 0.99));
+        let (rep_p50, rep_p99) = (pct(&lat_repeat, 0.5), pct(&lat_repeat, 0.99));
 
         // Server-side counters before shutdown.
         let mut control = Client::connect(&endpoint).expect("control client");
@@ -205,13 +261,19 @@ mod imp {
         control.shutdown().expect("shutdown ack");
         server.wait().expect("clean drain");
         let trace = session.finish();
+        if args.profile {
+            // Aggregate server-side phase report over the whole stream:
+            // shows where worker time went (parse, decompose, label, export)
+            // across all requests, not just the percentile summary.
+            eprint!("{}", dagmap_obs::report::render(&trace));
+        }
 
         // Bit-identity spot check: one served reply per distinct
         // (circuit, lib) pair vs a one-shot mapping of the same BLIF text.
         let mut checked = 0usize;
         let mut identical = true;
         let mut seen_pairs: BTreeMap<(String, usize), String> = BTreeMap::new();
-        for (kept, _) in &replies {
+        for (kept, ..) in &replies {
             for (key, blif_text) in kept {
                 seen_pairs.entry(key.clone()).or_insert_with(|| blif_text.clone());
             }
@@ -249,6 +311,12 @@ mod imp {
             throughput, wall_s, p50, p95, p99
         );
         println!(
+            "  per-request map time: first-seen p50 {first_p50} us / p99 {first_p99} us ({} reqs), \
+             repeated p50 {rep_p50} us / p99 {rep_p99} us ({} reqs)",
+            lat_first.len(),
+            lat_repeat.len(),
+        );
+        println!(
             "  memo: {memo_hits:.0} hits / {memo_misses:.0} misses (hit rate {:.1}%); \
              errors {server_errors:.0}, busy {busy:.0}; bit-identity {checked} pairs identical={identical}",
             hit_rate * 100.0
@@ -275,6 +343,13 @@ mod imp {
         let _ = writeln!(json, "  \"wall_s\": {wall_s:.6},");
         let _ = writeln!(json, "  \"throughput_rps\": {throughput:.2},");
         let _ = writeln!(json, "  \"latency_us\": {{\"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}}},");
+        let _ = writeln!(
+            json,
+            "  \"latency_split_us\": {{\"first_seen\": {{\"p50\": {first_p50}, \"p99\": {first_p99}, \
+             \"n\": {}}}, \"repeated\": {{\"p50\": {rep_p50}, \"p99\": {rep_p99}, \"n\": {}}}}},",
+            lat_first.len(),
+            lat_repeat.len(),
+        );
         let _ = writeln!(
             json,
             "  \"memo\": {{\"hits\": {memo_hits:.0}, \"misses\": {memo_misses:.0}, \"hit_rate\": {hit_rate:.4}}},"

@@ -74,6 +74,11 @@ pub struct Labels {
     /// so this can be lower than the serial count; the labels themselves
     /// are bit-identical regardless.
     pub memo_hits: usize,
+    /// Memo hits resolved by strash signature alone (no cone extraction);
+    /// a subset of [`Labels::memo_hits`]. Zero when strash-id keying is
+    /// disabled, the mode is exact, or the subject's signature map is not
+    /// injective.
+    pub memo_id_hits: usize,
     /// 64-wide candidate words the batched match kernel evaluated (memo
     /// replays evaluate none, so this counts performed kernel work).
     pub match_words: usize,
@@ -179,17 +184,17 @@ fn max_pattern_internal(library: &Library) -> usize {
 /// better match is a couple of `memcpy`s — never an allocation. This
 /// replaces the former per-improvement [`MatchView::to_match`] call, which
 /// allocated two `Vec`s every time the incumbent changed.
-struct ChosenBuf {
-    t: f64,
-    af: f64,
+pub(crate) struct ChosenBuf {
+    pub(crate) t: f64,
+    pub(crate) af: f64,
     pins: usize,
-    sel: Option<(GateId, PatternId)>,
-    leaves: Vec<NodeId>,
-    covered: Vec<NodeId>,
+    pub(crate) sel: Option<(GateId, PatternId)>,
+    pub(crate) leaves: Vec<NodeId>,
+    pub(crate) covered: Vec<NodeId>,
 }
 
 impl ChosenBuf {
-    fn new(library: &Library) -> ChosenBuf {
+    pub(crate) fn new(library: &Library) -> ChosenBuf {
         ChosenBuf {
             t: 0.0,
             af: 0.0,
@@ -222,7 +227,7 @@ impl ChosenBuf {
 /// Committing a selection is therefore allocation-free; the public
 /// `Vec<Option<Match>>` shape of [`Labels::best`] is materialized once at
 /// the end of the pass.
-struct SelectionArena {
+pub(crate) struct SelectionArena {
     sel: Vec<Option<(GateId, PatternId)>>,
     leaf_range: Vec<(u32, u32)>,
     cov_range: Vec<(u32, u32)>,
@@ -231,7 +236,7 @@ struct SelectionArena {
 }
 
 impl SelectionArena {
-    fn new(library: &Library, flat: &FlatNet) -> SelectionArena {
+    pub(crate) fn new(library: &Library, flat: &FlatNet) -> SelectionArena {
         let n = flat.num_nodes();
         let gates = flat.kinds().iter().filter(|&&k| k != KIND_SOURCE).count();
         SelectionArena {
@@ -243,7 +248,7 @@ impl SelectionArena {
         }
     }
 
-    fn commit(
+    pub(crate) fn commit(
         &mut self,
         id: NodeId,
         sel: (GateId, PatternId),
@@ -260,7 +265,7 @@ impl SelectionArena {
         self.cov_range[i] = (cs, self.covered.len() as u32);
     }
 
-    fn into_best(self) -> Vec<Option<Match>> {
+    pub(crate) fn into_best(self) -> Vec<Option<Match>> {
         let SelectionArena {
             sel,
             leaf_range,
@@ -290,7 +295,7 @@ impl SelectionArena {
 /// (the one-shot CLI path) or a cross-request [`SharedMatchStore`] (the
 /// serve daemon's warm per-library cache). The match callback sequence is
 /// identical either way, so the choice never changes a label.
-enum Memo<'a> {
+pub(crate) enum Memo<'a> {
     Local(&'a mut MatchStore),
     Shared(&'a SharedMatchStore),
 }
@@ -302,7 +307,7 @@ enum Memo<'a> {
 /// Reads only `arrival`/`area_flow` of strict fanins (all at lower levels),
 /// which is what makes whole levels independently computable.
 #[allow(clippy::too_many_arguments)]
-fn evaluate_node(
+pub(crate) fn evaluate_node(
     subject: &SubjectGraph,
     matcher: &Matcher<'_>,
     mode: MatchMode,
@@ -512,6 +517,7 @@ fn record_label_counts(mappable: usize, result: &Result<Labels, MapError>) {
             dagmap_obs::count("match.pruned", labels.matches_pruned as u64);
             dagmap_obs::count("match.memo_lookups", labels.memo_lookups as u64);
             dagmap_obs::count("match.memo_hits", labels.memo_hits as u64);
+            dagmap_obs::count("match.memo_id_hits", labels.memo_id_hits as u64);
             dagmap_obs::count("match.words", labels.match_words as u64);
             dagmap_obs::count("match.candidate_bits", labels.match_candidate_bits as u64);
         }
@@ -597,6 +603,7 @@ fn label_serial(
         matches_pruned: stats.pruned,
         memo_lookups: stats.memo_lookups,
         memo_hits: stats.memo_hits,
+        memo_id_hits: stats.memo_id_hits,
         match_words: stats.words,
         match_candidate_bits: stats.candidate_bits,
         levels: flat.num_levels(),
@@ -907,6 +914,7 @@ fn label_parallel(
         matches_pruned: stats.pruned,
         memo_lookups: stats.memo_lookups,
         memo_hits: stats.memo_hits,
+        memo_id_hits: stats.memo_id_hits,
         match_words: stats.words,
         match_candidate_bits: stats.candidate_bits,
         levels: num_levels,

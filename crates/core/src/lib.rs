@@ -48,6 +48,7 @@ pub mod allocmeter;
 mod area;
 mod cover;
 mod error;
+mod incremental;
 mod label;
 pub mod load;
 mod mapped;
@@ -57,6 +58,7 @@ pub mod verify;
 pub mod verilog;
 
 pub use error::MapError;
+pub use incremental::{relabel_incremental, IncrementalStats, RetainedLabels};
 pub use label::{label_with, label_with_config, label_with_shared_store, Labels};
 pub use mapped::{Cell, GateKind, MappedNetlist, Signal};
 pub use mapper::{MapReport, Mapper};

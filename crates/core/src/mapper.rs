@@ -4,6 +4,7 @@ use dagmap_genlib::Library;
 use dagmap_match::{MatchMode, MatchScratch, MatchStore, Matcher, SharedMatchStore};
 use dagmap_netlist::SubjectGraph;
 
+use crate::incremental::{relabel_incremental, RetainedLabels};
 use crate::label::{label, label_with_config, label_with_shared_store, Labels};
 use crate::{area, cover, MapError, MapOptions, MappedNetlist};
 
@@ -33,6 +34,20 @@ pub struct MapReport {
     /// Memo lookups that replayed a stored enumeration instead of
     /// searching.
     pub memo_hits: usize,
+    /// Memo hits resolved through the strash-id fast path (no cone
+    /// extraction); a subset of `memo_hits`.
+    pub memo_id_hits: usize,
+    /// Node constructions the strash arena saw while decomposing (before
+    /// constant folding and deduplication).
+    pub strash_raw_nodes: usize,
+    /// Distinct nodes the strash arena kept — the subject graph's size.
+    /// `strash_raw_nodes / strash_unique_nodes` is the dedup ratio.
+    pub strash_unique_nodes: usize,
+    /// Constructions answered by an existing structurally identical node.
+    pub strash_dedup_hits: usize,
+    /// Gates whose labels were copied from a retained prior run instead of
+    /// being re-evaluated (0 outside [`Mapper::map_incremental`]).
+    pub labels_reused: usize,
     /// 64-wide candidate words the batched match kernel evaluated during
     /// labeling (memo replays evaluate none).
     pub match_words: usize,
@@ -191,7 +206,19 @@ impl<'a> Mapper<'a> {
             )?,
         };
         let label_seconds = t0.elapsed().as_secs_f64();
+        self.finish_map(subject, options, labels, label_seconds, 0)
+    }
 
+    /// Cover construction, area recovery and report assembly shared by the
+    /// cold and incremental paths.
+    fn finish_map(
+        &self,
+        subject: &SubjectGraph,
+        options: MapOptions,
+        labels: Labels,
+        label_seconds: f64,
+        labels_reused: usize,
+    ) -> Result<(MappedNetlist, MapReport), MapError> {
         let (mapped, cover_seconds) = dagmap_obs::timed("cover", || {
             cover::construct(subject, self.library, &labels.best)
         });
@@ -251,6 +278,7 @@ impl<'a> Mapper<'a> {
                 (mapped, 0.0)
             };
 
+        let strash = subject.strash_stats();
         let report = MapReport {
             algorithm: options.algorithm_name(),
             delay: mapped.delay(),
@@ -262,6 +290,11 @@ impl<'a> Mapper<'a> {
             matches_pruned: labels.matches_pruned,
             memo_lookups: labels.memo_lookups,
             memo_hits: labels.memo_hits,
+            memo_id_hits: labels.memo_id_hits,
+            strash_raw_nodes: strash.raw,
+            strash_unique_nodes: strash.unique,
+            strash_dedup_hits: strash.dedup_hits,
+            labels_reused,
             match_words: labels.match_words,
             match_candidate_bits: labels.match_candidate_bits,
             label_threads: labels.threads_used,
@@ -272,6 +305,98 @@ impl<'a> Mapper<'a> {
             decompose_seconds: 0.0,
         };
         Ok((mapped, report))
+    }
+
+    /// Like [`Mapper::map_with_report`], additionally snapshotting the
+    /// labeling run as a [`RetainedLabels`] for later incremental
+    /// re-mapping. The snapshot is `None` when the subject's signature map
+    /// is not injective (duplicate structure defeats signature addressing,
+    /// which [`dagmap_netlist::strash_network`]-style strashed inputs never
+    /// do).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Mapper::map`].
+    pub fn map_with_report_retaining(
+        &self,
+        subject: &SubjectGraph,
+        options: MapOptions,
+        shared: Option<&SharedMatchStore>,
+    ) -> Result<(MappedNetlist, MapReport, Option<RetainedLabels>), MapError> {
+        if !self.library.is_delay_mappable() {
+            return Err(MapError::UnmappableLibrary {
+                library: self.library.name().to_owned(),
+            });
+        }
+        let mut map_span = dagmap_obs::span("map");
+        if map_span.is_recording() {
+            map_span.set_u64("nodes", subject.network().num_nodes() as u64);
+        }
+        let t0 = Instant::now();
+        let labels = match shared {
+            Some(store) => label_with_shared_store(
+                subject,
+                self.library,
+                options.match_mode,
+                options.objective,
+                options.match_config(),
+                store,
+            )?,
+            None => label_with_config(
+                subject,
+                self.library,
+                options.match_mode,
+                options.objective,
+                options.num_threads,
+                options.match_config(),
+            )?,
+        };
+        let label_seconds = t0.elapsed().as_secs_f64();
+        let snapshot = RetainedLabels::from_labels(subject, &labels);
+        let (mapped, report) = self.finish_map(subject, options, labels, label_seconds, 0)?;
+        Ok((mapped, report, snapshot))
+    }
+
+    /// Incrementally re-maps an edited design: labels of nodes untouched by
+    /// the edit (per the clean rule of [`crate::relabel_incremental`]) are
+    /// copied from `retained`; only the dirty region is re-evaluated. The
+    /// mapped netlist is bit-identical to a cold [`Mapper::map`] of the
+    /// same subject. Returns the refreshed snapshot for the next edit.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Mapper::map`].
+    pub fn map_incremental(
+        &self,
+        subject: &SubjectGraph,
+        options: MapOptions,
+        retained: &RetainedLabels,
+        shared: Option<&SharedMatchStore>,
+    ) -> Result<(MappedNetlist, MapReport, Option<RetainedLabels>), MapError> {
+        if !self.library.is_delay_mappable() {
+            return Err(MapError::UnmappableLibrary {
+                library: self.library.name().to_owned(),
+            });
+        }
+        let mut map_span = dagmap_obs::span("map.incremental");
+        if map_span.is_recording() {
+            map_span.set_u64("nodes", subject.network().num_nodes() as u64);
+        }
+        let t0 = Instant::now();
+        let (labels, inc) = relabel_incremental(
+            subject,
+            self.library,
+            options.match_mode,
+            options.objective,
+            options.match_config(),
+            retained,
+            shared,
+        )?;
+        let label_seconds = t0.elapsed().as_secs_f64();
+        let snapshot = RetainedLabels::from_labels(subject, &labels);
+        let (mapped, report) =
+            self.finish_map(subject, options, labels, label_seconds, inc.reused)?;
+        Ok((mapped, report, snapshot))
     }
 }
 

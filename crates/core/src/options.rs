@@ -61,6 +61,12 @@ pub struct MapOptions {
     /// for libraries whose pattern sets are expensive enough that replay
     /// beats fresh (indexed) enumeration; `On`/`Off` force it.
     pub match_memo: MemoPolicy,
+    /// Stage-3 match acceleration: key warm memo probes on the subject
+    /// graph's strash signatures so repeat probes skip cone extraction
+    /// entirely. Result-identical either way (it resolves to the same
+    /// stored class the cone key would); on by default. Only meaningful
+    /// when the memo is in effect and the match mode is not `Exact`.
+    pub strash_ids: bool,
 }
 
 impl MapOptions {
@@ -75,6 +81,7 @@ impl MapOptions {
             num_threads: None,
             use_match_index: true,
             match_memo: MemoPolicy::Auto,
+            strash_ids: true,
         }
     }
 
@@ -89,6 +96,7 @@ impl MapOptions {
             num_threads: None,
             use_match_index: true,
             match_memo: MemoPolicy::Auto,
+            strash_ids: true,
         }
     }
 
@@ -103,6 +111,7 @@ impl MapOptions {
             num_threads: None,
             use_match_index: true,
             match_memo: MemoPolicy::Auto,
+            strash_ids: true,
         }
     }
 
@@ -116,6 +125,7 @@ impl MapOptions {
             num_threads: None,
             use_match_index: true,
             match_memo: MemoPolicy::Auto,
+            strash_ids: true,
         }
     }
 
@@ -130,6 +140,7 @@ impl MapOptions {
             num_threads: None,
             use_match_index: true,
             match_memo: MemoPolicy::Auto,
+            strash_ids: true,
         }
     }
 
@@ -162,6 +173,7 @@ impl MapOptions {
     pub fn with_match_acceleration(mut self, on: bool) -> MapOptions {
         self.use_match_index = on;
         self.match_memo = if on { MemoPolicy::On } else { MemoPolicy::Off };
+        self.strash_ids = on;
         self
     }
 
@@ -178,11 +190,20 @@ impl MapOptions {
         self
     }
 
+    /// Sets the stage-3 strash-id memo keying switch (`--no-strash-ids`
+    /// in the CLI). Off forces every memo probe down the canonical-cone
+    /// path; the mapped output is bit-identical either way.
+    pub fn with_strash_ids(mut self, on: bool) -> MapOptions {
+        self.strash_ids = on;
+        self
+    }
+
     /// The [`MatchConfig`] the options select.
     pub fn match_config(&self) -> dagmap_match::MatchConfig {
         dagmap_match::MatchConfig {
             index: self.use_match_index,
             memo: self.match_memo,
+            strash_ids: self.strash_ids,
         }
     }
 

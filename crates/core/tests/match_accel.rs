@@ -12,29 +12,46 @@ use dagmap_netlist::SubjectGraph;
 
 const MODES: [MatchMode; 3] = [MatchMode::Standard, MatchMode::Exact, MatchMode::Extended];
 
-/// Index × memo-policy combinations, baseline first. `Auto` rides along so
-/// the cost-gated default provably picks one of the two fixed behaviours.
-fn configs() -> [MatchConfig; 5] {
+/// Index × memo-policy × strash-id combinations, baseline first. `Auto`
+/// rides along so the cost-gated default provably picks one of the fixed
+/// behaviours, and the memoized rows run with strash-id keying both off and
+/// on — the id fast path must replay exactly what the cone key would.
+fn configs() -> [MatchConfig; 7] {
     [
         MatchConfig {
             index: false,
             memo: MemoPolicy::Off,
+            strash_ids: false,
         },
         MatchConfig {
             index: true,
             memo: MemoPolicy::Off,
+            strash_ids: false,
         },
         MatchConfig {
             index: false,
             memo: MemoPolicy::On,
+            strash_ids: false,
         },
         MatchConfig {
             index: true,
             memo: MemoPolicy::On,
+            strash_ids: false,
+        },
+        MatchConfig {
+            index: false,
+            memo: MemoPolicy::On,
+            strash_ids: true,
+        },
+        MatchConfig {
+            index: true,
+            memo: MemoPolicy::On,
+            strash_ids: true,
         },
         MatchConfig {
             index: true,
             memo: MemoPolicy::Auto,
+            strash_ids: true,
         },
     ]
 }

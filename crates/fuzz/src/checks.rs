@@ -225,6 +225,14 @@ pub fn check_network(
                 "memo-only".into(),
                 serial.with_match_index(false).with_match_memo(true),
             ),
+            // The strash-id fast path on and off over a forced memo: both
+            // must replay the same classes the cone keys resolve, so the
+            // mapped netlist may not move by a byte.
+            ("memo+strash-ids".into(), serial.with_match_memo(true)),
+            (
+                "no-strash-ids".into(),
+                serial.with_match_memo(true).with_strash_ids(false),
+            ),
         ];
         for &nt in &matrix.thread_counts {
             if nt > 1 {

@@ -1,9 +1,9 @@
 use dagmap_genlib::{GateId, Library, PatternGraph, PatternId, PatternNode, RootMasks};
 use dagmap_netlist::fingerprint::{extract_cone, ConeScratch, ConeSpec};
-use dagmap_netlist::{FlatNet, NodeId, SubjectGraph, KIND_INV, KIND_NAND};
+use dagmap_netlist::{FlatNet, NodeId, Sig, Signatures, SubjectGraph, KIND_INV, KIND_NAND};
 
 use crate::shared::SharedMatchStore;
-use crate::store::{ClassId, MatchStore};
+use crate::store::{ClassId, MatchStore, HOME_SELF};
 
 /// Which match semantics to enforce (Definitions 1–3 of the paper).
 #[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
@@ -81,6 +81,10 @@ pub struct MatchStats {
     pub memo_lookups: usize,
     /// Cone-class lookups that hit and replayed a stored enumeration.
     pub memo_hits: usize,
+    /// Memo hits resolved through the strash-id fast path: the node's
+    /// structural signature went straight to its class, skipping cone
+    /// extraction entirely. Always ≤ `memo_hits`.
+    pub memo_id_hits: usize,
     /// 64-wide candidate words evaluated by the batched kernel. Memo
     /// replays touch no words, so this counts *performed* kernel work.
     pub words: usize,
@@ -96,6 +100,7 @@ impl MatchStats {
         self.pruned += other.pruned;
         self.memo_lookups += other.memo_lookups;
         self.memo_hits += other.memo_hits;
+        self.memo_id_hits += other.memo_id_hits;
         self.words += other.words;
         self.candidate_bits += other.candidate_bits;
     }
@@ -135,6 +140,14 @@ pub struct MatchConfig {
     /// takes effect through [`Matcher::for_each_match_via`] /
     /// [`Matcher::class_at`], which carry the store.
     pub memo: MemoPolicy,
+    /// Stage 3: key warm memo probes on the subject's structural
+    /// signatures ([`dagmap_netlist::strash`]) so a repeat probe is one
+    /// O(1) hash lookup instead of a canonical cone extraction. Falls back
+    /// to cone keys automatically when signatures are unusable (exact-mode
+    /// semantics, which key on fanout counts signatures don't capture, or
+    /// a non-injective signature map). Only meaningful when `memo` is in
+    /// effect; replay sequences are identical either way.
+    pub strash_ids: bool,
 }
 
 impl Default for MatchConfig {
@@ -142,6 +155,7 @@ impl Default for MatchConfig {
         MatchConfig {
             index: true,
             memo: MemoPolicy::Auto,
+            strash_ids: true,
         }
     }
 }
@@ -152,6 +166,7 @@ impl MatchConfig {
         MatchConfig {
             index: false,
             memo: MemoPolicy::Off,
+            strash_ids: false,
         }
     }
 }
@@ -181,6 +196,10 @@ impl MatchConfig {
 pub struct MatchScratch {
     bufs: EnumBufs,
     cone: ConeScratch,
+    /// Concrete subject nodes a strash-id memo hit resolved its stored
+    /// local signatures to; plays the role `cone.locals()` plays on the
+    /// cone-keyed path.
+    id_locals: Vec<NodeId>,
 }
 
 /// The enumeration-only buffers, split out so the cone scratch can be
@@ -236,6 +255,10 @@ impl MatchScratch {
         bufs.seen_leaves
             .reserve(embeddings * library.max_gate_inputs());
         self.cone.prepare(num_nodes, library.max_pattern_depth());
+        // A depth-D cone over 2-input nodes holds at most 2^(D+1) nodes,
+        // which bounds any stored class's local table.
+        let cone_cap = (2usize << library.max_pattern_depth().min(12)).min(num_nodes.max(1));
+        self.id_locals.reserve(cone_cap);
     }
 }
 
@@ -501,7 +524,7 @@ impl<'a> Matcher<'a> {
             record_fanouts: mode == MatchMode::Exact,
             fanout_cap: store.fanout_cap(),
         };
-        let MatchScratch { bufs, cone } = scratch;
+        let MatchScratch { bufs, cone, .. } = scratch;
         extract_cone(flat, node, spec, cone);
         let level_cap = flat.level(node).min(store.max_depth());
         let mut stats = MatchStats {
@@ -554,28 +577,87 @@ impl<'a> Matcher<'a> {
             dagmap_obs::sample("match.per_node", stats.enumerated as u64);
             return stats;
         }
+        let sig = self.strash_sig(subject, node, mode);
+        if let Some(sig) = sig {
+            if let Some(stats) = self.replay_id_hit_local(subject, mode, sig, scratch, store, f) {
+                return stats;
+            }
+        }
         let (class, stats) = self.class_at(subject, node, mode, scratch, store);
         dagmap_obs::sample("match.per_node", stats.enumerated as u64);
         let Some(class) = class else {
             return stats;
         };
-        let MatchScratch { bufs, cone } = scratch;
-        let locals = cone.locals();
-        for t in store.templates(class) {
-            bufs.leaves_buf.clear();
-            bufs.leaves_buf
-                .extend(t.leaves.iter().map(|&l| locals[l as usize]));
-            bufs.covered_buf.clear();
-            bufs.covered_buf
-                .extend(t.covered.iter().map(|&l| locals[l as usize]));
-            f(MatchView {
-                gate: t.gate,
-                pattern: t.pattern,
-                leaves: &bufs.leaves_buf,
-                covered: &bufs.covered_buf,
-            });
+        let MatchScratch { bufs, cone, .. } = scratch;
+        if let Some(sig) = sig {
+            // Alias the class under the node's signature so the next probe
+            // of this structure skips cone extraction. The locals are
+            // stored as signatures: a later probing subject resolves them
+            // through its own signature index, which maps each one to the
+            // corresponding member of its own (structurally identical)
+            // cone.
+            let sigs = subject.signatures();
+            store.register_id(
+                mode,
+                sig,
+                class,
+                cone.locals().iter().map(|&id| sigs.sig_of(id)),
+                HOME_SELF,
+                0,
+            );
         }
+        replay_class(store, class, cone.locals(), bufs, f);
         stats
+    }
+
+    /// Resolves the node's signature against `store`'s id index and, on a
+    /// hit, replays the class without touching the cone extractor. Returns
+    /// `None` (counting nothing) when the id index has no usable entry, in
+    /// which case the caller falls back to the cone-keyed path.
+    fn replay_id_hit_local(
+        &self,
+        subject: &SubjectGraph,
+        mode: MatchMode,
+        sig: Sig,
+        scratch: &mut MatchScratch,
+        store: &mut MatchStore,
+        f: &mut dyn FnMut(MatchView<'_>),
+    ) -> Option<MatchStats> {
+        let MatchScratch { bufs, id_locals, .. } = scratch;
+        let (class, home, _) = resolve_id_entry(store, subject.signatures(), mode, sig, id_locals)?;
+        debug_assert_eq!(home, HOME_SELF, "single-store entries are self-homed");
+        store.count_id_hit();
+        let stats = MatchStats {
+            memo_lookups: 1,
+            memo_hits: 1,
+            memo_id_hits: 1,
+            enumerated: store.num_templates(class),
+            pruned: store.pruned_of(class),
+            ..MatchStats::default()
+        };
+        dagmap_obs::sample("match.per_node", stats.enumerated as u64);
+        replay_class(store, class, id_locals, bufs, f);
+        Some(stats)
+    }
+
+    /// The node's strash signature, iff it may key memo probes here: the
+    /// config enables it, the mode is not exact (exact-mode class keys
+    /// include fanout counts that signatures don't capture), the node is a
+    /// gate, and the subject's signature map is injective (a within-subject
+    /// signature collision would make id entries ambiguous; cross-subject
+    /// collisions are accepted at the 2^-128 hash-collision odds).
+    fn strash_sig(&self, subject: &SubjectGraph, node: NodeId, mode: MatchMode) -> Option<Sig> {
+        if !self.config.strash_ids || mode == MatchMode::Exact {
+            return None;
+        }
+        if !subject.flat().is_gate(node) {
+            return None;
+        }
+        let sigs = subject.signatures();
+        if !sigs.is_injective() {
+            return None;
+        }
+        Some(sigs.sig_of(node))
     }
 
     /// Cross-request variant of [`Matcher::for_each_match_via`]: resolves
@@ -605,12 +687,15 @@ impl<'a> Matcher<'a> {
         if !flat.is_gate(node) {
             return MatchStats::default();
         }
+        if let Some(sig) = self.strash_sig(subject, node, mode) {
+            return self.for_each_match_shared_by_sig(subject, node, mode, sig, scratch, shared, f);
+        }
         let spec = ConeSpec {
             max_depth: shared.max_depth(),
             record_fanouts: mode == MatchMode::Exact,
             fanout_cap: shared.fanout_cap(),
         };
-        let MatchScratch { bufs, cone } = scratch;
+        let MatchScratch { bufs, cone, .. } = scratch;
         extract_cone(flat, node, spec, cone);
         let level_cap = flat.level(node).min(shared.max_depth());
         let mut stats = MatchStats {
@@ -625,7 +710,7 @@ impl<'a> Matcher<'a> {
         } else if let Some(old) = shard.prev.probe(mode, level_cap, cone.key()) {
             // The missed probe staged the key in `current`; copy the aged
             // class forward so it survives the next rotation.
-            let crate::shared::Shard { current, prev } = &mut *shard;
+            let crate::shared::Shard { current, prev, .. } = &mut *shard;
             let class = current.copy_class_from(prev, old);
             stats.memo_hits = 1;
             shared.note_promotion();
@@ -653,31 +738,290 @@ impl<'a> Matcher<'a> {
         stats.enumerated = shard.current.num_templates(class);
         stats.pruned = shard.current.pruned_of(class);
         dagmap_obs::sample("match.per_node", stats.enumerated as u64);
-        let locals = cone.locals();
-        for t in shard.current.templates(class) {
-            bufs.leaves_buf.clear();
-            bufs.leaves_buf
-                .extend(t.leaves.iter().map(|&l| locals[l as usize]));
-            bufs.covered_buf.clear();
-            bufs.covered_buf
-                .extend(t.covered.iter().map(|&l| locals[l as usize]));
-            f(MatchView {
-                gate: t.gate,
-                pattern: t.pattern,
-                leaves: &bufs.leaves_buf,
-                covered: &bufs.covered_buf,
-            });
-        }
-        // Rotate after replay so the class just used is never dropped
-        // mid-call; the aged generation's classes are the eviction.
-        if shard.current.num_classes() >= shared.cap_per_shard() {
-            let fresh = shard.current.fresh_like();
-            let evicted = shard.prev.num_classes();
-            shard.prev = std::mem::replace(&mut shard.current, fresh);
-            shared.note_rotation(evicted);
-        }
+        replay_class(&shard.current, class, cone.locals(), bufs, f);
+        rotate_if_full(&mut shard, shared);
         stats
     }
+
+    /// [`Matcher::for_each_match_shared`] with the node's strash signature
+    /// keying the probe. Id entries live in the shard selected by
+    /// signature; each is a *reference* `(home shard, rotation stamp,
+    /// class)` to a class that keeps its canonical residence in the
+    /// cone-key-selected shard. Two properties fall out of that split:
+    ///
+    /// * **Cross-subject sharing survives.** Signatures hash interface
+    ///   names, so the same structure built by two differently-named
+    ///   subjects carries two different sigs — but one cone key. Classes
+    ///   stay cone-addressed, so the second subject's fallback finds what
+    ///   the first enumerated; only the sig→class index is per-subject.
+    /// * **No residency amplification.** Registering a sig alias adds a
+    ///   small entry, not a class copy, so a parade of distinct subjects
+    ///   cannot flood the LRU and evict the shared canonical classes (the
+    ///   copy-based variant measurably did exactly that).
+    ///
+    /// The price is a stamp validation: an id hit locks the sig shard,
+    /// then the home shard, and the reference only resolves while the
+    /// home's rotation stamp matches. A stale reference (the home rotated
+    /// since registration) falls back to the cone-keyed path, which
+    /// re-registers the alias at the current stamp.
+    fn for_each_match_shared_by_sig(
+        &self,
+        subject: &SubjectGraph,
+        node: NodeId,
+        mode: MatchMode,
+        sig: Sig,
+        scratch: &mut MatchScratch,
+        shared: &SharedMatchStore,
+        f: &mut dyn FnMut(MatchView<'_>),
+    ) -> MatchStats {
+        let sigs = subject.signatures();
+        let flat = subject.flat();
+        // Read the library bounds before taking the shard lock: these
+        // accessors lock shard 0 internally, which would self-deadlock on a
+        // single-shard store.
+        let spec = ConeSpec {
+            max_depth: shared.max_depth(),
+            record_fanouts: mode == MatchMode::Exact,
+            fanout_cap: shared.fanout_cap(),
+        };
+        let mut stats = MatchStats {
+            memo_lookups: 1,
+            ..MatchStats::default()
+        };
+        let MatchScratch {
+            bufs,
+            cone,
+            id_locals,
+        } = scratch;
+        // Phase 1: the O(1) probe — look the sig up in the sig shard's id
+        // index (both generations; entries are tiny, so aged ones are
+        // still worth following) and take the `(home, stamp, class)`
+        // reference out of the lock.
+        let reference = {
+            let shard = shared.shard_for_sig(sig);
+            resolve_id_entry(&shard.current, sigs, mode, sig, id_locals)
+                .or_else(|| resolve_id_entry(&shard.prev, sigs, mode, sig, id_locals))
+        };
+        // Phase 2: follow the reference to the class's home shard. The
+        // stamp must still match — the home rotating between registration
+        // (or phase 1) and here recycles class ids, so a stale reference
+        // is discarded rather than resolved.
+        if let Some((class, home, stamp)) = reference {
+            let mut home_shard = shared.lock_shard(home as usize);
+            if home_shard.stamp == stamp {
+                // The id fast path's soundness invariant: signatures hash
+                // the physical fanin order, so sig equality implies an
+                // identical cone serialization — the resolved locals must
+                // be exactly the cone locals, and the entry's class must
+                // be the one the cone key resolves to. Checked in debug
+                // builds only; release builds skip cone extraction here
+                // entirely (the point of the fast path).
+                #[cfg(debug_assertions)]
+                {
+                    extract_cone(flat, node, spec, cone);
+                    debug_assert_eq!(
+                        id_locals.as_slice(),
+                        cone.locals(),
+                        "sig-resolved locals diverge from cone locals at {node:?}"
+                    );
+                    let level_cap = flat.level(node).min(spec.max_depth);
+                    debug_assert_eq!(
+                        home_shard.current.probe(mode, level_cap, cone.key()),
+                        Some(class),
+                        "id entry resolves to a different class than the cone key at {node:?}"
+                    );
+                }
+                home_shard.current.count_id_hit();
+                shared.note_id_hit();
+                stats.memo_hits = 1;
+                stats.memo_id_hits = 1;
+                stats.enumerated = home_shard.current.num_templates(class);
+                stats.pruned = home_shard.current.pruned_of(class);
+                dagmap_obs::sample("match.per_node", stats.enumerated as u64);
+                replay_class(&home_shard.current, class, id_locals, bufs, f);
+                return stats;
+            }
+        }
+        // Phase 3: no usable reference — first sighting of this structure
+        // *under this subject's signatures*, or a reference gone stale.
+        // Extract the cone and resolve through canonical cone addressing:
+        // a structure first seen through a differently-named subject
+        // carries a different sig but the same cone key, and its class
+        // lives in the cone-selected shard. Both shards are locked in
+        // index order (no lock is held across the phases, so a racing
+        // registration of the same sig is simply re-found by its cone key
+        // here).
+        extract_cone(flat, node, spec, cone);
+        let level_cap = flat.level(node).min(spec.max_depth);
+        let (mut shard, cone_shard) = shared.shard_pair(sig, mode, level_cap, cone.key());
+        let (class, home_idx, home_stamp) = if let Some(mut cs) = cone_shard {
+            // The canonical home is a different shard from the sig shard.
+            let class = if let Some(class) = cs.current.probe(mode, level_cap, cone.key()) {
+                stats.memo_hits = 1;
+                shared.note_hit();
+                class
+            } else if let Some(old) = cs.prev.probe(mode, level_cap, cone.key()) {
+                // The missed probe staged the key in `current`; copy the
+                // aged class forward so it survives the next rotation.
+                let crate::shared::Shard { current, prev, .. } = &mut *cs;
+                let class = current.copy_class_from(prev, old);
+                stats.memo_hits = 1;
+                shared.note_promotion();
+                class
+            } else {
+                let crate::shared::Shard { current, .. } = &mut *cs;
+                let class = current.begin_class();
+                let run = self.enumerate(subject, node, mode, bufs, &mut |mv| {
+                    current.push_template(
+                        class,
+                        mv.gate,
+                        mv.pattern,
+                        mv.leaves
+                            .iter()
+                            .map(|&id| cone.local_of(id).expect("match leaf inside cone")),
+                        mv.covered
+                            .iter()
+                            .map(|&id| cone.local_of(id).expect("covered node inside cone")),
+                    );
+                });
+                current.set_pruned(class, run.pruned);
+                shared.note_miss();
+                class
+            };
+            stats.enumerated = cs.current.num_templates(class);
+            stats.pruned = cs.current.pruned_of(class);
+            let stamp = cs.stamp;
+            let idx = shared.cone_shard_index(mode, level_cap, cone.key());
+            // Replay from the canonical home before it can rotate.
+            dagmap_obs::sample("match.per_node", stats.enumerated as u64);
+            replay_class(&cs.current, class, cone.locals(), bufs, f);
+            rotate_if_full(&mut cs, shared);
+            (class, idx as u32, stamp)
+        } else {
+            // The sig shard is the canonical cone home too.
+            let class = if let Some(class) = shard.current.probe(mode, level_cap, cone.key()) {
+                stats.memo_hits = 1;
+                shared.note_hit();
+                class
+            } else if let Some(old) = shard.prev.probe(mode, level_cap, cone.key()) {
+                let crate::shared::Shard { current, prev, .. } = &mut *shard;
+                let class = current.copy_class_from(prev, old);
+                stats.memo_hits = 1;
+                shared.note_promotion();
+                class
+            } else {
+                let crate::shared::Shard { current, .. } = &mut *shard;
+                let class = current.begin_class();
+                let run = self.enumerate(subject, node, mode, bufs, &mut |mv| {
+                    current.push_template(
+                        class,
+                        mv.gate,
+                        mv.pattern,
+                        mv.leaves
+                            .iter()
+                            .map(|&id| cone.local_of(id).expect("match leaf inside cone")),
+                        mv.covered
+                            .iter()
+                            .map(|&id| cone.local_of(id).expect("covered node inside cone")),
+                    );
+                });
+                current.set_pruned(class, run.pruned);
+                shared.note_miss();
+                class
+            };
+            stats.enumerated = shard.current.num_templates(class);
+            stats.pruned = shard.current.pruned_of(class);
+            dagmap_obs::sample("match.per_node", stats.enumerated as u64);
+            replay_class(&shard.current, class, cone.locals(), bufs, f);
+            let idx = shared.cone_shard_index(mode, level_cap, cone.key());
+            (class, idx as u32, shard.stamp)
+        };
+        // Register the alias at the stamp the class was seen under; if its
+        // home rotated in the meantime (or rotates next), the reference
+        // simply reads as stale and this path re-registers it.
+        shard.current.register_id(
+            mode,
+            sig,
+            class,
+            cone.locals().iter().map(|&id| sigs.sig_of(id)),
+            home_idx,
+            home_stamp,
+        );
+        rotate_if_full(&mut shard, shared);
+        stats
+    }
+}
+
+/// Rotates a shard's generations once `current` reaches the class cap:
+/// `prev` is dropped (those classes went untouched for a whole generation
+/// — the eviction), `current` ages into `prev`, a fresh `current` starts
+/// filling, and the rotation stamp advances so strash-id references into
+/// the aged generation read as stale. Callers invoke this only after the
+/// class they resolved was replayed, so rotation never drops a class
+/// mid-use.
+///
+/// Id entries also count toward rotation, at a much higher threshold:
+/// they add no classes, so a stream that keeps registering aliases
+/// without enumerating (many distinct subjects over a warm class set)
+/// would otherwise grow the id index without bound. Entries are ~two
+/// orders of magnitude smaller than classes, so the generous factor keeps
+/// this valve from evicting classes under any normal mix.
+fn rotate_if_full(shard: &mut crate::shared::Shard, shared: &SharedMatchStore) {
+    let cap = shared.cap_per_shard();
+    if shard.current.num_classes() >= cap || shard.current.id_count() >= cap.saturating_mul(64) {
+        let fresh = shard.current.fresh_like();
+        let evicted = shard.prev.num_classes();
+        shard.prev = std::mem::replace(&mut shard.current, fresh);
+        shard.stamp += 1;
+        shared.note_rotation(evicted);
+    }
+}
+
+/// Replays the stored templates of `class`, translating stored local
+/// indices to concrete subject nodes through `locals` — the cone locals on
+/// the cone-keyed path, or the signature-resolved locals on the strash-id
+/// path.
+fn replay_class(
+    store: &MatchStore,
+    class: ClassId,
+    locals: &[NodeId],
+    bufs: &mut EnumBufs,
+    f: &mut dyn FnMut(MatchView<'_>),
+) {
+    for t in store.templates(class) {
+        bufs.leaves_buf.clear();
+        bufs.leaves_buf
+            .extend(t.leaves.iter().map(|&l| locals[l as usize]));
+        bufs.covered_buf.clear();
+        bufs.covered_buf
+            .extend(t.covered.iter().map(|&l| locals[l as usize]));
+        f(MatchView {
+            gate: t.gate,
+            pattern: t.pattern,
+            leaves: &bufs.leaves_buf,
+            covered: &bufs.covered_buf,
+        });
+    }
+}
+
+/// Looks up `sig` in `store`'s id index and resolves the entry's stored
+/// local signatures to this subject's concrete nodes via its signature
+/// index, returning the class together with the entry's `(home, stamp)`
+/// reference. Any unresolvable local (a strash-region boundary or foreign
+/// structure) yields `None`, sending the caller down the cone-keyed path.
+fn resolve_id_entry(
+    store: &MatchStore,
+    sigs: &Signatures,
+    mode: MatchMode,
+    sig: Sig,
+    out: &mut Vec<NodeId>,
+) -> Option<(ClassId, u32, u64)> {
+    let (class, sig_locals, home, stamp) = store.id_entry(mode, sig)?;
+    out.clear();
+    for &s in sig_locals {
+        out.push(sigs.lookup(s)?);
+    }
+    Some((class, home, stamp))
 }
 
 /// Attempts to bind pattern node `p` to subject node `s`, invoking `cont`
@@ -1127,6 +1471,7 @@ mod tests {
             MatchConfig {
                 index: true,
                 memo: MemoPolicy::Off,
+                strash_ids: false,
             },
         );
         let subject = ladder(4);
@@ -1163,6 +1508,7 @@ mod tests {
             MatchConfig {
                 index: true,
                 memo: MemoPolicy::On,
+                strash_ids: true,
             },
         );
         assert!(matcher.memo_enabled());

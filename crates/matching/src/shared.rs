@@ -39,6 +39,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
 use dagmap_genlib::Library;
+use dagmap_netlist::Sig;
 
 use crate::matcher::MatchMode;
 use crate::store::{probe_hash, MatchStore};
@@ -47,6 +48,12 @@ use crate::store::{probe_hash, MatchStore};
 pub(crate) struct Shard {
     pub(crate) current: MatchStore,
     pub(crate) prev: MatchStore,
+    /// Monotonic rotation stamp: incremented each time the generations
+    /// rotate. Strash-id entries in *other* shards reference classes of
+    /// this shard as `(shard index, stamp, class)` — a stamp mismatch on
+    /// probe means the referenced generation aged or died, so the
+    /// reference is discarded instead of resolving a recycled class id.
+    pub(crate) stamp: u64,
 }
 
 /// A sharded, capacity-bounded [`MatchStore`] safe to share behind an
@@ -62,6 +69,7 @@ pub struct SharedMatchStore {
     promotions: AtomicU64,
     evictions: AtomicU64,
     rotations: AtomicU64,
+    id_hits: AtomicU64,
 }
 
 impl std::fmt::Debug for SharedMatchStore {
@@ -93,6 +101,7 @@ impl SharedMatchStore {
                 Mutex::new(Shard {
                     current: MatchStore::for_library(library),
                     prev: MatchStore::for_library(library),
+                    stamp: 0,
                 })
             })
             .collect();
@@ -105,23 +114,76 @@ impl SharedMatchStore {
             promotions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             rotations: AtomicU64::new(0),
+            id_hits: AtomicU64::new(0),
         }
     }
 
-    /// Locks and returns the shard owning `(mode, level_cap, cone_key)`.
-    /// The key hash doubles as the shard selector (high bits — the low
-    /// bits index the per-shard hash map).
+    /// Locks shard `idx` directly — used to follow a strash-id entry's
+    /// `(home, stamp, class)` reference to the shard holding the class.
+    pub(crate) fn lock_shard(&self, idx: usize) -> MutexGuard<'_, Shard> {
+        self.shards[idx].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The canonical shard index of `(mode, level_cap, cone_key)`.
+    pub(crate) fn cone_shard_index(&self, mode: MatchMode, level_cap: u32, cone_key: &[u32]) -> usize {
+        let h = probe_hash(mode, level_cap, cone_key);
+        (((h >> 48) ^ h) & self.shard_mask) as usize
+    }
+
+    fn sig_shard_index(&self, sig: Sig) -> usize {
+        let raw = sig.raw();
+        let h = (raw as u64) ^ (raw >> 64) as u64;
+        (((h >> 48) ^ h) & self.shard_mask) as usize
+    }
+
+    /// Locks and returns the shard owning `(mode, level_cap, cone_key)` —
+    /// the *canonical* home of every cone class, because cone keys are
+    /// subject-independent. The key hash doubles as the shard selector
+    /// (high bits — the low bits index the per-shard hash map).
     pub(crate) fn shard_for(
         &self,
         mode: MatchMode,
         level_cap: u32,
         cone_key: &[u32],
     ) -> MutexGuard<'_, Shard> {
-        let h = probe_hash(mode, level_cap, cone_key);
-        let idx = ((h >> 48) ^ h) & self.shard_mask;
-        self.shards[idx as usize]
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
+        self.lock_shard(self.cone_shard_index(mode, level_cap, cone_key))
+    }
+
+    /// Locks and returns the shard owning structural signature `sig` — the
+    /// strash-id fast path's shard selector. The shard's id index maps the
+    /// sig to a `(home shard, stamp, class)` reference; the class itself
+    /// stays in its canonical cone-addressed home, so the same structure
+    /// probed by differently-named subjects (different sigs, same cone
+    /// key) shares one resident class.
+    pub(crate) fn shard_for_sig(&self, sig: Sig) -> MutexGuard<'_, Shard> {
+        self.lock_shard(self.sig_shard_index(sig))
+    }
+
+    /// Locks the sig-addressed shard together with the cone-addressed
+    /// shard of the same probe, in ascending index order — the store-wide
+    /// lock order, so two threads pairing different (sig, cone) homes can
+    /// never deadlock. Returns the cone guard only when it is a distinct
+    /// shard; `None` means the sig shard *is* the canonical cone home.
+    pub(crate) fn shard_pair(
+        &self,
+        sig: Sig,
+        mode: MatchMode,
+        level_cap: u32,
+        cone_key: &[u32],
+    ) -> (MutexGuard<'_, Shard>, Option<MutexGuard<'_, Shard>>) {
+        let si = self.sig_shard_index(sig);
+        let ci = self.cone_shard_index(mode, level_cap, cone_key);
+        if si == ci {
+            (self.lock_shard(si), None)
+        } else if si < ci {
+            let s = self.lock_shard(si);
+            let c = self.lock_shard(ci);
+            (s, Some(c))
+        } else {
+            let c = self.lock_shard(ci);
+            let s = self.lock_shard(si);
+            (s, Some(c))
+        }
     }
 
     /// Class cap of one shard's `current` generation.
@@ -161,6 +223,13 @@ impl SharedMatchStore {
         dagmap_obs::count("serve.memo_hit", 1);
     }
 
+    pub(crate) fn note_id_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.id_hits.fetch_add(1, Ordering::Relaxed);
+        dagmap_obs::count("serve.memo_hit", 1);
+        dagmap_obs::count("serve.memo_id_hit", 1);
+    }
+
     pub(crate) fn note_promotion(&self) {
         self.hits.fetch_add(1, Ordering::Relaxed);
         self.promotions.fetch_add(1, Ordering::Relaxed);
@@ -183,6 +252,12 @@ impl SharedMatchStore {
     /// promotions out of the previous generation).
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Hits resolved through the strash-id fast path — no cone extraction,
+    /// the structural signature went straight to its class.
+    pub fn id_hits(&self) -> u64 {
+        self.id_hits.load(Ordering::Relaxed)
     }
 
     /// Lookups that enumerated fresh.
@@ -244,16 +319,20 @@ mod tests {
         .expect("test library")
     }
 
-    fn ladder(n: usize) -> SubjectGraph {
+    fn ladder_named(n: usize, prefix: &str) -> SubjectGraph {
         let mut net = Network::new("ladder");
-        let mut prev = net.add_input("x");
+        let mut prev = net.add_input(format!("{prefix}x"));
         for i in 0..n {
-            let a = net.add_input(format!("a{i}"));
+            let a = net.add_input(format!("{prefix}{i}"));
             let g = net.add_node(NodeFn::Nand, vec![prev, a]).unwrap();
             prev = net.add_node(NodeFn::Not, vec![g]).unwrap();
         }
         net.add_output("f", prev);
         SubjectGraph::from_subject_network(net).expect("valid subject")
+    }
+
+    fn ladder(n: usize) -> SubjectGraph {
+        ladder_named(n, "a")
     }
 
     fn memo_on(lib: &Library) -> Matcher<'_> {
@@ -262,6 +341,7 @@ mod tests {
             MatchConfig {
                 index: true,
                 memo: MemoPolicy::On,
+                strash_ids: true,
             },
         )
     }
@@ -378,6 +458,56 @@ mod tests {
         assert!(shared.evictions() > 0, "rotations dropped aged classes");
         // The bound holds: at most 2 generations × cap classes per shard.
         assert!(shared.resident_classes() <= 2 * shared.cap_per_shard());
+    }
+
+    #[test]
+    fn cone_sharing_survives_renamed_inputs() {
+        // Two structurally identical subjects whose input NAMES differ:
+        // strash signatures hash interface names, so the id fast path
+        // cannot connect them — only canonical cone addressing can. Every
+        // cone of the second subject was already enumerated by the first,
+        // so mapping it must not add a single miss (this is the
+        // cross-circuit sharing a warm serve daemon lives on).
+        let lib = rich_lib();
+        let matcher = memo_on(&lib);
+        let shared = SharedMatchStore::for_library(&lib, 8, 4096);
+        let a = ladder_named(6, "a");
+        let b = ladder_named(6, "b");
+        let mut scratch = MatchScratch::new();
+        for node in a.network().node_ids() {
+            matcher.for_each_match_shared(
+                &a,
+                node,
+                MatchMode::Standard,
+                &mut scratch,
+                &shared,
+                &mut |_| {},
+            );
+        }
+        let misses_after_a = shared.misses();
+        assert!(misses_after_a > 0, "the first subject enumerated fresh");
+        let mut reference = MatchScratch::new();
+        for node in b.network().node_ids() {
+            let mut via = Vec::new();
+            matcher.for_each_match_shared(
+                &b,
+                node,
+                MatchMode::Standard,
+                &mut scratch,
+                &shared,
+                &mut |mv| via.push(mv.to_match()),
+            );
+            let mut direct = Vec::new();
+            matcher.for_each_match_at(&b, node, MatchMode::Standard, &mut reference, &mut |mv| {
+                direct.push(mv.to_match())
+            });
+            assert_eq!(via, direct, "node {node:?}");
+        }
+        assert_eq!(
+            shared.misses(),
+            misses_after_a,
+            "a renamed subject re-enumerated a structure the store already held"
+        );
     }
 
     #[test]

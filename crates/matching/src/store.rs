@@ -26,6 +26,8 @@ use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
 use dagmap_genlib::{GateId, Library, PatternId};
+use dagmap_netlist::strash::SigBuildHasher;
+use dagmap_netlist::Sig;
 
 use crate::matcher::MatchMode;
 
@@ -109,6 +111,30 @@ struct Template {
     covered: (u32, u32),
 }
 
+/// Sentinel `home` of an id entry whose class lives in the registering
+/// store itself — the single-store (non-sharded) memo path.
+pub(crate) const HOME_SELF: u32 = u32::MAX;
+
+/// One strash-id fast-path entry: a structural signature resolved straight
+/// to its cone class, with the class's cone locals recorded as *signatures*
+/// so any probing subject can rebind them to its own node ids without
+/// extracting the cone. The entry *references* the class rather than
+/// holding a copy: `home` names the shard the class lives in
+/// ([`HOME_SELF`] for single-store memos) and `stamp` the home's rotation
+/// stamp at registration — a stamp mismatch means the home rotated since
+/// and the reference is stale, so the prober falls back to cone keys and
+/// re-registers. Copying classes here instead was measurably worse: every
+/// distinct subject would duplicate its whole cone-class working set into
+/// the sig-addressed shards, flooding the LRU and evicting the shared
+/// canonical classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct IdEntry {
+    class: u32,
+    locals: (u32, u32),
+    home: u32,
+    stamp: u64,
+}
+
 /// The memoization table. See the [module docs](self).
 #[derive(Debug, Clone)]
 pub struct MatchStore {
@@ -132,8 +158,17 @@ pub struct MatchStore {
     key_buf: Vec<u32>,
     /// FNV digest of `key_buf`, computed by the last probe.
     key_hash: u64,
+    /// `(match mode, strash signature)` → cone class, the O(1) warm path
+    /// that skips cone extraction entirely. Registered lazily the first
+    /// time a class is resolved at a node whose subject carries injective
+    /// signatures. The mode is part of the key because each mode
+    /// enumerates a different match set over the same cone.
+    id_index: HashMap<(u32, Sig), IdEntry, SigBuildHasher>,
+    /// Arena of the id entries' cone-local signatures.
+    id_sig_locals: Vec<Sig>,
     lookups: usize,
     hits: usize,
+    id_hits: usize,
 }
 
 fn mode_code(mode: MatchMode) -> u32 {
@@ -161,8 +196,11 @@ impl MatchStore {
             locals: Vec::new(),
             key_buf: Vec::new(),
             key_hash: 0,
+            id_index: HashMap::default(),
+            id_sig_locals: Vec::new(),
             lookups: 0,
             hits: 0,
+            id_hits: 0,
         }
     }
 
@@ -204,6 +242,12 @@ impl MatchStore {
         self.hits
     }
 
+    /// Hits resolved through the strash-id fast path — no cone was
+    /// extracted, the structural signature went straight to its class.
+    pub fn id_hits(&self) -> usize {
+        self.id_hits
+    }
+
     /// Stored pruned-count of a class (skipped pattern attempts of the
     /// recorded enumeration — identical for every member by construction).
     pub fn pruned_of(&self, class: ClassId) -> usize {
@@ -227,6 +271,72 @@ impl MatchStore {
                 leaves: &self.locals[t.leaves.0 as usize..(t.leaves.0 + t.leaves.1) as usize],
                 covered: &self.locals[t.covered.0 as usize..(t.covered.0 + t.covered.1) as usize],
             })
+    }
+
+    /// Looks up the strash-id entry of `sig`, if one was registered: the
+    /// cone class, the class's cone locals as signatures (for the caller
+    /// to rebind against its subject's signature index), and the entry's
+    /// `(home, stamp)` reference. Does not count anything — the caller
+    /// counts via [`MatchStore::count_id_hit`] only once the rebinding
+    /// succeeds and the reference validates (a failed rebind or a stale
+    /// stamp sends the caller to the cone-keyed probe, which does its own
+    /// counting).
+    pub(crate) fn id_entry(&self, mode: MatchMode, sig: Sig) -> Option<(ClassId, &[Sig], u32, u64)> {
+        let e = self.id_index.get(&(mode_code(mode), sig))?;
+        let (off, len) = e.locals;
+        Some((
+            ClassId(e.class),
+            &self.id_sig_locals[off as usize..(off + len) as usize],
+            e.home,
+            e.stamp,
+        ))
+    }
+
+    /// Number of registered id entries (both homes), for rotation pressure
+    /// accounting.
+    pub(crate) fn id_count(&self) -> usize {
+        self.id_index.len()
+    }
+
+    /// Counts one lookup resolved through the id fast path.
+    pub(crate) fn count_id_hit(&mut self) {
+        self.lookups += 1;
+        self.hits += 1;
+        self.id_hits += 1;
+    }
+
+    /// Registers the id fast path for `sig` → `class`-in-`home`-at-`stamp`,
+    /// recording the class's cone locals as signatures. Re-registration
+    /// overwrites: a differing entry means the previous reference went
+    /// stale (its home rotated), and the superseded locals bytes simply
+    /// age out of the arena with this generation.
+    pub(crate) fn register_id(
+        &mut self,
+        mode: MatchMode,
+        sig: Sig,
+        class: ClassId,
+        locals: impl Iterator<Item = Sig>,
+        home: u32,
+        stamp: u64,
+    ) {
+        let key = (mode_code(mode), sig);
+        if let Some(e) = self.id_index.get(&key) {
+            if e.class == class.0 && e.home == home && e.stamp == stamp {
+                return;
+            }
+        }
+        let off = u32::try_from(self.id_sig_locals.len()).expect("sig arena fits u32");
+        self.id_sig_locals.extend(locals);
+        let len = u32::try_from(self.id_sig_locals.len()).expect("sig arena fits u32") - off;
+        self.id_index.insert(
+            key,
+            IdEntry {
+                class: class.0,
+                locals: (off, len),
+                home,
+                stamp,
+            },
+        );
     }
 
     /// Probes for an existing class keyed by `(mode, capped level, cone)`.
@@ -322,8 +432,11 @@ impl MatchStore {
             locals: Vec::new(),
             key_buf: Vec::new(),
             key_hash: 0,
+            id_index: HashMap::default(),
+            id_sig_locals: Vec::new(),
             lookups: 0,
             hits: 0,
+            id_hits: 0,
         }
     }
 
@@ -356,4 +469,5 @@ impl MatchStore {
         self.set_pruned(new, other.pruned_of(class));
         new
     }
+
 }

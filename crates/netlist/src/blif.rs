@@ -441,6 +441,13 @@ fn cover_of(func: &NodeFn, fanins: usize) -> Result<SopCover, NetlistError> {
 /// than 16 inputs).
 pub fn to_string(net: &Network) -> Result<String, NetlistError> {
     let mut used: HashMap<String, NodeId> = HashMap::new();
+    // Output port names belong to their drivers: any other node that
+    // happens to carry the same name (e.g. the previous driver after an
+    // edit redirected the output) must be renamed, or the buffer alias
+    // emitted for the port would define the signal twice.
+    for o in net.outputs() {
+        used.entry(o.name.clone()).or_insert(o.driver);
+    }
     let mut name_of: Vec<String> = Vec::with_capacity(net.num_nodes());
     for id in net.node_ids() {
         let base = net

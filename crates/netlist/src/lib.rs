@@ -16,7 +16,10 @@
 //!   delta-debugging loop,
 //! * [`sta`] — simple static timing (arrival-time propagation / depth),
 //! * [`fingerprint`] — structural shape classes and bounded-depth cone
-//!   canonicalization backing the match accelerator of `dagmap-match`.
+//!   canonicalization backing the match accelerator of `dagmap-match`,
+//! * [`strash`] — the hash-consing construction arena and 128-bit Merkle
+//!   value numbers (signatures) that make structurally identical cones
+//!   recognizable in O(1), within one network and across requests.
 //!
 //! # Example
 //!
@@ -54,6 +57,7 @@ pub mod shrink;
 pub mod sim;
 mod sop;
 pub mod sta;
+pub mod strash;
 mod subject;
 
 pub use error::NetlistError;
@@ -61,6 +65,7 @@ pub use flat::{FlatNet, KIND_INV, KIND_NAND, KIND_SOURCE};
 pub use id::NodeId;
 pub use levels::Levels;
 pub use logic::NodeFn;
-pub use network::{Network, Node, Output};
+pub use network::{NetEdit, Network, Node, Output};
 pub use sop::{Cube, SopCover};
+pub use strash::{Sig, Signatures, StrashArena, StrashStats};
 pub use subject::{DecompShape, DecomposeOptions, SubjectGraph, SubjectKind};

@@ -34,6 +34,44 @@ impl Node {
     }
 }
 
+/// A local, structure-preserving edit to a [`Network`] — the unit of change
+/// the incremental re-mapping path (`remap` in the serve protocol) reasons
+/// about. Edits never delete nodes: detached logic is simply unreachable and
+/// gets dropped by the next decomposition's reachability pass.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetEdit {
+    /// Adds a primary input named `name`.
+    AddInput {
+        /// Port name.
+        name: String,
+    },
+    /// Adds an internal node computing `func` over existing fanins.
+    AddNode {
+        /// Logic function.
+        func: NodeFn,
+        /// Ordered drivers (must already exist).
+        fanins: Vec<NodeId>,
+        /// Optional signal name.
+        name: Option<String>,
+    },
+    /// Rewires fanin `pin` of `node` to `new_fanin`.
+    ReplaceFanin {
+        /// The consumer being rewired.
+        node: NodeId,
+        /// Which fanin position to rewire.
+        pin: usize,
+        /// The new driver.
+        new_fanin: NodeId,
+    },
+    /// Redirects the primary output named `output` to `driver`.
+    SetOutputDriver {
+        /// Output port name.
+        output: String,
+        /// The new driving node.
+        driver: NodeId,
+    },
+}
+
 /// A named primary output and the node that drives it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Output {
@@ -317,6 +355,111 @@ impl Network {
             .expect("fanout entry mirrors the fanin edge");
         fanouts.swap_remove(pos);
         self.nodes[new_fanin.index()].fanouts.push(id);
+    }
+
+    /// Replaces fanin `pin` of any node, keeping fanout lists consistent.
+    ///
+    /// The generalization of [`Network::replace_single_fanin`] backing
+    /// [`NetEdit::ReplaceFanin`]. Acyclicity is *not* re-checked here — batch
+    /// callers go through [`Network::apply_edits`], which validates once at
+    /// the end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownNode`] for stale ids and
+    /// [`NetlistError::Invariant`] for an out-of-range pin.
+    pub fn replace_fanin(
+        &mut self,
+        id: NodeId,
+        pin: usize,
+        new_fanin: NodeId,
+    ) -> Result<(), NetlistError> {
+        if id.index() >= self.nodes.len() {
+            return Err(NetlistError::UnknownNode(id));
+        }
+        if new_fanin.index() >= self.nodes.len() {
+            return Err(NetlistError::UnknownNode(new_fanin));
+        }
+        let old = *self.nodes[id.index()].fanins.get(pin).ok_or_else(|| {
+            NetlistError::Invariant(format!("node {id} has no fanin pin {pin}"))
+        })?;
+        if old == new_fanin {
+            return Ok(());
+        }
+        self.nodes[id.index()].fanins[pin] = new_fanin;
+        let fanouts = &mut self.nodes[old.index()].fanouts;
+        let pos = fanouts
+            .iter()
+            .position(|&t| t == id)
+            .expect("fanout entry mirrors the fanin edge");
+        fanouts.swap_remove(pos);
+        self.nodes[new_fanin.index()].fanouts.push(id);
+        Ok(())
+    }
+
+    /// Applies one [`NetEdit`], returning the created node id for the
+    /// `Add*` variants.
+    ///
+    /// Combinational acyclicity is not re-checked per edit (a rewire can be
+    /// transiently cyclic mid-batch); use [`Network::apply_edits`] to apply
+    /// a batch and validate the result once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownNode`] / [`NetlistError::Arity`] /
+    /// [`NetlistError::Invariant`] for edits referencing stale ids, illegal
+    /// fanin counts, bad pins, or unknown output names.
+    pub fn apply_edit(&mut self, edit: NetEdit) -> Result<Option<NodeId>, NetlistError> {
+        match edit {
+            NetEdit::AddInput { name } => Ok(Some(self.add_input(name))),
+            NetEdit::AddNode { func, fanins, name } => {
+                let id = self.add_node(func, fanins)?;
+                if let Some(n) = name {
+                    self.set_node_name(id, n);
+                }
+                Ok(Some(id))
+            }
+            NetEdit::ReplaceFanin {
+                node,
+                pin,
+                new_fanin,
+            } => {
+                self.replace_fanin(node, pin, new_fanin)?;
+                Ok(None)
+            }
+            NetEdit::SetOutputDriver { output, driver } => {
+                if driver.index() >= self.nodes.len() {
+                    return Err(NetlistError::UnknownNode(driver));
+                }
+                let out = self
+                    .outputs
+                    .iter_mut()
+                    .find(|o| o.name == output)
+                    .ok_or_else(|| {
+                        NetlistError::Invariant(format!("no primary output named {output}"))
+                    })?;
+                out.driver = driver;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Applies a batch of edits, then re-validates combinational acyclicity.
+    /// Returns the created node id per edit (aligned with the input).
+    ///
+    /// # Errors
+    ///
+    /// Fails fast on the first bad edit; returns
+    /// [`NetlistError::CombinationalCycle`] if the batch as a whole created
+    /// a cycle. On error the network may hold a prefix of the batch —
+    /// callers treating edits as transactional should clone first.
+    pub fn apply_edits(&mut self, edits: Vec<NetEdit>) -> Result<Vec<Option<NodeId>>, NetlistError> {
+        let mut created = Vec::with_capacity(edits.len());
+        for edit in edits {
+            created.push(self.apply_edit(edit)?);
+        }
+        self.topo_order()?;
+        Ok(created)
     }
 
     /// Removes logic not reachable from any primary output or latch,

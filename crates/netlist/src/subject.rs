@@ -1,6 +1,7 @@
 use std::collections::HashMap;
 
 use crate::sop::CubeLit;
+use crate::strash::{Signatures, StrashArena, StrashStats};
 use crate::{NetlistError, Network, NodeFn, NodeId};
 
 /// Classification of a subject-graph node.
@@ -80,98 +81,45 @@ pub struct SubjectGraph {
     levels: crate::Levels,
     shape_class: Vec<u8>,
     flat: crate::FlatNet,
+    sigs: Signatures,
+    strash: StrashStats,
 }
 
-#[derive(PartialEq, Eq, Hash)]
-enum StrashKey {
-    Nand(NodeId, NodeId),
-    Inv(NodeId),
-}
-
-/// Structurally-hashed NAND2/INV builder.
+/// NAND2/INV decomposition builder: n-ary reductions over the hash-consing
+/// [`StrashArena`], so every decomposition path shares one dedup domain.
 struct Builder {
-    net: Network,
-    hash: HashMap<StrashKey, NodeId>,
-    consts: [Option<NodeId>; 2],
+    arena: StrashArena,
     opts: DecomposeOptions,
 }
 
 impl Builder {
     fn new(name: &str, opts: DecomposeOptions) -> Self {
         Builder {
-            net: Network::new(name),
-            hash: HashMap::new(),
-            consts: [None, None],
+            arena: StrashArena::new(name, opts.strash),
             opts,
         }
     }
 
+    /// Interface construction (inputs, latch materialization) goes straight
+    /// to the network; gates go through the arena primitives below.
+    fn net_mut(&mut self) -> &mut Network {
+        self.arena.network_mut()
+    }
+
     fn constant(&mut self, v: bool) -> NodeId {
-        if let Some(id) = self.consts[v as usize] {
-            return id;
-        }
-        let id = self
-            .net
-            .add_node(NodeFn::Const(v), Vec::new())
-            .expect("constants are nullary");
-        self.consts[v as usize] = id.into();
-        id
+        self.arena.constant(v)
     }
 
     fn const_value(&self, id: NodeId) -> Option<bool> {
-        match self.net.node(id).func() {
-            NodeFn::Const(v) => Some(*v),
-            _ => None,
-        }
+        self.arena.const_value(id)
     }
 
     fn inv(&mut self, a: NodeId) -> NodeId {
-        if let Some(v) = self.const_value(a) {
-            return self.constant(!v);
-        }
-        // inv(inv(x)) = x
-        if matches!(self.net.node(a).func(), NodeFn::Not) {
-            return self.net.node(a).fanins()[0];
-        }
-        if self.opts.strash {
-            if let Some(&id) = self.hash.get(&StrashKey::Inv(a)) {
-                return id;
-            }
-        }
-        let id = self
-            .net
-            .add_node(NodeFn::Not, vec![a])
-            .expect("inverter arity is 1");
-        if self.opts.strash {
-            self.hash.insert(StrashKey::Inv(a), id);
-        }
-        id
+        self.arena.inv(a)
     }
 
     fn nand2(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        match (self.const_value(a), self.const_value(b)) {
-            (Some(false), _) | (_, Some(false)) => return self.constant(true),
-            (Some(true), _) => return self.inv(b),
-            (_, Some(true)) => return self.inv(a),
-            _ => {}
-        }
-        if a == b {
-            return self.inv(a);
-        }
-        let (a, b) = if a <= b { (a, b) } else { (b, a) };
-        if self.opts.strash {
-            if let Some(&id) = self.hash.get(&StrashKey::Nand(a, b)) {
-                return id;
-            }
-        }
-        let id = self
-            .net
-            .add_node(NodeFn::Nand, vec![a, b])
-            .expect("nand2 arity is 2");
-        if self.opts.strash {
-            self.hash.insert(StrashKey::Nand(a, b), id);
-        }
-        id
+        self.arena.nand2(a, b)
     }
 
     fn and2(&mut self, a: NodeId, b: NodeId) -> NodeId {
@@ -304,7 +252,7 @@ impl SubjectGraph {
                 .name()
                 .map(str::to_owned)
                 .unwrap_or_else(|| format!("pi_{}", pi.index()));
-            sig[pi.index()] = Some(b.net.add_input(name));
+            sig[pi.index()] = Some(b.net_mut().add_input(name));
         }
 
         // Latches can appear before their fanins in the combinational order;
@@ -324,7 +272,7 @@ impl SubjectGraph {
                     .name()
                     .map(str::to_owned)
                     .unwrap_or_else(|| format!("latch_{}", id.index()));
-                let ph = b.net.add_input(format!("__latch__{name}"));
+                let ph = b.net_mut().add_input(format!("__latch__{name}"));
                 sig[id.index()] = Some(ph);
             }
         }
@@ -405,37 +353,40 @@ impl SubjectGraph {
                 let data_src = source.node(id).fanins()[0];
                 let data = sig[data_src.index()].expect("latch data cone decomposed");
                 let latch = b
-                    .net
+                    .net_mut()
                     .add_node(NodeFn::Latch, vec![data])
                     .expect("latch arity is 1");
                 if let Some(name) = source.node(id).name() {
-                    b.net.set_node_name(latch, name);
+                    b.net_mut().set_node_name(latch, name);
                 }
                 placeholder_to_latch.insert(sig[id.index()].expect("placeholder exists"), latch);
             }
         }
         if !placeholder_to_latch.is_empty() {
+            let (built, stats) = b.arena.into_parts();
             return Ok(SubjectGraph::rebuild_with_latches(
                 source,
-                b.net,
+                built,
                 &sig,
                 &placeholder_to_latch,
+                stats,
             ));
         }
-        let net = {
-            let mut net = b.net;
+        let (net, stats) = {
+            let (mut net, stats) = b.arena.into_parts();
             for out in source.outputs() {
                 let driver = sig[out.driver.index()].expect("output cone decomposed");
                 net.add_output(&out.name, driver);
             }
-            net
+            (net, stats)
         };
-        Ok(SubjectGraph::finish(net))
+        Ok(SubjectGraph::finish(net, stats))
     }
 
-    /// Final wrapping step shared by every constructor: levels and the
-    /// per-node shape classes the fingerprint-indexed matcher consumes.
-    fn finish(net: Network) -> SubjectGraph {
+    /// Final wrapping step shared by every constructor: levels, the per-node
+    /// shape classes the fingerprint-indexed matcher consumes, and the
+    /// structural value numbers the signature-keyed match memo probes.
+    fn finish(net: Network, strash: StrashStats) -> SubjectGraph {
         let levels = {
             let _s = dagmap_obs::span("decompose.levels");
             compute_levels(&net)
@@ -448,16 +399,25 @@ impl SubjectGraph {
             let _s = dagmap_obs::span("decompose.flatten");
             crate::FlatNet::build(&net, &levels)
         };
+        let sigs = {
+            let _s = dagmap_obs::span("decompose.sigs");
+            crate::strash::signatures(&net)
+        };
         let subject = SubjectGraph {
             net,
             levels,
             shape_class,
             flat,
+            sigs,
+            strash,
         };
         if dagmap_obs::enabled() {
             dagmap_obs::count("decompose.gates", subject.num_gates() as u64);
             dagmap_obs::count("decompose.multi_fanout", subject.num_multi_fanout() as u64);
             dagmap_obs::count("decompose.levels", u64::from(subject.depth()));
+            dagmap_obs::count("strash.raw", subject.strash.raw as u64);
+            dagmap_obs::count("strash.unique", subject.strash.unique as u64);
+            dagmap_obs::count("strash.dedup_hits", subject.strash.dedup_hits as u64);
         }
         subject
     }
@@ -471,6 +431,7 @@ impl SubjectGraph {
         built: Network,
         sig: &[Option<NodeId>],
         placeholder_to_latch: &HashMap<NodeId, NodeId>,
+        strash: StrashStats,
     ) -> SubjectGraph {
         // `built` is acyclic if we treat placeholders as inputs. In the final
         // network, placeholder p is replaced by a latch whose fanin is
@@ -530,7 +491,7 @@ impl SubjectGraph {
             let driver = remap[driver.index()].expect("driver emitted");
             rebuilt.add_output(&out.name, driver);
         }
-        SubjectGraph::finish(rebuilt)
+        SubjectGraph::finish(rebuilt, strash)
     }
 
     /// Wraps a network that is *already* in NAND2/INV form (for example one
@@ -557,7 +518,19 @@ impl SubjectGraph {
             }
         }
         net.topo_order()?;
-        Ok(SubjectGraph::finish(net))
+        // No construction ran through the arena, so there is nothing to
+        // attribute to folding or dedup: the stats just describe the size.
+        let gates = net
+            .node_ids()
+            .filter(|&id| matches!(net.node(id).func(), NodeFn::Nand | NodeFn::Not))
+            .count();
+        let stats = StrashStats {
+            raw: gates,
+            folded: 0,
+            dedup_hits: 0,
+            unique: gates,
+        };
+        Ok(SubjectGraph::finish(net, stats))
     }
 
     /// The underlying NAND2/INV network.
@@ -608,6 +581,18 @@ impl SubjectGraph {
     /// labeling and matching hot paths traverse (see [`crate::FlatNet`]).
     pub fn flat(&self) -> &crate::FlatNet {
         &self.flat
+    }
+
+    /// Per-node structural value numbers (see [`crate::strash`]): the
+    /// content addresses the signature-keyed match memo probes in O(1)
+    /// instead of extracting canonical cones.
+    pub fn signatures(&self) -> &Signatures {
+        &self.sigs
+    }
+
+    /// How much structural hashing compressed this decomposition.
+    pub fn strash_stats(&self) -> &StrashStats {
+        &self.strash
     }
 
     /// Unit-delay depth: the maximum level over primary-output drivers and

@@ -170,6 +170,10 @@ pub struct MapCall<'a> {
     pub recover: bool,
     /// Request a per-request Chrome trace in the reply.
     pub trace: bool,
+    /// Ask the daemon to retain the run's labels for later `remap`
+    /// requests. Requires `id` (the reply's `handle` references the
+    /// retained snapshot).
+    pub retain: bool,
 }
 
 /// Builds a map request payload for `blif` under `call`.
@@ -184,11 +188,28 @@ pub fn map_request(blif: &str, call: &MapCall<'_>) -> String {
     }
     let algo = if call.algo.is_empty() { "dag" } else { call.algo };
     payload.push_str(&format!(
-        ",\"options\":{{\"algo\":\"{}\",\"recover\":{},\"trace\":{}}}",
+        ",\"options\":{{\"algo\":\"{}\",\"recover\":{},\"trace\":{},\"retain\":{}}}",
         escape(algo),
         call.recover,
-        call.trace
+        call.trace,
+        call.retain
     ));
+    payload.push_str(&format!(",\"blif\":\"{}\"}}", escape(blif)));
+    payload
+}
+
+/// Builds a remap request payload: re-map the edited `blif` incrementally
+/// against the labels retained under `handle` (from a prior `map` with
+/// `retain`). The daemon replays the retained run's library and options, so
+/// the reply is byte-identical to a cold map of the edited netlist.
+pub fn remap_request(blif: &str, handle: &str, id: Option<&str>, trace: bool) -> String {
+    let mut payload = String::with_capacity(blif.len() + 128);
+    payload.push_str("{\"op\":\"remap\"");
+    if let Some(id) = id {
+        payload.push_str(&format!(",\"id\":\"{}\"", escape(id)));
+    }
+    payload.push_str(&format!(",\"handle\":\"{}\"", escape(handle)));
+    payload.push_str(&format!(",\"options\":{{\"trace\":{trace}}}"));
     payload.push_str(&format!(",\"blif\":\"{}\"}}", escape(blif)));
     payload
 }

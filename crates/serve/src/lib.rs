@@ -20,6 +20,12 @@
 //!   error isolation (a malformed request answers with an error frame and
 //!   never kills a worker or connection), `busy` backpressure past
 //!   `--max-inflight`, and graceful drain on `shutdown`;
+//! * incremental re-mapping: a `map` request with `options.retain`
+//!   snapshots the run's labels server-side and returns a `handle`; a
+//!   later `remap` request with that handle and an edited BLIF relabels
+//!   only the dirty region (clean nodes are recognized by strash
+//!   signature and their labels copied), still bit-identical to a cold
+//!   map of the edited netlist;
 //! * observability: memo traffic surfaces through `dagmap-obs` counters
 //!   (`serve.memo_hit` / `serve.memo_miss` / `serve.memo_evict`), latency
 //!   through the `serve.latency_us` histogram, and any request may ask for
@@ -38,6 +44,6 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 
-pub use client::{map_request, Client, Endpoint, MapCall};
-pub use protocol::{ErrorKind, MapRequest, Request};
+pub use client::{map_request, remap_request, Client, Endpoint, MapCall};
+pub use protocol::{ErrorKind, MapRequest, RemapRequest, Request};
 pub use server::{Endpoints, LibState, ServeConfig, Server};

@@ -18,7 +18,9 @@
 //!
 //! ```json
 //! {"op":"map","id":"r1","lib":"lib2","blif":".model ...",
-//!  "options":{"algo":"dag","recover":false,"trace":false}}
+//!  "options":{"algo":"dag","recover":false,"trace":false,"retain":false}}
+//! {"op":"remap","id":"r2","handle":"r1","blif":".model ...",
+//!  "options":{"trace":false}}
 //! {"op":"ping"}
 //! {"op":"stats"}
 //! {"op":"shutdown"}
@@ -28,6 +30,12 @@
 //! may pipeline requests and match replies out of order. `lib` selects one
 //! of the libraries the daemon was started with (defaulting to the first);
 //! `options` is optional and defaults to a plain delay-optimal DAG map.
+//! `options.retain` on a map request (which then requires an `id`) keeps
+//! the labeling run server-side under handle `id`; a later `remap` names
+//! that handle and ships the *edited* netlist — the daemon re-labels only
+//! the region whose strash signatures changed and answers with output
+//! byte-identical to a cold map of the same BLIF. A remap reply echoes a
+//! fresh snapshot under the same handle, so edits chain.
 //!
 //! # Responses
 //!
@@ -104,6 +112,8 @@ pub enum Request {
     Shutdown,
     /// Map one BLIF network.
     Map(Box<MapRequest>),
+    /// Incrementally re-map an edited network against retained labels.
+    Remap(Box<RemapRequest>),
 }
 
 /// The payload of an `op:"map"` request.
@@ -119,6 +129,26 @@ pub struct MapRequest {
     pub algo: String,
     /// Run slack-driven area recovery after the delay-optimal cover.
     pub recover: bool,
+    /// Record this request under a per-request obs session and return the
+    /// Chrome trace JSON in the reply.
+    pub trace: bool,
+    /// Retain the labeling run server-side (under handle = `id`) for later
+    /// `remap` requests. Requires `id`.
+    pub retain: bool,
+}
+
+/// The payload of an `op:"remap"` request. Library, algorithm and recovery
+/// settings come from the retained run — reusing a label computed under a
+/// different configuration would not be bit-identical, so the server does
+/// not allow them to drift.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemapRequest {
+    /// Client-chosen correlation id, echoed in the reply.
+    pub id: Option<String>,
+    /// The handle a prior `retain: true` map registered.
+    pub handle: String,
+    /// The *edited* network, as full BLIF text.
+    pub blif: String,
     /// Record this request under a per-request obs session and return the
     /// Chrome trace JSON in the reply.
     pub trace: bool,
@@ -209,12 +239,41 @@ pub fn parse_request(payload: &str) -> Result<Request, String> {
             }
             let recover = opt_bool(options.and_then(|o| o.get("recover")), "options.recover")?;
             let trace = opt_bool(options.and_then(|o| o.get("trace")), "options.trace")?;
+            let retain = opt_bool(options.and_then(|o| o.get("retain")), "options.retain")?;
+            if retain && id.is_none() {
+                return Err("`options.retain` requires an `id` to use as the handle".into());
+            }
             Ok(Request::Map(Box::new(MapRequest {
                 id,
                 lib,
                 blif,
                 algo,
                 recover,
+                trace,
+                retain,
+            })))
+        }
+        "remap" => {
+            let blif = obj
+                .get("blif")
+                .and_then(Value::as_str)
+                .ok_or("remap request needs a string `blif`")?
+                .to_owned();
+            let handle = obj
+                .get("handle")
+                .and_then(Value::as_str)
+                .ok_or("remap request needs a string `handle`")?
+                .to_owned();
+            let id = opt_string(obj.get("id"), "id")?;
+            let options = match obj.get("options") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(v.as_obj().ok_or("`options` must be an object")?),
+            };
+            let trace = opt_bool(options.and_then(|o| o.get("trace")), "options.trace")?;
+            Ok(Request::Remap(Box::new(RemapRequest {
+                id,
+                handle,
+                blif,
                 trace,
             })))
         }
@@ -274,8 +333,11 @@ pub fn map_report_fields(report: &MapReport) -> String {
             "\"cover_seconds\":{},\"area_recovery_seconds\":{},",
             "\"label_threads\":{},\"levels\":{}}},",
             "\"counters\":{{\"matches_enumerated\":{},\"matches_pruned\":{},",
-            "\"memo_lookups\":{},\"memo_hits\":{},",
-            "\"match_words\":{},\"match_candidate_bits\":{}}}"
+            "\"memo_lookups\":{},\"memo_hits\":{},\"memo_id_hits\":{},",
+            "\"match_words\":{},\"match_candidate_bits\":{},",
+            "\"labels_reused\":{}}},",
+            "\"strash\":{{\"raw_nodes\":{},\"unique_nodes\":{},",
+            "\"dedup_hits\":{}}}"
         ),
         escape(report.algorithm),
         format_f64(report.delay),
@@ -293,8 +355,13 @@ pub fn map_report_fields(report: &MapReport) -> String {
         report.matches_pruned,
         report.memo_lookups,
         report.memo_hits,
+        report.memo_id_hits,
         report.match_words,
         report.match_candidate_bits,
+        report.labels_reused,
+        report.strash_raw_nodes,
+        report.strash_unique_nodes,
+        report.strash_dedup_hits,
     )
 }
 
@@ -304,24 +371,33 @@ pub fn map_report_json(report: &MapReport) -> String {
     format!("{{{}}}", map_report_fields(report))
 }
 
-/// Builds a successful map reply frame.
+/// Builds a successful map or remap reply frame. `handle` is echoed when
+/// the request retained (or refreshed) server-side labels under it.
 pub fn map_ok_frame(
+    op: &str,
     id: Option<&str>,
     lib: &str,
     report: &MapReport,
     blif: &str,
+    handle: Option<&str>,
     trace_chrome: Option<&str>,
 ) -> String {
     let trace = match trace_chrome {
         Some(t) => format!(",\"trace\":\"{}\"", escape(t)),
         None => String::new(),
     };
+    let handle = match handle {
+        Some(h) => format!(",\"handle\":\"{}\"", escape(h)),
+        None => String::new(),
+    };
     format!(
-        "{{{}\"ok\":true,\"op\":\"map\",\"lib\":\"{}\",{},\"blif\":\"{}\"{}}}",
+        "{{{}\"ok\":true,\"op\":\"{}\",\"lib\":\"{}\",{},\"blif\":\"{}\"{}{}}}",
         id_field(id),
+        escape(op),
         escape(lib),
         map_report_fields(report),
         escape(blif),
+        handle,
         trace
     )
 }
@@ -382,8 +458,30 @@ mod tests {
                 assert_eq!(m.algo, "tree");
                 assert!(m.recover);
                 assert!(!m.trace);
+                assert!(!m.retain);
             }
             other => panic!("expected map, got {other:?}"),
+        }
+        let req = parse_request(
+            "{\"op\":\"map\",\"id\":\"d1\",\"blif\":\".model m\",\
+             \"options\":{\"retain\":true}}",
+        )
+        .unwrap();
+        match req {
+            Request::Map(m) => assert!(m.retain),
+            other => panic!("expected map, got {other:?}"),
+        }
+        let req = parse_request(
+            "{\"op\":\"remap\",\"id\":\"r2\",\"handle\":\"d1\",\"blif\":\".model m\"}",
+        )
+        .unwrap();
+        match req {
+            Request::Remap(m) => {
+                assert_eq!(m.id.as_deref(), Some("r2"));
+                assert_eq!(m.handle, "d1");
+                assert!(!m.trace);
+            }
+            other => panic!("expected remap, got {other:?}"),
         }
         for bad in [
             "not json",
@@ -392,6 +490,10 @@ mod tests {
             "{\"op\":\"map\"}",
             "{\"op\":\"map\",\"blif\":\"x\",\"options\":{\"algo\":\"magic\"}}",
             "{\"op\":\"map\",\"blif\":\"x\",\"options\":{\"recover\":\"yes\"}}",
+            // retain needs an id to use as the handle
+            "{\"op\":\"map\",\"blif\":\"x\",\"options\":{\"retain\":true}}",
+            // remap needs a handle
+            "{\"op\":\"remap\",\"blif\":\"x\"}",
         ] {
             assert!(parse_request(bad).is_err(), "`{bad}` should not parse");
         }
@@ -419,12 +521,19 @@ mod tests {
             cover_seconds: 0.0005,
             area_recovery_seconds: 0.0,
             decompose_seconds: 0.0002,
+            memo_id_hits: 4,
+            strash_raw_nodes: 20,
+            strash_unique_nodes: 17,
+            strash_dedup_hits: 3,
+            labels_reused: 2,
         };
         let ok = map_ok_frame(
+            "map",
             Some("r\"1"),
             "lib2",
             &report,
             ".model m\n.end\n",
+            Some("d1"),
             Some("{\"traceEvents\":[]}"),
         );
         let v = parse(&ok).unwrap();
@@ -434,6 +543,19 @@ mod tests {
             v.get("counters").unwrap().get("memo_hits").unwrap().as_num(),
             Some(6.0)
         );
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("memo_id_hits")
+                .unwrap()
+                .as_num(),
+            Some(4.0)
+        );
+        assert_eq!(
+            v.get("strash").unwrap().get("dedup_hits").unwrap().as_num(),
+            Some(3.0)
+        );
+        assert_eq!(v.get("handle").unwrap().as_str(), Some("d1"));
         assert_eq!(v.get("blif").unwrap().as_str(), Some(".model m\n.end\n"));
         let err = error_frame(None, ErrorKind::Busy, "1 inflight >= limit");
         let v = parse(&err).unwrap();

@@ -43,11 +43,11 @@ use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use dagmap_core::{verify, MapOptions, Mapper, SharedMatchStore};
+use dagmap_core::{verify, MapOptions, Mapper, RetainedLabels, SharedMatchStore};
 use dagmap_genlib::Library;
 use dagmap_netlist::{blif, SubjectGraph};
 
-use crate::protocol::{self, ErrorKind, MapRequest, Request};
+use crate::protocol::{self, ErrorKind, MapRequest, RemapRequest, Request};
 use crate::queue::JobQueue;
 
 /// How long accept loops sleep between polls of the shutdown flag.
@@ -71,6 +71,9 @@ pub struct ServeConfig {
     /// Verify every mapped netlist against its subject graph by random
     /// simulation before replying.
     pub verify: bool,
+    /// Most retained labeling runs (`options.retain`) kept for `remap`;
+    /// the oldest handle is evicted beyond this. `0` disables retention.
+    pub retain_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +83,7 @@ impl Default for ServeConfig {
             max_inflight: 256,
             memo_cap: 1 << 16,
             verify: true,
+            retain_cap: 64,
         }
     }
 }
@@ -132,10 +136,36 @@ impl ConnWriter {
     }
 }
 
-/// A queued map request.
+/// A queued map or remap request.
 struct Job {
-    req: Box<MapRequest>,
+    req: MapJob,
     writer: ConnWriter,
+}
+
+enum MapJob {
+    Map(Box<MapRequest>),
+    Remap(Box<RemapRequest>),
+}
+
+impl MapJob {
+    fn id(&self) -> Option<&str> {
+        match self {
+            MapJob::Map(r) => r.id.as_deref(),
+            MapJob::Remap(r) => r.id.as_deref(),
+        }
+    }
+}
+
+/// One retained labeling run. The mapping configuration rides along: a
+/// remap must re-label under the configuration the labels were computed
+/// with, or reuse would not be bit-identical.
+struct RetainedEntry {
+    lib: String,
+    algo: String,
+    recover: bool,
+    labels: Arc<RetainedLabels>,
+    /// Insertion counter for oldest-first eviction.
+    seq: u64,
 }
 
 /// Raw handles kept so shutdown can unblock reader threads parked in
@@ -172,6 +202,10 @@ struct Inner {
     requests: AtomicU64,
     errors: AtomicU64,
     busy_rejects: AtomicU64,
+    remaps: AtomicU64,
+    retained: Mutex<BTreeMap<String, RetainedEntry>>,
+    retain_cap: usize,
+    retain_seq: AtomicU64,
     conns: Mutex<Vec<ConnHandle>>,
     readers: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -198,6 +232,7 @@ impl Inner {
         use std::fmt::Write as _;
         let mut libs = String::new();
         let (mut hits, mut misses, mut evictions, mut resident) = (0u64, 0u64, 0u64, 0usize);
+        let mut id_hits = 0u64;
         for (i, (name, state)) in self.libs.iter().enumerate() {
             if i > 0 {
                 libs.push(',');
@@ -206,22 +241,31 @@ impl Inner {
             let _ = write!(
                 libs,
                 "\"{}\":{{\"memo_hits\":{},\"memo_misses\":{},\"memo_evictions\":{},\
-                 \"resident_classes\":{}}}",
+                 \"memo_id_hits\":{},\"resident_classes\":{}}}",
                 dagmap_obs::json::escape(name),
                 s.hits(),
                 s.misses(),
                 s.evictions(),
+                s.id_hits(),
                 s.resident_classes(),
             );
             hits += s.hits();
             misses += s.misses();
             evictions += s.evictions();
+            id_hits += s.id_hits();
             resident += s.resident_classes();
         }
+        let retained = self
+            .retained
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len();
         format!(
             "{{\"ok\":true,\"op\":\"stats\",\"workers\":{},\"inflight\":{},\"queued\":{},\
              \"requests\":{},\"errors\":{},\"busy_rejects\":{},\
-             \"memo\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"resident_classes\":{}}},\
+             \"remaps\":{},\"retained\":{},\
+             \"memo\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"id_hits\":{},\
+             \"resident_classes\":{}}},\
              \"libs\":{{{}}}}}",
             self.workers,
             self.inflight.load(Ordering::Relaxed),
@@ -229,9 +273,12 @@ impl Inner {
             self.requests.load(Ordering::Relaxed),
             self.errors.load(Ordering::Relaxed),
             self.busy_rejects.load(Ordering::Relaxed),
+            self.remaps.load(Ordering::Relaxed),
+            retained,
             hits,
             misses,
             evictions,
+            id_hits,
             resident,
             libs,
         )
@@ -256,8 +303,13 @@ impl Inner {
                 self.begin_shutdown();
                 ok
             }
-            Request::Map(req) => {
-                let id = req.id.clone();
+            Request::Map(_) | Request::Remap(_) => {
+                let req = match req {
+                    Request::Map(r) => MapJob::Map(r),
+                    Request::Remap(r) => MapJob::Remap(r),
+                    _ => unreachable!(),
+                };
+                let id = req.id().map(str::to_owned);
                 if self.shutdown.load(Ordering::SeqCst) {
                     self.send_error(
                         writer,
@@ -306,8 +358,11 @@ impl Inner {
 
     fn worker_loop(self: Arc<Inner>) {
         while let Some(job) = self.queue.pop() {
-            let id = job.req.id.clone();
-            let outcome = catch_unwind(AssertUnwindSafe(|| process_map(&self, &job.req)));
+            let id = job.req.id().map(str::to_owned);
+            let outcome = catch_unwind(AssertUnwindSafe(|| match &job.req {
+                MapJob::Map(req) => process_map(&self, req),
+                MapJob::Remap(req) => process_remap(&self, req),
+            }));
             let frame = match outcome {
                 Ok(Ok(frame)) => frame,
                 Ok(Err((kind, msg))) => {
@@ -342,13 +397,13 @@ fn lib_alias(name: &str) -> String {
         .map_or(folded.clone(), str::to_owned)
 }
 
-/// Maps one request. Returns the reply frame, or an error kind + message
-/// for the caller to wrap.
-fn process_map(inner: &Inner, req: &MapRequest) -> Result<String, (ErrorKind, String)> {
-    let t0 = Instant::now();
-    let lib_name = req.lib.as_deref().unwrap_or(&inner.default_lib);
-    // Exact name first; then an alias form so clients may say `44-3` for a
-    // library registered as `44_3_like` (`-`/`_` fold, `_like` optional).
+/// Resolves a library by exact name first, then an alias form so clients
+/// may say `44-3` for a library registered as `44_3_like` (`-`/`_` fold,
+/// `_like` optional).
+fn resolve_lib<'a>(
+    inner: &'a Inner,
+    lib_name: &str,
+) -> Result<&'a Arc<LibState>, (ErrorKind, String)> {
     let state = inner.libs.get(lib_name).or_else(|| {
         let wanted = lib_alias(lib_name);
         inner
@@ -357,7 +412,7 @@ fn process_map(inner: &Inner, req: &MapRequest) -> Result<String, (ErrorKind, St
             .find(|(name, _)| lib_alias(name) == wanted)
             .map(|(_, state)| state)
     });
-    let state = state.ok_or_else(|| {
+    state.ok_or_else(|| {
         let known: Vec<&str> = inner.libs.keys().map(String::as_str).collect();
         (
             ErrorKind::BadRequest,
@@ -366,7 +421,56 @@ fn process_map(inner: &Inner, req: &MapRequest) -> Result<String, (ErrorKind, St
                 known.join(", ")
             ),
         )
-    })?;
+    })
+}
+
+/// The mapping options a request's algorithm string selects, with the
+/// memo forced on: the daemon's warm shared store is profitable even where
+/// a single run's `Auto` heuristic would decline (results are bit-identical
+/// either way).
+fn serve_options(algo: &str, recover: bool) -> Result<MapOptions, (ErrorKind, String)> {
+    let mut opts = match algo {
+        "dag" => MapOptions::dag(),
+        "tree" => MapOptions::tree(),
+        "dag-extended" => MapOptions::dag_extended(),
+        other => {
+            return Err((ErrorKind::BadRequest, format!("unknown algorithm `{other}`")));
+        }
+    };
+    if recover {
+        opts = opts.with_area_recovery();
+    }
+    Ok(opts.with_match_memo(true))
+}
+
+/// Stores (or refreshes) a retained labeling run under `handle`, evicting
+/// the oldest entry beyond the cap.
+fn store_retained(inner: &Inner, handle: &str, entry: RetainedEntry) {
+    if inner.retain_cap == 0 {
+        return;
+    }
+    let mut retained = inner.retained.lock().unwrap_or_else(|e| e.into_inner());
+    retained.insert(handle.to_owned(), entry);
+    while retained.len() > inner.retain_cap {
+        let oldest = retained
+            .iter()
+            .min_by_key(|(_, e)| e.seq)
+            .map(|(k, _)| k.clone());
+        match oldest {
+            Some(k) => {
+                retained.remove(&k);
+            }
+            None => break,
+        }
+    }
+}
+
+/// Maps one request. Returns the reply frame, or an error kind + message
+/// for the caller to wrap.
+fn process_map(inner: &Inner, req: &MapRequest) -> Result<String, (ErrorKind, String)> {
+    let t0 = Instant::now();
+    let lib_name = req.lib.as_deref().unwrap_or(&inner.default_lib);
+    let state = resolve_lib(inner, lib_name)?;
     // `trace: true` records this request in a thread-scoped session:
     // concurrent requests on other workers never mix frames into it, and
     // it coexists with a process-global session owned by a harness.
@@ -376,23 +480,94 @@ fn process_map(inner: &Inner, req: &MapRequest) -> Result<String, (ErrorKind, St
             blif::parse(&req.blif).map_err(|e| (ErrorKind::BadRequest, format!("blif: {e}")))?;
         let subject = SubjectGraph::from_network(&net)
             .map_err(|e| (ErrorKind::BadRequest, format!("subject graph: {e}")))?;
-        let mut opts = match req.algo.as_str() {
-            "dag" => MapOptions::dag(),
-            "tree" => MapOptions::tree(),
-            "dag-extended" => MapOptions::dag_extended(),
-            other => {
-                return Err((ErrorKind::BadRequest, format!("unknown algorithm `{other}`")));
-            }
+        let opts = serve_options(&req.algo, req.recover)?;
+        let mapper = Mapper::new(&state.library);
+        let (mapped, report, snapshot) = if req.retain && inner.retain_cap > 0 {
+            mapper
+                .map_with_report_retaining(&subject, opts, Some(&state.shared))
+                .map_err(|e| (ErrorKind::BadRequest, e.to_string()))?
+        } else {
+            let (mapped, report) = mapper
+                .map_with_report_shared(&subject, opts, &state.shared)
+                .map_err(|e| (ErrorKind::BadRequest, e.to_string()))?;
+            (mapped, report, None)
         };
-        if req.recover {
-            opts = opts.with_area_recovery();
+        if inner.verify {
+            verify::check(&mapped, &subject, VERIFY_SEED)
+                .map_err(|e| (ErrorKind::Internal, format!("verification failed: {e}")))?;
         }
-        // Force the memo on regardless of library size: the daemon's warm
-        // shared store is profitable even where a single run's `Auto`
-        // heuristic would decline (results are bit-identical either way).
-        opts = opts.with_match_memo(true);
-        let (mapped, report) = Mapper::new(&state.library)
-            .map_with_report_shared(&subject, opts, &state.shared)
+        let out = mapped
+            .to_network()
+            .and_then(|n| blif::to_string(&n))
+            .map_err(|e| (ErrorKind::Internal, format!("netlist writeback: {e}")))?;
+        Ok((report, out, snapshot))
+    })();
+    // Close the scoped session on both paths so the worker thread is clean
+    // for its next request.
+    let trace_chrome = scoped.map(|s| s.finish().to_chrome_json());
+    let (report, out_blif, snapshot) = result?;
+    // `retain` requires an id at parse time, so the handle is always there.
+    let handle = match (snapshot, req.id.as_deref()) {
+        (Some(labels), Some(id)) => {
+            store_retained(
+                inner,
+                id,
+                RetainedEntry {
+                    lib: lib_name.to_owned(),
+                    algo: req.algo.clone(),
+                    recover: req.recover,
+                    labels: Arc::new(labels),
+                    seq: inner.retain_seq.fetch_add(1, Ordering::Relaxed),
+                },
+            );
+            Some(id)
+        }
+        _ => None,
+    };
+    dagmap_obs::count("serve.requests", 1);
+    dagmap_obs::sample("serve.latency_us", t0.elapsed().as_micros() as u64);
+    Ok(protocol::map_ok_frame(
+        "map",
+        req.id.as_deref(),
+        lib_name,
+        &report,
+        &out_blif,
+        handle,
+        trace_chrome.as_deref(),
+    ))
+}
+
+/// Incrementally re-maps an edited network against a retained labeling
+/// run: only the region whose strash signatures changed is re-labeled, and
+/// the reply is byte-identical to a cold map of the same BLIF. The fresh
+/// snapshot replaces the retained one, so successive edits chain.
+fn process_remap(inner: &Inner, req: &RemapRequest) -> Result<String, (ErrorKind, String)> {
+    let t0 = Instant::now();
+    let (lib_name, algo, recover, labels) = {
+        let retained = inner.retained.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = retained.get(&req.handle).ok_or_else(|| {
+            (
+                ErrorKind::BadRequest,
+                format!("unknown retain handle `{}`", req.handle),
+            )
+        })?;
+        (
+            entry.lib.clone(),
+            entry.algo.clone(),
+            entry.recover,
+            Arc::clone(&entry.labels),
+        )
+    };
+    let state = resolve_lib(inner, &lib_name)?;
+    let scoped = req.trace.then(dagmap_obs::start_scoped);
+    let result = (|| {
+        let net =
+            blif::parse(&req.blif).map_err(|e| (ErrorKind::BadRequest, format!("blif: {e}")))?;
+        let subject = SubjectGraph::from_network(&net)
+            .map_err(|e| (ErrorKind::BadRequest, format!("subject graph: {e}")))?;
+        let opts = serve_options(&algo, recover)?;
+        let (mapped, report, snapshot) = Mapper::new(&state.library)
+            .map_incremental(&subject, opts, &labels, Some(&state.shared))
             .map_err(|e| (ErrorKind::BadRequest, e.to_string()))?;
         if inner.verify {
             verify::check(&mapped, &subject, VERIFY_SEED)
@@ -402,19 +577,35 @@ fn process_map(inner: &Inner, req: &MapRequest) -> Result<String, (ErrorKind, St
             .to_network()
             .and_then(|n| blif::to_string(&n))
             .map_err(|e| (ErrorKind::Internal, format!("netlist writeback: {e}")))?;
-        Ok((report, out))
+        Ok((report, out, snapshot))
     })();
-    // Close the scoped session on both paths so the worker thread is clean
-    // for its next request.
     let trace_chrome = scoped.map(|s| s.finish().to_chrome_json());
-    let (report, out_blif) = result?;
+    let (report, out_blif, snapshot) = result?;
+    if let Some(labels) = snapshot {
+        store_retained(
+            inner,
+            &req.handle,
+            RetainedEntry {
+                lib: lib_name.clone(),
+                algo,
+                recover,
+                labels: Arc::new(labels),
+                seq: inner.retain_seq.fetch_add(1, Ordering::Relaxed),
+            },
+        );
+    }
+    inner.remaps.fetch_add(1, Ordering::Relaxed);
     dagmap_obs::count("serve.requests", 1);
+    dagmap_obs::count("serve.remaps", 1);
+    dagmap_obs::count("serve.labels_reused", report.labels_reused as u64);
     dagmap_obs::sample("serve.latency_us", t0.elapsed().as_micros() as u64);
     Ok(protocol::map_ok_frame(
+        "remap",
         req.id.as_deref(),
-        lib_name,
+        &lib_name,
         &report,
         &out_blif,
+        Some(&req.handle),
         trace_chrome.as_deref(),
     ))
 }
@@ -570,6 +761,10 @@ impl Server {
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             busy_rejects: AtomicU64::new(0),
+            remaps: AtomicU64::new(0),
+            retained: Mutex::new(BTreeMap::new()),
+            retain_cap: config.retain_cap,
+            retain_seq: AtomicU64::new(0),
             conns: Mutex::new(Vec::new()),
             readers: Mutex::new(Vec::new()),
         });

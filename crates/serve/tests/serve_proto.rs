@@ -437,3 +437,114 @@ fn tcp_endpoint_serves_the_same_protocol() {
     client.shutdown().unwrap();
     server.wait().unwrap();
 }
+
+/// Applies a small local edit to a parsed network: a fresh input XORed
+/// into one primary output's driver. Mirrors the edit used by the core
+/// incremental tests so most strash signatures survive.
+#[cfg(unix)]
+fn edited_blif(input: &str) -> String {
+    use dagmap_netlist::{NetEdit, NodeFn};
+    let mut net = blif::parse(input).unwrap();
+    let out_name = net.outputs().first().unwrap().name.clone();
+    let old_driver = net.outputs().first().unwrap().driver;
+    let created = net
+        .apply_edits(vec![
+            NetEdit::AddInput {
+                name: "serve_patch".into(),
+            },
+            NetEdit::AddNode {
+                func: NodeFn::Xor,
+                fanins: vec![old_driver, old_driver],
+                name: None,
+            },
+        ])
+        .unwrap();
+    let (patch_in, xor) = (created[0].unwrap(), created[1].unwrap());
+    net.replace_fanin(xor, 1, patch_in).unwrap();
+    net.apply_edits(vec![NetEdit::SetOutputDriver {
+        output: out_name,
+        driver: xor,
+    }])
+    .unwrap();
+    blif::to_string(&net).unwrap()
+}
+
+#[cfg(unix)]
+#[test]
+fn retain_then_remap_is_bit_identical_and_reuses_labels() {
+    let (server, endpoint) = start_unix("remap", &ServeConfig::default());
+    let mut client = Client::connect(&endpoint).unwrap();
+
+    let lib = Library::lib_44_3_like();
+    let input = blif::to_string(&dagmap_benchgen::alu(6)).unwrap();
+    let reply = client
+        .call(&dagmap_serve::map_request(
+            &input,
+            &MapCall {
+                id: Some("base"),
+                lib: Some(lib.name()),
+                retain: true,
+                ..MapCall::default()
+            },
+        ))
+        .unwrap();
+    assert_eq!(reply.get("error"), None, "{reply:?}");
+    let handle = reply
+        .get("handle")
+        .and_then(|h| h.as_str())
+        .expect("retaining map returns a handle")
+        .to_owned();
+
+    // Remap the edited circuit through the retained labels: byte-identical
+    // to a cold one-shot of the edited BLIF, with most labels reused.
+    let edited = edited_blif(&input);
+    let reply = client
+        .call(&dagmap_serve::remap_request(&edited, &handle, Some("e1"), false))
+        .unwrap();
+    assert_eq!(reply.get("error"), None, "{reply:?}");
+    assert_eq!(reply.get("op").and_then(|o| o.as_str()), Some("remap"));
+    assert_eq!(
+        reply.get("blif").unwrap().as_str().unwrap(),
+        one_shot_blif(&edited, &lib),
+        "incremental remap diverged from a cold map of the edited netlist"
+    );
+    let reused = reply
+        .get("counters")
+        .and_then(|c| c.get("labels_reused"))
+        .and_then(|v| v.as_num())
+        .unwrap();
+    assert!(reused > 0.0, "a local edit must leave labels reusable");
+
+    // The refreshed snapshot chains: a second edit remaps against the
+    // first edit's labels, still bit-identical.
+    let edited2 = edited_blif(&edited);
+    let reply = client
+        .call(&dagmap_serve::remap_request(&edited2, &handle, Some("e2"), false))
+        .unwrap();
+    assert_eq!(reply.get("error"), None, "{reply:?}");
+    assert_eq!(
+        reply.get("blif").unwrap().as_str().unwrap(),
+        one_shot_blif(&edited2, &lib)
+    );
+
+    // Unknown handles answer with a per-request error, not a dead worker.
+    let reply = client
+        .call(&dagmap_serve::remap_request(&edited, "no-such-handle", None, false))
+        .unwrap();
+    assert_eq!(
+        reply
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(|k| k.as_str()),
+        Some("bad_request")
+    );
+    client.ping().unwrap();
+
+    // Daemon stats expose the remap traffic.
+    let stats = client.stats().unwrap();
+    assert!(stats.get("remaps").unwrap().as_num().unwrap() >= 2.0);
+    assert!(stats.get("retained").unwrap().as_num().unwrap() >= 1.0);
+
+    client.shutdown().unwrap();
+    server.wait().unwrap();
+}

@@ -96,4 +96,19 @@ cargo run -q --release --offline -p dagmap-bench --bin serveperf -- \
 grep -q '"bit_identical": true' target/BENCH_serve_smoke.json
 grep -q '"errors": 0' target/BENCH_serve_smoke.json
 
+# Strash smoke: the strash-id memo fast path must not move a byte of the
+# mapped netlist — map the same circuit with and without it and compare.
+cargo run -q --release --offline -- gen alu8 --out target/strash_smoke.blif
+cargo run -q --release --offline -- map target/strash_smoke.blif \
+  --out target/strash_on.blif > /dev/null
+cargo run -q --release --offline -- map target/strash_smoke.blif \
+  --no-strash-ids --out target/strash_off.blif > /dev/null
+cmp target/strash_on.blif target/strash_off.blif
+# Strash/incremental bench in quick mode: asserts cold == warm == incremental
+# mapped BLIF byte-identity, warm runs resolve strash ids, and the
+# incremental re-map of an edited circuit clears the 5x speedup floor.
+cargo run -q --release --offline -p dagmap-bench --bin strashperf -- \
+  --quick --out target/BENCH_strash_smoke.json
+grep -q '"all_identical": true' target/BENCH_strash_smoke.json
+
 echo "tier1: OK"

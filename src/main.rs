@@ -109,6 +109,9 @@ map options:
   --no-accel                          disable the fingerprint index and the
                                       cone-class match memo (results are
                                       bit-identical; only speed changes)
+  --no-strash-ids                     disable the strash-id memo fast path
+                                      (probe by cone key only; results are
+                                      bit-identical; only speed changes)
   --out <f.blif>                      write the mapped netlist as BLIF
   --verilog <f.v>                     write structural Verilog
   --report-path                       print the critical path
@@ -358,6 +361,7 @@ fn cmd_map(args: &[String]) -> CmdResult {
     let no_verify = take_flag(&mut args, "--no-verify");
     let report_path = take_flag(&mut args, "--report-path");
     let no_accel = take_flag(&mut args, "--no-accel");
+    let no_strash_ids = take_flag(&mut args, "--no-strash-ids");
     let json = take_flag(&mut args, "--json");
     let k: usize = take_value(&mut args, "-k")?
         .map(|s| s.parse())
@@ -444,6 +448,9 @@ fn cmd_map(args: &[String]) -> CmdResult {
         if no_accel {
             opts = opts.with_match_acceleration(false);
         }
+        if no_strash_ids {
+            opts = opts.with_strash_ids(false);
+        }
         let (mut mapped, mut report) = Mapper::new(&library).map_with_report(&subject, opts)?;
         report.decompose_seconds = decompose_seconds;
         if let Some(max_load) = buffer {
@@ -479,8 +486,13 @@ fn cmd_map(args: &[String]) -> CmdResult {
             mapped.duplicated_subject_nodes(),
         );
         let memo = if report.memo_lookups > 0 {
+            let id = if report.memo_id_hits > 0 {
+                format!(", {} via strash id", report.memo_id_hits)
+            } else {
+                String::new()
+            };
             format!(
-                ", memo {}/{} hits ({:.1}%)",
+                ", memo {}/{} hits ({:.1}%{id})",
                 report.memo_hits,
                 report.memo_lookups,
                 100.0 * report.memo_hits as f64 / report.memo_lookups as f64
@@ -501,6 +513,15 @@ fn cmd_map(args: &[String]) -> CmdResult {
             "matching: {} enumerated, {} candidates pruned{kernel}{memo}",
             report.matches_enumerated, report.matches_pruned
         );
+        if report.strash_raw_nodes > 0 {
+            println!(
+                "strash: {} constructions -> {} nodes ({:.2}x dedup, {} hits)",
+                report.strash_raw_nodes,
+                report.strash_unique_nodes,
+                report.strash_raw_nodes as f64 / report.strash_unique_nodes.max(1) as f64,
+                report.strash_dedup_hits,
+            );
+        }
         print_phases(&report);
         for (gate, count) in mapped.gate_histogram() {
             println!("  {gate:<12} x{count}");
@@ -689,6 +710,7 @@ fn cmd_client(args: &[String]) -> CmdResult {
             algo: &algo,
             recover,
             trace: false,
+            retain: false,
         },
     );
     let raw_text = client.call_raw(&payload)?;
@@ -825,6 +847,15 @@ fn cmd_stats(args: &[String]) -> CmdResult {
             subject.num_gates(),
             subject.depth(),
             subject.num_multi_fanout()
+        );
+        let strash = subject.strash_stats();
+        println!(
+            "strash: {} constructions -> {} nodes ({:.2}x dedup, {} hits, {} folded)",
+            strash.raw,
+            strash.unique,
+            strash.raw as f64 / strash.unique.max(1) as f64,
+            strash.dedup_hits,
+            strash.folded,
         );
         if let Some(library) = library {
             // Full match census under standard semantics: how much pattern
