@@ -8,17 +8,26 @@
 //! the motivation behind Lehman et al.'s mapping graphs that the paper's
 //! Section 4 discusses. Boolean matching sidesteps the problem:
 //!
-//! 1. enumerate small-input cuts of each subject node (cap-bounded),
+//! 1. enumerate bounded **priority cuts** of each subject node (ranked by
+//!    deepest-leaf level then width, at most 24 per node, the fanin cut
+//!    always kept within the cap),
 //! 2. extract each cut's Boolean function as a truth table
-//!    ([`TruthTable`]),
+//!    ([`TruthTable`]) by 64-lane cone simulation,
 //! 3. canonicalize modulo input permutation ([`TruthTable::p_canonical`])
-//!    and look it up in a precomputed [`LibraryIndex`] of gate functions,
-//! 4. feed the resulting [`Match`](dagmap_match::Match)es into the very same FlowMap-style
-//!    delay DP and cover construction as the structural mapper
-//!    ([`map_boolean`] / `dagmap_core::Mapper::realize`).
+//!    *and* modulo input/output negation ([`TruthTable::npn_canonical`]),
+//!    then look both forms up in a precomputed [`LibraryIndex`]. A P hit
+//!    binds pins directly; an NPN hit composes the cut's and the gate's
+//!    recorded [`NpnTransform`]s into pin bindings plus polarity fixups,
+//!    realized by absorbing or borrowing inverters on the negated leaves,
+//! 4. feed the resulting matches through [`dagmap_core::MatchSource`]
+//!    into the very same FlowMap-style delay DP, parallel wavefront,
+//!    area recovery and cover construction as the structural mapper
+//!    ([`map_boolean`] / [`map_hybrid`] /
+//!    `dagmap_core::Mapper::map_with_source`).
 //!
 //! Gates wider than [`MAX_INPUTS`] inputs do not participate (canonical
-//! forms are computed by explicit permutation).
+//! forms live in one 64-bit word); wider requests are clamped at the
+//! index boundary, never panicked on.
 //!
 //! # Example
 //!
@@ -44,12 +53,16 @@
 //! # }
 //! ```
 
+mod cuts;
 mod index;
 mod mapper;
+mod source;
 mod tt;
 
 pub use index::LibraryIndex;
 pub use mapper::{
-    check_coverable, map_boolean, map_boolean_with_report, map_hybrid, BoolMapReport,
+    check_coverable, map_boolean, map_boolean_with_options, map_boolean_with_report, map_hybrid,
+    map_hybrid_with_options, BoolMapReport,
 };
-pub use tt::{TruthTable, MAX_INPUTS};
+pub use source::{BoolKit, BoolSource, HybridKit, HybridSource};
+pub use tt::{NpnTransform, TruthTable, MAX_INPUTS};

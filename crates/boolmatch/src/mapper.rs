@@ -1,202 +1,70 @@
-use std::collections::{HashMap, HashSet};
+//! The Boolean and hybrid mappers: thin entry points that build a
+//! [`BoolSource`]/[`HybridSource`] and hand it to `dagmap_core`'s shared
+//! labeling DP, cover construction and area recovery via
+//! [`Mapper::map_with_source`]. Everything the structural mapper offers —
+//! `--threads` wavefronts (bit-identical to serial), area recovery,
+//! delay targets, observability spans, the full [`MapReport`] — works for
+//! these mappers too, because the pipeline is literally the same code.
 
-use dagmap_core::{MapError, MappedNetlist, Mapper};
+use dagmap_core::{MapError, MapOptions, MapReport, MappedNetlist, Mapper};
 use dagmap_genlib::Library;
-use dagmap_match::Match;
-use dagmap_netlist::{NodeFn, NodeId, SubjectGraph};
+use dagmap_netlist::SubjectGraph;
 
 use crate::index::LibraryIndex;
+use crate::source::{BoolSource, HybridSource};
 use crate::tt::TruthTable;
 
 /// Statistics of one Boolean-matching run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BoolMapReport {
-    /// Cut bound used.
+    /// Cut width bound actually used (requests wider than
+    /// [`crate::MAX_INPUTS`] are clamped, not rejected).
     pub k: usize,
-    /// Cuts examined across all nodes.
+    /// Priority cuts kept across all nodes (≤ `CUT_CAP` per node).
+    pub cuts_enumerated: usize,
+    /// Cuts whose cone function was extracted and looked up.
     pub cuts_examined: usize,
-    /// Matches produced by index lookups.
+    /// Matches produced by index lookups (`p_matches + npn_matches`).
     pub matches_found: usize,
+    /// Matches found by the plain P-class lookup (no polarity work).
+    pub p_matches: usize,
+    /// Matches only reachable through NPN canonicalization (input/output
+    /// polarity fixups composed from the two recorded transforms).
+    pub npn_matches: usize,
+    /// Distinct cone classes (P-canonical keys, the same key space for
+    /// both counters) matched by the P lookup alone — the pre-NPN
+    /// engine's reach.
+    pub p_classes_matched: usize,
+    /// Distinct cone classes matched by the full engine; ≥
+    /// `p_classes_matched` by construction, strictly greater whenever NPN
+    /// rescued a cone P-matching missed.
+    pub npn_classes_matched: usize,
     /// Gates of the library that participated in the index.
     pub gates_indexed: usize,
 }
 
-/// Per-node cap on stored cuts (the fanin cut is always kept).
-const CUT_CAP: usize = 24;
-
-/// Enumerates up to [`CUT_CAP`] small cuts per node (smallest first, the
-/// plain fanin cut guaranteed present).
-fn enumerate_cuts(
-    net: &dagmap_netlist::Network,
-    order: &[NodeId],
-    k: usize,
-) -> Vec<Vec<Vec<NodeId>>> {
-    let is_source = |id: NodeId| {
-        matches!(
-            net.node(id).func(),
-            NodeFn::Input | NodeFn::Const(_) | NodeFn::Latch
-        )
-    };
-    let mut cuts: Vec<Vec<Vec<NodeId>>> = vec![Vec::new(); net.num_nodes()];
-    for &id in order {
-        if is_source(id) {
-            cuts[id.index()] = vec![vec![id]];
-            continue;
-        }
-        let fanins = net.node(id).fanins();
-        let mut acc: Vec<Vec<NodeId>> = vec![Vec::new()];
-        for f in fanins {
-            let mut options: Vec<Vec<NodeId>> = cuts[f.index()].clone();
-            if !is_source(*f) {
-                options.push(vec![*f]);
-            }
-            let mut next = Vec::new();
-            for base in &acc {
-                for opt in &options {
-                    let mut u = base.clone();
-                    for &x in opt {
-                        if !u.contains(&x) {
-                            u.push(x);
-                        }
-                    }
-                    if u.len() <= k {
-                        next.push(u);
-                    }
-                }
-            }
-            acc = next;
-        }
-        let mut seen: HashSet<Vec<NodeId>> = HashSet::new();
-        let mut list: Vec<Vec<NodeId>> = Vec::new();
-        for mut c in acc {
-            c.sort_unstable();
-            if seen.insert(c.clone()) {
-                list.push(c);
-            }
-        }
-        list.sort_by_key(|c| (c.len(), c.clone()));
-        list.truncate(CUT_CAP);
-        // Feasibility insurance: the plain fanin cut must survive the cap.
-        let mut fanin_cut: Vec<NodeId> = fanins.to_vec();
-        fanin_cut.sort_unstable();
-        fanin_cut.dedup();
-        if !list.contains(&fanin_cut) {
-            list.push(fanin_cut);
-        }
-        cuts[id.index()] = list;
+fn report_of(source: &BoolSource<'_>) -> BoolMapReport {
+    BoolMapReport {
+        k: source.index().max_inputs(),
+        cuts_enumerated: source.cuts_enumerated(),
+        cuts_examined: source.cuts_examined(),
+        matches_found: source.p_matches() + source.npn_matches(),
+        p_matches: source.p_matches(),
+        npn_matches: source.npn_matches(),
+        p_classes_matched: source.p_classes_matched(),
+        npn_classes_matched: source.npn_classes_matched(),
+        gates_indexed: source.index().num_indexed(),
     }
-    cuts
 }
 
-/// Evaluates the cone of `root` as a function of `leaves`, also collecting
-/// the covered internal nodes; `None` when the cut does not separate.
-fn cut_function(
-    net: &dagmap_netlist::Network,
-    root: NodeId,
-    leaves: &[NodeId],
-) -> Option<(TruthTable, Vec<NodeId>)> {
-    let mut values: HashMap<NodeId, u64> = HashMap::new();
-    for (i, &x) in leaves.iter().enumerate() {
-        values.insert(
-            x,
-            dagmap_netlist::sim::exhaustive_word(i).expect("cut width clamped to MAX_INPUTS"),
-        );
-    }
-    let mut covered = Vec::new();
-    let word = eval_cone(net, root, &mut values, &mut covered)?;
-    Some((TruthTable::from_bits(leaves.len(), word), covered))
-}
-
-fn eval_cone(
-    net: &dagmap_netlist::Network,
-    node: NodeId,
-    values: &mut HashMap<NodeId, u64>,
-    covered: &mut Vec<NodeId>,
-) -> Option<u64> {
-    if let Some(&w) = values.get(&node) {
-        return Some(w);
-    }
-    let n = net.node(node);
-    let w = match n.func() {
-        NodeFn::Const(v) => {
-            if *v {
-                u64::MAX
-            } else {
-                0
-            }
-        }
-        NodeFn::Input | NodeFn::Latch => return None, // cut does not separate
-        NodeFn::Not => !eval_cone(net, n.fanins()[0], values, covered)?,
-        NodeFn::Nand => {
-            let a = eval_cone(net, n.fanins()[0], values, covered)?;
-            let b = eval_cone(net, n.fanins()[1], values, covered)?;
-            !(a & b)
-        }
-        other => unreachable!("subject graphs never hold {}", other.name()),
-    };
-    values.insert(node, w);
-    if matches!(n.func(), NodeFn::Not | NodeFn::Nand) {
-        covered.push(node);
-    }
-    Some(w)
-}
-
-/// Boolean matches at one node: every (cut, gate) pair whose functions are
-/// P-equivalent, with pin alignment derived from the two canonicalizing
-/// permutations.
-fn matches_at(
-    net: &dagmap_netlist::Network,
-    index: &LibraryIndex,
-    cuts: &[Vec<NodeId>],
-    root: NodeId,
-    stats: &mut BoolMapReport,
-) -> Vec<Match> {
-    let mut out = Vec::new();
-    let mut seen: HashSet<(dagmap_genlib::GateId, Vec<NodeId>)> = HashSet::new();
-    for cut in cuts {
-        if cut.as_slice() == [root] {
-            continue;
-        }
-        stats.cuts_examined += 1;
-        let Some((tt, covered)) = cut_function(net, root, cut) else {
-            continue;
-        };
-        // Dead cut inputs would make gate functions disagree; shrink first.
-        let (tt, kept) = tt.reduce_support();
-        if tt.is_constant() {
-            continue;
-        }
-        let leaves: Vec<NodeId> = kept.iter().map(|&i| cut[i]).collect();
-        let (canon, pc) = tt.p_canonical();
-        for (gate, pg) in index.lookup(&canon) {
-            // canonical input j corresponds to cut leaf leaves[pc[j]] and to
-            // gate pin pg[j]; invert pg to order leaves by gate pin.
-            let mut by_pin = vec![NodeId::from_index(0); pg.len()];
-            for (j, &pin) in pg.iter().enumerate() {
-                by_pin[pin] = leaves[pc[j]];
-            }
-            if seen.insert((*gate, by_pin.clone())) {
-                stats.matches_found += 1;
-                out.push(Match {
-                    gate: *gate,
-                    pattern: None,
-                    leaves: by_pin,
-                    covered: covered.clone(),
-                });
-            }
-        }
-    }
-    out
-}
-
-/// Maps `subject` by Boolean matching over `k`-input cuts, with the same
-/// delay-optimal dynamic program and cover construction as the structural
-/// mapper. See the [crate docs](crate).
+/// Maps `subject` by Boolean matching over `k`-input priority cuts, with
+/// the same delay-optimal dynamic program and cover construction as the
+/// structural mapper. See the [crate docs](crate).
 ///
 /// # Errors
 ///
-/// Fails when the indexed library cannot cover some node (it needs at least
-/// an inverter- and a NAND2-class gate) or on substrate errors.
+/// Fails when the indexed library cannot cover some node (an inverter-
+/// and a NAND2-class gate guarantee coverage) or on substrate errors.
 pub fn map_boolean(
     subject: &SubjectGraph,
     library: &Library,
@@ -205,7 +73,7 @@ pub fn map_boolean(
     map_boolean_with_report(subject, library, k).map(|(m, _)| m)
 }
 
-/// Like [`map_boolean`], also returning statistics.
+/// Like [`map_boolean`], also returning the Boolean-matching statistics.
 ///
 /// # Errors
 ///
@@ -215,54 +83,32 @@ pub fn map_boolean_with_report(
     library: &Library,
     k: usize,
 ) -> Result<(MappedNetlist, BoolMapReport), MapError> {
-    let index = LibraryIndex::build(library, k.min(crate::tt::MAX_INPUTS));
-    let net = subject.network();
-    let order = net.topo_order()?;
-    let cuts = enumerate_cuts(net, &order, index.max_inputs());
-    let mut stats = BoolMapReport {
-        k: index.max_inputs(),
-        cuts_examined: 0,
-        matches_found: 0,
-        gates_indexed: index.num_indexed(),
-    };
+    let (mapped, _, report) = map_boolean_with_options(subject, library, k, MapOptions::dag())?;
+    Ok((mapped, report))
+}
 
-    const EPS: f64 = 1e-9;
-    let mut arrival = vec![0.0f64; net.num_nodes()];
-    let mut selected: Vec<Option<Match>> = vec![None; net.num_nodes()];
-    for &id in &order {
-        if !matches!(net.node(id).func(), NodeFn::Nand | NodeFn::Not) {
-            continue;
-        }
-        let ms = matches_at(net, &index, &cuts[id.index()], id, &mut stats);
-        let mut chosen: Option<(f64, f64, Match)> = None;
-        for m in ms {
-            let gate = library.gate(m.gate);
-            let mut t: f64 = 0.0;
-            for (pin, leaf) in m.leaves.iter().enumerate() {
-                t = t.max(arrival[leaf.index()] + gate.pin_delay(pin));
-            }
-            let area = gate.area();
-            let better = match &chosen {
-                None => true,
-                Some((bt, ba, _)) => t < *bt - EPS || (t < *bt + EPS && area < *ba - EPS),
-            };
-            if better {
-                chosen = Some((t, area, m));
-            }
-        }
-        match chosen {
-            Some((t, _, m)) => {
-                arrival[id.index()] = t;
-                selected[id.index()] = Some(m);
-            }
-            None => return Err(MapError::NoMatch { node: id }),
-        }
-    }
-    let mapped = Mapper::new(library).realize(subject, &selected)?;
+/// The fully-configurable Boolean mapper: `options` controls threads,
+/// objective, area recovery and delay target exactly as for
+/// [`Mapper::map`]; the structural acceleration switches are ignored
+/// (Boolean matching has its own engine). Returns the mapped netlist, the
+/// shared [`MapReport`] (algorithm `"boolean"`) and the Boolean-matching
+/// statistics.
+///
+/// # Errors
+///
+/// As for [`map_boolean`].
+pub fn map_boolean_with_options(
+    subject: &SubjectGraph,
+    library: &Library,
+    k: usize,
+    options: MapOptions,
+) -> Result<(MappedNetlist, MapReport, BoolMapReport), MapError> {
+    let source = BoolSource::new(subject, library, k);
+    let (mapped, report) = Mapper::new(library).map_with_source(subject, options, &source, "boolean")?;
     // The DP's arrival prediction must agree with the realized timing —
-    // this cross-checks the pin-alignment math.
+    // this cross-checks the NPN pin-alignment math.
     debug_assert!(dagmap_core::verify::timing_consistent(&mapped));
-    Ok((mapped, stats))
+    Ok((mapped, report, report_of(&source)))
 }
 
 /// Maps `subject` with the *union* of structural (standard) and Boolean
@@ -277,74 +123,39 @@ pub fn map_hybrid(
     library: &Library,
     k: usize,
 ) -> Result<MappedNetlist, MapError> {
-    use dagmap_match::{MatchMode, MatchScratch, MatchStore, Matcher};
-    let index = LibraryIndex::build(library, k.min(crate::tt::MAX_INPUTS));
-    let matcher = Matcher::new(library);
-    let mut scratch = MatchScratch::new();
-    let mut store = MatchStore::for_library(library);
-    let net = subject.network();
-    let order = net.topo_order()?;
-    let cuts = enumerate_cuts(net, &order, index.max_inputs());
-    let mut stats = BoolMapReport {
-        k: index.max_inputs(),
-        cuts_examined: 0,
-        matches_found: 0,
-        gates_indexed: index.num_indexed(),
-    };
-
-    const EPS: f64 = 1e-9;
-    let mut arrival = vec![0.0f64; net.num_nodes()];
-    let mut selected: Vec<Option<Match>> = vec![None; net.num_nodes()];
-    for &id in &order {
-        if !matches!(net.node(id).func(), NodeFn::Nand | NodeFn::Not) {
-            continue;
-        }
-        let mut ms = matches_at(net, &index, &cuts[id.index()], id, &mut stats);
-        // Structural candidates via the accelerated (indexed + memoized)
-        // matcher: same match sequence as a naive scan, no per-node scratch.
-        matcher.for_each_match_via(
-            subject,
-            id,
-            MatchMode::Standard,
-            &mut scratch,
-            &mut store,
-            &mut |mv| ms.push(mv.to_match()),
-        );
-        let mut chosen: Option<(f64, f64, Match)> = None;
-        for m in ms {
-            let gate = library.gate(m.gate);
-            let mut t: f64 = 0.0;
-            for (pin, leaf) in m.leaves.iter().enumerate() {
-                t = t.max(arrival[leaf.index()] + gate.pin_delay(pin));
-            }
-            let area = gate.area();
-            let better = match &chosen {
-                None => true,
-                Some((bt, ba, _)) => t < *bt - EPS || (t < *bt + EPS && area < *ba - EPS),
-            };
-            if better {
-                chosen = Some((t, area, m));
-            }
-        }
-        match chosen {
-            Some((t, _, m)) => {
-                arrival[id.index()] = t;
-                selected[id.index()] = Some(m);
-            }
-            None => return Err(MapError::NoMatch { node: id }),
-        }
-    }
-    Mapper::new(library).realize(subject, &selected)
+    map_hybrid_with_options(subject, library, k, MapOptions::dag()).map(|(m, _, _)| m)
 }
 
-/// Convenience: confirm the library contains the two classes Boolean
-/// coverage needs (inverter and NAND2).
+/// The fully-configurable hybrid mapper; see [`map_boolean_with_options`].
+/// The [`MapReport`] carries algorithm `"hybrid"`; the [`BoolMapReport`]
+/// counts only the Boolean half's work.
+///
+/// # Errors
+///
+/// As for [`map_boolean`].
+pub fn map_hybrid_with_options(
+    subject: &SubjectGraph,
+    library: &Library,
+    k: usize,
+    options: MapOptions,
+) -> Result<(MappedNetlist, MapReport, BoolMapReport), MapError> {
+    let source = HybridSource::new(subject, library, k);
+    let (mapped, report) = Mapper::new(library).map_with_source(subject, options, &source, "hybrid")?;
+    debug_assert!(dagmap_core::verify::timing_consistent(&mapped));
+    Ok((mapped, report, report_of(source.boolean())))
+}
+
+/// Convenience: confirm the library contains the two classes that
+/// guarantee Boolean coverage of any subject graph (inverter and NAND2 —
+/// the fanin cut of every subject node then always matches). Libraries
+/// failing this may still map when NPN polarity fixups happen to cover
+/// every node, so [`map_boolean`] does not gate on it.
 ///
 /// # Errors
 ///
 /// Returns [`MapError::UnmappableLibrary`] when either class is missing.
 pub fn check_coverable(library: &Library, k: usize) -> Result<(), MapError> {
-    let index = LibraryIndex::build(library, k.min(crate::tt::MAX_INPUTS));
+    let index = LibraryIndex::build(library, k);
     let inv = TruthTable::from_fn(1, |m| m == 0).p_canonical().0;
     let nand2 = TruthTable::from_fn(2, |m| m != 0b11).p_canonical().0;
     if index.lookup(&inv).is_empty() || index.lookup(&nand2).is_empty() {
@@ -359,7 +170,7 @@ pub fn check_coverable(library: &Library, k: usize) -> Result<(), MapError> {
 mod tests {
     use super::*;
     use dagmap_core::{verify, MapOptions};
-    use dagmap_netlist::Network;
+    use dagmap_netlist::{Network, NodeFn};
 
     #[test]
     fn maps_and_verifies_benchmarks() {
@@ -461,9 +272,16 @@ mod tests {
         let subject = SubjectGraph::from_network(&net).unwrap();
         let library = Library::lib2_like();
         let (_, report) = map_boolean_with_report(&subject, &library, 4).unwrap();
+        assert!(report.cuts_enumerated > 0);
         assert!(report.cuts_examined > 0);
         assert!(report.matches_found > 0);
+        assert_eq!(
+            report.matches_found,
+            report.p_matches + report.npn_matches
+        );
+        assert!(report.npn_classes_matched >= report.p_classes_matched);
         assert!(report.gates_indexed > 10);
+        assert_eq!(report.k, 4);
     }
 
     #[test]
@@ -479,5 +297,156 @@ mod tests {
         verify::check(&mapped, &subject, 3).unwrap();
         assert_eq!(mapped.num_cells(), 1);
         assert_eq!(mapped.kind_of(0).name, "xor2");
+    }
+
+    // ---- satellite regressions -------------------------------------
+
+    #[test]
+    fn overwide_k_requests_map_without_panicking() {
+        // Regression: a library with >6-input gates used to panic the
+        // index (`assert!` on width), and a k wider than MAX_INPUTS would
+        // have panicked `exhaustive_word`. Both now clamp.
+        use dagmap_genlib::Gate;
+        let mut gates = Library::lib2_like().gates().to_vec();
+        gates.push(Gate::uniform("and7", 7.0, "O", "a*b*c*d*e*f*g", 1.0).unwrap());
+        let library = Library::new("wide", gates).unwrap();
+        assert!(library.max_gate_inputs() >= 7);
+        let net = dagmap_benchgen::ripple_adder(4);
+        let subject = SubjectGraph::from_network(&net).unwrap();
+        let (mapped, report) =
+            map_boolean_with_report(&subject, &library, library.max_gate_inputs()).unwrap();
+        verify::check(&mapped, &subject, 0x7173).unwrap();
+        assert_eq!(report.k, crate::MAX_INPUTS);
+    }
+
+    #[test]
+    fn npn_matching_borrows_inverters_for_negated_pins() {
+        // r = nand(inv(nand(a,b)), c) computes ¬(ab) ∨ ¬c — an OR of one
+        // positive and one negated signal. P-matching sees only nand2/inv
+        // shapes; NPN matching recognizes the or2 gate with an input
+        // polarity fixup, borrowing the live inverter on c (kept alive by
+        // its own output, at a level below r).
+        use dagmap_genlib::Gate;
+        let library = Library::new(
+            "npn",
+            vec![
+                Gate::uniform("inv", 1.0, "O", "!a", 1.0).unwrap(),
+                Gate::uniform("nand2", 1.0, "O", "!(a*b)", 1.0).unwrap(),
+                Gate::uniform("or2", 1.5, "O", "a+b", 0.5).unwrap(),
+            ],
+        )
+        .unwrap();
+        let mut net = Network::new("npn");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let g = net.add_node(NodeFn::Nand, vec![a, b]).unwrap();
+        let ig = net.add_node(NodeFn::Not, vec![g]).unwrap();
+        let r = net.add_node(NodeFn::Nand, vec![ig, c]).unwrap();
+        let ic = net.add_node(NodeFn::Not, vec![c]).unwrap();
+        net.add_output("f", r);
+        net.add_output("nc", ic); // keeps the inverter on c alive
+        let subject = SubjectGraph::from_network(&net).unwrap();
+
+        let (mapped, report) = map_boolean_with_report(&subject, &library, 4).unwrap();
+        verify::check(&mapped, &subject, 0x11).unwrap();
+        assert!(report.npn_matches > 0, "no NPN match fired: {report:?}");
+        assert!(
+            report.npn_classes_matched > report.p_classes_matched,
+            "the or-class cone is reachable only via NPN: {report:?}"
+        );
+        let kinds: Vec<&str> = (0..mapped.num_cells())
+            .map(|i| mapped.kind_of(i).name.as_str())
+            .collect();
+        assert!(kinds.contains(&"or2"), "or2 not used: {kinds:?}");
+        // or2 path: max(arrival(nand)=1.0, arrival(inv c)=1.0) + 0.5.
+        assert!(
+            mapped.delay() <= 1.5 + 1e-9,
+            "delay {} — NPN or2 shortcut not taken",
+            mapped.delay()
+        );
+    }
+
+    #[test]
+    fn npn_widens_class_coverage_beyond_p() {
+        // lib 44-1 has nand2..4 and nor2..4 but no or/and gates: every
+        // or-function cone is reachable only through NPN polarity fixups,
+        // so the class counters must separate strictly.
+        let net = dagmap_benchgen::alu(4);
+        let subject = SubjectGraph::from_network(&net).unwrap();
+        let library = Library::lib_44_1_like();
+        let (mapped, report) = map_boolean_with_report(&subject, &library, 4).unwrap();
+        verify::check(&mapped, &subject, 0x44).unwrap();
+        assert!(
+            report.npn_classes_matched > report.p_classes_matched,
+            "NPN should reach strictly more cone classes: {report:?}"
+        );
+        assert!(report.npn_matches > 0);
+    }
+
+    #[test]
+    fn threaded_boolean_mapping_is_bit_identical_to_serial() {
+        let net = dagmap_benchgen::kogge_stone_adder(8);
+        let subject = SubjectGraph::from_network(&net).unwrap();
+        let library = Library::lib2_like();
+        let serial = map_boolean_with_options(
+            &subject,
+            &library,
+            4,
+            MapOptions::dag().with_num_threads(1),
+        )
+        .unwrap()
+        .0;
+        let threaded = map_boolean_with_options(
+            &subject,
+            &library,
+            4,
+            MapOptions::dag().with_num_threads(4),
+        )
+        .unwrap()
+        .0;
+        assert_eq!(
+            dagmap_core::verilog::to_verilog(&serial),
+            dagmap_core::verilog::to_verilog(&threaded)
+        );
+        let hybrid_serial = map_hybrid_with_options(
+            &subject,
+            &library,
+            4,
+            MapOptions::dag().with_num_threads(1),
+        )
+        .unwrap()
+        .0;
+        let hybrid_threaded = map_hybrid_with_options(
+            &subject,
+            &library,
+            4,
+            MapOptions::dag().with_num_threads(4),
+        )
+        .unwrap()
+        .0;
+        assert_eq!(
+            dagmap_core::verilog::to_verilog(&hybrid_serial),
+            dagmap_core::verilog::to_verilog(&hybrid_threaded)
+        );
+    }
+
+    #[test]
+    fn area_recovery_composes_with_boolean_matching() {
+        let net = dagmap_benchgen::alu(4);
+        let subject = SubjectGraph::from_network(&net).unwrap();
+        let library = Library::lib2_like();
+        let plain = map_boolean(&subject, &library, 4).unwrap();
+        let (recovered, report, _) = map_boolean_with_options(
+            &subject,
+            &library,
+            4,
+            MapOptions::dag().with_area_recovery(),
+        )
+        .unwrap();
+        verify::check(&recovered, &subject, 0xAEA).unwrap();
+        assert_eq!(report.algorithm, "boolean");
+        assert!(recovered.delay() <= plain.delay() + 1e-9);
+        assert!(recovered.area() <= plain.area() + 1e-9);
     }
 }

@@ -1,10 +1,28 @@
-//! Small truth tables (≤ 6 inputs, one `u64`) with support reduction and
-//! permutation-canonical forms.
+//! Small truth tables (≤ 6 inputs, one `u64`) with support reduction,
+//! permutation-canonical (P) and negation-permutation-negation-canonical
+//! (NPN) forms.
 
 use std::fmt;
 
 /// Largest supported input count (one 64-bit word of minterms).
 pub const MAX_INPUTS: usize = 6;
+
+/// Minterm masks selecting the half-space where input `i` is 0 — the
+/// building block of the input-negation table transform (`flip_input`).
+const FLIP_MASKS: [u64; 6] = [
+    0x5555_5555_5555_5555,
+    0x3333_3333_3333_3333,
+    0x0F0F_0F0F_0F0F_0F0F,
+    0x00FF_00FF_00FF_00FF,
+    0x0000_FFFF_0000_FFFF,
+    0x0000_0000_FFFF_FFFF,
+];
+
+/// Negates input `i` of a truth table: swaps the two cofactor half-spaces.
+fn flip_input(bits: u64, i: usize) -> u64 {
+    let s = 1u32 << i;
+    ((bits & FLIP_MASKS[i]) << s) | ((bits >> s) & FLIP_MASKS[i])
+}
 
 /// Mask selecting the meaningful minterm bits for `n` inputs.
 fn mask(n: usize) -> u64 {
@@ -152,6 +170,105 @@ impl TruthTable {
         });
         (best, best_perm)
     }
+
+    /// Applies a full NPN transform: permutation, per-input negation, output
+    /// negation. Defined so that `self.apply_npn(&t)` evaluated on minterm
+    /// `m` reads original input `t.perm[i]` as `m_i ^ t.input_neg_i` and
+    /// XORs the result with `t.output_neg` — i.e. the transform's *result*
+    /// input `i` corresponds to `self`'s input `t.perm[i]`, possibly
+    /// negated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t.perm` is not a permutation of `0..num_inputs`.
+    pub fn apply_npn(&self, t: &NpnTransform) -> TruthTable {
+        let n = self.num_inputs();
+        assert_eq!(t.perm.len(), n, "transform arity");
+        TruthTable::from_fn(n, |m| {
+            let mut original = 0usize;
+            for (i, &p) in t.perm.iter().enumerate() {
+                if ((m >> i) & 1 == 1) != ((t.input_neg >> i) & 1 == 1) {
+                    original |= 1 << p;
+                }
+            }
+            self.eval(original) != t.output_neg
+        })
+    }
+
+    /// The lexicographically-smallest table over all input permutations,
+    /// input negations and output negation, with one transform achieving it
+    /// (`self.apply_npn(&t) == canonical`). Functions are NPN-equivalent iff
+    /// their canonical tables are equal — so a NOR cone and an OR gate land
+    /// in one class, where [`TruthTable::p_canonical`] keeps them apart.
+    ///
+    /// The search walks every permutation once, then sweeps the `2^n` input
+    /// negations in Gray-code order (one cofactor swap each) and tests both
+    /// output polarities per step; the first transform reaching the minimum
+    /// in that fixed order is returned, so the witness is deterministic.
+    pub fn npn_canonical(&self) -> (TruthTable, NpnTransform) {
+        let n = self.num_inputs();
+        let m = mask(n);
+        let mut best = TruthTable {
+            bits: m,
+            num_inputs: self.num_inputs,
+        };
+        let mut best_t = NpnTransform::identity(n);
+        let mut perm: Vec<usize> = (0..n).collect();
+        permute_all(&mut perm, 0, &mut |p| {
+            let permuted = self.permute(p).bits;
+            // Gray-code sweep: gray(g) and gray(g+1) differ in bit
+            // `trailing_ones(g)`, so each step is one half-space swap.
+            let mut bits = permuted;
+            for g in 0..(1u32 << n) {
+                let neg = (g ^ (g >> 1)) as u8;
+                for (cand_bits, out) in [(bits, false), (!bits & m, true)] {
+                    if cand_bits < best.bits {
+                        best = TruthTable {
+                            bits: cand_bits,
+                            num_inputs: self.num_inputs,
+                        };
+                        best_t = NpnTransform {
+                            perm: p.to_vec(),
+                            input_neg: neg,
+                            output_neg: out,
+                        };
+                    }
+                }
+                if g + 1 < (1u32 << n) {
+                    let flip = (g + 1).trailing_zeros() as usize;
+                    bits = flip_input(bits, flip);
+                }
+            }
+        });
+        debug_assert_eq!(self.apply_npn(&best_t), best, "witness replays");
+        (best, best_t)
+    }
+}
+
+/// A recorded NPN transform: `f.apply_npn(&t)` permutes inputs by
+/// `t.perm`, negates the inputs selected by `t.input_neg` and XORs the
+/// output with `t.output_neg`. Matching composes two of these (the cut's
+/// and the gate's canonicalizers) to derive pin bindings and polarities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NpnTransform {
+    /// Result input `i` reads original input `perm[i]`.
+    pub perm: Vec<usize>,
+    /// Bit `i`: result input `i` is negated relative to original input
+    /// `perm[i]`.
+    pub input_neg: u8,
+    /// The result is the complement of the original function.
+    pub output_neg: bool,
+}
+
+impl NpnTransform {
+    /// The identity transform on `n` inputs.
+    pub fn identity(n: usize) -> NpnTransform {
+        NpnTransform {
+            perm: (0..n).collect(),
+            input_neg: 0,
+            output_neg: false,
+        }
+    }
 }
 
 /// Heap-style enumeration of all permutations of `perm[k..]`.
@@ -241,5 +358,81 @@ mod tests {
     fn masks_out_excess_bits() {
         let t = TruthTable::from_bits(2, u64::MAX);
         assert_eq!(t.bits(), 0b1111);
+    }
+
+    #[test]
+    fn nor_and_or_share_an_npn_class_but_not_a_p_class() {
+        // The satellite-bug regression pair: P-only canonicalization keeps a
+        // NOR cone and an OR gate apart (structural bias the paper's §4
+        // concedes); NPN identifies them through output negation.
+        let or2 = TruthTable::from_fn(2, |m| m != 0);
+        let nor2 = TruthTable::from_fn(2, |m| m == 0);
+        assert_ne!(or2.p_canonical().0, nor2.p_canonical().0);
+        assert_eq!(or2.npn_canonical().0, nor2.npn_canonical().0);
+    }
+
+    #[test]
+    fn the_and_or_nand_nor_family_is_one_npn_class() {
+        let and2 = TruthTable::from_fn(2, |m| m == 0b11);
+        let or2 = TruthTable::from_fn(2, |m| m != 0);
+        let nand2 = TruthTable::from_fn(2, |m| m != 0b11);
+        let nor2 = TruthTable::from_fn(2, |m| m == 0);
+        let canon = and2.npn_canonical().0;
+        for f in [or2, nand2, nor2] {
+            assert_eq!(f.npn_canonical().0, canon);
+        }
+        // XOR is a different class.
+        let xor2 = TruthTable::from_fn(2, |m| (m.count_ones() & 1) == 1);
+        assert_ne!(xor2.npn_canonical().0, canon);
+    }
+
+    #[test]
+    fn npn_transform_is_a_witness() {
+        for (n, bits) in [
+            (2, 0b0110u64),
+            (3, 0b1011_0010),
+            (4, 0xB6A1),
+            (5, 0xDEAD_BEEF),
+            (6, 0x0123_4567_89AB_CDEF),
+        ] {
+            let t = TruthTable::from_bits(n, bits);
+            let (canon, tr) = t.npn_canonical();
+            assert_eq!(t.apply_npn(&tr), canon, "n={n}");
+        }
+    }
+
+    #[test]
+    fn npn_canonical_is_invariant_under_random_npn_transforms() {
+        let base = TruthTable::from_fn(4, |m| (m & 0b1001) == 0b1001 || m == 0b0110);
+        let canon = base.npn_canonical().0;
+        // Permutations, input negations and output negation all preserve it.
+        let variants = [
+            base.apply_npn(&NpnTransform {
+                perm: vec![2, 0, 3, 1],
+                input_neg: 0b0101,
+                output_neg: false,
+            }),
+            base.apply_npn(&NpnTransform {
+                perm: vec![3, 2, 1, 0],
+                input_neg: 0b1110,
+                output_neg: true,
+            }),
+            base.apply_npn(&NpnTransform {
+                perm: vec![0, 1, 2, 3],
+                input_neg: 0,
+                output_neg: true,
+            }),
+        ];
+        for v in variants {
+            assert_eq!(v.npn_canonical().0, canon);
+        }
+    }
+
+    #[test]
+    fn npn_refines_p() {
+        // P-equivalent functions are always NPN-equivalent.
+        let t = TruthTable::from_fn(3, |m| m == 0b101 || m == 0b011);
+        let p = t.permute(&[2, 0, 1]);
+        assert_eq!(t.npn_canonical().0, p.npn_canonical().0);
     }
 }

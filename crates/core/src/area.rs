@@ -10,10 +10,11 @@
 //! label ≤ req) is always feasible, so induction over the reverse
 //! topological order bounds every realized arrival by its requirement.
 
-use dagmap_match::{Match, MatchMode, MatchScratch, MatchStore, Matcher};
+use dagmap_match::Match;
 use dagmap_netlist::{NodeFn, SubjectGraph};
 
 use crate::label::{arrival_of_leaves, Labels};
+use crate::source::MatchSource;
 use crate::MapError;
 
 const EPS: f64 = 1e-9;
@@ -22,30 +23,28 @@ const EPS: f64 = 1e-9;
 /// `target` (clamped to at least the optimum, so feasibility is
 /// guaranteed). Returns one selected match per *needed* node.
 ///
-/// The caller provides the matcher and the scratch/store pair, so the
-/// refinement rounds of `Mapper::map_with_report` share one match memo:
-/// after round 1 every cone class in the circuit is warm and later rounds
-/// enumerate nothing. Candidate matches are consumed as borrowed
-/// [`dagmap_match::MatchView`]s and materialized only when they beat the
+/// The caller provides the match source and one kit, so the refinement
+/// rounds of `Mapper::map_with_report` share one match memo: after round 1
+/// every cone class in the circuit is warm and later rounds enumerate
+/// nothing. Candidate matches are consumed as borrowed
+/// [`crate::SourceMatch`]es and materialized only when they beat the
 /// incumbent, replacing the former per-node `matches_at` allocation.
 ///
 /// # Errors
 ///
 /// Propagates substrate errors; infeasibility cannot occur (see module
 /// docs).
-pub(crate) fn recover(
+pub(crate) fn recover<S: MatchSource>(
     subject: &SubjectGraph,
-    matcher: &Matcher<'_>,
+    source: &S,
     labels: &Labels,
-    mode: MatchMode,
     target: f64,
-    scratch: &mut MatchScratch,
-    store: &mut MatchStore,
+    kit: &mut S::Kit,
 ) -> Result<Vec<Option<Match>>, MapError> {
     let net = subject.network();
     let flat = subject.flat();
     let order = flat.topo_order();
-    let library = matcher.library();
+    let library = source.library();
 
     // Area flow: estimated area cost of producing each signal, discounted by
     // fanout sharing (a standard mapper heuristic).
@@ -83,13 +82,13 @@ pub(crate) fn recover(
         }
         let budget = req[id.index()];
         let mut chosen: Option<(f64, f64, Match)> = None; // (cost, arrival)
-        matcher.for_each_match_via(subject, id, mode, scratch, store, &mut |mv| {
-            let t = arrival_of_leaves(library, &labels.arrival, mv.gate, mv.leaves);
+        source.for_each_match(subject, id, kit, &mut |sm| {
+            let t = arrival_of_leaves(library, &labels.arrival, sm.gate, sm.leaves);
             if t > budget + EPS {
                 return;
             }
-            let mut cost = library.gate(mv.gate).area();
-            for leaf in mv.leaves {
+            let mut cost = library.gate(sm.gate).area();
+            for leaf in sm.leaves {
                 if !needed[leaf.index()] {
                     cost += af[leaf.index()];
                 }
@@ -99,7 +98,16 @@ pub(crate) fn recover(
                 Some((bc, bt, _)) => cost < bc - EPS || (cost < bc + EPS && t < bt - EPS),
             };
             if better {
-                chosen = Some((cost, t, mv.to_match()));
+                chosen = Some((
+                    cost,
+                    t,
+                    Match {
+                        gate: sm.gate,
+                        pattern: sm.pattern,
+                        leaves: sm.leaves.to_vec(),
+                        covered: sm.covered.to_vec(),
+                    },
+                ));
             }
         });
         let (_, _, m) = chosen.ok_or(MapError::NoMatch { node: id })?;
@@ -119,6 +127,7 @@ mod tests {
     use super::*;
     use crate::label::label;
     use dagmap_genlib::Library;
+    use dagmap_match::MatchMode;
     use dagmap_netlist::Network;
 
     /// A node with slack: two parallel cones of different depth meeting at
@@ -144,19 +153,14 @@ mod tests {
         lib: &Library,
         labels: &crate::label::Labels,
     ) -> Vec<Option<Match>> {
-        let matcher = Matcher::new(lib);
-        let mut scratch = MatchScratch::new();
-        let mut store = MatchStore::for_library(lib);
-        recover(
-            subject,
-            &matcher,
-            labels,
-            MatchMode::Standard,
-            0.0,
-            &mut scratch,
-            &mut store,
-        )
-        .unwrap()
+        let source = crate::source::StructuralSource::new(
+            lib,
+            dagmap_match::MatchMode::Standard,
+            dagmap_match::MatchConfig::default(),
+            None,
+        );
+        let mut kit = source.make_kit(subject);
+        recover(subject, &source, labels, 0.0, &mut kit).unwrap()
     }
 
     #[test]

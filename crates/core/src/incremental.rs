@@ -30,14 +30,12 @@
 use std::collections::HashMap;
 
 use dagmap_genlib::Library;
-use dagmap_match::{
-    Match, MatchConfig, MatchMode, MatchScratch, MatchStats, MatchStore, Matcher,
-    SharedMatchStore,
-};
+use dagmap_match::{Match, MatchConfig, MatchMode, MatchStats, SharedMatchStore};
 use dagmap_netlist::strash::SigBuildHasher;
 use dagmap_netlist::{Sig, SubjectGraph};
 
-use crate::label::{evaluate_node, ChosenBuf, Labels, Memo, SelectionArena};
+use crate::label::{evaluate_node, ChosenBuf, Labels, SelectionArena};
+use crate::source::{MatchSource, StructuralSource};
 use crate::{allocmeter, MapError, Objective};
 
 /// A prior labeling run, snapshotted in signature space so it survives the
@@ -131,19 +129,13 @@ pub fn relabel_incremental(
         span.set_u64("nodes", n as u64);
     }
 
-    let matcher = Matcher::with_config(library, config);
+    let source = StructuralSource::new(library, mode, config, shared);
     let mut arrival = vec![0.0f64; n];
     let mut area_flow = vec![0.0f64; n];
     let mut arena = SelectionArena::new(library, flat);
     let mut stats = MatchStats::default();
     let mut inc = IncrementalStats::default();
-    let mut scratch = MatchScratch::new();
-    scratch.prepare(library, n);
-    let mut store = MatchStore::for_library(library);
-    let mut memo = match shared {
-        Some(s) => Memo::Shared(s),
-        None => Memo::Local(&mut store),
-    };
+    let mut kit = source.make_kit(subject);
     let mut chosen = ChosenBuf::new(library);
     let metering = allocmeter::installed();
     let mut wave_allocs: Vec<usize> =
@@ -189,8 +181,7 @@ pub fn relabel_incremental(
                     {
                         arrival[i] = retained.arrival[u as usize];
                         area_flow[i] = retained.area_flow[u as usize];
-                        let pattern = best.pattern.expect("labeled match has a pattern");
-                        arena.commit(id, (best.gate, pattern), &leaves, &covered);
+                        arena.commit(id, (best.gate, best.pattern), &leaves, &covered);
                         clean[i] = true;
                         inc.reused += 1;
                         continue;
@@ -199,14 +190,12 @@ pub fn relabel_incremental(
             }
             stats.absorb(evaluate_node(
                 subject,
-                &matcher,
-                mode,
+                &source,
                 objective,
                 &arrival,
                 &area_flow,
                 id,
-                &mut scratch,
-                &mut memo,
+                &mut kit,
                 &mut chosen,
             ));
             inc.relabeled += 1;

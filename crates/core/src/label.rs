@@ -2,12 +2,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Barrier, Mutex, RwLock};
 
 use dagmap_genlib::{GateId, Library, PatternId};
-use dagmap_match::{
-    Match, MatchConfig, MatchMode, MatchScratch, MatchStats, MatchStore, MatchView, Matcher,
-    SharedMatchStore,
-};
+use dagmap_match::{Match, MatchConfig, MatchMode, MatchStats, SharedMatchStore};
 use dagmap_netlist::{FlatNet, NodeFn, NodeId, SubjectGraph, KIND_SOURCE};
 
+use crate::source::{MatchSource, SourceMatch, StructuralSource};
 use crate::{allocmeter, MapError, Objective};
 
 /// Tie-breaking tolerance of the label comparisons.
@@ -188,7 +186,7 @@ pub(crate) struct ChosenBuf {
     pub(crate) t: f64,
     pub(crate) af: f64,
     pins: usize,
-    pub(crate) sel: Option<(GateId, PatternId)>,
+    pub(crate) sel: Option<(GateId, Option<PatternId>)>,
     pub(crate) leaves: Vec<NodeId>,
     pub(crate) covered: Vec<NodeId>,
 }
@@ -209,15 +207,15 @@ impl ChosenBuf {
         self.sel = None;
     }
 
-    fn keep(&mut self, t: f64, af: f64, mv: &MatchView<'_>) {
+    fn keep(&mut self, t: f64, af: f64, sm: &SourceMatch<'_>) {
         self.t = t;
         self.af = af;
-        self.pins = mv.leaves.len();
-        self.sel = Some((mv.gate, mv.pattern));
+        self.pins = sm.leaves.len();
+        self.sel = Some((sm.gate, sm.pattern));
         self.leaves.clear();
-        self.leaves.extend_from_slice(mv.leaves);
+        self.leaves.extend_from_slice(sm.leaves);
         self.covered.clear();
-        self.covered.extend_from_slice(mv.covered);
+        self.covered.extend_from_slice(sm.covered);
     }
 }
 
@@ -228,7 +226,7 @@ impl ChosenBuf {
 /// `Vec<Option<Match>>` shape of [`Labels::best`] is materialized once at
 /// the end of the pass.
 pub(crate) struct SelectionArena {
-    sel: Vec<Option<(GateId, PatternId)>>,
+    sel: Vec<Option<(GateId, Option<PatternId>)>>,
     leaf_range: Vec<(u32, u32)>,
     cov_range: Vec<(u32, u32)>,
     leaves: Vec<NodeId>,
@@ -251,7 +249,7 @@ impl SelectionArena {
     pub(crate) fn commit(
         &mut self,
         id: NodeId,
-        sel: (GateId, PatternId),
+        sel: (GateId, Option<PatternId>),
         leaves: &[NodeId],
         covered: &[NodeId],
     ) {
@@ -281,7 +279,7 @@ impl SelectionArena {
                     let (cs, ce) = cov_range[i];
                     Match {
                         gate,
-                        pattern: Some(pattern),
+                        pattern,
                         leaves: leaves[ls as usize..le as usize].to_vec(),
                         covered: covered[cs as usize..ce as usize].to_vec(),
                     }
@@ -291,46 +289,31 @@ impl SelectionArena {
     }
 }
 
-/// Where one node's enumeration is memoized: a run-private [`MatchStore`]
-/// (the one-shot CLI path) or a cross-request [`SharedMatchStore`] (the
-/// serve daemon's warm per-library cache). The match callback sequence is
-/// identical either way, so the choice never changes a label.
-pub(crate) enum Memo<'a> {
-    Local(&'a mut MatchStore),
-    Shared(&'a SharedMatchStore),
-}
-
 /// The per-node step of the dynamic program: enumerate matches rooted at
-/// `id` through `scratch` and keep the winner in `chosen` (left unset when
-/// no pattern matches).
+/// `id` through the source and keep the winner in `chosen` (left unset
+/// when nothing matches).
 ///
 /// Reads only `arrival`/`area_flow` of strict fanins (all at lower levels),
 /// which is what makes whole levels independently computable.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn evaluate_node(
+pub(crate) fn evaluate_node<S: MatchSource>(
     subject: &SubjectGraph,
-    matcher: &Matcher<'_>,
-    mode: MatchMode,
+    source: &S,
     objective: Objective,
     arrival: &[f64],
     area_flow: &[f64],
     id: NodeId,
-    scratch: &mut MatchScratch,
-    memo: &mut Memo<'_>,
+    kit: &mut S::Kit,
     chosen: &mut ChosenBuf,
 ) -> MatchStats {
     let flat = subject.flat();
-    let library = matcher.library();
+    let library = source.library();
+    let mode = source.mode();
     chosen.clear();
-    // Both memo flavors replay memoized cone classes when the matcher's
-    // resolved memo policy enables the store and fall back to direct
-    // (possibly indexed) enumeration otherwise; the callback sequence is
-    // identical either way, so the incumbent-keeping tie-breaks below
-    // select the same match.
-    let mut on_match = |mv: MatchView<'_>| {
-        let t = arrival_of_leaves(library, arrival, mv.gate, mv.leaves);
-        let af = area_of_leaves(flat, library, area_flow, mv.gate, mv.leaves, mode);
-        let pins = mv.leaves.len();
+    let mut on_match = |sm: SourceMatch<'_>| {
+        let t = arrival_of_leaves(library, arrival, sm.gate, sm.leaves);
+        let af = area_of_leaves(flat, library, area_flow, sm.gate, sm.leaves, mode);
+        let pins = sm.leaves.len();
         let better = match chosen.sel {
             None => true,
             Some(_) => {
@@ -350,17 +333,10 @@ pub(crate) fn evaluate_node(
             }
         };
         if better {
-            chosen.keep(t, af, &mv);
+            chosen.keep(t, af, &sm);
         }
     };
-    match memo {
-        Memo::Local(store) => {
-            matcher.for_each_match_via(subject, id, mode, scratch, store, &mut on_match)
-        }
-        Memo::Shared(shared) => {
-            matcher.for_each_match_shared(subject, id, mode, scratch, shared, &mut on_match)
-        }
-    }
+    source.for_each_match(subject, id, kit, &mut on_match)
 }
 
 /// Runs the labeling pass serially (one thread, no wavefront machinery).
@@ -455,6 +431,44 @@ pub fn label_with_config(
     num_threads: Option<usize>,
     config: MatchConfig,
 ) -> Result<Labels, MapError> {
+    let source = StructuralSource::new(library, mode, config, None);
+    label_with_source(subject, &source, objective, num_threads)
+}
+
+/// [`label_with_config`] variant memoizing through a cross-request
+/// [`SharedMatchStore`] instead of a run-private store — the serve
+/// daemon's path. Always serial: the daemon's parallelism is *across*
+/// requests (one worker per request), so per-request wavefront workers
+/// would only fight those workers for cores. Labels are bit-identical to
+/// every other configuration; only the memo counters differ.
+pub fn label_with_shared_store(
+    subject: &SubjectGraph,
+    library: &Library,
+    mode: MatchMode,
+    objective: Objective,
+    config: MatchConfig,
+    shared: &SharedMatchStore,
+) -> Result<Labels, MapError> {
+    let source = StructuralSource::new(library, mode, config, Some(shared));
+    label_with_source(subject, &source, objective, Some(1))
+}
+
+/// Runs the labeling pass over an arbitrary [`MatchSource`] — the entry
+/// point Boolean matching (`dagmap-boolmatch`) feeds. Thread resolution,
+/// the wavefront engine, the `label` obs span and the match counters all
+/// behave exactly as for the structural source; bit-identity across thread
+/// counts holds for any source meeting the trait's determinism contract.
+///
+/// # Errors
+///
+/// Returns [`MapError::NoMatch`] if the source reports no match for some
+/// internal node.
+pub fn label_with_source<S: MatchSource>(
+    subject: &SubjectGraph,
+    source: &S,
+    objective: Objective,
+    num_threads: Option<usize>,
+) -> Result<Labels, MapError> {
     let flat = subject.flat();
     let requested =
         num_threads.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
@@ -474,37 +488,10 @@ pub fn label_with_config(
         obs_span.set_u64("mappable", mappable as u64);
     }
     let result = if nt == 1 {
-        label_serial(subject, library, mode, objective, config, None)
+        label_serial(subject, source, objective)
     } else {
-        label_parallel(subject, library, mode, objective, nt, config)
+        label_parallel(subject, source, objective, nt)
     };
-    record_label_counts(mappable, &result);
-    result
-}
-
-/// [`label_with_config`] variant memoizing through a cross-request
-/// [`SharedMatchStore`] instead of a run-private store — the serve
-/// daemon's path. Always serial: the daemon's parallelism is *across*
-/// requests (one worker per request), so per-request wavefront workers
-/// would only fight those workers for cores. Labels are bit-identical to
-/// every other configuration; only the memo counters differ.
-pub fn label_with_shared_store(
-    subject: &SubjectGraph,
-    library: &Library,
-    mode: MatchMode,
-    objective: Objective,
-    config: MatchConfig,
-    shared: &SharedMatchStore,
-) -> Result<Labels, MapError> {
-    let flat = subject.flat();
-    let mappable = flat.kinds().iter().filter(|&&k| k != KIND_SOURCE).count();
-    let mut obs_span = dagmap_obs::span("label");
-    if obs_span.is_recording() {
-        obs_span.set_u64("threads", 1);
-        obs_span.set_u64("levels", flat.num_levels() as u64);
-        obs_span.set_u64("mappable", mappable as u64);
-    }
-    let result = label_serial(subject, library, mode, objective, config, Some(shared));
     record_label_counts(mappable, &result);
     result
 }
@@ -530,28 +517,19 @@ fn wave_width(flat: &FlatNet, group: &[NodeId]) -> usize {
     group.iter().filter(|&&id| flat.is_gate(id)).count()
 }
 
-fn label_serial(
+fn label_serial<S: MatchSource>(
     subject: &SubjectGraph,
-    library: &Library,
-    mode: MatchMode,
+    source: &S,
     objective: Objective,
-    config: MatchConfig,
-    shared: Option<&SharedMatchStore>,
 ) -> Result<Labels, MapError> {
     let flat = subject.flat();
     let n = flat.num_nodes();
-    let matcher = Matcher::with_config(library, config);
+    let library = source.library();
     let mut arrival = vec![0.0f64; n];
     let mut area_flow = vec![0.0f64; n];
     let mut arena = SelectionArena::new(library, flat);
     let mut stats = MatchStats::default();
-    let mut scratch = MatchScratch::new();
-    scratch.prepare(library, n);
-    let mut store = MatchStore::for_library(library);
-    let mut memo = match shared {
-        Some(s) => Memo::Shared(s),
-        None => Memo::Local(&mut store),
-    };
+    let mut kit = source.make_kit(subject);
     let mut chosen = ChosenBuf::new(library);
     let metering = allocmeter::installed();
     let mut wave_allocs: Vec<usize> =
@@ -572,14 +550,12 @@ fn label_serial(
             }
             stats.absorb(evaluate_node(
                 subject,
-                &matcher,
-                mode,
+                source,
                 objective,
                 &arrival,
                 &area_flow,
                 id,
-                &mut scratch,
-                &mut memo,
+                &mut kit,
                 &mut chosen,
             ));
             match chosen.sel {
@@ -619,7 +595,7 @@ struct LaneResult {
     pos: u32,
     id: NodeId,
     /// `(arrival, area, gate, pattern, leaf range, covered range)`.
-    sel: Option<(f64, f64, GateId, PatternId, (u32, u32), (u32, u32))>,
+    sel: Option<(f64, f64, GateId, Option<PatternId>, (u32, u32), (u32, u32))>,
     stats: MatchStats,
 }
 
@@ -693,16 +669,15 @@ impl WorkerLane {
 /// barrier accounting stays consistent, and the reported failing node is
 /// the earliest failure in the serial commit order — exactly the serial
 /// one.
-fn label_parallel(
+fn label_parallel<S: MatchSource>(
     subject: &SubjectGraph,
-    library: &Library,
-    mode: MatchMode,
+    source: &S,
     objective: Objective,
     nt: usize,
-    config: MatchConfig,
 ) -> Result<Labels, MapError> {
     let flat = subject.flat();
     let n = flat.num_nodes();
+    let library = source.library();
     let num_levels = flat.num_levels();
     let widths: Vec<usize> = (0..num_levels)
         .map(|l| wave_width(flat, flat.level_group(l)))
@@ -712,7 +687,6 @@ fn label_parallel(
         .max()
         .unwrap_or(0);
     let max_assigned = max_group.div_ceil(nt.max(1));
-    let matcher = Matcher::with_config(library, config);
 
     let state = RwLock::new((vec![0.0f64; n], vec![0.0f64; n]));
     let lanes: Vec<Mutex<WorkerLane>> = (0..nt)
@@ -725,12 +699,8 @@ fn label_parallel(
     let mut arena = SelectionArena::new(library, flat);
     let mut stats = MatchStats::default();
     let mut failed: Option<NodeId> = None;
-    // The coordinator's own matcher kit, for the narrow waves it labels
-    // itself.
-    let mut co_scratch = MatchScratch::new();
-    co_scratch.prepare(library, n);
-    let mut co_store = MatchStore::for_library(library);
-    let mut co_memo = Memo::Local(&mut co_store);
+    // The coordinator's own kit, for the narrow waves it labels itself.
+    let mut co_kit = source.make_kit(subject);
     let mut co_chosen = ChosenBuf::new(library);
     let metering = allocmeter::installed();
     let mut wave_allocs: Vec<usize> = Vec::with_capacity(if metering { num_levels } else { 0 });
@@ -742,16 +712,12 @@ fn label_parallel(
             let start = &start;
             let done = &done;
             let abort = &abort;
-            let matcher = &matcher;
             let widths = &widths;
             s.spawn(move || {
-                let mut scratch = MatchScratch::new();
-                scratch.prepare(library, n);
-                // Per-worker store: cone classes are rediscovered once per
-                // worker, which costs a few extra cold enumerations but
-                // keeps the hot path lock-free.
-                let mut store = MatchStore::for_library(library);
-                let mut memo = Memo::Local(&mut store);
+                // Per-worker kit: scratch arenas and memo stores are
+                // rediscovered once per worker, which costs a few extra
+                // cold enumerations but keeps the hot path lock-free.
+                let mut kit = source.make_kit(subject);
                 let mut chosen = ChosenBuf::new(library);
                 for l in 0..num_levels {
                     start.wait();
@@ -784,14 +750,12 @@ fn label_parallel(
                             }
                             let st = evaluate_node(
                                 subject,
-                                matcher,
-                                mode,
+                                source,
                                 objective,
                                 arrival,
                                 area_flow,
                                 id,
-                                &mut scratch,
-                                &mut memo,
+                                &mut kit,
                                 &mut chosen,
                             );
                             lane.push(i as u32, id, &chosen, st);
@@ -835,14 +799,12 @@ fn label_parallel(
                         }
                         stats.absorb(evaluate_node(
                             subject,
-                            &matcher,
-                            mode,
+                            source,
                             objective,
                             arrival,
                             area_flow,
                             id,
-                            &mut co_scratch,
-                            &mut co_memo,
+                            &mut co_kit,
                             &mut co_chosen,
                         ));
                         match co_chosen.sel {

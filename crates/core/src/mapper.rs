@@ -1,17 +1,19 @@
 use std::time::Instant;
 
 use dagmap_genlib::Library;
-use dagmap_match::{MatchMode, MatchScratch, MatchStore, Matcher, SharedMatchStore};
+use dagmap_match::{MatchMode, SharedMatchStore};
 use dagmap_netlist::SubjectGraph;
 
 use crate::incremental::{relabel_incremental, RetainedLabels};
-use crate::label::{label, label_with_config, label_with_shared_store, Labels};
+use crate::label::{label, label_with_config, label_with_shared_store, label_with_source, Labels};
+use crate::source::{MatchSource, StructuralSource};
 use crate::{area, cover, MapError, MapOptions, MappedNetlist};
 
 /// Statistics of one mapping run, for experiment tables.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MapReport {
-    /// `"tree"`, `"dag"` or `"dag-extended"`.
+    /// `"tree"`, `"dag"`, `"dag-extended"`, or an external source's name
+    /// (`"boolean"`, `"hybrid"`).
     pub algorithm: &'static str,
     /// Critical-path delay of the mapped netlist.
     pub delay: f64,
@@ -206,15 +208,69 @@ impl<'a> Mapper<'a> {
             )?,
         };
         let label_seconds = t0.elapsed().as_secs_f64();
-        self.finish_map(subject, options, labels, label_seconds, 0)
+        // Area recovery keeps a run-local store even on the shared path.
+        let source = StructuralSource::new(
+            self.library,
+            options.match_mode,
+            options.match_config(),
+            None,
+        );
+        self.finish_map(
+            subject,
+            options,
+            &source,
+            options.algorithm_name(),
+            labels,
+            label_seconds,
+            0,
+        )
     }
 
-    /// Cover construction, area recovery and report assembly shared by the
-    /// cold and incremental paths.
-    fn finish_map(
+    /// Maps `subject` with matches drawn from an arbitrary [`MatchSource`]
+    /// — the entry point `dagmap-boolmatch` feeds its priority-cut NPN
+    /// matcher through. Labeling (including `--threads` wavefronts), cover
+    /// construction, area recovery and the report all run exactly as for
+    /// the structural source; `algorithm` names the run in the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::NoMatch`] when the source cannot cover some
+    /// node — callers with a cheaper precondition (e.g. boolmatch's
+    /// coverable check) should test it first for a friendlier error.
+    pub fn map_with_source<S: MatchSource>(
         &self,
         subject: &SubjectGraph,
         options: MapOptions,
+        source: &S,
+        algorithm: &'static str,
+    ) -> Result<(MappedNetlist, MapReport), MapError> {
+        let mut map_span = dagmap_obs::span("map");
+        if map_span.is_recording() {
+            map_span.set_u64("nodes", subject.network().num_nodes() as u64);
+        }
+        let t0 = Instant::now();
+        let labels = label_with_source(subject, source, options.objective, options.num_threads)?;
+        let label_seconds = t0.elapsed().as_secs_f64();
+        self.finish_map(
+            subject,
+            options,
+            source,
+            algorithm,
+            labels,
+            label_seconds,
+            0,
+        )
+    }
+
+    /// Cover construction, area recovery and report assembly shared by the
+    /// cold, incremental and external-source paths.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_map<S: MatchSource>(
+        &self,
+        subject: &SubjectGraph,
+        options: MapOptions,
+        source: &S,
+        algorithm: &'static str,
         labels: Labels,
         label_seconds: f64,
         labels_reused: usize,
@@ -238,23 +294,14 @@ impl<'a> Mapper<'a> {
                     // typically shave a few more percent. Keep the best cover seen.
                     let mut best = mapped;
                     let mut estimate_base = labels.clone();
-                    // One matcher/scratch/store triple across all refinement
-                    // rounds: after round 1 every cone class is warm, so later
-                    // rounds replay memoized enumerations instead of re-searching.
-                    let matcher = Matcher::with_config(self.library, options.match_config());
-                    let mut scratch = MatchScratch::new();
-                    let mut store = MatchStore::for_library(self.library);
+                    // One kit across all refinement rounds: after round 1
+                    // every cone class is warm, so later rounds replay
+                    // memoized enumerations instead of re-searching.
+                    let mut kit = source.make_kit(subject);
                     for _ in 0..3 {
                         let _round = dagmap_obs::span("area_recovery.round");
-                        let selected = area::recover(
-                            subject,
-                            &matcher,
-                            &estimate_base,
-                            options.match_mode,
-                            target,
-                            &mut scratch,
-                            &mut store,
-                        )?;
+                        let selected =
+                            area::recover(subject, source, &estimate_base, target, &mut kit)?;
                         let recovered = cover::construct(subject, self.library, &selected)?;
                         let improved = recovered.area() < best.area();
                         if improved {
@@ -280,7 +327,7 @@ impl<'a> Mapper<'a> {
 
         let strash = subject.strash_stats();
         let report = MapReport {
-            algorithm: options.algorithm_name(),
+            algorithm,
             delay: mapped.delay(),
             predicted_delay: labels.critical_delay(subject),
             area: mapped.area(),
@@ -353,7 +400,21 @@ impl<'a> Mapper<'a> {
         };
         let label_seconds = t0.elapsed().as_secs_f64();
         let snapshot = RetainedLabels::from_labels(subject, &labels);
-        let (mapped, report) = self.finish_map(subject, options, labels, label_seconds, 0)?;
+        let source = StructuralSource::new(
+            self.library,
+            options.match_mode,
+            options.match_config(),
+            None,
+        );
+        let (mapped, report) = self.finish_map(
+            subject,
+            options,
+            &source,
+            options.algorithm_name(),
+            labels,
+            label_seconds,
+            0,
+        )?;
         Ok((mapped, report, snapshot))
     }
 
@@ -394,8 +455,21 @@ impl<'a> Mapper<'a> {
         )?;
         let label_seconds = t0.elapsed().as_secs_f64();
         let snapshot = RetainedLabels::from_labels(subject, &labels);
-        let (mapped, report) =
-            self.finish_map(subject, options, labels, label_seconds, inc.reused)?;
+        let source = StructuralSource::new(
+            self.library,
+            options.match_mode,
+            options.match_config(),
+            None,
+        );
+        let (mapped, report) = self.finish_map(
+            subject,
+            options,
+            &source,
+            options.algorithm_name(),
+            labels,
+            label_seconds,
+            inc.reused,
+        )?;
         Ok((mapped, report, snapshot))
     }
 }

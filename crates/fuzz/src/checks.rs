@@ -2,6 +2,7 @@
 //! mapper's full configuration matrix and is checked against three invariant
 //! families — functional, bit-identity, and optimality ordering.
 
+use dagmap_boolmatch::{check_coverable, map_boolean_with_options, map_hybrid_with_options};
 use dagmap_core::{verify, MapOptions, Mapper};
 use dagmap_genlib::Library;
 use dagmap_match::MatchMode;
@@ -15,6 +16,8 @@ use crate::FuzzError;
 const ATOL: f64 = 1e-9;
 /// Relative slack for delay-ordering comparisons.
 const RTOL: f64 = 1e-12;
+/// Cut width used on the boolean/hybrid axis; mirrors the CLI default.
+const BOOLEAN_K: usize = 4;
 
 /// `a <= b` up to the mixed tolerance.
 fn leq(a: f64, b: f64) -> bool {
@@ -85,6 +88,10 @@ pub struct Matrix {
     /// Cross-check the sequential mapper's minimum clock period across
     /// thread counts on sequential cases.
     pub check_retime: bool,
+    /// Sweep the boolean and hybrid matchers alongside the structural one:
+    /// functional equivalence, thread-count bit-identity, and the provable
+    /// `hybrid <= structural` / `hybrid <= boolean` delay orderings.
+    pub check_boolean: bool,
 }
 
 impl Default for Matrix {
@@ -92,6 +99,7 @@ impl Default for Matrix {
         Matrix {
             thread_counts: vec![1, 2, 4],
             check_retime: true,
+            check_boolean: true,
         }
     }
 }
@@ -341,6 +349,105 @@ pub fn check_network(
                         "supergate-extended delay {base_delay} worse than base {base_lib_delay}"
                     ),
                 });
+            }
+        }
+
+        // (d) The boolean/hybrid axis rides the same labeling DP through the
+        // `MatchSource` seam, so it owes the same invariants: functional
+        // equivalence, bit-identity across thread counts, and the provable
+        // orderings. Hybrid emits a superset of the structural candidates,
+        // so `hybrid <= dag` and `hybrid <= boolean` must hold; boolean
+        // alone carries no such guarantee against structural — priority
+        // cuts prune, so a pruned cut can cost delay legitimately.
+        // Libraries the boolean fallback decomposition cannot cover are
+        // skipped (none of the built-ins are).
+        if matrix.check_boolean && check_coverable(&lut.library, BOOLEAN_K).is_ok() {
+            let (bool_ref, _, _) =
+                map_boolean_with_options(&subject, &lut.library, BOOLEAN_K, serial)?;
+            let bool_blif = blif::to_string(&bool_ref.to_network()?)?;
+            outcome.maps += 1;
+            for v in verify::report(&bool_ref, &subject, sim_seed)? {
+                outcome.violations.push(CaseViolation {
+                    kind: InvariantKind::Functional,
+                    library: li,
+                    config: "boolean serial".into(),
+                    detail: v.to_string(),
+                });
+            }
+            let (hyb_ref, _, _) =
+                map_hybrid_with_options(&subject, &lut.library, BOOLEAN_K, serial)?;
+            let hyb_blif = blif::to_string(&hyb_ref.to_network()?)?;
+            outcome.maps += 1;
+            for v in verify::report(&hyb_ref, &subject, sim_seed)? {
+                outcome.violations.push(CaseViolation {
+                    kind: InvariantKind::Functional,
+                    library: li,
+                    config: "hybrid serial".into(),
+                    detail: v.to_string(),
+                });
+            }
+            if !leq(hyb_ref.delay(), base_delay) {
+                outcome.violations.push(CaseViolation {
+                    kind: InvariantKind::Optimality,
+                    library: li,
+                    config: "hybrid vs dag".into(),
+                    detail: format!(
+                        "hybrid delay {} worse than structural DAG cover {base_delay}",
+                        hyb_ref.delay()
+                    ),
+                });
+            }
+            if !leq(hyb_ref.delay(), bool_ref.delay()) {
+                outcome.violations.push(CaseViolation {
+                    kind: InvariantKind::Optimality,
+                    library: li,
+                    config: "hybrid vs boolean".into(),
+                    detail: format!(
+                        "hybrid delay {} worse than boolean-only {}",
+                        hyb_ref.delay(),
+                        bool_ref.delay()
+                    ),
+                });
+            }
+            for &nt in &matrix.thread_counts {
+                if nt <= 1 {
+                    continue;
+                }
+                let threaded = MapOptions::dag().with_num_threads(nt);
+                let (bool_nt, _, _) =
+                    map_boolean_with_options(&subject, &lut.library, BOOLEAN_K, threaded)?;
+                outcome.maps += 1;
+                if blif::to_string(&bool_nt.to_network()?)? != bool_blif
+                    || bool_nt.delay().to_bits() != bool_ref.delay().to_bits()
+                {
+                    outcome.violations.push(CaseViolation {
+                        kind: InvariantKind::BitIdentity,
+                        library: li,
+                        config: format!("boolean threads={nt}"),
+                        detail: format!(
+                            "boolean mapping diverged from serial (delay {} vs {})",
+                            bool_nt.delay(),
+                            bool_ref.delay()
+                        ),
+                    });
+                }
+                let (hyb_nt, _, _) =
+                    map_hybrid_with_options(&subject, &lut.library, BOOLEAN_K, threaded)?;
+                outcome.maps += 1;
+                if blif::to_string(&hyb_nt.to_network()?)? != hyb_blif
+                    || hyb_nt.delay().to_bits() != hyb_ref.delay().to_bits()
+                {
+                    outcome.violations.push(CaseViolation {
+                        kind: InvariantKind::BitIdentity,
+                        library: li,
+                        config: format!("hybrid threads={nt}"),
+                        detail: format!(
+                            "hybrid mapping diverged from serial (delay {} vs {})",
+                            hyb_nt.delay(),
+                            hyb_ref.delay()
+                        ),
+                    });
+                }
             }
         }
     }

@@ -14,13 +14,16 @@
 //! 2. **Check** three invariant families per case against every library
 //!    under test ([`check_network`]):
 //!    * *functional* — equivalence + timing consistency via `core::verify`,
+//!      for the structural, boolean, and hybrid matchers alike,
 //!    * *bit-identity* — mapped BLIF and critical delay agree bit-for-bit
-//!      across thread counts and acceleration settings (and, for sequential
-//!      cases, the minimum clock period across retime thread counts),
+//!      across thread counts and acceleration settings for every matcher
+//!      (and, for sequential cases, the minimum clock period across retime
+//!      thread counts),
 //!    * *optimality ordering* — DAG delay ≤ tree delay, extended-match
 //!      delay ≤ standard, supergate-extended library ≤ its base, area
-//!      recovery never worsens delay, and everything ≥ the depth lower
-//!      bound [`depth_lower_bound`].
+//!      recovery never worsens delay, hybrid matching ≤ both structural
+//!      and boolean-only (its candidate set is a superset of each), and
+//!      everything ≥ the depth lower bound [`depth_lower_bound`].
 //! 3. **Shrink** any violation by delta-debugging the subject network
 //!    ([`shrink::minimize`]) down to a minimal BLIF repro and write it to a
 //!    corpus directory, where `tests/fuzz_corpus.rs` replays it as an
@@ -149,6 +152,7 @@ pub fn run(options: &FuzzOptions) -> Result<FuzzReport, FuzzError> {
     let matrix = Matrix {
         thread_counts: options.thread_counts.clone(),
         check_retime: options.check_retime,
+        check_boolean: true,
     };
     let mut report = FuzzReport {
         cases: options.cases,

@@ -111,4 +111,22 @@ cargo run -q --release --offline -p dagmap-bench --bin strashperf -- \
   --quick --out target/BENCH_strash_smoke.json
 grep -q '"all_identical": true' target/BENCH_strash_smoke.json
 
+# Boolean-matching smoke: priority-cut NPN matching must be byte-
+# deterministic — two identical `map --boolean` runs may not differ by a
+# byte — and the hybrid run must verify too.
+cargo run -q --release --offline -- gen cmp16 --out target/bool_smoke.blif
+cargo run -q --release --offline -- map target/bool_smoke.blif \
+  --algo boolean --out target/bool_run1.blif > /dev/null
+cargo run -q --release --offline -- map target/bool_smoke.blif \
+  --algo boolean --out target/bool_run2.blif > /dev/null
+cmp target/bool_run1.blif target/bool_run2.blif
+cargo run -q --release --offline -- map target/bool_smoke.blif \
+  --algo hybrid --out target/bool_hybrid.blif > /dev/null
+# Boolean-matching bench in quick mode: asserts hybrid never loses to
+# structural or boolean alone, NPN reaches strictly more cone classes than
+# P-only, and both engines are byte-deterministic.
+cargo run -q --release --offline -p dagmap-bench --bin boolperf -- \
+  --quick --out target/BENCH_bool_smoke.json
+grep -q '"deterministic": true' target/BENCH_bool_smoke.json
+
 echo "tier1: OK"

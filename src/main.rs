@@ -19,6 +19,7 @@ use std::fs;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use dagmap::boolmatch;
 use dagmap::core::{load, verify, verilog, MapOptions, MapReport, Mapper, Objective};
 use dagmap::genlib::Library;
 use dagmap::matching::MatchMode;
@@ -98,7 +99,8 @@ map options:
   --builtin lib2|44-1|44-3|minimal    built-in library (default lib2)
   --lib <f.genlib>                    library from a genlib file
   --algo dag|tree|dag-extended|boolean|hybrid  covering algorithm (default dag)
-  -k <n>                              cut size for --algo boolean (default 4)
+  -k <n>                              priority-cut width for --algo
+                                      boolean/hybrid (default 4, max 6)
   --objective delay|area              optimization goal (default delay)
   --recover                           slack-driven area recovery
   --buffer <max_load>                 bound fanout loads with buffers
@@ -396,40 +398,11 @@ fn cmd_map(args: &[String]) -> CmdResult {
         let t_decompose = Instant::now();
         let subject = SubjectGraph::from_network(&net)?;
         let decompose_seconds = t_decompose.elapsed().as_secs_f64();
-        if json && (algo == "boolean" || algo == "hybrid") {
-            return Err("--json is not supported with boolean/hybrid matching".into());
-        }
-        if algo == "boolean" || algo == "hybrid" {
-            // Boolean/hybrid matching has its own pipeline; it shares the cover
-            // construction and verification with the structural mapper.
-            let mapped = if algo == "boolean" {
-                dagmap::boolmatch::map_boolean(&subject, &library, k)?
-            } else {
-                dagmap::boolmatch::map_hybrid(&subject, &library, k)?
-            };
-            if !no_verify {
-                verify::check(&mapped, &subject, 0xB001)?;
-            }
-            println!(
-                "{}: {} subject gates -> {} cells, delay {:.3}, area {:.1} ({algo} matching, k={k})",
-                net.name(),
-                subject.num_gates(),
-                mapped.num_cells(),
-                mapped.delay(),
-                mapped.area(),
-            );
-            if let Some(path) = &out {
-                write_network(path, &mapped.to_network()?)?;
-                println!("wrote {path}");
-            }
-            if let Some(path) = &vout {
-                fs::write(path, verilog::to_verilog(&mapped))?;
-                println!("wrote {path}");
-            }
-            return Ok(());
-        }
+        // Boolean and hybrid matching feed the same labeling DP through the
+        // `MatchSource` seam, so every pipeline flag — threads, recovery,
+        // objective, --json — means the same thing for them.
         let mut opts = match algo.as_str() {
-            "dag" => MapOptions::dag(),
+            "dag" | "boolean" | "hybrid" => MapOptions::dag(),
             "tree" => MapOptions::tree(),
             "dag-extended" => MapOptions::dag_extended(),
             other => return Err(format!("unknown algorithm `{other}`").into()),
@@ -451,7 +424,20 @@ fn cmd_map(args: &[String]) -> CmdResult {
         if no_strash_ids {
             opts = opts.with_strash_ids(false);
         }
-        let (mut mapped, mut report) = Mapper::new(&library).map_with_report(&subject, opts)?;
+        let (mut mapped, mut report, bool_report) = match algo.as_str() {
+            "boolean" => {
+                let (m, r, b) = boolmatch::map_boolean_with_options(&subject, &library, k, opts)?;
+                (m, r, Some(b))
+            }
+            "hybrid" => {
+                let (m, r, b) = boolmatch::map_hybrid_with_options(&subject, &library, k, opts)?;
+                (m, r, Some(b))
+            }
+            _ => {
+                let (m, r) = Mapper::new(&library).map_with_report(&subject, opts)?;
+                (m, r, None)
+            }
+        };
         report.decompose_seconds = decompose_seconds;
         if let Some(max_load) = buffer {
             mapped = load::insert_buffers(&mapped, &library, max_load)?;
@@ -513,6 +499,21 @@ fn cmd_map(args: &[String]) -> CmdResult {
             "matching: {} enumerated, {} candidates pruned{kernel}{memo}",
             report.matches_enumerated, report.matches_pruned
         );
+        if let Some(b) = &bool_report {
+            println!(
+                "boolean: k={}, {} priority cuts, {} examined, {} matches ({} P + {} NPN), \
+                 classes {} -> {} (P -> NPN), {} gates indexed",
+                b.k,
+                b.cuts_enumerated,
+                b.cuts_examined,
+                b.matches_found,
+                b.p_matches,
+                b.npn_matches,
+                b.p_classes_matched,
+                b.npn_classes_matched,
+                b.gates_indexed,
+            );
+        }
         if report.strash_raw_nodes > 0 {
             println!(
                 "strash: {} constructions -> {} nodes ({:.2}x dedup, {} hits)",

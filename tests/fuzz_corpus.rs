@@ -28,6 +28,7 @@ fn corpus_repros_stay_fixed() {
     let matrix = Matrix {
         thread_counts: vec![1, 2],
         check_retime: true,
+        check_boolean: true,
     };
     for path in repros {
         let text = fs::read_to_string(&path).expect("corpus file reads");
