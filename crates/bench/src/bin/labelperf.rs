@@ -197,6 +197,7 @@ fn main() {
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"labelperf\",");
     let _ = writeln!(json, "  \"library\": \"{}\",", lib.name());
+    let _ = writeln!(json, "  \"nproc\": {available},");
     let _ = writeln!(json, "  \"hardware_threads\": {available},");
     let _ = writeln!(json, "  \"parallel_threads\": {threads},");
     let _ = writeln!(json, "  \"threads_used\": {threads_used},");

@@ -63,6 +63,36 @@ fn disabled_span_ns(iters: u64) -> f64 {
     t.elapsed().as_secs_f64() * 1e9 / iters as f64
 }
 
+/// Cost of one live-metrics counter increment: a relaxed atomic add.
+fn counter_inc_ns(iters: u64) -> f64 {
+    let registry = dagmap_obs::metrics::MetricsRegistry::new();
+    let counter = registry.counter("obsperf_counter_total");
+    let t = Instant::now();
+    for i in 0..iters {
+        counter.inc(1);
+        std::hint::black_box(i);
+    }
+    let elapsed = t.elapsed().as_secs_f64() * 1e9 / iters as f64;
+    std::hint::black_box(counter.get());
+    elapsed
+}
+
+/// Cost of recording one sample into a rolling-window log2 histogram —
+/// the hot path behind every served request's latency quantiles: a clock
+/// read, an epoch check and two relaxed atomic adds.
+fn hist_record_ns(iters: u64) -> f64 {
+    let registry = dagmap_obs::metrics::MetricsRegistry::new();
+    let hist = registry.histogram("obsperf_latency_us", 12, 5_000_000_000);
+    let t = Instant::now();
+    for i in 0..iters {
+        hist.observe(i & 0xffff);
+        std::hint::black_box(i);
+    }
+    let elapsed = t.elapsed().as_secs_f64() * 1e9 / iters as f64;
+    std::hint::black_box(hist.snapshot().count());
+    elapsed
+}
+
 fn main() {
     let mut quick = false;
     let mut out = String::from("BENCH_obs.json");
@@ -94,9 +124,13 @@ fn main() {
     let lib = Library::lib2_like();
 
     let span_ns = disabled_span_ns(span_iters);
+    let metrics_iters = span_iters / 5;
+    let counter_ns = counter_inc_ns(metrics_iters);
+    let hist_ns = hist_record_ns(metrics_iters);
     println!(
         "obsperf: disabled span call costs {span_ns:.2} ns ({span_iters} iters); \
-         timing mapping with tracing off vs on ({reps} reps)"
+         metrics counter inc {counter_ns:.2} ns, rolling-histogram record {hist_ns:.2} ns \
+         ({metrics_iters} iters); timing mapping with tracing off vs on ({reps} reps)"
     );
 
     let mut results = Vec::new();
@@ -157,6 +191,9 @@ fn main() {
     let _ = writeln!(json, "  \"reps\": {reps},");
     let _ = writeln!(json, "  \"disabled_span_ns\": {span_ns:.4},");
     let _ = writeln!(json, "  \"disabled_span_iters\": {span_iters},");
+    let _ = writeln!(json, "  \"metrics_counter_inc_ns\": {counter_ns:.4},");
+    let _ = writeln!(json, "  \"metrics_hist_record_ns\": {hist_ns:.4},");
+    let _ = writeln!(json, "  \"metrics_iters\": {metrics_iters},");
     let _ = writeln!(json, "  \"all_identical\": {all_identical},");
     let _ = writeln!(json, "  \"total_disabled_s\": {total_disabled:.6},");
     let _ = writeln!(json, "  \"total_enabled_s\": {total_enabled:.6},");

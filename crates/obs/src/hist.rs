@@ -46,6 +46,20 @@ impl Log2Histogram {
         }
     }
 
+    /// Reassembles a histogram from externally accumulated buckets (e.g.
+    /// a rolling-window slot's atomic counters). `count` is recomputed
+    /// from the buckets so the quantile scan stays internally consistent
+    /// even if the caller's counters were read while racing writers.
+    pub fn from_parts(buckets: [u64; 65], sum: u64, max: u64) -> Log2Histogram {
+        let count = buckets.iter().sum();
+        Log2Histogram {
+            buckets,
+            count,
+            sum,
+            max,
+        }
+    }
+
     /// Records one value.
     pub fn record(&mut self, value: u64) {
         self.buckets[bucket_of(value)] += 1;

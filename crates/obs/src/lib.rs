@@ -72,8 +72,10 @@
 
 pub mod hist;
 pub mod json;
+pub mod metrics;
 pub mod report;
 pub mod trace;
+pub mod window;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -110,6 +112,13 @@ fn anchor() -> Instant {
 
 fn now_ns() -> u64 {
     u64::try_from(anchor().elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Nanoseconds on the process-wide monotonic anchor (the same clock span
+/// timestamps use). Public so the rolling-window metrics in
+/// [`window`]/[`metrics`] share one time base with the trace recorder.
+pub fn monotonic_ns() -> u64 {
+    now_ns()
 }
 
 /// Whether a recording session is active. Inlined single load; the fast

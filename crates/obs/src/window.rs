@@ -1,0 +1,337 @@
+//! Rolling-window log2 histograms: quantiles over the *recent past*, not
+//! the process lifetime.
+//!
+//! A long-lived daemon that reports p99 latency from a single cumulative
+//! histogram answers the wrong question after the first hour: one startup
+//! spike dominates the tail forever. [`RollingLog2Histogram`] instead keeps
+//! a fixed ring of time-bucketed *window slots* — each slot is a full
+//! [`Log2Histogram`] worth of atomic bucket counters covering one window of
+//! wall-clock time — and a snapshot merges only the slots whose window is
+//! still inside the ring's span. Old windows expire by being overwritten
+//! when their slot index comes around again.
+//!
+//! # Concurrency
+//!
+//! Recording is lock-free: bump an atomic bucket counter in the slot the
+//! current window hashes to. Rotation (a recorder arriving in a window the
+//! slot has not seen yet) is claimed with one CAS; the winner clears the
+//! slot and publishes the new window epoch, losers spin briefly for the
+//! publish and drop their sample if the slot is still mid-clear — this is
+//! telemetry, an extremely rare dropped sample beats a lock on the hot
+//! path. A reader can race a rotation; [`RollingLog2Histogram::snapshot_at`]
+//! re-checks the slot epoch after copying the buckets and skips slots that
+//! rotated mid-read. Within one live slot the bucket/count/sum reads are
+//! not atomic as a group, so a snapshot may be off by the handful of
+//! samples recorded while it was taken — quantiles at log2 bucket
+//! resolution do not care.
+//!
+//! # Testability
+//!
+//! Every operation has an explicit-clock variant (`record_at`,
+//! `snapshot_at`) taking a monotonic nanosecond timestamp, so the edge
+//! cases — empty window, single sample, rotation across the ring boundary
+//! — are tested deterministically without sleeping. The clocked wrappers
+//! ([`RollingLog2Histogram::record`], [`RollingLog2Histogram::snapshot`])
+//! use [`crate::monotonic_ns`], the same anchor the span recorder uses.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::hist::{bucket_of, Log2Histogram};
+
+/// How long a rotation loser spins waiting for the winner to publish the
+/// cleared slot before dropping its sample.
+const ROTATE_SPINS: usize = 1_000;
+
+/// One time-bucketed window of the ring.
+struct Slot {
+    /// The window index (see [`RollingLog2Histogram::window_index`]) whose
+    /// samples this slot currently holds, or 0 if never used. Published
+    /// with `Release` after the slot is cleared.
+    epoch: AtomicU64,
+    /// Rotation claim: the highest window index some recorder has claimed
+    /// this slot for. The CAS winner clears and publishes.
+    claim: AtomicU64,
+    buckets: [AtomicU64; 65],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            epoch: AtomicU64::new(0),
+            claim: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn clear(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A lock-free histogram over the last `windows x window_ns` of wall time.
+///
+/// See the module docs for the ring/rotation semantics. All recorded
+/// values share the [`Log2Histogram`] bucket layout, so snapshots answer
+/// the same `quantile_upper` queries the post-hoc trace histograms do.
+pub struct RollingLog2Histogram {
+    window_ns: u64,
+    slots: Box<[Slot]>,
+}
+
+impl std::fmt::Debug for RollingLog2Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RollingLog2Histogram")
+            .field("windows", &self.slots.len())
+            .field("window_ns", &self.window_ns)
+            .finish()
+    }
+}
+
+impl RollingLog2Histogram {
+    /// A ring of `windows` slots, each covering `window_ns` nanoseconds.
+    /// Quantiles are therefore over (at most) the last
+    /// `windows * window_ns` of wall time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows` is 0 or `window_ns` is 0.
+    pub fn new(windows: usize, window_ns: u64) -> RollingLog2Histogram {
+        assert!(windows > 0, "need at least one window");
+        assert!(window_ns > 0, "window must cover some time");
+        RollingLog2Histogram {
+            window_ns,
+            slots: (0..windows).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    /// Number of windows in the ring.
+    pub fn windows(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Nanoseconds covered by one window.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+
+    /// Total wall time a snapshot can cover.
+    pub fn span_ns(&self) -> u64 {
+        self.window_ns.saturating_mul(self.slots.len() as u64)
+    }
+
+    /// The 1-based window index of a timestamp (0 is reserved for "slot
+    /// never used", so the very first window is index 1).
+    fn window_index(&self, now_ns: u64) -> u64 {
+        now_ns / self.window_ns + 1
+    }
+
+    /// Records `value` at explicit time `now_ns` (monotonic nanoseconds).
+    pub fn record_at(&self, now_ns: u64, value: u64) {
+        let w = self.window_index(now_ns);
+        let slot = &self.slots[(w % self.slots.len() as u64) as usize];
+        let e = slot.epoch.load(Ordering::Acquire);
+        if e != w {
+            if e > w {
+                // The slot already rotated past this timestamp's window
+                // (a recorder delayed across a full ring span): expired.
+                return;
+            }
+            let claimed = slot.claim.load(Ordering::Acquire);
+            if claimed < w
+                && slot
+                    .claim
+                    .compare_exchange(claimed, w, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                // This thread won the rotation: clear, then publish.
+                slot.clear();
+                slot.epoch.store(w, Ordering::Release);
+            } else {
+                // Another thread is rotating (or already has): wait for
+                // the publish, then drop the sample if the slot settled on
+                // a different window.
+                let mut spins = 0;
+                while slot.epoch.load(Ordering::Acquire) < w {
+                    std::hint::spin_loop();
+                    spins += 1;
+                    if spins >= ROTATE_SPINS {
+                        return;
+                    }
+                }
+                if slot.epoch.load(Ordering::Acquire) != w {
+                    return;
+                }
+            }
+        }
+        slot.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        slot.count.fetch_add(1, Ordering::Relaxed);
+        slot.sum.fetch_add(value, Ordering::Relaxed);
+        slot.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records `value` now (wall clock via [`crate::monotonic_ns`]).
+    pub fn record(&self, value: u64) {
+        self.record_at(crate::monotonic_ns(), value);
+    }
+
+    /// Merges every window still inside the ring's span at explicit time
+    /// `now_ns` into one [`Log2Histogram`] (empty when nothing was
+    /// recorded recently).
+    pub fn snapshot_at(&self, now_ns: u64) -> Log2Histogram {
+        let now_w = self.window_index(now_ns);
+        let len = self.slots.len() as u64;
+        let mut out = Log2Histogram::new();
+        for slot in self.slots.iter() {
+            let e = slot.epoch.load(Ordering::Acquire);
+            if e == 0 || e > now_w || now_w - e >= len {
+                continue; // never used, from the future, or expired
+            }
+            let mut buckets = [0u64; 65];
+            for (b, a) in buckets.iter_mut().zip(slot.buckets.iter()) {
+                *b = a.load(Ordering::Relaxed);
+            }
+            let sum = slot.sum.load(Ordering::Relaxed);
+            let max = slot.max.load(Ordering::Relaxed);
+            if slot.epoch.load(Ordering::Acquire) != e {
+                continue; // rotated mid-read; its samples are gone anyway
+            }
+            out.merge(&Log2Histogram::from_parts(buckets, sum, max));
+        }
+        out
+    }
+
+    /// Snapshot at the current wall clock.
+    pub fn snapshot(&self) -> Log2Histogram {
+        self.snapshot_at(crate::monotonic_ns())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: u64 = 1_000; // 1 us windows keep the arithmetic readable
+
+    #[test]
+    fn empty_window_snapshot_is_empty() {
+        let h = RollingLog2Histogram::new(4, W);
+        let snap = h.snapshot_at(0);
+        assert_eq!(snap.count(), 0);
+        assert_eq!(snap.quantile_upper(0.5), 0);
+        assert_eq!(snap.quantile_upper(0.99), 0);
+        // A snapshot far in the future of nothing is still empty.
+        assert_eq!(h.snapshot_at(100 * W).count(), 0);
+    }
+
+    #[test]
+    fn single_sample_is_visible_until_it_expires() {
+        let h = RollingLog2Histogram::new(4, W);
+        h.record_at(10, 42);
+        let snap = h.snapshot_at(10);
+        assert_eq!(snap.count(), 1);
+        assert_eq!(snap.sum(), 42);
+        assert_eq!(snap.max(), 42);
+        // Every quantile of a single sample answers that sample's bucket,
+        // clamped to the sample itself.
+        assert_eq!(snap.quantile_upper(0.0), 42);
+        assert_eq!(snap.quantile_upper(0.5), 42);
+        assert_eq!(snap.quantile_upper(1.0), 42);
+        // Still visible from the last window of the span...
+        assert_eq!(h.snapshot_at(3 * W + 10).count(), 1);
+        // ...gone one window later.
+        assert_eq!(h.snapshot_at(4 * W + 10).count(), 0);
+    }
+
+    #[test]
+    fn rotation_across_the_ring_boundary_overwrites_the_oldest_window() {
+        let h = RollingLog2Histogram::new(4, W);
+        // One sample in each of windows 0..4; window 4 reuses window 0's
+        // slot (indices 1 and 5 hash to the same slot of a 4-ring).
+        for w in 0..5u64 {
+            h.record_at(w * W + 1, 1 << w);
+        }
+        let snap = h.snapshot_at(4 * W + 2);
+        // Window 0's sample (value 1) was overwritten by the rotation;
+        // windows 1..=4 (values 2, 4, 8, 16) remain.
+        assert_eq!(snap.count(), 4);
+        assert_eq!(snap.sum(), 2 + 4 + 8 + 16);
+        assert_eq!(snap.max(), 16);
+        // A late recorder stamping into the overwritten window is dropped,
+        // not mixed into the new window.
+        h.record_at(3, 999);
+        assert_eq!(h.snapshot_at(4 * W + 2).count(), 4);
+    }
+
+    #[test]
+    fn windows_age_out_one_at_a_time() {
+        let h = RollingLog2Histogram::new(3, W);
+        h.record_at(0, 10);
+        h.record_at(W, 20);
+        h.record_at(2 * W, 30);
+        assert_eq!(h.snapshot_at(2 * W).count(), 3);
+        // Advancing the clock (without recording) expires whole windows:
+        // snapshots must not resurrect slots whose window left the span.
+        assert_eq!(h.snapshot_at(3 * W).count(), 2, "first window expired");
+        assert_eq!(h.snapshot_at(4 * W).count(), 1);
+        assert_eq!(h.snapshot_at(5 * W).count(), 0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_under_a_seeded_sweep() {
+        // Satellite regression: p50 <= p95 <= p99 <= max for every prefix
+        // of a seeded random stream, across window rotations.
+        let mut rng = dagmap_rng::StdRng::seed_from_u64(0xDA61AB);
+        let h = RollingLog2Histogram::new(8, W);
+        let mut now = 0u64;
+        for i in 0..5_000u64 {
+            now += rng.random_range(0..(W / 2));
+            // Mix of magnitudes so many buckets populate.
+            let v = match i % 3 {
+                0 => rng.random_range(0..16u64),
+                1 => rng.random_range(0..4_096u64),
+                _ => rng.random_range(0..1_000_000u64),
+            };
+            h.record_at(now, v);
+            if i % 97 == 0 {
+                let snap = h.snapshot_at(now);
+                let p50 = snap.quantile_upper(0.50);
+                let p95 = snap.quantile_upper(0.95);
+                let p99 = snap.quantile_upper(0.99);
+                assert!(p50 <= p95, "p50 {p50} > p95 {p95} at i={i}");
+                assert!(p95 <= p99, "p95 {p95} > p99 {p99} at i={i}");
+                assert!(p99 <= snap.max(), "p99 {p99} > max {} at i={i}", snap.max());
+                assert!(snap.count() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_loses_no_more_than_rotation_slack() {
+        // 4 threads hammer one clock window; the slot is rotated once up
+        // front so no sample can be dropped by a racing clear.
+        let h = RollingLog2Histogram::new(4, W);
+        h.record_at(0, 1);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record_at(1, t * 10_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.snapshot_at(1).count(), 40_001);
+    }
+}

@@ -155,6 +155,33 @@ impl Client {
     pub fn shutdown(&mut self) -> io::Result<Value> {
         self.call("{\"op\":\"shutdown\"}")
     }
+
+    /// Fetches the daemon's live metrics as Prometheus text exposition.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, an error frame (e.g. the daemon runs with
+    /// metrics disabled), or a malformed reply.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        let reply = self.call("{\"op\":\"metrics\"}")?;
+        if let Some(err) = reply.get("error") {
+            let msg = err
+                .get("message")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown error");
+            return Err(io::Error::new(io::ErrorKind::Other, msg.to_owned()));
+        }
+        reply
+            .get("exposition")
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "metrics reply carries no exposition",
+                )
+            })
+    }
 }
 
 /// Options of a [`map_request`] payload.

@@ -30,20 +30,31 @@
 //!   (`serve.memo_hit` / `serve.memo_miss` / `serve.memo_evict`), latency
 //!   through the `serve.latency_us` histogram, and any request may ask for
 //!   its own Chrome trace via `options.trace` (recorded in a thread-scoped
-//!   obs session, isolated from concurrent requests).
+//!   obs session, isolated from concurrent requests);
+//! * live telemetry: a per-server metrics registry (request rates, queue
+//!   depth, worker utilization, rolling-window latency quantiles split
+//!   first-seen vs repeated, per-library cache counters) served as a
+//!   `metrics` protocol frame and optionally as plain HTTP
+//!   (`--metrics-addr`, `GET /metrics`, Prometheus text format), JSONL
+//!   request logging (`--log-requests`), and tail-based trace sampling —
+//!   requests slower than their class's rolling quantile keep their Chrome
+//!   trace in a bounded on-disk ring. All of it is byte-neutral to the
+//!   mapped output.
 //!
 //! The `serveperf` harness in `dagmap-bench` drives a daemon with skewed
 //! multi-library traffic and writes `BENCH_serve.json` (throughput,
-//! p50/p95/p99 latency, memo hit rate).
+//! p50/p95/p99 latency, memo hit rate, metrics-enabled overhead).
 //!
 //! [`Library`]: dagmap_genlib::Library
 //! [`SharedMatchStore`]: dagmap_match::SharedMatchStore
 
 pub mod client;
+pub mod dash;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+mod telemetry;
 
 pub use client::{map_request, remap_request, Client, Endpoint, MapCall};
 pub use protocol::{ErrorKind, MapRequest, RemapRequest, Request};
-pub use server::{Endpoints, LibState, ServeConfig, Server};
+pub use server::{Endpoints, LibState, ServeConfig, Server, TailConfig};

@@ -108,6 +108,10 @@ pub enum Request {
     Ping,
     /// Daemon statistics snapshot (memo counters, inflight, totals).
     Stats,
+    /// Prometheus text exposition of the live metrics registry; answered
+    /// inline by the connection reader (errors when the daemon runs with
+    /// metrics disabled).
+    Metrics,
     /// Graceful shutdown: stop accepting, drain in-flight maps, exit.
     Shutdown,
     /// Map one BLIF network.
@@ -213,6 +217,7 @@ pub fn parse_request(payload: &str) -> Result<Request, String> {
     match op {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         "map" => {
             let blif = obj
@@ -316,6 +321,15 @@ pub fn pong_frame() -> String {
 /// Builds the `shutdown` acknowledgement frame.
 pub fn shutdown_ack_frame() -> String {
     "{\"ok\":true,\"op\":\"shutdown\"}".to_owned()
+}
+
+/// Builds the `metrics` reply frame carrying the Prometheus text
+/// exposition.
+pub fn metrics_frame(exposition: &str) -> String {
+    format!(
+        "{{\"ok\":true,\"op\":\"metrics\",\"exposition\":\"{}\"}}",
+        escape(exposition)
+    )
 }
 
 /// The [`MapReport`] fields as a JSON fragment (no surrounding braces):
@@ -442,6 +456,10 @@ mod tests {
     fn requests_parse_and_validate() {
         assert_eq!(parse_request("{\"op\":\"ping\"}").unwrap(), Request::Ping);
         assert_eq!(parse_request("{\"op\":\"stats\"}").unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request("{\"op\":\"metrics\"}").unwrap(),
+            Request::Metrics
+        );
         assert_eq!(
             parse_request("{\"op\":\"shutdown\"}").unwrap(),
             Request::Shutdown

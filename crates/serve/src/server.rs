@@ -31,12 +31,11 @@
 //! reply. [`Server::wait`] blocks through that whole sequence.
 
 use std::collections::BTreeMap;
-use std::io::{self, BufReader, Write};
+use std::io::{self, BufReader, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-#[cfg(unix)]
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -49,6 +48,8 @@ use dagmap_netlist::{blif, SubjectGraph};
 
 use crate::protocol::{self, ErrorKind, MapRequest, RemapRequest, Request};
 use crate::queue::JobQueue;
+use crate::telemetry::{RequestEvent, RequestLog, TailState, Telemetry};
+pub use crate::telemetry::TailConfig;
 
 /// How long accept loops sleep between polls of the shutdown flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(20);
@@ -74,6 +75,23 @@ pub struct ServeConfig {
     /// Most retained labeling runs (`options.retain`) kept for `remap`;
     /// the oldest handle is evicted beyond this. `0` disables retention.
     pub retain_cap: usize,
+    /// Maintain the live metrics registry (rates, queue depths, rolling
+    /// latency quantiles, per-library cache counters) and answer `metrics`
+    /// frames. On by default; the steady-state cost is a few atomic
+    /// increments per request.
+    pub metrics: bool,
+    /// Additionally serve the metrics as plain HTTP (`GET /metrics`,
+    /// Prometheus text exposition) on this address, e.g. `127.0.0.1:9464`.
+    /// Requires `metrics`.
+    pub metrics_addr: Option<String>,
+    /// Write one JSONL event per request (outcome, sizes, phase timings,
+    /// memo counters) to this path.
+    pub log_requests: Option<PathBuf>,
+    /// Tail-based trace sampling: requests slower than their class's
+    /// rolling quantile keep their Chrome trace in a bounded on-disk
+    /// ring. Requires `metrics` (the thresholds come from the rolling
+    /// histograms).
+    pub tail: Option<TailConfig>,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +102,10 @@ impl Default for ServeConfig {
             memo_cap: 1 << 16,
             verify: true,
             retain_cap: 64,
+            metrics: true,
+            metrics_addr: None,
+            log_requests: None,
+            tail: None,
         }
     }
 }
@@ -140,6 +162,9 @@ impl ConnWriter {
 struct Job {
     req: MapJob,
     writer: ConnWriter,
+    /// The per-library pending gauge this job incremented at admission;
+    /// the worker decrements it when the reply is out.
+    pending: Option<dagmap_obs::metrics::Gauge>,
 }
 
 enum MapJob {
@@ -208,6 +233,9 @@ struct Inner {
     retain_seq: AtomicU64,
     conns: Mutex<Vec<ConnHandle>>,
     readers: Mutex<Vec<JoinHandle<()>>>,
+    telemetry: Option<Telemetry>,
+    request_log: Option<RequestLog>,
+    tail: Option<TailState>,
 }
 
 impl Inner {
@@ -284,6 +312,74 @@ impl Inner {
         )
     }
 
+    /// Mirrors the server-owned atomics and per-library cache counters
+    /// into the registry, then renders the Prometheus exposition. `None`
+    /// when the daemon runs with metrics disabled.
+    fn render_metrics(&self) -> Option<String> {
+        let tel = self.telemetry.as_ref()?;
+        tel.requests_total.set(self.requests.load(Ordering::Relaxed));
+        tel.remaps_total.set(self.remaps.load(Ordering::Relaxed));
+        tel.errors_total.set(self.errors.load(Ordering::Relaxed));
+        tel.busy_rejects_total
+            .set(self.busy_rejects.load(Ordering::Relaxed));
+        tel.queue_depth.set(self.queue.len() as i64);
+        tel.inflight.set(self.inflight.load(Ordering::Relaxed) as i64);
+        let retained = self
+            .retained
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len();
+        tel.retained_runs.set(retained as i64);
+        for (name, state) in &self.libs {
+            let s = &state.shared;
+            tel.lib_memo_counter("hits", name).set(s.hits());
+            tel.lib_memo_counter("id_hits", name).set(s.id_hits());
+            tel.lib_memo_counter("misses", name).set(s.misses());
+            tel.lib_memo_counter("evictions", name).set(s.evictions());
+            tel.lib_memo_counter("rotations", name).set(s.rotations());
+            tel.lib_memo_resident(name).set(s.resident_classes() as i64);
+            // Ensure every served library has a requests/pending series
+            // even before its first request, so dashboards list them all.
+            tel.lib_requests(name);
+            tel.lib_pending(name);
+        }
+        Some(tel.registry.render_prometheus())
+    }
+
+    /// The registered name of the library a queued job will map with
+    /// (`None` when it will fail resolution — the worker reports that).
+    fn job_lib_name(&self, req: &MapJob) -> Option<String> {
+        match req {
+            MapJob::Map(r) => {
+                let wanted = r.lib.as_deref().unwrap_or(&self.default_lib);
+                resolve_lib_name(self, wanted)
+            }
+            MapJob::Remap(r) => {
+                let retained = self.retained.lock().unwrap_or_else(|e| e.into_inner());
+                retained.get(&r.handle).map(|e| e.lib.clone())
+            }
+        }
+    }
+
+    /// Records a request the admission path refused (busy / shutting
+    /// down) into the JSONL log, so rejections are observable per event
+    /// and not only as a counter.
+    fn log_reject(&self, req: &MapJob, kind: ErrorKind) {
+        let Some(log) = &self.request_log else { return };
+        let op = match req {
+            MapJob::Map(_) => "map",
+            MapJob::Remap(_) => "remap",
+        };
+        let mut ev = RequestEvent::new(op, req.id().map(str::to_owned));
+        ev.outcome = kind.as_str();
+        if let MapJob::Map(r) = req {
+            ev.blif_bytes = r.blif.len();
+        } else if let MapJob::Remap(r) = req {
+            ev.blif_bytes = r.blif.len();
+        }
+        log.write(&ev);
+    }
+
     /// Handles one parsed-or-not frame; `false` ends the connection.
     fn handle_frame(self: &Arc<Inner>, writer: &ConnWriter, payload: &str) -> bool {
         let req = match protocol::parse_request(payload) {
@@ -298,6 +394,18 @@ impl Inner {
         match req {
             Request::Ping => writer.send(&protocol::pong_frame()).is_ok(),
             Request::Stats => writer.send(&self.stats_frame()).is_ok(),
+            Request::Metrics => match self.render_metrics() {
+                Some(text) => writer.send(&protocol::metrics_frame(&text)).is_ok(),
+                None => {
+                    self.send_error(
+                        writer,
+                        None,
+                        ErrorKind::BadRequest,
+                        "metrics are disabled on this server",
+                    );
+                    true
+                }
+            },
             Request::Shutdown => {
                 let ok = writer.send(&protocol::shutdown_ack_frame()).is_ok();
                 self.begin_shutdown();
@@ -311,6 +419,7 @@ impl Inner {
                 };
                 let id = req.id().map(str::to_owned);
                 if self.shutdown.load(Ordering::SeqCst) {
+                    self.log_reject(&req, ErrorKind::ShuttingDown);
                     self.send_error(
                         writer,
                         id.as_deref(),
@@ -325,6 +434,7 @@ impl Inner {
                 let inflight = self.inflight.fetch_add(1, Ordering::AcqRel) + 1;
                 if self.max_inflight > 0 && inflight > self.max_inflight {
                     self.inflight.fetch_sub(1, Ordering::AcqRel);
+                    self.log_reject(&req, ErrorKind::Busy);
                     self.send_error(
                         writer,
                         id.as_deref(),
@@ -333,16 +443,28 @@ impl Inner {
                     );
                     return true;
                 }
+                let pending = self.telemetry.as_ref().and_then(|tel| {
+                    let lib = self.job_lib_name(&req)?;
+                    tel.lib_requests(&lib).inc(1);
+                    let gauge = tel.lib_pending(&lib);
+                    gauge.add(1);
+                    Some(gauge)
+                });
                 let job = Job {
                     req,
                     writer: writer.clone(),
+                    pending,
                 };
                 match self.queue.push(job) {
                     Ok(()) => {
                         self.requests.fetch_add(1, Ordering::Relaxed);
                     }
-                    Err(_job) => {
+                    Err(job) => {
                         self.inflight.fetch_sub(1, Ordering::AcqRel);
+                        if let Some(gauge) = &job.pending {
+                            gauge.add(-1);
+                        }
+                        self.log_reject(&job.req, ErrorKind::ShuttingDown);
                         self.send_error(
                             writer,
                             id.as_deref(),
@@ -358,20 +480,32 @@ impl Inner {
 
     fn worker_loop(self: Arc<Inner>) {
         while let Some(job) = self.queue.pop() {
+            let t0 = Instant::now();
+            if let Some(tel) = &self.telemetry {
+                tel.workers_busy.add(1);
+            }
             let id = job.req.id().map(str::to_owned);
+            let (op, kind0) = match &job.req {
+                MapJob::Map(_) => ("map", "first"),
+                MapJob::Remap(_) => ("remap", "remap"),
+            };
+            let mut ev = RequestEvent::new(op, id.clone());
+            ev.kind = kind0;
             let outcome = catch_unwind(AssertUnwindSafe(|| match &job.req {
-                MapJob::Map(req) => process_map(&self, req),
-                MapJob::Remap(req) => process_remap(&self, req),
+                MapJob::Map(req) => process_map(&self, req, &mut ev),
+                MapJob::Remap(req) => process_remap(&self, req, &mut ev),
             }));
             let frame = match outcome {
                 Ok(Ok(frame)) => frame,
                 Ok(Err((kind, msg))) => {
                     self.errors.fetch_add(1, Ordering::Relaxed);
+                    ev.outcome = kind.as_str();
                     protocol::error_frame(id.as_deref(), kind, &msg)
                 }
                 // The request died; the worker and its queue slot did not.
                 Err(_) => {
                     self.errors.fetch_add(1, Ordering::Relaxed);
+                    ev.outcome = "panic";
                     protocol::error_frame(
                         id.as_deref(),
                         ErrorKind::Internal,
@@ -381,9 +515,42 @@ impl Inner {
             };
             let _ = job.writer.send(&frame);
             self.inflight.fetch_sub(1, Ordering::AcqRel);
+            ev.latency_us = t0.elapsed().as_micros() as u64;
+            self.finish_request_telemetry(ev);
+            if let Some(gauge) = &job.pending {
+                gauge.add(-1);
+            }
+            if let Some(tel) = &self.telemetry {
+                tel.workers_busy.add(-1);
+            }
             // Hand this worker's buffered obs frames to any global session
             // (e.g. the serveperf harness) at a request boundary.
             dagmap_obs::flush_thread();
+        }
+    }
+
+    /// Consumes a finished request's telemetry: the JSONL log line, the
+    /// tail-sampling decision (judged against the class histogram *before*
+    /// this request is recorded into it), and the rolling latency/phase
+    /// observations.
+    fn finish_request_telemetry(&self, ev: RequestEvent) {
+        if let Some(log) = &self.request_log {
+            log.write(&ev);
+        }
+        let Some(tel) = &self.telemetry else { return };
+        let class = tel.latency_hist(ev.kind);
+        if let (Some(tail), Some(trace)) = (&self.tail, &ev.trace) {
+            if tail.should_keep(ev.latency_us, &class.snapshot()) {
+                if tail.store(trace, ev.latency_us).is_some() {
+                    tel.tail_traces_kept_total.inc(1);
+                }
+            }
+        }
+        class.observe(ev.latency_us);
+        if ev.outcome == "ok" {
+            tel.phase_decompose.observe(ev.decompose_us);
+            tel.phase_label.observe(ev.label_us);
+            tel.phase_cover.observe(ev.cover_us);
         }
     }
 }
@@ -422,6 +589,20 @@ fn resolve_lib<'a>(
             ),
         )
     })
+}
+
+/// The *registered* name behind a (possibly aliased) request name, for
+/// labeling metrics consistently no matter how the client spelled it.
+fn resolve_lib_name(inner: &Inner, lib_name: &str) -> Option<String> {
+    if inner.libs.contains_key(lib_name) {
+        return Some(lib_name.to_owned());
+    }
+    let wanted = lib_alias(lib_name);
+    inner
+        .libs
+        .keys()
+        .find(|name| lib_alias(name) == wanted)
+        .cloned()
 }
 
 /// The mapping options a request's algorithm string selects, with the
@@ -465,16 +646,47 @@ fn store_retained(inner: &Inner, handle: &str, entry: RetainedEntry) {
     }
 }
 
+/// Copies a successful mapping's report numbers into the request event.
+fn record_report(ev: &mut RequestEvent, report: &dagmap_core::MapReport, out_bytes: usize) {
+    let us = |s: f64| (s * 1e6).max(0.0) as u64;
+    ev.out_bytes = out_bytes;
+    ev.delay = report.delay;
+    ev.num_cells = report.num_cells;
+    ev.decompose_us = us(report.decompose_seconds);
+    ev.label_us = us(report.label_seconds);
+    ev.cover_us = us(report.cover_seconds);
+    ev.recovery_us = us(report.area_recovery_seconds);
+    ev.memo_hits = report.memo_hits as u64;
+    ev.memo_id_hits = report.memo_id_hits as u64;
+    ev.matches_enumerated = report.matches_enumerated as u64;
+    ev.labels_reused = report.labels_reused as u64;
+}
+
 /// Maps one request. Returns the reply frame, or an error kind + message
-/// for the caller to wrap.
-fn process_map(inner: &Inner, req: &MapRequest) -> Result<String, (ErrorKind, String)> {
+/// for the caller to wrap; telemetry of the attempt accumulates into `ev`.
+fn process_map(
+    inner: &Inner,
+    req: &MapRequest,
+    ev: &mut RequestEvent,
+) -> Result<String, (ErrorKind, String)> {
     let t0 = Instant::now();
     let lib_name = req.lib.as_deref().unwrap_or(&inner.default_lib);
+    ev.blif_bytes = req.blif.len();
     let state = resolve_lib(inner, lib_name)?;
+    ev.lib = Some(lib_name.to_owned());
+    if let Some(tel) = &inner.telemetry {
+        ev.kind = if tel.first_seen(lib_name, &req.blif) {
+            "first"
+        } else {
+            "repeat"
+        };
+    }
     // `trace: true` records this request in a thread-scoped session:
     // concurrent requests on other workers never mix frames into it, and
-    // it coexists with a process-global session owned by a harness.
-    let scoped = req.trace.then(dagmap_obs::start_scoped);
+    // it coexists with a process-global session owned by a harness. Tail
+    // sampling also needs the trace — serialized only if actually kept.
+    let want_tail = inner.tail.is_some();
+    let scoped = (req.trace || want_tail).then(dagmap_obs::start_scoped);
     let result = (|| {
         let net =
             blif::parse(&req.blif).map_err(|e| (ErrorKind::BadRequest, format!("blif: {e}")))?;
@@ -504,8 +716,16 @@ fn process_map(inner: &Inner, req: &MapRequest) -> Result<String, (ErrorKind, St
     })();
     // Close the scoped session on both paths so the worker thread is clean
     // for its next request.
-    let trace_chrome = scoped.map(|s| s.finish().to_chrome_json());
+    let trace = scoped.map(|s| s.finish());
+    let trace_chrome = match (&trace, req.trace) {
+        (Some(t), true) => Some(t.to_chrome_json()),
+        _ => None,
+    };
+    if want_tail {
+        ev.trace = trace;
+    }
     let (report, out_blif, snapshot) = result?;
+    record_report(ev, &report, out_blif.len());
     // `retain` requires an id at parse time, so the handle is always there.
     let handle = match (snapshot, req.id.as_deref()) {
         (Some(labels), Some(id)) => {
@@ -541,8 +761,13 @@ fn process_map(inner: &Inner, req: &MapRequest) -> Result<String, (ErrorKind, St
 /// run: only the region whose strash signatures changed is re-labeled, and
 /// the reply is byte-identical to a cold map of the same BLIF. The fresh
 /// snapshot replaces the retained one, so successive edits chain.
-fn process_remap(inner: &Inner, req: &RemapRequest) -> Result<String, (ErrorKind, String)> {
+fn process_remap(
+    inner: &Inner,
+    req: &RemapRequest,
+    ev: &mut RequestEvent,
+) -> Result<String, (ErrorKind, String)> {
     let t0 = Instant::now();
+    ev.blif_bytes = req.blif.len();
     let (lib_name, algo, recover, labels) = {
         let retained = inner.retained.lock().unwrap_or_else(|e| e.into_inner());
         let entry = retained.get(&req.handle).ok_or_else(|| {
@@ -559,7 +784,9 @@ fn process_remap(inner: &Inner, req: &RemapRequest) -> Result<String, (ErrorKind
         )
     };
     let state = resolve_lib(inner, &lib_name)?;
-    let scoped = req.trace.then(dagmap_obs::start_scoped);
+    ev.lib = Some(lib_name.clone());
+    let want_tail = inner.tail.is_some();
+    let scoped = (req.trace || want_tail).then(dagmap_obs::start_scoped);
     let result = (|| {
         let net =
             blif::parse(&req.blif).map_err(|e| (ErrorKind::BadRequest, format!("blif: {e}")))?;
@@ -579,8 +806,16 @@ fn process_remap(inner: &Inner, req: &RemapRequest) -> Result<String, (ErrorKind
             .map_err(|e| (ErrorKind::Internal, format!("netlist writeback: {e}")))?;
         Ok((report, out, snapshot))
     })();
-    let trace_chrome = scoped.map(|s| s.finish().to_chrome_json());
+    let trace = scoped.map(|s| s.finish());
+    let trace_chrome = match (&trace, req.trace) {
+        (Some(t), true) => Some(t.to_chrome_json()),
+        _ => None,
+    };
+    if want_tail {
+        ev.trace = trace;
+    }
     let (report, out_blif, snapshot) = result?;
+    record_report(ev, &report, out_blif.len());
     if let Some(labels) = snapshot {
         store_retained(
             inner,
@@ -701,6 +936,100 @@ fn accept_loop_unix(inner: Arc<Inner>, listener: UnixListener) {
     }
 }
 
+/// Removes the unix socket file when dropped. Created immediately after
+/// the bind succeeds, so the file is cleaned up on *every* exit from that
+/// point on — normal drain, an error later in startup, or a panic — not
+/// just the happy path through [`Server::wait`].
+#[cfg(unix)]
+struct SocketGuard {
+    path: PathBuf,
+}
+
+#[cfg(unix)]
+impl Drop for SocketGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Answers one plain-HTTP metrics scrape on an accepted connection:
+/// `GET /metrics` (or `/`) returns the Prometheus text exposition.
+fn serve_http_scrape(inner: &Inner, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut buf = [0u8; 8192];
+    let mut n = 0;
+    // Read until the end of the request head; scrapers send no body.
+    loop {
+        if n == buf.len() {
+            return;
+        }
+        match stream.read(&mut buf[n..]) {
+            Ok(0) | Err(_) => {
+                if n == 0 {
+                    return;
+                }
+                break;
+            }
+            Ok(k) => n += k,
+        }
+        if buf[..n].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..n]);
+    let mut line = head.lines().next().unwrap_or("").split_whitespace();
+    let method = line.next().unwrap_or("");
+    let path = line.next().unwrap_or("");
+    let (status, ctype, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_owned(),
+        )
+    } else if path == "/metrics" || path == "/" {
+        match inner.render_metrics() {
+            Some(text) => ("200 OK", "text/plain; version=0.0.4; charset=utf-8", text),
+            None => (
+                "503 Service Unavailable",
+                "text/plain; charset=utf-8",
+                "metrics are disabled\n".to_owned(),
+            ),
+        }
+    } else {
+        (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found (try /metrics)\n".to_owned(),
+        )
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = stream.flush();
+}
+
+/// Accept loop of the `--metrics-addr` HTTP endpoint. Scrapes are handled
+/// inline — they are cheap and infrequent — so a stalled client can delay
+/// the next scrape by at most the 2 s read timeout.
+fn accept_loop_metrics_http(inner: Arc<Inner>, listener: TcpListener) {
+    let _ = listener.set_nonblocking(true);
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nonblocking(false);
+                serve_http_scrape(&inner, stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(_) => break,
+        }
+    }
+}
+
 /// A running daemon. Dropping it without [`Server::wait`] leaks threads;
 /// call `request_shutdown` + `wait` (or send a `shutdown` frame) to stop
 /// it cleanly.
@@ -709,8 +1038,9 @@ pub struct Server {
     listeners: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     tcp_addr: Option<std::net::SocketAddr>,
+    metrics_http_addr: Option<std::net::SocketAddr>,
     #[cfg(unix)]
-    unix_path: Option<PathBuf>,
+    _unix_guard: Option<SocketGuard>,
 }
 
 impl Server {
@@ -735,6 +1065,18 @@ impl Server {
                 "at least one library is required",
             ));
         }
+        if !config.metrics && config.metrics_addr.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "--metrics-addr requires metrics to be enabled",
+            ));
+        }
+        if !config.metrics && config.tail.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "tail trace sampling requires metrics (thresholds come from the rolling histograms)",
+            ));
+        }
         let default_lib = libraries[0].name().to_owned();
         let mut libs = BTreeMap::new();
         for library in libraries {
@@ -749,6 +1091,15 @@ impl Server {
                 ));
             }
         }
+        let telemetry = config.metrics.then(|| Telemetry::new(config.workers.max(1)));
+        let request_log = match &config.log_requests {
+            Some(path) => Some(RequestLog::open(path)?),
+            None => None,
+        };
+        let tail = match &config.tail {
+            Some(tail) => Some(TailState::new(tail)?),
+            None => None,
+        };
         let inner = Arc::new(Inner {
             libs,
             default_lib,
@@ -767,6 +1118,9 @@ impl Server {
             retain_seq: AtomicU64::new(0),
             conns: Mutex::new(Vec::new()),
             readers: Mutex::new(Vec::new()),
+            telemetry,
+            request_log,
+            tail,
         });
 
         let mut listeners = Vec::new();
@@ -782,14 +1136,17 @@ impl Server {
             );
         }
         #[cfg(unix)]
-        let mut unix_path = None;
+        let mut unix_guard = None;
         #[cfg(unix)]
         if let Some(path) = &endpoints.unix {
             // A stale socket file from a crashed daemon would fail the
             // bind; remove it first (errors surface from bind itself).
             let _ = std::fs::remove_file(path);
             let listener = UnixListener::bind(path)?;
-            unix_path = Some(path.clone());
+            // From here the file exists on disk; the guard removes it on
+            // any exit — including a panic or error below — not just a
+            // clean `wait()`.
+            unix_guard = Some(SocketGuard { path: path.clone() });
             let inner = Arc::clone(&inner);
             listeners.push(
                 thread::Builder::new()
@@ -802,6 +1159,17 @@ impl Server {
                 io::ErrorKind::InvalidInput,
                 "no endpoint to listen on (need --tcp and/or --unix)",
             ));
+        }
+        let mut metrics_http_addr = None;
+        if let Some(addr) = &config.metrics_addr {
+            let listener = TcpListener::bind(addr)?;
+            metrics_http_addr = Some(listener.local_addr()?);
+            let inner = Arc::clone(&inner);
+            listeners.push(
+                thread::Builder::new()
+                    .name("serve-metrics-http".into())
+                    .spawn(move || accept_loop_metrics_http(inner, listener))?,
+            );
         }
 
         let workers = (0..inner.workers)
@@ -818,8 +1186,9 @@ impl Server {
             listeners,
             workers,
             tcp_addr,
+            metrics_http_addr,
             #[cfg(unix)]
-            unix_path,
+            _unix_guard: unix_guard,
         })
     }
 
@@ -827,6 +1196,12 @@ impl Server {
     /// with port 0).
     pub fn tcp_addr(&self) -> Option<std::net::SocketAddr> {
         self.tcp_addr
+    }
+
+    /// The bound `--metrics-addr` HTTP address, when one was configured
+    /// (useful with port 0).
+    pub fn metrics_http_addr(&self) -> Option<std::net::SocketAddr> {
+        self.metrics_http_addr
     }
 
     /// The per-library shared state (tests and harnesses read the memo
@@ -873,10 +1248,8 @@ impl Server {
         for r in readers {
             let _ = r.join();
         }
-        #[cfg(unix)]
-        if let Some(path) = &self.unix_path {
-            let _ = std::fs::remove_file(path);
-        }
+        // The unix socket file is removed by the guard's Drop as `self`
+        // goes out of scope here.
         Ok(())
     }
 }

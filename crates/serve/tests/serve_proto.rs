@@ -548,3 +548,278 @@ fn retain_then_remap_is_bit_identical_and_reuses_labels() {
     client.shutdown().unwrap();
     server.wait().unwrap();
 }
+
+#[cfg(unix)]
+#[test]
+fn metrics_frame_exposes_live_counters_and_stays_byte_neutral() {
+    let (server, endpoint) = start_unix("metrics", &ServeConfig::default());
+    let mut client = Client::connect(&endpoint).unwrap();
+
+    let net = dagmap_benchgen::ripple_adder(4);
+    let input = blif::to_string(&net).unwrap();
+    let mut served = Vec::new();
+    for i in 0..3 {
+        let id = format!("m{i}");
+        let reply = client
+            .call(&map_request(
+                &input,
+                &MapCall {
+                    id: Some(&id),
+                    ..MapCall::default()
+                },
+            ))
+            .unwrap();
+        assert_eq!(reply.get("error"), None, "{reply:?}");
+        served.push(reply.get("blif").unwrap().as_str().unwrap().to_owned());
+    }
+    // Telemetry enabled (the default) must not move a byte.
+    let oneshot = one_shot_blif(&input, &Library::lib2_like());
+    for blif in &served {
+        assert_eq!(blif, &oneshot);
+    }
+
+    let exposition = client.metrics().unwrap();
+    let samples = dagmap_serve::dash::parse_exposition(&exposition)
+        .unwrap_or_else(|e| panic!("exposition must parse: {e}\n{exposition}"));
+    let find = |name: &str| dagmap_serve::dash::find(&samples, name, &[]);
+    assert_eq!(find("dagmap_requests_total"), Some(3.0));
+    assert_eq!(find("dagmap_errors_total"), Some(0.0));
+    assert!(find("dagmap_workers").unwrap() >= 1.0);
+    // First request was first-seen, the two repeats split into the repeat
+    // class.
+    assert_eq!(
+        dagmap_serve::dash::find(
+            &samples,
+            "dagmap_request_latency_us_count",
+            &[("kind", "first")]
+        ),
+        Some(1.0)
+    );
+    assert_eq!(
+        dagmap_serve::dash::find(
+            &samples,
+            "dagmap_request_latency_us_count",
+            &[("kind", "repeat")]
+        ),
+        Some(2.0)
+    );
+    // Per-library series carry the registered library name.
+    assert_eq!(
+        dagmap_serve::dash::find(&samples, "dagmap_lib_requests_total", &[("lib", "lib2_like")]),
+        Some(3.0)
+    );
+    assert!(
+        dagmap_serve::dash::find(&samples, "dagmap_memo_hits_total", &[("lib", "lib2_like")])
+            .unwrap()
+            > 0.0,
+        "repeats must hit the shared memo"
+    );
+
+    client.shutdown().unwrap();
+    server.wait().unwrap();
+}
+
+#[cfg(unix)]
+#[test]
+fn metrics_disabled_answers_an_error_frame() {
+    let config = ServeConfig {
+        metrics: false,
+        ..ServeConfig::default()
+    };
+    let (server, endpoint) = start_unix("nometrics", &config);
+    let mut client = Client::connect(&endpoint).unwrap();
+    let err = client.metrics().expect_err("metrics are off");
+    assert!(err.to_string().contains("disabled"), "{err}");
+    client.ping().expect("connection survives the error frame");
+    client.shutdown().unwrap();
+    server.wait().unwrap();
+}
+
+#[cfg(unix)]
+#[test]
+fn http_metrics_endpoint_serves_prometheus_text() {
+    use std::io::{Read as _, Write as _};
+
+    let config = ServeConfig {
+        metrics_addr: Some("127.0.0.1:0".to_owned()),
+        ..ServeConfig::default()
+    };
+    let (server, endpoint) = start_unix("httpmetrics", &config);
+    let addr = server.metrics_http_addr().expect("http endpoint bound");
+    let mut client = Client::connect(&endpoint).unwrap();
+    let net = dagmap_benchgen::ripple_adder(3);
+    let input = blif::to_string(&net).unwrap();
+    let reply = client
+        .call(&map_request(&input, &MapCall::default()))
+        .unwrap();
+    assert_eq!(reply.get("error"), None, "{reply:?}");
+
+    let http_get = |path: &str| {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    };
+    let response = http_get("/metrics");
+    assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+    assert!(
+        response.contains("text/plain; version=0.0.4"),
+        "{response}"
+    );
+    let body = response.split("\r\n\r\n").nth(1).unwrap();
+    let samples = dagmap_serve::dash::parse_exposition(body).unwrap();
+    assert_eq!(
+        dagmap_serve::dash::find(&samples, "dagmap_requests_total", &[]),
+        Some(1.0)
+    );
+    assert!(http_get("/nope").starts_with("HTTP/1.1 404"), "404 path");
+
+    client.shutdown().unwrap();
+    server.wait().unwrap();
+}
+
+#[cfg(unix)]
+#[test]
+fn request_log_writes_one_jsonl_event_per_request() {
+    let log_path = std::env::temp_dir().join(format!(
+        "dagmap-serve-test-{}-reqlog.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&log_path);
+    let config = ServeConfig {
+        log_requests: Some(log_path.clone()),
+        ..ServeConfig::default()
+    };
+    let (server, endpoint) = start_unix("reqlog", &config);
+    let mut client = Client::connect(&endpoint).unwrap();
+    let net = dagmap_benchgen::ripple_adder(4);
+    let input = blif::to_string(&net).unwrap();
+    for i in 0..2 {
+        let id = format!("L{i}");
+        let reply = client
+            .call(&map_request(
+                &input,
+                &MapCall {
+                    id: Some(&id),
+                    ..MapCall::default()
+                },
+            ))
+            .unwrap();
+        assert_eq!(reply.get("error"), None, "{reply:?}");
+    }
+    // A failing request logs too, with its outcome.
+    let reply = client.call(&map_request("not blif", &MapCall::default()));
+    assert!(reply.unwrap().get("error").is_some());
+    client.shutdown().unwrap();
+    server.wait().unwrap();
+
+    let text = std::fs::read_to_string(&log_path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "one event per request:\n{text}");
+    let events: Vec<_> = lines
+        .iter()
+        .map(|l| dagmap_obs::json::parse(l).expect("every line is valid JSON"))
+        .collect();
+    assert_eq!(events[0].get("op").unwrap().as_str(), Some("map"));
+    assert_eq!(events[0].get("outcome").unwrap().as_str(), Some("ok"));
+    assert_eq!(events[0].get("kind").unwrap().as_str(), Some("first"));
+    assert_eq!(events[1].get("kind").unwrap().as_str(), Some("repeat"));
+    assert!(events[0].get("latency_us").unwrap().as_num().unwrap() > 0.0);
+    assert!(events[0]
+        .get("phases")
+        .unwrap()
+        .get("label_us")
+        .is_some());
+    assert_eq!(events[2].get("outcome").unwrap().as_str(), Some("bad_request"));
+    let _ = std::fs::remove_file(&log_path);
+}
+
+#[cfg(unix)]
+#[test]
+fn tail_sampling_keeps_bounded_valid_traces() {
+    let tail_dir = std::env::temp_dir().join(format!(
+        "dagmap-serve-test-{}-tail",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&tail_dir);
+    let keep = 3;
+    let config = ServeConfig {
+        tail: Some(dagmap_serve::TailConfig {
+            dir: tail_dir.clone(),
+            // quantile <= 0 keeps every trace: deterministic for the test
+            // and useful for short captures.
+            quantile: 0.0,
+            keep,
+        }),
+        ..ServeConfig::default()
+    };
+    let (server, endpoint) = start_unix("tail", &config);
+    let mut client = Client::connect(&endpoint).unwrap();
+    let net = dagmap_benchgen::ripple_adder(4);
+    let input = blif::to_string(&net).unwrap();
+    let oneshot = one_shot_blif(&input, &Library::lib2_like());
+    for i in 0..6 {
+        let id = format!("t{i}");
+        let reply = client
+            .call(&map_request(
+                &input,
+                &MapCall {
+                    id: Some(&id),
+                    ..MapCall::default()
+                },
+            ))
+            .unwrap();
+        assert_eq!(reply.get("error"), None, "{reply:?}");
+        // Tail tracing on: output still byte-identical, and no trace in
+        // the reply (the client did not ask for one).
+        assert_eq!(reply.get("blif").unwrap().as_str().unwrap(), oneshot);
+        assert_eq!(reply.get("trace"), None);
+    }
+    let exposition = client.metrics().unwrap();
+    let samples = dagmap_serve::dash::parse_exposition(&exposition).unwrap();
+    assert_eq!(
+        dagmap_serve::dash::find(&samples, "dagmap_tail_traces_kept_total", &[]),
+        Some(6.0),
+        "quantile 0 keeps every trace"
+    );
+    client.shutdown().unwrap();
+    server.wait().unwrap();
+
+    // The on-disk ring is bounded to `keep`, and every kept file is a
+    // valid Chrome trace.
+    let mut files: Vec<_> = std::fs::read_dir(&tail_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    assert_eq!(files.len(), keep, "ring bounded to {keep}: {files:?}");
+    for f in &files {
+        let text = std::fs::read_to_string(f).unwrap();
+        dagmap_obs::trace::validate_chrome(&text)
+            .unwrap_or_else(|e| panic!("{}: invalid chrome trace: {e}", f.display()));
+    }
+    let _ = std::fs::remove_dir_all(&tail_dir);
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_file_is_removed_even_without_wait() {
+    let path = unique_socket_path("guard");
+    let endpoints = Endpoints {
+        tcp: None,
+        unix: Some(path.clone()),
+    };
+    let server = Server::start(
+        &ServeConfig::default(),
+        vec![Library::lib2_like()],
+        &endpoints,
+    )
+    .unwrap();
+    assert!(path.exists(), "socket file exists while running");
+    server.request_shutdown();
+    // Dropping the server without the graceful wait() — as a panicking
+    // caller would — must still remove the socket file (RAII guard).
+    drop(server);
+    assert!(!path.exists(), "socket file removed on drop");
+}

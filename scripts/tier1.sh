@@ -88,6 +88,41 @@ cargo run -q --release --offline -- client --unix "$SERVE_SOCK" --shutdown > /de
 wait "$SERVE_PID"
 cmp target/serve_oneshot.blif target/serve_served.blif
 
+# Metrics smoke: a daemon with every telemetry layer on (request log, tail
+# trace sampling, live registry) serves 50 pipelined requests; the metrics
+# frame must count exactly 50, the request log must hold one line per
+# request, `dagmap top --once` must render, and the served BLIF must stay
+# byte-identical to the one-shot mapping.
+METRICS_SOCK="target/tier1-metrics.sock"
+rm -f "$METRICS_SOCK" target/tier1-requests.jsonl
+rm -rf target/tier1-tail
+cargo run -q --release --offline -- serve --unix "$METRICS_SOCK" \
+  --libs lib2 --workers 2 \
+  --log-requests target/tier1-requests.jsonl \
+  --tail-traces target/tier1-tail --tail-quantile 0 --tail-keep 4 \
+  2> target/tier1-metrics.log &
+METRICS_PID=$!
+for _ in $(seq 100); do [ -S "$METRICS_SOCK" ] && break; sleep 0.1; done
+[ -S "$METRICS_SOCK" ] || { cat target/tier1-metrics.log; exit 1; }
+cargo run -q --release --offline -- client --unix "$METRICS_SOCK" \
+  --repeat 50 target/serve_smoke.blif \
+  --out target/serve_metrics_served.blif > /dev/null
+cargo run -q --release --offline -- top --unix "$METRICS_SOCK" --once \
+  > target/tier1-top.txt
+grep -q 'requests 50' target/tier1-top.txt
+cargo run -q --release --offline -- client --unix "$METRICS_SOCK" \
+  --metrics > target/tier1-metrics.txt
+grep -q '^dagmap_requests_total 50$' target/tier1-metrics.txt
+cargo run -q --release --offline -- client --unix "$METRICS_SOCK" --stats \
+  > target/tier1-stats.txt
+grep -Eq '^requests +50$' target/tier1-stats.txt
+cargo run -q --release --offline -- client --unix "$METRICS_SOCK" --shutdown > /dev/null
+wait "$METRICS_PID"
+cmp target/serve_oneshot.blif target/serve_metrics_served.blif
+[ "$(wc -l < target/tier1-requests.jsonl)" -eq 50 ]
+# The tail ring keeps every trace at quantile 0, bounded by --tail-keep.
+[ "$(ls target/tier1-tail | wc -l)" -eq 4 ]
+
 # Traffic-driven serve bench in quick mode: ~120 pipelined requests over two
 # libraries; asserts zero errors, memo hits on repeats, and a per-pair
 # bit-identity spot check against one-shot mapping.
@@ -95,6 +130,9 @@ cargo run -q --release --offline -p dagmap-bench --bin serveperf -- \
   --quick --out target/BENCH_serve_smoke.json
 grep -q '"bit_identical": true' target/BENCH_serve_smoke.json
 grep -q '"errors": 0' target/BENCH_serve_smoke.json
+# The bench also replays the stream with telemetry off/on and records the
+# overhead; presence of the key proves the comparison ran.
+grep -q '"metrics_overhead_pct"' target/BENCH_serve_smoke.json
 
 # Strash smoke: the strash-id memo fast path must not move a byte of the
 # mapped netlist — map the same circuit with and without it and compare.

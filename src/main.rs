@@ -34,6 +34,7 @@ fn main() -> ExitCode {
         Some("map") => cmd_map(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some("luts") => cmd_luts(&args[1..]),
         Some("retime") => cmd_retime(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
@@ -66,6 +67,8 @@ usage:
   dagmap serve    [options]             long-lived mapping daemon with warm
                                         shared match caches (TCP/unix socket)
   dagmap client   [options] [in.blif]   talk to a running daemon
+  dagmap top      [options]             live refreshing terminal dashboard
+                                        for a running daemon
   dagmap luts     <in.blif> [-k <k>]    FlowMap k-LUT mapping
   dagmap retime   <in.blif> [options]   minimum clock period (retime + map)
   dagmap stats    <in.blif> [--builtin <name> | --lib <f.genlib>]
@@ -140,15 +143,42 @@ serve options:
                                       match cache (default 65536; resident
                                       bound is 2x)
   --no-verify                         skip per-request equivalence checks
+  --metrics-addr <addr>               also serve the metrics as plain HTTP
+                                      (GET /metrics, Prometheus text format)
+  --no-metrics                        disable the live metrics registry
+                                      (the `metrics` op answers an error)
+  --log-requests <f.jsonl>            append one JSON line per finished
+                                      request (latency, phases, cache hits)
+  --tail-traces <dir>                 tail-based trace sampling: requests
+                                      slower than their class's rolling
+                                      latency quantile keep their Chrome
+                                      trace in a bounded on-disk ring
+  --tail-quantile <q>                 tail threshold quantile (default
+                                      0.99; 0 keeps every trace)
+  --tail-keep <n>                     tail traces retained on disk
+                                      (default 16)
 
 client options:
   --tcp <addr> | --unix <path>        where the daemon listens (required)
   --ping | --stats | --shutdown       control ops (otherwise maps in.blif)
+  --metrics                           print the daemon's live metrics as
+                                      Prometheus text exposition
   --lib <name>                        served library to map against
   --algo dag|tree|dag-extended        covering algorithm (default dag)
   --recover                           slack-driven area recovery
-  --json                              print the raw reply JSON
+  --repeat <n>                        send the map request n times,
+                                      pipelined; --out and the summary use
+                                      the last reply
+  --json                              print the raw reply JSON (with
+                                      --stats: the raw stats frame instead
+                                      of the human table)
   --out <f.blif>                      write the mapped netlist as BLIF
+
+top options:
+  --tcp <addr> | --unix <path>        where the daemon listens (required)
+  --interval <secs>                   refresh period (default 2)
+  --once                              print one snapshot and exit (no
+                                      screen clearing)
 
 retime options:
   --builtin/--lib                     as for map
@@ -605,6 +635,23 @@ fn cmd_serve(args: &[String]) -> CmdResult {
         config.memo_cap = n.parse().map_err(|_| "--memo-cap needs an integer")?;
     }
     config.verify = !take_flag(&mut args, "--no-verify");
+    config.metrics = !take_flag(&mut args, "--no-metrics");
+    config.metrics_addr = take_value(&mut args, "--metrics-addr")?;
+    config.log_requests = take_value(&mut args, "--log-requests")?.map(Into::into);
+    let tail_quantile = take_value(&mut args, "--tail-quantile")?;
+    let tail_keep = take_value(&mut args, "--tail-keep")?;
+    if let Some(dir) = take_value(&mut args, "--tail-traces")? {
+        let mut tail = dagmap::serve::TailConfig::new(dir.into());
+        if let Some(q) = tail_quantile {
+            tail.quantile = q.parse().map_err(|_| "--tail-quantile needs a number")?;
+        }
+        if let Some(n) = tail_keep {
+            tail.keep = n.parse().map_err(|_| "--tail-keep needs an integer")?;
+        }
+        config.tail = Some(tail);
+    } else if tail_quantile.is_some() || tail_keep.is_some() {
+        return Err("--tail-quantile/--tail-keep need --tail-traces <dir>".into());
+    }
     reject_leftovers(&args)?;
 
     let mut libraries = load_served_libraries(libs_spec.as_deref())?;
@@ -648,6 +695,9 @@ fn cmd_serve(args: &[String]) -> CmdResult {
     if let Some(path) = &unix {
         eprintln!("serving on unix {path}");
     }
+    if let Some(addr) = server.metrics_http_addr() {
+        eprintln!("metrics on http://{addr}/metrics");
+    }
     eprintln!(
         "libraries: {} ({} workers, max {} inflight, memo cap {}); send {{\"op\":\"shutdown\"}} to stop",
         names.join(", "),
@@ -677,10 +727,17 @@ fn cmd_client(args: &[String]) -> CmdResult {
     let endpoint = client_endpoint(&mut args)?;
     let ping = take_flag(&mut args, "--ping");
     let stats = take_flag(&mut args, "--stats");
+    let metrics = take_flag(&mut args, "--metrics");
     let shutdown = take_flag(&mut args, "--shutdown");
     let lib = take_value(&mut args, "--lib")?;
     let algo = take_value(&mut args, "--algo")?.unwrap_or_else(|| "dag".into());
     let recover = take_flag(&mut args, "--recover");
+    let repeat: usize = take_value(&mut args, "--repeat")?
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--repeat needs an integer")?
+        .unwrap_or(1)
+        .max(1);
     let json = take_flag(&mut args, "--json");
     let out = take_value(&mut args, "--out")?;
 
@@ -691,11 +748,24 @@ fn cmd_client(args: &[String]) -> CmdResult {
         println!("pong");
         return Ok(());
     }
+    if metrics {
+        reject_leftovers(&args)?;
+        print!("{}", client.metrics()?);
+        return Ok(());
+    }
     if stats || shutdown {
         reject_leftovers(&args)?;
         let op = if stats { "stats" } else { "shutdown" };
-        // Control-op replies are small; print the frame verbatim.
-        println!("{}", client.call_raw(&format!("{{\"op\":\"{op}\"}}"))?);
+        let raw_text = client.call_raw(&format!("{{\"op\":\"{op}\"}}"))?;
+        if stats && !json {
+            let raw = dagmap::obs::json::parse(&raw_text)
+                .map_err(|e| format!("reply is not valid JSON: {e}"))?;
+            print!("{}", dagmap::serve::dash::render_stats_table(&raw));
+        } else {
+            // Shutdown acks are small (and --stats --json wants the raw
+            // frame); print it verbatim.
+            println!("{raw_text}");
+        }
         return Ok(());
     }
     let input = take_positional(&mut args, "input BLIF file")?;
@@ -703,24 +773,48 @@ fn cmd_client(args: &[String]) -> CmdResult {
     // .aag inputs are converted to the BLIF the wire protocol speaks.
     let net = read_network(&input)?;
     let text = blif::to_string(&net)?;
-    let payload = dagmap::serve::map_request(
-        &text,
-        &dagmap::serve::MapCall {
-            id: Some("cli"),
-            lib: lib.as_deref(),
-            algo: &algo,
-            recover,
-            trace: false,
-            retain: false,
-        },
-    );
-    let raw_text = client.call_raw(&payload)?;
+    // With --repeat the requests are pipelined: keep a bounded window in
+    // flight so a long run never buffers every reply at once.
+    const WINDOW: usize = 16;
+    let started = Instant::now();
+    let mut sent = 0usize;
+    let mut received = 0usize;
+    let mut raw_text = String::new();
+    while received < repeat {
+        while sent < repeat && sent - received < WINDOW {
+            let id = format!("cli-{sent}");
+            let payload = dagmap::serve::map_request(
+                &text,
+                &dagmap::serve::MapCall {
+                    id: Some(&id),
+                    lib: lib.as_deref(),
+                    algo: &algo,
+                    recover,
+                    trace: false,
+                    retain: false,
+                },
+            );
+            client.send(&payload)?;
+            sent += 1;
+        }
+        raw_text = client.recv_raw()?;
+        received += 1;
+        let reply = dagmap::obs::json::parse(&raw_text)
+            .map_err(|e| format!("reply is not valid JSON: {e}"))?;
+        if let Some(err) = reply.get("error") {
+            let kind = err.get("kind").and_then(|k| k.as_str()).unwrap_or("?");
+            let msg = err.get("message").and_then(|m| m.as_str()).unwrap_or("?");
+            return Err(format!("server replied {kind}: {msg}").into());
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
     let raw = dagmap::obs::json::parse(&raw_text)
         .map_err(|e| format!("reply is not valid JSON: {e}"))?;
-    if let Some(err) = raw.get("error") {
-        let kind = err.get("kind").and_then(|k| k.as_str()).unwrap_or("?");
-        let msg = err.get("message").and_then(|m| m.as_str()).unwrap_or("?");
-        return Err(format!("server replied {kind}: {msg}").into());
+    if repeat > 1 {
+        println!(
+            "{repeat} requests in {elapsed:.3}s ({:.1} req/s)",
+            repeat as f64 / elapsed.max(1e-9)
+        );
     }
     if json {
         println!("{raw_text}");
@@ -745,6 +839,51 @@ fn cmd_client(args: &[String]) -> CmdResult {
         println!("wrote {path}");
     }
     Ok(())
+}
+
+fn cmd_top(args: &[String]) -> CmdResult {
+    use std::io::{IsTerminal, Write};
+
+    let mut args = args.to_vec();
+    let endpoint = client_endpoint(&mut args)?;
+    let interval: f64 = take_value(&mut args, "--interval")?
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--interval needs seconds")?
+        .unwrap_or(2.0);
+    let once = take_flag(&mut args, "--once");
+    reject_leftovers(&args)?;
+    if !interval.is_finite() || interval <= 0.0 {
+        return Err("--interval must be a positive number of seconds".into());
+    }
+
+    let mut client = dagmap::serve::Client::connect(&endpoint)?;
+    // Clear-and-redraw only when refreshing on a real terminal; piped
+    // output (and --once) stays plain text.
+    let clear = !once && std::io::stdout().is_terminal();
+    let mut prev: Option<(Vec<dagmap::serve::dash::Sample>, Instant)> = None;
+    loop {
+        let text = client.metrics()?;
+        let samples = dagmap::serve::dash::parse_exposition(&text)
+            .map_err(|e| format!("bad metrics exposition: {e}"))?;
+        let dashboard = dagmap::serve::dash::render_dashboard(
+            &samples,
+            prev.as_ref()
+                .map(|(s, t)| (s.as_slice(), t.elapsed().as_secs_f64())),
+        );
+        let mut stdout = std::io::stdout().lock();
+        if clear {
+            stdout.write_all(b"\x1b[2J\x1b[H")?;
+        }
+        stdout.write_all(dashboard.as_bytes())?;
+        stdout.flush()?;
+        drop(stdout);
+        if once {
+            return Ok(());
+        }
+        prev = Some((samples, Instant::now()));
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval));
+    }
 }
 
 fn cmd_luts(args: &[String]) -> CmdResult {
